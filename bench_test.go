@@ -1,0 +1,270 @@
+// Package backdroid's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation, plus ablations of the design choices
+// DESIGN.md calls out. Benchmarks run a scaled-down corpus so they finish
+// in seconds; cmd/benchrun reproduces the figures at paper scale.
+package backdroid
+
+import (
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+	"backdroid/internal/experiments"
+	"backdroid/internal/testapps"
+)
+
+// benchCorpus is the scaled corpus used by the figure benchmarks.
+func benchCorpus() appgen.CorpusOptions {
+	return appgen.CorpusOptions{Apps: 16, Seed: 20200523, SizeScale: 0.15}
+}
+
+func runScaledCorpus(b *testing.B, cfg experiments.RunConfig) *experiments.CorpusRun {
+	b.Helper()
+	run, err := experiments.RunCorpus(benchCorpus(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkTable1SizeTrend regenerates Table I (app size trend 2014-2018).
+func BenchmarkTable1SizeTrend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(int64(i) + 1)
+		if len(res.Rows) != 5 {
+			b.Fatal("table 1 must have 5 year rows")
+		}
+	}
+}
+
+// BenchmarkFig1CallGraphCost regenerates Fig. 1 (whole-app call graph
+// generation time distribution).
+func BenchmarkFig1CallGraphCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunCallGraph: true})
+		h := experiments.Fig1(run)
+		if h.Total == 0 {
+			b.Fatal("no call graph samples")
+		}
+	}
+}
+
+// BenchmarkFig7BackDroidTime regenerates Fig. 7 (BackDroid time
+// distribution).
+func BenchmarkFig7BackDroidTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunBackDroid: true})
+		h := experiments.Fig7(run)
+		if h.Total == 0 {
+			b.Fatal("no BackDroid samples")
+		}
+	}
+}
+
+// BenchmarkFig8WholeAppTime regenerates Fig. 8 (Amandroid-style time
+// distribution with the timeout bar).
+func BenchmarkFig8WholeAppTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunWholeApp: true})
+		h := experiments.Fig8(run)
+		if h.Total == 0 {
+			b.Fatal("no whole-app samples")
+		}
+	}
+}
+
+// BenchmarkFig9SinkScaling regenerates Fig. 9 (#sink calls vs BackDroid
+// time).
+func BenchmarkFig9SinkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunBackDroid: true})
+		f := experiments.Fig9(run)
+		if len(f.Points) == 0 || f.AvgSinksPerApp <= 0 {
+			b.Fatal("no Fig. 9 points")
+		}
+	}
+}
+
+// BenchmarkHeadlineSpeedup regenerates the Sec. VI-B headline comparison
+// (median times, speedup, timeout rates).
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{
+			RunBackDroid: true, RunWholeApp: true, RunCallGraph: true,
+		})
+		h := experiments.Headline(run)
+		if h.Speedup <= 1 {
+			b.Fatalf("speedup = %.1f, expected >1", h.Speedup)
+		}
+	}
+}
+
+// BenchmarkDetectionComparison regenerates the Sec. VI-C detection
+// accuracy comparison against ground truth.
+func BenchmarkDetectionComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{
+			RunBackDroid: true, RunWholeApp: true,
+		})
+		d := experiments.Detection(run)
+		if d.TrueVulns == 0 {
+			b.Fatal("corpus embedded no vulnerabilities")
+		}
+	}
+}
+
+// BenchmarkCacheAndLoopStats regenerates the Sec. IV-F engineering
+// statistics (cache rates, loop detection).
+func BenchmarkCacheAndLoopStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunBackDroid: true})
+		s := experiments.CacheStats(run)
+		if s.SearchRateAvg <= 0 {
+			b.Fatal("no cache statistics")
+		}
+	}
+}
+
+// BenchmarkClinitReachability verifies the Sec. IV-C recursive
+// static-initializer search against ground truth.
+func BenchmarkClinitReachability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := runScaledCorpus(b, experiments.RunConfig{RunBackDroid: true})
+		c := experiments.ClinitCheck(run)
+		if c.Claimed != c.Confirmed {
+			b.Fatalf("clinit reachability %d/%d: recursive search over-claimed",
+				c.Confirmed, c.Claimed)
+		}
+	}
+}
+
+// benchAblationApp generates a mid-size app with enough sinks and flow
+// variety that the engineering enhancements have measurable effect.
+func benchAblationApp(b *testing.B) *apk.App {
+	b.Helper()
+	var sinks []appgen.SinkSpec
+	flows := []appgen.Flow{
+		appgen.FlowDirect, appgen.FlowThread, appgen.FlowClinit,
+		appgen.FlowAsyncExecutor, appgen.FlowCallback, appgen.FlowICC,
+		appgen.FlowChildClass, appgen.FlowSuperPoly, appgen.FlowDead,
+	}
+	for i := 0; i < 24; i++ {
+		rule := android.RuleCryptoECB
+		if i%3 == 0 {
+			rule = android.RuleSSLAllowAll
+		}
+		sinks = append(sinks, appgen.SinkSpec{
+			Flow: flows[i%len(flows)], Rule: rule, Insecure: i%4 == 0,
+		})
+	}
+	app, _, err := appgen.Generate(appgen.Spec{
+		Name: "com.bench.ablation", Seed: 77, SizeMB: 6, Sinks: sinks,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app
+}
+
+// benchFixtureEngine runs BackDroid over the ablation app with the given
+// options, reporting simulated work units alongside wall time.
+func benchFixtureEngine(b *testing.B, opts core.Options) {
+	b.Helper()
+	app := benchAblationApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := core.New(app, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := e.Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Stats.WorkUnits), "workunits/op")
+	}
+}
+
+// BenchmarkAblationSearchCache compares the engine with and without the
+// Sec. IV-F search command cache.
+func BenchmarkAblationSearchCache(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchFixtureEngine(b, core.DefaultOptions())
+	})
+	b.Run("off", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.EnableSearchCache = false
+		benchFixtureEngine(b, opts)
+	})
+}
+
+// BenchmarkAblationSinkCache compares with and without the sink
+// reachability cache.
+func BenchmarkAblationSinkCache(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchFixtureEngine(b, core.DefaultOptions())
+	})
+	b.Run("off", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.EnableSinkCache = false
+		benchFixtureEngine(b, opts)
+	})
+}
+
+// BenchmarkAblationLoopDetection compares loop detection against the
+// depth-bound-only fallback.
+func BenchmarkAblationLoopDetection(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		benchFixtureEngine(b, core.DefaultOptions())
+	})
+	b.Run("off", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.EnableLoopDetection = false
+		opts.MaxDepth = 12 // rely on the bound alone
+		benchFixtureEngine(b, opts)
+	})
+}
+
+// BenchmarkAblationFieldSearch compares the static-field write search
+// against analyzing every contained method (Sec. V-A).
+func BenchmarkAblationFieldSearch(b *testing.B) {
+	b.Run("search", func(b *testing.B) {
+		benchFixtureEngine(b, core.DefaultOptions())
+	})
+	b.Run("all-contained", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.AnalyzeAllContained = true
+		benchFixtureEngine(b, opts)
+	})
+}
+
+// BenchmarkAblationSinkSubclass compares the default initial sink search
+// against the class-hierarchy-aware variant that removes the paper's two
+// false negatives.
+func BenchmarkAblationSinkSubclass(b *testing.B) {
+	b.Run("default", func(b *testing.B) {
+		benchFixtureEngine(b, core.DefaultOptions())
+	})
+	b.Run("subclass-aware", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.ResolveSinkSubclasses = true
+		benchFixtureEngine(b, opts)
+	})
+}
+
+// BenchmarkEnginePreprocessing measures the per-app preprocessing cost
+// (multidex merge + disassembly + index construction).
+func BenchmarkEnginePreprocessing(b *testing.B) {
+	app, err := testapps.Fixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(app, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"backdroid/internal/apk"
+)
+
+func TestRunSingleApp(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, false, 0, 3, 7); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join(dir, "com.example.generated.apk")
+	app, err := apk.Load(path)
+	if err != nil {
+		t.Fatalf("generated container unreadable: %v", err)
+	}
+	if app.InstructionCount() == 0 {
+		t.Error("generated app is empty")
+	}
+}
+
+func TestRunSmallCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true, 3, 1, 11); err != nil {
+		t.Fatalf("run -corpus: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("corpus apps written = %d, want 3", len(entries))
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", false, 0, 1, 1); err == nil {
+		t.Error("unwritable output dir must fail")
+	}
+}

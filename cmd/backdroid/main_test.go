@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"backdroid/internal/testapps"
+)
+
+func fixturePath(t *testing.T) string {
+	t.Helper()
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), app.Name+".apk")
+	if err := app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyzesContainer(t *testing.T) {
+	path := fixturePath(t)
+	if err := run([]string{path}, false, 0, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// With SSG dumps and subclass resolution.
+	if err := run([]string{path}, true, 0, true); err != nil {
+		t.Fatalf("run with flags: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent/x.apk"}, false, 0, false); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestRunBadContainer(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.apk")
+	if err := os.WriteFile(bad, []byte("not a zip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, false, 0, false); err == nil {
+		t.Error("bad container must fail")
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb", "  ")
+	if got != "  a\n  b" {
+		t.Errorf("indent = %q", got)
+	}
+}

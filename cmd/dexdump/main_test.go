@@ -1,0 +1,28 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"backdroid/internal/testapps"
+)
+
+func TestRunDisassembles(t *testing.T) {
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), app.Name+".apk")
+	if err := app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent/x.apk"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"backdroid/internal/testapps"
+)
+
+func fixturePath(t *testing.T) string {
+	t.Helper()
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), app.Name+".apk")
+	if err := app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFullAnalysis(t *testing.T) {
+	if err := run([]string{fixturePath(t)}, false, 300); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCallGraphOnly(t *testing.T) {
+	if err := run([]string{fixturePath(t)}, true, 300); err != nil {
+		t.Fatalf("run -callgraph-only: %v", err)
+	}
+}
+
+func TestRunTimedOut(t *testing.T) {
+	// A sub-minute budget forces the timed-out report path.
+	if err := run([]string{fixturePath(t)}, false, 0.0001); err != nil {
+		t.Fatalf("run with tiny budget: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"/nonexistent/x.apk"}, false, 300); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,64 @@
+// Cryptoscan: scan a generated app corpus for insecure ECB cipher usage —
+// the paper's crypto-misuse study (Sec. VI-A) in miniature. Prints one
+// line per detected misuse with the resolved transformation string.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+)
+
+func main() {
+	// A small corpus mixing secure and insecure crypto flows of several
+	// shapes, including one whose transformation string comes from a
+	// static initializer.
+	specs := []appgen.Spec{
+		{Name: "com.scan.alpha", Seed: 11, SizeMB: 2, Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: false},
+		}},
+		{Name: "com.scan.beta", Seed: 12, SizeMB: 3, Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowClinit, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowThread, Rule: android.RuleCryptoECB, Insecure: false},
+		}},
+		{Name: "com.scan.gamma", Seed: 13, SizeMB: 2, Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowChildClass, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowUnregistered, Rule: android.RuleCryptoECB, Insecure: true},
+		}},
+	}
+
+	// Track only the crypto sink: targeted analysis means the SSL sinks
+	// are never even searched for.
+	opts := core.DefaultOptions()
+	opts.Sinks = []android.Sink{{
+		Method:     android.CipherGetInstance,
+		ParamIndex: 0,
+		Rule:       android.RuleCryptoECB,
+	}}
+
+	total := 0
+	for _, spec := range specs {
+		app, _, err := appgen.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := core.New(app, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := engine.Analyze()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range report.InsecureSinks() {
+			total++
+			fmt.Printf("%s: ECB misuse in %s, transformation %v\n",
+				report.App, s.Call.Caller.SootSignature(), s.Values)
+		}
+	}
+	fmt.Printf("\n%d insecure cipher usages across %d apps\n", total, len(specs))
+}

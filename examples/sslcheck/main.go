@@ -1,0 +1,62 @@
+// Sslcheck: detect allow-all hostname verification reached through the
+// flows that defeat whole-app tools — an Executor-driven Runnable, a UI
+// callback and cross-component ICC — and show the SSG evidence for one of
+// them (paper Secs. IV-B, IV-D, V-A).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+)
+
+func main() {
+	app, _, err := appgen.Generate(appgen.Spec{
+		Name:   "com.example.sslcheck",
+		Seed:   7,
+		SizeMB: 3,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowAsyncExecutor, Rule: android.RuleSSLAllowAll, Insecure: true},
+			{Flow: appgen.FlowCallback, Rule: android.RuleSSLAllowAll, Insecure: true},
+			{Flow: appgen.FlowICC, Rule: android.RuleSSLAllowAll, Insecure: true},
+			{Flow: appgen.FlowDirect, Rule: android.RuleSSLAllowAll, Insecure: false},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Sinks = []android.Sink{
+		{Method: android.SSLSetHostnameVerifier, ParamIndex: 0, Rule: android.RuleSSLAllowAll},
+		{Method: android.HttpsSetHostnameVerifier, ParamIndex: 0, Rule: android.RuleSSLAllowAll},
+	}
+	engine, err := core.New(app, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := engine.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var firstInsecure *core.SinkReport
+	for _, s := range report.Sinks {
+		verdict := "ok"
+		if s.Insecure {
+			verdict = "ALLOW-ALL VERIFIER"
+			if firstInsecure == nil {
+				firstInsecure = s
+			}
+		}
+		fmt.Printf("%-70s reachable=%-5v %s\n", s.Call.Caller.SootSignature(), s.Reachable, verdict)
+	}
+
+	if firstInsecure != nil && firstInsecure.SSG != nil {
+		fmt.Println("\nself-contained slicing graph of the first finding:")
+		fmt.Println(firstInsecure.SSG.String())
+	}
+}

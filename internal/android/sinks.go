@@ -1,0 +1,83 @@
+package android
+
+import (
+	"strings"
+
+	"backdroid/internal/dex"
+)
+
+// RuleKind identifies a vulnerability rule attached to a sink.
+type RuleKind int
+
+// Rule kinds evaluated by internal/vuln.
+const (
+	RuleCryptoECB   RuleKind = iota + 1 // insecure ECB cipher mode
+	RuleSSLAllowAll                     // allow-all hostname verification
+)
+
+// String names the rule.
+func (r RuleKind) String() string {
+	switch r {
+	case RuleCryptoECB:
+		return "crypto-ecb"
+	case RuleSSLAllowAll:
+		return "ssl-allow-all"
+	}
+	return "unknown-rule"
+}
+
+// Sink is a security-sensitive API whose argument dataflow BackDroid
+// tracks.
+type Sink struct {
+	Method     dex.MethodRef
+	ParamIndex int // 0-based among declared parameters (receiver excluded)
+	Rule       RuleKind
+}
+
+// Well-known sink method references (paper Sec. VI-A).
+var (
+	// CipherGetInstance is javax.crypto.Cipher.getInstance(String).
+	CipherGetInstance = dex.NewMethodRef(CipherClass, "getInstance",
+		dex.T(CipherClass), dex.StringT)
+	// SSLSetHostnameVerifier is
+	// org.apache.http.conn.ssl.SSLSocketFactory.setHostnameVerifier(X509HostnameVerifier).
+	SSLSetHostnameVerifier = dex.NewMethodRef(SSLSocketFactoryClass, "setHostnameVerifier",
+		dex.Void, dex.T(X509VerifierIface))
+	// HttpsSetHostnameVerifier is
+	// javax.net.ssl.HttpsURLConnection.setHostnameVerifier(HostnameVerifier).
+	HttpsSetHostnameVerifier = dex.NewMethodRef(HttpsURLConnClass, "setHostnameVerifier",
+		dex.Void, dex.T(HostnameVerifierIface))
+)
+
+// DefaultSinks returns the three sink APIs evaluated in the paper.
+func DefaultSinks() []Sink {
+	return []Sink{
+		{Method: CipherGetInstance, ParamIndex: 0, Rule: RuleCryptoECB},
+		{Method: SSLSetHostnameVerifier, ParamIndex: 0, Rule: RuleSSLAllowAll},
+		{Method: HttpsSetHostnameVerifier, ParamIndex: 0, Rule: RuleSSLAllowAll},
+	}
+}
+
+// AllowAllVerifierField is the insecure
+// SSLSocketFactory.ALLOW_ALL_HOSTNAME_VERIFIER constant. Forward analysis
+// represents reads of framework static fields as opaque tokens; the SSL
+// rule matches this token.
+var AllowAllVerifierField = dex.NewFieldRef(SSLSocketFactoryClass,
+	"ALLOW_ALL_HOSTNAME_VERIFIER", dex.T(X509VerifierIface))
+
+// AllowAllVerifierClass is the class whose instances implement allow-all
+// verification; `new AllowAllHostnameVerifier()` is the other insecure
+// spelling.
+const AllowAllVerifierClass = "org.apache.http.conn.ssl.AllowAllHostnameVerifier"
+
+// IsInsecureCipherTransformation reports whether a cipher transformation
+// string selects ECB mode. Bare algorithm names ("AES", "DES") default to
+// ECB on Android, which is the trap the paper's crypto rule flags.
+func IsInsecureCipherTransformation(s string) bool {
+	up := strings.ToUpper(s)
+	if strings.Contains(up, "/ECB") {
+		return true
+	}
+	// "ALG" or "ALG/..." with no explicit mode: only flag the bare form.
+	return !strings.Contains(up, "/") && (up == "AES" || up == "DES" || up == "DESEDE" || up == "BLOWFISH")
+}

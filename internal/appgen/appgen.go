@@ -1,0 +1,287 @@
+// Package appgen deterministically generates synthetic Android apps with
+// known ground truth. It stands in for the paper's Google-Play corpus
+// (Sec. VI-A): real APKs cannot ship with this repository, and — more
+// importantly — real APKs have no ground truth to score detection against.
+//
+// Each generated app contains:
+//   - sink flows of configurable shapes (the Flow kinds below), covering
+//     every phenomenon the paper's evaluation exercises: direct calls,
+//     asynchronous Executor flows, UI callbacks, Thread subclasses, static
+//     initializers, ICC, skipped third-party libraries, unregistered
+//     components, dead code, subclassed sink wrappers and polymorphism;
+//   - filler code calibrated to a target "app size" in MB
+//     (InstructionsPerMB), kept reachable from the entry points and shaped
+//     with interface fan-out so whole-app analysis cost grows
+//     super-linearly with size, as it does for real apps;
+//   - optionally corrupted methods that abort whole-app analyses but are
+//     invisible to targeted analysis.
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
+	"backdroid/internal/dex"
+	"backdroid/internal/manifest"
+)
+
+// InstructionsPerMB maps the nominal app size to generated code volume.
+// Real APK bytes per instruction differ, but the analyses only see code, so
+// a fixed density preserves the size-vs-cost relationship (DESIGN.md §5).
+const InstructionsPerMB = 1500
+
+// Flow identifies the shape of one embedded sink flow.
+type Flow int
+
+// Flow kinds.
+const (
+	FlowDirect        Flow = iota + 1 // entry -> static helper -> sink
+	FlowAsyncExecutor                 // Runnable via Executor.execute (baseline gap)
+	FlowCallback                      // View$OnClickListener.onClick (baseline gap)
+	FlowThread                        // Thread subclass run() (both tools handle)
+	FlowClinit                        // sink value from a <clinit> static field
+	FlowICC                           // sink in an ICC-started service
+	FlowSkippedLib                    // sink inside a liblist package (baseline skips)
+	FlowUnregistered                  // sink in an unregistered component (baseline FP)
+	FlowDead                          // sink in dead code (neither tool should report)
+	FlowSubclassSink                  // sink via app subclass of the sink class (BackDroid default FN)
+	FlowChildClass                    // inherited method invoked via child signature
+	FlowSuperPoly                     // override invoked via super-class signature
+	FlowRecursive                     // sink inside a mutually recursive helper pair
+	FlowDirectPair                    // two sink calls in one helper method
+)
+
+var flowNames = map[Flow]string{
+	FlowDirect:        "direct",
+	FlowAsyncExecutor: "async-executor",
+	FlowCallback:      "callback",
+	FlowThread:        "thread",
+	FlowClinit:        "clinit",
+	FlowICC:           "icc",
+	FlowSkippedLib:    "skipped-lib",
+	FlowUnregistered:  "unregistered",
+	FlowDead:          "dead",
+	FlowSubclassSink:  "subclass-sink",
+	FlowChildClass:    "child-class",
+	FlowSuperPoly:     "super-poly",
+	FlowRecursive:     "recursive",
+	FlowDirectPair:    "direct-pair",
+}
+
+// String names the flow kind.
+func (f Flow) String() string {
+	if n, ok := flowNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("flow(%d)", int(f))
+}
+
+// SinkSpec requests one sink flow in the generated app.
+type SinkSpec struct {
+	Flow     Flow
+	Rule     android.RuleKind
+	Insecure bool // embed an insecure parameter value
+}
+
+// Spec describes one app to generate.
+type Spec struct {
+	Name           string
+	Seed           int64
+	SizeMB         float64
+	Sinks          []SinkSpec
+	CorruptMethods int  // reachable methods that fail IR translation
+	MultiDex       bool // split classes across two dex files
+
+	// DataDiversity in [0,1] controls how many distinct constants flow
+	// into the filler call chain. Whole-app constant propagation cost
+	// grows with the value sets this produces (the analogue of real apps
+	// whose points-to/value sets explode under Amandroid), while targeted
+	// analysis never touches the filler. 0 keeps the filler value-monotone.
+	DataDiversity float64
+
+	// FanOut is the number of implementations behind the filler's
+	// interface call sites — the app's "framework heaviness". Whole-app
+	// CHA resolves every such site to all FanOut targets, so dataflow and
+	// context-sensitive call graph costs scale with it; targeted analysis
+	// is unaffected. 0 picks a small size-derived default. Apps bundling
+	// large ad/analytics SDKs sit at the high end; they are what makes
+	// whole-app tools time out regardless of raw APK size.
+	FanOut int
+}
+
+// SinkTruth is the ground truth of one embedded sink.
+type SinkTruth struct {
+	Spec      SinkSpec
+	Class     string // class containing the sink call
+	Method    string // method containing the sink call
+	Reachable bool   // truly reachable from valid entry points
+	Insecure  bool   // truly carries an insecure parameter
+}
+
+// GroundTruth aggregates an app's embedded sinks.
+type GroundTruth struct {
+	App   string
+	Sinks []SinkTruth
+}
+
+// generator carries the in-progress state.
+type generator struct {
+	spec  Spec
+	rng   *rand.Rand
+	file  *dex.File
+	man   *manifest.Manifest
+	truth *GroundTruth
+	pkg   string
+
+	mainOnCreate *dex.MethodBuilder // drivers are appended here
+	mainBuilder  *dex.ClassBuilder
+	instrBudget  int
+	err          error
+}
+
+// Generate builds the app and its ground truth.
+func Generate(spec Spec) (*apk.App, *GroundTruth, error) {
+	if spec.Name == "" {
+		return nil, nil, fmt.Errorf("appgen: spec needs a name")
+	}
+	if spec.SizeMB <= 0 {
+		spec.SizeMB = 1
+	}
+	g := &generator{
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		file:  dex.NewFile(),
+		man:   manifest.New(spec.Name),
+		truth: &GroundTruth{App: spec.Name},
+		pkg:   spec.Name,
+	}
+	g.instrBudget = int(spec.SizeMB * InstructionsPerMB)
+
+	g.buildMainActivity()
+	for i, s := range spec.Sinks {
+		g.buildFlow(i, s)
+	}
+	g.buildCorruptMethods()
+	g.finishMainActivity()
+	g.buildFiller()
+	if g.err != nil {
+		return nil, nil, g.err
+	}
+
+	dexes := []*dex.File{g.file}
+	if spec.MultiDex {
+		dexes = splitDex(g.file)
+	}
+	return apk.New(spec.Name, g.man, dexes...), g.truth, nil
+}
+
+func (g *generator) cls(name string) string { return g.pkg + "." + name }
+
+func (g *generator) add(b *dex.ClassBuilder) {
+	if err := g.file.AddClass(b.Build()); err != nil && g.err == nil {
+		g.err = fmt.Errorf("appgen: %w", err)
+	}
+}
+
+func (g *generator) addTruth(spec SinkSpec, class, method string, reachable bool) {
+	g.truth.Sinks = append(g.truth.Sinks, SinkTruth{
+		Spec:      spec,
+		Class:     class,
+		Method:    method,
+		Reachable: reachable,
+		Insecure:  spec.Insecure && reachable,
+	})
+}
+
+func (g *generator) buildMainActivity() {
+	main := dex.NewClass(g.cls("MainActivity")).Extends(android.ActivityClass)
+	ctor := main.Constructor()
+	ctor.InvokeDirect(dex.NewMethodRef(android.ActivityClass, "<init>", dex.Void), ctor.This()).
+		ReturnVoid().Done()
+	g.mainBuilder = main
+	g.mainOnCreate = main.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	g.man.Add(manifest.Activity, g.cls("MainActivity"), manifest.IntentFilter{
+		Actions:    []string{"android.intent.action.MAIN"},
+		Categories: []string{"android.intent.category.LAUNCHER"},
+	})
+}
+
+func (g *generator) finishMainActivity() {
+	g.mainOnCreate.ReturnVoid().Done()
+	g.add(g.mainBuilder)
+}
+
+// sinkParamValue returns the parameter string for crypto sinks.
+func (g *generator) cryptoValue(insecure bool) string {
+	if insecure {
+		return []string{"AES/ECB/PKCS5Padding", "AES", "DES/ECB/NoPadding"}[g.rng.Intn(3)]
+	}
+	return []string{"AES/CBC/PKCS5Padding", "AES/GCM/NoPadding", "RSA/OAEP"}[g.rng.Intn(3)]
+}
+
+// emitSinkCall writes the sink invocation into a method body under
+// construction and returns nothing; the caller declares truth separately.
+func (g *generator) emitSinkCall(mb *dex.MethodBuilder, spec SinkSpec) {
+	switch spec.Rule {
+	case android.RuleCryptoECB:
+		s, c := mb.Reg(), mb.Reg()
+		mb.ConstString(s, g.cryptoValue(spec.Insecure)).
+			InvokeStatic(android.CipherGetInstance, s).
+			MoveResult(c)
+	case android.RuleSSLAllowAll:
+		fac, ver := mb.Reg(), mb.Reg()
+		mb.New(fac, android.SSLSocketFactoryClass).
+			InvokeDirect(dex.NewMethodRef(android.SSLSocketFactoryClass, "<init>", dex.Void), fac)
+		if spec.Insecure {
+			mb.SGet(ver, android.AllowAllVerifierField)
+		} else {
+			mb.ConstNull(ver)
+		}
+		mb.InvokeVirtual(android.SSLSetHostnameVerifier, fac, ver)
+	}
+}
+
+// buildCorruptMethods emits reachable methods whose bodies fail IR
+// translation (an orphan move-result), aborting whole-app analyses.
+func (g *generator) buildCorruptMethods() {
+	for i := 0; i < g.spec.CorruptMethods; i++ {
+		name := fmt.Sprintf("Corrupt%d", i)
+		cb := dex.NewClass(g.cls(name))
+		m := &dex.Method{
+			Ref:       dex.NewMethodRef(g.cls(name), "broken", dex.Void),
+			Flags:     dex.AccPublic | dex.AccStatic,
+			Registers: 2,
+			Code: []dex.Instruction{
+				{Op: dex.OpMoveResult, A: 0}, // orphan move-result
+				{Op: dex.OpReturnVoid},
+			},
+		}
+		built := cb.Build()
+		built.Methods = append(built.Methods, m)
+		if err := g.file.AddClass(built); err != nil && g.err == nil {
+			g.err = err
+		}
+		g.mainOnCreate.InvokeStatic(m.Ref)
+	}
+}
+
+// splitDex partitions classes into two dex files (multidex).
+func splitDex(f *dex.File) []*dex.File {
+	classes := f.Classes()
+	half := len(classes) / 2
+	if half == 0 {
+		return []*dex.File{f}
+	}
+	d1, d2 := dex.NewFile(), dex.NewFile()
+	for i, c := range classes {
+		target := d1
+		if i >= half {
+			target = d2
+		}
+		// Errors are impossible here: the source file had unique names.
+		_ = target.AddClass(c)
+	}
+	return []*dex.File{d1, d2}
+}

@@ -1,0 +1,252 @@
+package appgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/dex"
+)
+
+func allFlowsSpec() Spec {
+	var sinks []SinkSpec
+	for f := FlowDirect; f <= FlowSuperPoly; f++ {
+		rule := android.RuleCryptoECB
+		if f == FlowSubclassSink {
+			rule = android.RuleSSLAllowAll
+		}
+		sinks = append(sinks, SinkSpec{Flow: f, Rule: rule, Insecure: true})
+	}
+	return Spec{Name: "com.gen.test", Seed: 42, SizeMB: 3, Sinks: sinks}
+}
+
+func TestGenerateAllFlows(t *testing.T) {
+	app, truth, err := Generate(allFlowsSpec())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if truth.App != "com.gen.test" {
+		t.Errorf("truth app = %q", truth.App)
+	}
+	if len(truth.Sinks) != 12 {
+		t.Fatalf("truth sinks = %d, want 12", len(truth.Sinks))
+	}
+	merged, err := app.MergedDex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range truth.Sinks {
+		if merged.Class(st.Class) == nil {
+			t.Errorf("sink class %s missing from dex", st.Class)
+		}
+	}
+	// Reachability ground truth: dead + unregistered are unreachable.
+	for _, st := range truth.Sinks {
+		wantReach := st.Spec.Flow != FlowDead && st.Spec.Flow != FlowUnregistered
+		if st.Reachable != wantReach {
+			t.Errorf("flow %v reachable = %v, want %v", st.Spec.Flow, st.Reachable, wantReach)
+		}
+		if st.Insecure != (st.Spec.Insecure && wantReach) {
+			t.Errorf("flow %v insecure truth inconsistent", st.Spec.Flow)
+		}
+	}
+}
+
+func TestGenerateSizeBudget(t *testing.T) {
+	for _, mb := range []float64{1, 5, 20} {
+		app, _, err := Generate(Spec{Name: "com.size.test", Seed: 7, SizeMB: mb,
+			Sinks: []SinkSpec{{Flow: FlowDirect, Rule: android.RuleCryptoECB}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(mb * InstructionsPerMB)
+		got := app.InstructionCount()
+		if math.Abs(float64(got-want)) > float64(want)/5 {
+			t.Errorf("size %.0fMB: instructions = %d, want ~%d", mb, got, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := allFlowsSpec()
+	a1, t1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, t2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a1.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) {
+		t.Error("generation must be deterministic")
+	}
+	if len(t1.Sinks) != len(t2.Sinks) {
+		t.Error("ground truth must be deterministic")
+	}
+}
+
+func TestGenerateMultiDex(t *testing.T) {
+	spec := allFlowsSpec()
+	spec.MultiDex = true
+	spec.SizeMB = 4
+	app, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Dexes) != 2 {
+		t.Fatalf("dexes = %d, want 2", len(app.Dexes))
+	}
+	if _, err := app.MergedDex(); err != nil {
+		t.Errorf("multidex merge failed: %v", err)
+	}
+}
+
+func TestGenerateCorruptMethods(t *testing.T) {
+	spec := Spec{Name: "com.corrupt.test", Seed: 3, SizeMB: 1, CorruptMethods: 2,
+		Sinks: []SinkSpec{{Flow: FlowDirect, Rule: android.RuleCryptoECB, Insecure: true}}}
+	app, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := app.MergedDex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Class("com.corrupt.test.Corrupt0") == nil || merged.Class("com.corrupt.test.Corrupt1") == nil {
+		t.Error("corrupt classes missing")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(Spec{}); err == nil {
+		t.Error("nameless spec must fail")
+	}
+	if _, _, err := Generate(Spec{Name: "x", Sinks: []SinkSpec{{Flow: Flow(99)}}}); err == nil {
+		t.Error("unknown flow must fail")
+	}
+}
+
+func TestSampleSizesMBMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := SampleSizesMB(rng, 42.6, 38.0, 20000)
+	stats := Summarize(sizes)
+	if math.Abs(stats.AvgMB-42.6) > 3 {
+		t.Errorf("avg = %.1f, want ~42.6", stats.AvgMB)
+	}
+	if math.Abs(stats.MedMB-38.0) > 3 {
+		t.Errorf("median = %.1f, want ~38.0", stats.MedMB)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.AvgMB != 0 || s.MedMB != 0 {
+		t.Error("empty summarize should be zero")
+	}
+	s := Summarize([]float64{1, 3})
+	if s.MedMB != 2 || s.AvgMB != 2 {
+		t.Errorf("two-element summarize = %+v", s)
+	}
+}
+
+func TestPaperYearStats(t *testing.T) {
+	ys := PaperYearStats()
+	if len(ys) != 5 || ys[0].Year != 2014 || ys[4].Year != 2018 {
+		t.Fatalf("year stats = %+v", ys)
+	}
+	if ys[4].AvgMB != 42.6 || ys[4].MedMB != 38.0 || ys[4].Samples != 3178 {
+		t.Errorf("2018 row = %+v", ys[4])
+	}
+}
+
+func TestEvalCorpusShape(t *testing.T) {
+	specs := EvalCorpus(DefaultCorpus())
+	if len(specs) != 144 {
+		t.Fatalf("corpus = %d apps, want 144", len(specs))
+	}
+	var sizes []float64
+	totalSinks := 0
+	subclassApps := 0
+	corruptApps := 0
+	outlier := false
+	for _, s := range specs {
+		sizes = append(sizes, s.SizeMB)
+		totalSinks += len(s.Sinks)
+		if s.CorruptMethods > 0 {
+			corruptApps++
+		}
+		for _, sk := range s.Sinks {
+			if sk.Flow == FlowSubclassSink {
+				subclassApps++
+				break
+			}
+		}
+		if len(s.Sinks) == 121 {
+			outlier = true
+		}
+	}
+	stats := Summarize(sizes)
+	if stats.AvgMB < 30 || stats.AvgMB > 55 {
+		t.Errorf("corpus avg size = %.1f, want ~41.5", stats.AvgMB)
+	}
+	avgSinks := float64(totalSinks) / float64(len(specs))
+	if avgSinks < 12 || avgSinks > 32 {
+		t.Errorf("avg sinks/app = %.1f, want ~21", avgSinks)
+	}
+	if subclassApps != 2 {
+		t.Errorf("subclass-sink apps = %d, want exactly 2 (the paper's FNs)", subclassApps)
+	}
+	if corruptApps == 0 {
+		t.Error("corpus should include apps with corrupted methods")
+	}
+	if !outlier {
+		t.Error("corpus should include the 121-sink outlier")
+	}
+}
+
+func TestEvalCorpusDeterministic(t *testing.T) {
+	s1 := EvalCorpus(DefaultCorpus())
+	s2 := EvalCorpus(DefaultCorpus())
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].SizeMB != s2[i].SizeMB || len(s1[i].Sinks) != len(s2[i].Sinks) {
+			t.Fatalf("corpus not deterministic at %d", i)
+		}
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	if FlowDirect.String() != "direct" || FlowSubclassSink.String() != "subclass-sink" {
+		t.Error("flow names wrong")
+	}
+	if Flow(99).String() == "" {
+		t.Error("unknown flow should render")
+	}
+}
+
+func TestSplitDexPreservesClasses(t *testing.T) {
+	f := dex.NewFile()
+	for _, n := range []string{"com.a.A", "com.a.B", "com.a.C"} {
+		if err := f.AddClass(dex.NewClass(n).Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts := splitDex(f)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Classes())
+	}
+	if total != 3 {
+		t.Errorf("classes after split = %d, want 3", total)
+	}
+}

@@ -1,0 +1,197 @@
+package appgen
+
+import (
+	"fmt"
+
+	"backdroid/internal/dex"
+)
+
+const (
+	fillerMethodsPerClass = 40
+	fillerDeadEvery       = 7 // every Nth filler method is dead code
+)
+
+// buildFiller emits filler code up to the app's instruction budget. The
+// filler is deliberately shaped like real app code from the analyses'
+// point of view:
+//
+//   - it is reachable from MainActivity.onCreate through a long static
+//     call chain, so a whole-app analysis must visit all of it;
+//   - every step performs an interface call whose implementer count grows
+//     with app size, so CHA fan-out (and therefore whole-app dataflow
+//     cost) grows super-linearly with size — the mechanism behind the
+//     paper's large-app timeouts;
+//   - a fraction is dead code, which apps always carry;
+//   - none of it references sink APIs, so targeted analysis can skip it.
+func (g *generator) buildFiller() {
+	remaining := g.instrBudget - g.file.InstructionCount()
+	if remaining < 60 {
+		return
+	}
+
+	implCount := g.spec.FanOut
+	if implCount <= 0 {
+		implCount = int(g.spec.SizeMB / 2)
+	}
+	if implCount < 3 {
+		implCount = 3
+	}
+	if implCount > 400 {
+		implCount = 400
+	}
+
+	ifaceName := g.cls("IFiller")
+	g.add(dex.NewInterface(ifaceName).AbstractMethod("work", dex.Int, dex.Int))
+	workRef := dex.NewMethodRef(ifaceName, "work", dex.Int, dex.Int)
+
+	// Implementations with small arithmetic bodies.
+	for i := 0; i < implCount; i++ {
+		implName := g.cls(fmt.Sprintf("FillerImpl%d", i))
+		cb := dex.NewClass(implName).Implements(ifaceName)
+		ctor := cb.Constructor()
+		ctor.InvokeDirect(objInit, ctor.This()).ReturnVoid().Done()
+		mb := cb.Method("work", dex.Int, dex.Int)
+		x := mb.Param(0)
+		t1, t2 := mb.Reg(), mb.Reg()
+		mb.Const(t1, int64(g.rng.Intn(97)+1)).
+			Binop(dex.OpAdd, t2, x, t1).
+			Binop(dex.OpMul, t2, t2, t1).
+			Binop(dex.OpXor, t2, t2, x).
+			AddLit(t2, t2, int64(i)).
+			Return(t2).Done()
+		g.add(cb)
+	}
+
+	// Environment holder providing the interface receiver.
+	envName := g.cls("FillerEnv")
+	env := dex.NewClass(envName).StaticField("impl", dex.T(ifaceName))
+	ci := env.StaticInitializer()
+	r := ci.Reg()
+	chosen := g.cls(fmt.Sprintf("FillerImpl%d", g.rng.Intn(implCount)))
+	ci.New(r, chosen).
+		InvokeDirect(dex.NewMethodRef(chosen, "<init>", dex.Void), r).
+		SPut(r, dex.NewFieldRef(envName, "impl", dex.T(ifaceName))).
+		ReturnVoid().Done()
+	g.add(env)
+	implField := dex.NewFieldRef(envName, "impl", dex.T(ifaceName))
+
+	remaining = g.instrBudget - g.file.InstructionCount()
+	const instrsPerStep = 13
+	steps := remaining / instrsPerStep
+	if steps < 1 {
+		steps = 1
+	}
+
+	type stepRef struct {
+		ref  dex.MethodRef
+		dead bool
+	}
+	var refs []stepRef
+	classCount := (steps + fillerMethodsPerClass - 1) / fillerMethodsPerClass
+
+	for c := 0; c < classCount; c++ {
+		className := g.cls(fmt.Sprintf("FillerChain%d", c))
+		cb := dex.NewClass(className)
+		for m := 0; m < fillerMethodsPerClass && c*fillerMethodsPerClass+m < steps; m++ {
+			idx := c*fillerMethodsPerClass + m
+			dead := idx%fillerDeadEvery == fillerDeadEvery-1
+			name := fmt.Sprintf("step%d", m)
+			if dead {
+				name = fmt.Sprintf("dead%d", m)
+			}
+			mb := cb.StaticMethod(name, dex.Int, dex.Int)
+			x := mb.Param(0)
+			a, b, impl, out := mb.Reg(), mb.Reg(), mb.Reg(), mb.Reg()
+			mb.Const(a, int64(g.rng.Intn(211)+1)).
+				Binop(dex.OpAdd, b, x, a).
+				Binop(dex.OpMul, b, b, a).
+				SGet(impl, implField).
+				InvokeInterface(workRef, impl, b).
+				MoveResult(out).
+				IfZ(dex.OpIfEqz, out, "skip").
+				AddLit(out, out, 1).
+				Label("skip").
+				Binop(dex.OpXor, out, out, x).
+				Return(out).Done()
+			refs = append(refs, stepRef{ref: mb.Ref(), dead: dead})
+		}
+		g.add(cb)
+	}
+
+	// Chain the live steps together: step_i tail-calls step_{i+1} through
+	// a driver in MainActivity.onCreate. To keep bodies single-pass we
+	// instead invoke the chain head and let each step feed the next via
+	// the driver loop below.
+	var live []dex.MethodRef
+	for _, s := range refs {
+		if !s.dead {
+			live = append(live, s.ref)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Driver class walks the chain: drive(k) calls a window of steps and
+	// recurses into the next driver. Windows keep method sizes bounded.
+	const window = 24
+	driverName := g.cls("FillerDriver")
+	db := dex.NewClass(driverName)
+	numDrivers := (len(live) + window - 1) / window
+	for d := 0; d < numDrivers; d++ {
+		mb := db.StaticMethod(fmt.Sprintf("drive%d", d), dex.Int, dex.Int)
+		x := mb.Param(0)
+		acc := mb.Reg()
+		mb.Move(acc, x)
+		for wi := d * window; wi < (d+1)*window && wi < len(live); wi++ {
+			mb.InvokeStatic(live[wi], acc).MoveResult(acc)
+		}
+		if d+1 < numDrivers {
+			mb.InvokeStatic(dex.NewMethodRef(driverName, fmt.Sprintf("drive%d", d+1), dex.Int, dex.Int), acc).
+				MoveResult(acc)
+		}
+		mb.Return(acc).Done()
+	}
+	g.add(db)
+
+	oc := g.mainOnCreate
+	seedReg := oc.Reg()
+	res := oc.Reg()
+	oc.Const(seedReg, int64(g.rng.Intn(1000))).
+		InvokeStatic(dex.NewMethodRef(driverName, "drive0", dex.Int, dex.Int), seedReg).
+		MoveResult(res)
+
+	g.buildSpray(live)
+}
+
+// buildSpray feeds distinct constants into a DataDiversity-controlled
+// prefix of the filler chain. Each sprayed step's incoming value set then
+// carries one more distinct constant, and the chain's arithmetic makes the
+// sets (and whole-app constant-set evaluation cost) grow along the chain.
+func (g *generator) buildSpray(live []dex.MethodRef) {
+	sprayCount := int(g.spec.DataDiversity * float64(len(live)))
+	if sprayCount <= 0 {
+		return
+	}
+	if sprayCount > len(live) {
+		sprayCount = len(live)
+	}
+	const window = 24
+	sprayName := g.cls("FillerSpray")
+	sb := dex.NewClass(sprayName)
+	numSprays := (sprayCount + window - 1) / window
+	for d := 0; d < numSprays; d++ {
+		mb := sb.StaticMethod(fmt.Sprintf("spray%d", d), dex.Void)
+		c, r := mb.Reg(), mb.Reg()
+		for wi := d * window; wi < (d+1)*window && wi < sprayCount; wi++ {
+			mb.Const(c, int64(wi*7919+13)).
+				InvokeStatic(live[wi], c).
+				MoveResult(r)
+		}
+		if d+1 < numSprays {
+			mb.InvokeStatic(dex.NewMethodRef(sprayName, fmt.Sprintf("spray%d", d+1), dex.Void))
+		}
+		mb.ReturnVoid().Done()
+	}
+	g.add(sb)
+	g.mainOnCreate.InvokeStatic(dex.NewMethodRef(sprayName, "spray0", dex.Void))
+}

@@ -1,0 +1,282 @@
+// Package cha implements class hierarchy analysis over an app's dex file
+// merged with the framework model. Both analyzers consume it: BackDroid for
+// child/super-class search-signature construction and component-kind
+// resolution, the whole-app baseline for CHA call-graph edges.
+package cha
+
+import (
+	"sort"
+
+	"backdroid/internal/android"
+	"backdroid/internal/dex"
+	"backdroid/internal/manifest"
+)
+
+// Hierarchy is the merged app + framework class hierarchy. Transitive
+// queries are memoized: whole-app CHA resolves every call site against
+// them, often once per fixpoint pass.
+type Hierarchy struct {
+	file *dex.File
+
+	directSubs map[string][]string // class -> direct app subclasses
+	directImpl map[string][]string // interface -> direct app implementers
+
+	subsCache map[string][]string
+	implCache map[string][]string
+}
+
+// New builds the hierarchy for a dex file.
+func New(f *dex.File) *Hierarchy {
+	h := &Hierarchy{
+		file:       f,
+		directSubs: make(map[string][]string),
+		directImpl: make(map[string][]string),
+		subsCache:  make(map[string][]string),
+		implCache:  make(map[string][]string),
+	}
+	for _, c := range f.Classes() {
+		if c.Super != "" {
+			h.directSubs[c.Super] = append(h.directSubs[c.Super], c.Name)
+		}
+		for _, i := range c.Interfaces {
+			h.directImpl[i] = append(h.directImpl[i], c.Name)
+		}
+	}
+	return h
+}
+
+// File returns the underlying dex file.
+func (h *Hierarchy) File() *dex.File { return h.file }
+
+// SuperOf returns the superclass of an app or framework class.
+func (h *Hierarchy) SuperOf(class string) (string, bool) {
+	if c := h.file.Class(class); c != nil {
+		if c.Super == "" {
+			return "", false
+		}
+		return c.Super, true
+	}
+	s, ok := android.FrameworkSuper(class)
+	if !ok || s == "" {
+		return "", false
+	}
+	return s, true
+}
+
+// InterfacesOf returns the interfaces implemented by the class itself plus
+// everything inherited through its super chain, transitively through
+// super-interfaces. The result is sorted.
+func (h *Hierarchy) InterfacesOf(class string) []string {
+	seen := make(map[string]bool)
+	var visitIface func(string)
+	visitIface = func(iface string) {
+		if seen[iface] {
+			return
+		}
+		seen[iface] = true
+		if ic := h.file.Class(iface); ic != nil {
+			for _, super := range ic.Interfaces {
+				visitIface(super)
+			}
+			return
+		}
+		for _, super := range android.FrameworkInterfaces(iface) {
+			visitIface(super)
+		}
+	}
+	for cur, ok := class, true; ok; cur, ok = h.SuperOf(cur) {
+		if c := h.file.Class(cur); c != nil {
+			for _, i := range c.Interfaces {
+				visitIface(i)
+			}
+			continue
+		}
+		for _, i := range android.FrameworkInterfaces(cur) {
+			visitIface(i)
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsSubclassOf reports whether sub transitively extends super or implements
+// it as an interface. A class is a subclass of itself.
+func (h *Hierarchy) IsSubclassOf(sub, super string) bool {
+	if sub == super {
+		return true
+	}
+	for cur, ok := sub, true; ok; cur, ok = h.SuperOf(cur) {
+		if cur == super {
+			return true
+		}
+	}
+	for _, i := range h.InterfacesOf(sub) {
+		if i == super {
+			return true
+		}
+	}
+	return false
+}
+
+// Subclasses returns the transitive app subclasses of the class (not
+// including the class itself), sorted. The result is cached; callers must
+// not modify it.
+func (h *Hierarchy) Subclasses(class string) []string {
+	if cached, ok := h.subsCache[class]; ok {
+		return cached
+	}
+	var out []string
+	seen := map[string]bool{}
+	var walk func(string)
+	walk = func(c string) {
+		for _, sub := range h.directSubs[c] {
+			if seen[sub] {
+				continue
+			}
+			seen[sub] = true
+			out = append(out, sub)
+			walk(sub)
+		}
+	}
+	walk(class)
+	sort.Strings(out)
+	h.subsCache[class] = out
+	return out
+}
+
+// Implementers returns the transitive app classes implementing the
+// interface, including subclasses of implementers, sorted. The result is
+// cached; callers must not modify it.
+func (h *Hierarchy) Implementers(iface string) []string {
+	if cached, ok := h.implCache[iface]; ok {
+		return cached
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(c string) {
+		if cls := h.file.Class(c); cls != nil && cls.IsInterface() {
+			return // interfaces extending the interface are not implementers
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	var walkIface func(string)
+	walkIface = func(i string) {
+		for _, impl := range h.directImpl[i] {
+			add(impl)
+			for _, sub := range h.Subclasses(impl) {
+				add(sub)
+			}
+		}
+		// Sub-interfaces.
+		for _, c := range h.file.Classes() {
+			if !c.IsInterface() {
+				continue
+			}
+			for _, super := range c.Interfaces {
+				if super == i {
+					walkIface(c.Name)
+				}
+			}
+		}
+	}
+	walkIface(iface)
+	sort.Strings(out)
+	h.implCache[iface] = out
+	return out
+}
+
+// ComponentKind walks the super chain to decide whether the class is an
+// Android component, and of which kind.
+func (h *Hierarchy) ComponentKind(class string) (manifest.ComponentKind, bool) {
+	for cur, ok := class, true; ok; cur, ok = h.SuperOf(cur) {
+		if k, isBase := android.ComponentKindOfBase(cur); isBase {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Declares reports whether the class itself defines a method with the given
+// name and parameter types.
+func (h *Hierarchy) Declares(class string, name string, params []dex.TypeDesc) bool {
+	c := h.file.Class(class)
+	if c == nil {
+		return false
+	}
+	return c.FindMethod(name, params...) != nil
+}
+
+// ResolveVirtual resolves a virtual/interface call on the given runtime
+// class by walking the super chain until a definition is found. It returns
+// the defining class's method and true, or false when resolution leaves the
+// app (a framework method) or fails.
+func (h *Hierarchy) ResolveVirtual(runtimeClass string, name string, params []dex.TypeDesc) (dex.MethodRef, bool) {
+	for cur, ok := runtimeClass, true; ok; cur, ok = h.SuperOf(cur) {
+		c := h.file.Class(cur)
+		if c == nil {
+			return dex.MethodRef{}, false // reached framework
+		}
+		if m := c.FindMethod(name, params...); m != nil && !m.IsAbstract() {
+			return m.Ref, true
+		}
+	}
+	return dex.MethodRef{}, false
+}
+
+// SuperDeclaring finds the nearest strict supertype (super class chain or
+// any implemented interface, app or framework) that declares the method
+// sub-signature. It reports the owner and whether the owner is an
+// interface. This is the test BackDroid uses to decide that a callee needs
+// the advanced (constructor + forward taint) search: callers may hold the
+// object under the supertype and invoke through the supertype's signature.
+func (h *Hierarchy) SuperDeclaring(class string, name string, params []dex.TypeDesc) (owner string, isInterface, found bool) {
+	// Super class chain (strict supers only).
+	cur, ok := h.SuperOf(class)
+	for ; ok; cur, ok = h.SuperOf(cur) {
+		if c := h.file.Class(cur); c != nil {
+			if c.FindMethod(name, params...) != nil {
+				return cur, c.IsInterface(), true
+			}
+		}
+	}
+	// Interfaces, app-defined or framework callback interfaces.
+	for _, iface := range h.InterfacesOf(class) {
+		if ic := h.file.Class(iface); ic != nil {
+			if ic.FindMethod(name, params...) != nil {
+				return iface, true, true
+			}
+			continue
+		}
+		for _, cb := range android.CallbackMethods(iface) {
+			if cb == name {
+				return iface, true, true
+			}
+		}
+	}
+	return "", false, false
+}
+
+// Overrides reports whether the class itself overrides the given method
+// sub-signature (used by the child-class search-signature rule of paper
+// Sec. IV-A).
+func (h *Hierarchy) Overrides(class string, name string, params []dex.TypeDesc) bool {
+	return h.Declares(class, name, params)
+}
+
+// AsyncCallbackBase returns the framework async base class (Thread,
+// AsyncTask, TimerTask) that the class extends, if any.
+func (h *Hierarchy) AsyncCallbackBase(class string) (string, bool) {
+	for cur, ok := class, true; ok; cur, ok = h.SuperOf(cur) {
+		if android.IsAsyncCallbackClass(cur) {
+			return cur, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,209 @@
+package cha
+
+import (
+	"testing"
+
+	"backdroid/internal/dex"
+	"backdroid/internal/manifest"
+)
+
+// testFile builds a hierarchy:
+//
+//	android.app.Activity <- MainActivity
+//	Object <- SuperServer <- HttpServer <- ChildServer
+//	Runnable (framework iface) <- Worker
+//	app iface Task (extends app iface BaseTask) <- TaskImpl
+//	AsyncTask <- LoadTask
+func testFile(t *testing.T) *dex.File {
+	t.Helper()
+	f := dex.NewFile()
+	add := func(b *dex.ClassBuilder) {
+		t.Helper()
+		if err := f.AddClass(b.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	main := dex.NewClass("com.app.MainActivity").Extends("android.app.Activity")
+	main.Method("onCreate", dex.Void, dex.T("android.os.Bundle")).ReturnVoid().Done()
+	add(main)
+
+	super := dex.NewClass("com.app.SuperServer")
+	super.Method("start", dex.Void).ReturnVoid().Done()
+	add(super)
+
+	server := dex.NewClass("com.app.HttpServer").Extends("com.app.SuperServer")
+	server.Method("start", dex.Void).ReturnVoid().Done()
+	server.Method("stop", dex.Void).ReturnVoid().Done()
+	add(server)
+
+	add(dex.NewClass("com.app.ChildServer").Extends("com.app.HttpServer"))
+
+	worker := dex.NewClass("com.app.Worker").Implements("java.lang.Runnable")
+	worker.Method("run", dex.Void).ReturnVoid().Done()
+	add(worker)
+
+	add(dex.NewInterface("com.app.BaseTask").AbstractMethod("base", dex.Void))
+	add(dex.NewInterface("com.app.Task").Implements("com.app.BaseTask").
+		AbstractMethod("exec", dex.Int, dex.StringT))
+
+	impl := dex.NewClass("com.app.TaskImpl").Implements("com.app.Task")
+	impl.Method("exec", dex.Int, dex.StringT).Const(2, 0).Return(2).Done()
+	add(impl)
+
+	load := dex.NewClass("com.app.LoadTask").Extends("android.os.AsyncTask")
+	load.Method("doInBackground", dex.ObjectT, dex.Array(dex.ObjectT)).ConstNull(2).Return(2).Done()
+	add(load)
+
+	return f
+}
+
+func TestSuperOf(t *testing.T) {
+	h := New(testFile(t))
+	if s, ok := h.SuperOf("com.app.ChildServer"); !ok || s != "com.app.HttpServer" {
+		t.Errorf("SuperOf(ChildServer) = %q, %v", s, ok)
+	}
+	// Framework chain continues past app boundary.
+	if s, ok := h.SuperOf("android.app.Activity"); !ok || s != "android.content.ContextWrapper" {
+		t.Errorf("SuperOf(Activity) = %q, %v", s, ok)
+	}
+	if _, ok := h.SuperOf("java.lang.Object"); ok {
+		t.Error("Object has no super")
+	}
+	if _, ok := h.SuperOf("com.unknown.Clazz"); ok {
+		t.Error("unknown class has no super")
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	h := New(testFile(t))
+	tests := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"com.app.ChildServer", "com.app.SuperServer", true},
+		{"com.app.ChildServer", "java.lang.Object", true},
+		{"com.app.ChildServer", "com.app.ChildServer", true},
+		{"com.app.SuperServer", "com.app.ChildServer", false},
+		{"com.app.MainActivity", "android.app.Activity", true},
+		{"com.app.MainActivity", "android.content.Context", true},
+		{"com.app.Worker", "java.lang.Runnable", true},
+		{"com.app.TaskImpl", "com.app.Task", true},
+		{"com.app.TaskImpl", "com.app.BaseTask", true}, // via super-interface
+		{"com.app.LoadTask", "android.os.AsyncTask", true},
+	}
+	for _, tt := range tests {
+		if got := h.IsSubclassOf(tt.sub, tt.super); got != tt.want {
+			t.Errorf("IsSubclassOf(%s, %s) = %v, want %v", tt.sub, tt.super, got, tt.want)
+		}
+	}
+}
+
+func TestSubclasses(t *testing.T) {
+	h := New(testFile(t))
+	subs := h.Subclasses("com.app.SuperServer")
+	if len(subs) != 2 || subs[0] != "com.app.ChildServer" || subs[1] != "com.app.HttpServer" {
+		t.Errorf("Subclasses(SuperServer) = %v", subs)
+	}
+	if subs := h.Subclasses("com.app.ChildServer"); len(subs) != 0 {
+		t.Errorf("Subclasses(ChildServer) = %v", subs)
+	}
+}
+
+func TestImplementers(t *testing.T) {
+	h := New(testFile(t))
+	if got := h.Implementers("java.lang.Runnable"); len(got) != 1 || got[0] != "com.app.Worker" {
+		t.Errorf("Implementers(Runnable) = %v", got)
+	}
+	// BaseTask is implemented transitively through Task.
+	got := h.Implementers("com.app.BaseTask")
+	if len(got) != 1 || got[0] != "com.app.TaskImpl" {
+		t.Errorf("Implementers(BaseTask) = %v", got)
+	}
+}
+
+func TestInterfacesOf(t *testing.T) {
+	h := New(testFile(t))
+	got := h.InterfacesOf("com.app.TaskImpl")
+	want := map[string]bool{"com.app.Task": true, "com.app.BaseTask": true}
+	if len(got) != len(want) {
+		t.Fatalf("InterfacesOf(TaskImpl) = %v", got)
+	}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("unexpected interface %s", i)
+		}
+	}
+}
+
+func TestComponentKind(t *testing.T) {
+	h := New(testFile(t))
+	k, ok := h.ComponentKind("com.app.MainActivity")
+	if !ok || k != manifest.Activity {
+		t.Errorf("ComponentKind(MainActivity) = %v, %v", k, ok)
+	}
+	if _, ok := h.ComponentKind("com.app.Worker"); ok {
+		t.Error("Worker must not be a component")
+	}
+}
+
+func TestResolveVirtual(t *testing.T) {
+	h := New(testFile(t))
+	// ChildServer does not define start; resolution walks to HttpServer.
+	ref, ok := h.ResolveVirtual("com.app.ChildServer", "start", nil)
+	if !ok || ref.Class != "com.app.HttpServer" {
+		t.Errorf("ResolveVirtual(ChildServer.start) = %v, %v", ref, ok)
+	}
+	// Methods resolving into the framework fail.
+	if _, ok := h.ResolveVirtual("com.app.MainActivity", "finish", nil); ok {
+		t.Error("framework-resolved method should not resolve in app")
+	}
+}
+
+func TestSuperDeclaring(t *testing.T) {
+	h := New(testFile(t))
+
+	// HttpServer.start overrides SuperServer.start.
+	owner, isIface, found := h.SuperDeclaring("com.app.HttpServer", "start", nil)
+	if !found || owner != "com.app.SuperServer" || isIface {
+		t.Errorf("SuperDeclaring(HttpServer.start) = %q, %v, %v", owner, isIface, found)
+	}
+
+	// Worker.run implements the framework Runnable callback interface.
+	owner, isIface, found = h.SuperDeclaring("com.app.Worker", "run", nil)
+	if !found || owner != "java.lang.Runnable" || !isIface {
+		t.Errorf("SuperDeclaring(Worker.run) = %q, %v, %v", owner, isIface, found)
+	}
+
+	// TaskImpl.exec implements the app interface Task.
+	owner, isIface, found = h.SuperDeclaring("com.app.TaskImpl", "exec", []dex.TypeDesc{dex.StringT})
+	if !found || owner != "com.app.Task" || !isIface {
+		t.Errorf("SuperDeclaring(TaskImpl.exec) = %q, %v, %v", owner, isIface, found)
+	}
+
+	// HttpServer.stop has no super declaration.
+	if _, _, found := h.SuperDeclaring("com.app.HttpServer", "stop", nil); found {
+		t.Error("stop should have no super declaration")
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	h := New(testFile(t))
+	if !h.Overrides("com.app.HttpServer", "start", nil) {
+		t.Error("HttpServer overrides start")
+	}
+	if h.Overrides("com.app.ChildServer", "start", nil) {
+		t.Error("ChildServer does not override start")
+	}
+}
+
+func TestAsyncCallbackBase(t *testing.T) {
+	h := New(testFile(t))
+	base, ok := h.AsyncCallbackBase("com.app.LoadTask")
+	if !ok || base != "android.os.AsyncTask" {
+		t.Errorf("AsyncCallbackBase(LoadTask) = %q, %v", base, ok)
+	}
+	if _, ok := h.AsyncCallbackBase("com.app.HttpServer"); ok {
+		t.Error("HttpServer has no async base")
+	}
+}

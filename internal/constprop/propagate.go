@@ -1,0 +1,482 @@
+package constprop
+
+import (
+	"sort"
+
+	"backdroid/internal/android"
+	"backdroid/internal/dex"
+	"backdroid/internal/ir"
+	"backdroid/internal/simtime"
+	"backdroid/internal/ssg"
+)
+
+// Options configures a propagation run.
+type Options struct {
+	// SinkParamIndex selects which declared parameter of the sink call to
+	// report.
+	SinkParamIndex int
+	// MaxDepth bounds inter-procedural descents.
+	MaxDepth int
+	// SinkUnit overrides the graph's SinkSite as the node whose argument
+	// fact is collected. Per-app SSGs record several sink calls in one
+	// graph; each propagation run targets one of them.
+	SinkUnit *ssg.Unit
+}
+
+// Result is the outcome of a propagation run.
+type Result struct {
+	// SinkValues is the dataflow representation of the tracked sink
+	// parameter: every abstract value that can reach it.
+	SinkValues []Value
+}
+
+// Run traverses the SSG: the special static-field track first, then the
+// normal track from its tail methods, analyzing each recorded statement's
+// semantics and propagating constant and points-to facts until the sink
+// node is reached (paper Sec. V-B).
+func Run(g *ssg.Graph, prog *ir.Program, meter *simtime.Meter, opts Options) (*Result, error) {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 25
+	}
+	a := &analysis{
+		g:        g,
+		prog:     prog,
+		meter:    meter,
+		opts:     opts,
+		globals:  make(map[string]*Fact),
+		sink:     NewFact(),
+		thisObjs: make(map[string]*Obj),
+	}
+
+	// Static field track first, so the normal track can resolve the
+	// fields it references.
+	if err := a.runStaticTrack(); err != nil {
+		return nil, err
+	}
+
+	for _, root := range a.rootMethods() {
+		env := newEnv()
+		if _, err := a.evalMethod(root, env, nil); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{SinkValues: a.sink.Values()}, nil
+}
+
+type env struct {
+	locals map[string]*Fact
+	// thisFact / params seed identity statements.
+	thisFact *Fact
+	params   map[int]*Fact
+}
+
+func newEnv() *env {
+	return &env{locals: make(map[string]*Fact), params: make(map[int]*Fact)}
+}
+
+type analysis struct {
+	g       *ssg.Graph
+	prog    *ir.Program
+	meter   *simtime.Meter
+	opts    Options
+	globals map[string]*Fact // static field soot sig -> fact
+	sink    *Fact
+	objSeq  int
+	// thisObjs gives every method of one class the same receiver object,
+	// so component state written in one lifecycle handler is visible in
+	// another (paper Sec. IV-E).
+	thisObjs map[string]*Obj
+}
+
+// rootMethods returns tracked methods that are not callees of any recorded
+// call edge — the tails the overall traversal starts from (entry-side
+// methods).
+func (a *analysis) rootMethods() []dex.MethodRef {
+	callees := make(map[string]bool)
+	for _, e := range a.g.Edges() {
+		if e.Kind == ssg.CallEdge {
+			callees[e.Callee.SootSignature()] = true
+		}
+	}
+	var out []dex.MethodRef
+	for _, sig := range a.g.Methods() {
+		if callees[sig] {
+			continue
+		}
+		ref, err := dex.ParseSootMethodSignature(sig)
+		if err != nil {
+			continue
+		}
+		if a.isStaticTrackOnly(ref) {
+			continue
+		}
+		out = append(out, ref)
+	}
+	// Lifecycle handlers of one component execute in lifecycle order;
+	// evaluating them in that order lets later handlers observe state
+	// written by earlier ones (e.g. onCreate before onResume).
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return lifecycleRank(out[i].Name) < lifecycleRank(out[j].Name)
+	})
+	return out
+}
+
+// lifecycleRank orders lifecycle handler names across all component kinds;
+// non-lifecycle methods sort last by name.
+func lifecycleRank(name string) int {
+	order := []string{
+		"<clinit>", "<init>", "onCreate", "onStart", "onRestart",
+		"onStartCommand", "onBind", "onHandleIntent", "onReceive",
+		"onResume", "onPause", "onStop", "onDestroy",
+	}
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}
+
+func (a *analysis) isStaticTrackOnly(ref dex.MethodRef) bool {
+	units := a.g.UnitsOf(ref)
+	if len(units) == 0 {
+		return false
+	}
+	inTrack := make(map[*ssg.Unit]bool, len(a.g.StaticTrack))
+	for _, u := range a.g.StaticTrack {
+		inTrack[u] = true
+	}
+	for _, u := range units {
+		if !inTrack[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// runStaticTrack evaluates the off-path <clinit> units, populating the
+// global static-field fact map.
+func (a *analysis) runStaticTrack() error {
+	byMethod := make(map[string][]*ssg.Unit)
+	var order []string
+	for _, u := range a.g.StaticTrack {
+		sig := u.Method.SootSignature()
+		if _, ok := byMethod[sig]; !ok {
+			order = append(order, sig)
+		}
+		byMethod[sig] = append(byMethod[sig], u)
+	}
+	for _, sig := range order {
+		ref, err := dex.ParseSootMethodSignature(sig)
+		if err != nil {
+			continue
+		}
+		env := newEnv()
+		if _, err := a.evalUnits(ref, a.g.UnitsOf(ref), env, nil, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalMethod evaluates the recorded units of a method under the given
+// environment, returning the fact of its recorded return values (if any).
+func (a *analysis) evalMethod(ref dex.MethodRef, env *env, stack []string) (*Fact, error) {
+	sig := ref.SootSignature()
+	if len(stack) > a.opts.MaxDepth {
+		return NewFact(Unknown{}), nil
+	}
+	for _, s := range stack {
+		if s == sig {
+			return NewFact(Unknown{}), nil // recursive SSG edge: cut
+		}
+	}
+	return a.evalUnits(ref, a.g.UnitsOf(ref), env, append(stack, sig), 0)
+}
+
+func (a *analysis) evalUnits(ref dex.MethodRef, units []*ssg.Unit, env *env, stack []string, _ int) (*Fact, error) {
+	ret := NewFact()
+	for _, u := range units {
+		if err := a.meter.Charge(1); err != nil {
+			return nil, err
+		}
+		switch s := u.Stmt.(type) {
+		case *ir.IdentityStmt:
+			switch rhs := s.RHS.(type) {
+			case *ir.ThisRef:
+				if env.thisFact != nil {
+					env.locals[s.LHS.Name] = env.thisFact
+				} else {
+					env.locals[s.LHS.Name] = NewFact(a.classThis(rhs.Class))
+				}
+			case *ir.ParamRef:
+				if f, ok := env.params[rhs.Index]; ok {
+					env.locals[s.LHS.Name] = f
+				} else {
+					env.locals[s.LHS.Name] = NewFact(Unknown{})
+				}
+			}
+
+		case *ir.AssignStmt:
+			if err := a.evalAssign(ref, u, s, env, stack); err != nil {
+				return nil, err
+			}
+
+		case *ir.InvokeStmt:
+			if _, err := a.evalInvoke(ref, u, s.Invoke, env, stack); err != nil {
+				return nil, err
+			}
+
+		case *ir.ReturnStmt:
+			if s.Val != nil {
+				ret.Merge(a.evalValue(s.Val, env))
+			}
+		}
+	}
+	if ret.Empty() {
+		ret.Add(Unknown{})
+	}
+	return ret, nil
+}
+
+func (a *analysis) evalAssign(ref dex.MethodRef, u *ssg.Unit, s *ir.AssignStmt, env *env, stack []string) error {
+	var fact *Fact
+	if inv, ok := s.RHS.(*ir.InvokeExpr); ok {
+		f, err := a.evalInvoke(ref, u, inv, env, stack)
+		if err != nil {
+			return err
+		}
+		fact = f
+	} else {
+		fact = a.evalValue(s.RHS, env)
+	}
+
+	switch lhs := s.LHS.(type) {
+	case *ir.Local:
+		env.locals[lhs.Name] = fact
+	case *ir.InstanceFieldRef:
+		base := a.evalValue(lhs.Base, env)
+		for _, v := range base.Values() {
+			if obj, ok := v.(*Obj); ok {
+				obj.Fields[lhs.Field.SootSignature()] = fact
+			}
+		}
+	case *ir.StaticFieldRef:
+		sig := lhs.Field.SootSignature()
+		if existing, ok := a.globals[sig]; ok {
+			existing.Merge(fact)
+		} else {
+			a.globals[sig] = fact
+		}
+	case *ir.ArrayRef:
+		base := a.evalValue(lhs.Base, env)
+		idxFact := a.evalValue(lhs.Index, env)
+		for _, v := range base.Values() {
+			arr, ok := v.(*Arr)
+			if !ok {
+				continue
+			}
+			if n, ok2 := singleNum(idxFact); ok2 {
+				arr.Elems[n] = fact
+			} else {
+				arr.Elems[-1] = fact // unknown index: wildcard slot
+			}
+		}
+	}
+	return nil
+}
+
+// evalInvoke resolves a call node: descend through recorded call edges
+// into tracked callees; model framework APIs otherwise. At the sink node
+// the tracked parameter's fact is collected.
+func (a *analysis) evalInvoke(ref dex.MethodRef, u *ssg.Unit, inv *ir.InvokeExpr, env *env, stack []string) (*Fact, error) {
+	target := a.opts.SinkUnit
+	if target == nil {
+		target = a.g.SinkSite
+	}
+	if target == u {
+		if a.opts.SinkParamIndex < len(inv.Args) {
+			a.sink.Merge(a.evalValue(inv.Args[a.opts.SinkParamIndex], env))
+		}
+	}
+
+	for _, callee := range a.g.CallEdgesFrom(u) {
+		calleeEnv := newEnv()
+		if inv.Base != nil {
+			calleeEnv.thisFact = a.evalValue(inv.Base, env)
+		}
+		for i, arg := range inv.Args {
+			calleeEnv.params[i] = a.evalValue(arg, env)
+		}
+		retFact, err := a.evalMethod(callee, calleeEnv, stack)
+		if err != nil {
+			return nil, err
+		}
+		if callee.SootSignature() == inv.Method.SootSignature() {
+			return retFact, nil
+		}
+	}
+	return a.modelAPI(inv, env), nil
+}
+
+// evalValue computes the fact of a non-invoke value.
+func (a *analysis) evalValue(v ir.Value, env *env) *Fact {
+	switch t := v.(type) {
+	case *ir.Local:
+		if f, ok := env.locals[t.Name]; ok {
+			return f
+		}
+		return NewFact(Unknown{})
+	case ir.StringConst:
+		return NewFact(Str{S: t.V})
+	case ir.IntConst:
+		return NewFact(Num{N: t.V})
+	case ir.NullConst:
+		return NewFact(Null{})
+	case ir.ClassConst:
+		return NewFact(Token{Sig: "class " + t.Class})
+	case *ir.InstanceFieldRef:
+		base := a.evalValue(t.Base, env)
+		out := NewFact()
+		for _, bv := range base.Values() {
+			if obj, ok := bv.(*Obj); ok {
+				if f, ok2 := obj.Fields[t.Field.SootSignature()]; ok2 {
+					out.Merge(f)
+				}
+			}
+		}
+		if out.Empty() {
+			out.Add(Unknown{})
+		}
+		return out
+	case *ir.StaticFieldRef:
+		if android.IsSystemClass(t.Field.Class) {
+			return NewFact(Token{Sig: t.Field.SootSignature()})
+		}
+		if f, ok := a.globals[t.Field.SootSignature()]; ok {
+			return f
+		}
+		return NewFact(Unknown{})
+	case *ir.ArrayRef:
+		base := a.evalValue(t.Base, env)
+		idx := a.evalValue(t.Index, env)
+		out := NewFact()
+		for _, bv := range base.Values() {
+			arr, ok := bv.(*Arr)
+			if !ok {
+				continue
+			}
+			if n, ok2 := singleNum(idx); ok2 {
+				if f, ok3 := arr.Elems[n]; ok3 {
+					out.Merge(f)
+					continue
+				}
+			}
+			for _, f := range arr.Elems {
+				out.Merge(f)
+			}
+		}
+		if out.Empty() {
+			out.Add(Unknown{})
+		}
+		return out
+	case *ir.BinopExpr:
+		return a.evalBinop(t, env)
+	case *ir.CastExpr:
+		return a.evalValue(t.Val, env)
+	case *ir.NewExpr:
+		return NewFact(a.freshObj(t.Class))
+	case *ir.NewArrayExpr:
+		a.objSeq++
+		return NewFact(&Arr{ID: a.objSeq, Elems: make(map[int64]*Fact)})
+	case *ir.PhiExpr:
+		out := NewFact()
+		for _, l := range t.Args {
+			out.Merge(a.evalValue(l, env))
+		}
+		return out
+	}
+	return NewFact(Unknown{})
+}
+
+// evalBinop mimics arithmetic on constant operands (paper: "we mimic
+// arithmetic operations ... to handle BinopExpr").
+func (a *analysis) evalBinop(b *ir.BinopExpr, env *env) *Fact {
+	left := a.evalValue(b.Left, env)
+	right := a.evalValue(b.Right, env)
+	out := NewFact()
+	for _, lv := range left.Values() {
+		for _, rv := range right.Values() {
+			out.Add(applyBinop(b.Op, lv, rv))
+		}
+	}
+	return out
+}
+
+// ApplyBinop computes a binary operation on two abstract values, yielding
+// Unknown when the operands are not constants. Exported because the
+// whole-app baseline evaluates the same value algebra.
+func ApplyBinop(op string, lv, rv Value) Value { return applyBinop(op, lv, rv) }
+
+func applyBinop(op string, lv, rv Value) Value {
+	ln, lok := lv.(Num)
+	rn, rok := rv.(Num)
+	if lok && rok {
+		switch op {
+		case "+":
+			return Num{N: ln.N + rn.N}
+		case "-":
+			return Num{N: ln.N - rn.N}
+		case "*":
+			return Num{N: ln.N * rn.N}
+		case "/":
+			if rn.N != 0 {
+				return Num{N: ln.N / rn.N}
+			}
+		case "%":
+			if rn.N != 0 {
+				return Num{N: ln.N % rn.N}
+			}
+		case "&":
+			return Num{N: ln.N & rn.N}
+		case "|":
+			return Num{N: ln.N | rn.N}
+		case "^":
+			return Num{N: ln.N ^ rn.N}
+		}
+	}
+	ls, lsok := lv.(Str)
+	rs, rsok := rv.(Str)
+	if op == "+" && lsok && rsok {
+		return Str{S: ls.S + rs.S}
+	}
+	return Unknown{}
+}
+
+func (a *analysis) freshObj(class string) *Obj {
+	a.objSeq++
+	return &Obj{ID: a.objSeq, Class: class, Fields: make(map[string]*Fact)}
+}
+
+// classThis returns the canonical receiver object of a class, shared by
+// all tracked methods without explicit caller bindings.
+func (a *analysis) classThis(class string) *Obj {
+	if o, ok := a.thisObjs[class]; ok {
+		return o
+	}
+	o := a.freshObj(class)
+	a.thisObjs[class] = o
+	return o
+}
+
+func singleNum(f *Fact) (int64, bool) {
+	v, ok := f.Singleton()
+	if !ok {
+		return 0, false
+	}
+	n, ok := v.(Num)
+	return n.N, ok
+}

@@ -1,0 +1,370 @@
+// Package core implements the BackDroid engine: targeted inter-procedural
+// analysis driven by on-the-fly bytecode search (paper Secs. III-V).
+//
+// Instead of building a whole-app call graph, the engine locates sink API
+// calls by searching the disassembled bytecode text and then backtracks
+// from each sink toward the app's entry points, locating callers one step
+// at a time with a set of search mechanisms: the basic signature search
+// (Sec. IV-A), the advanced search with forward object taint analysis
+// (Sec. IV-B), the recursive static-initializer search (Sec. IV-C), the
+// two-time ICC search (Sec. IV-D) and the lifecycle handler search
+// (Sec. IV-E). During backtracking it builds one self-contained slicing
+// graph (SSG) per sink and finally runs forward constant and points-to
+// propagation over the SSG to recover the sink parameter values.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
+	"backdroid/internal/bcsearch"
+	"backdroid/internal/cha"
+	"backdroid/internal/constprop"
+	"backdroid/internal/dex"
+	"backdroid/internal/dexdump"
+	"backdroid/internal/ir"
+	"backdroid/internal/simtime"
+	"backdroid/internal/ssg"
+)
+
+// Options configures the engine. The zero value is NOT usable; call
+// DefaultOptions.
+type Options struct {
+	// Sinks are the sink APIs to track. Defaults to android.DefaultSinks.
+	Sinks []android.Sink
+
+	// EnableSearchCache caches search commands and results (Sec. IV-F).
+	EnableSearchCache bool
+
+	// EnableSinkCache caches per-method reachability so repeated sink
+	// calls in the same unreachable method are skipped (Sec. IV-F).
+	EnableSinkCache bool
+
+	// EnableLoopDetection detects the four dead method loop kinds
+	// (Sec. IV-F). When disabled, only MaxDepth bounds the traversals.
+	EnableLoopDetection bool
+
+	// ResolveSinkSubclasses extends the initial sink search with class
+	// hierarchy awareness, catching sink APIs invoked through app
+	// subclasses of system classes. This is the paper's planned fix for
+	// its two false negatives (Sec. VI-C).
+	ResolveSinkSubclasses bool
+
+	// AnalyzeAllContained disables the static-field bytecode search
+	// optimization of Sec. V-A: with it set, the slicer descends into
+	// every contained method while static fields are tainted, instead of
+	// only the methods the field-signature search matched. Exists for the
+	// ablation benchmark.
+	AnalyzeAllContained bool
+
+	// PerAppSSG shares one slicing graph across all sink calls of the app
+	// instead of building one SSG per sink — the extension the paper
+	// plans for apps with very many sinks (Secs. V-A, VI-D). Slices and
+	// taints accumulated for earlier sinks are reused by later ones.
+	PerAppSSG bool
+
+	// MaxDepth bounds inter-procedural backtracking and forward taint
+	// chains.
+	MaxDepth int
+
+	// TimeoutMinutes aborts the analysis after this much simulated time;
+	// 0 disables the budget (BackDroid needs no timeout in the paper).
+	TimeoutMinutes float64
+}
+
+// DefaultOptions returns the configuration used in the paper's evaluation:
+// all engineering enhancements on, no timeout, paper sinks.
+func DefaultOptions() Options {
+	return Options{
+		Sinks:               android.DefaultSinks(),
+		EnableSearchCache:   true,
+		EnableSinkCache:     true,
+		EnableLoopDetection: true,
+		MaxDepth:            25,
+	}
+}
+
+// SinkCall is one located sink API call site.
+type SinkCall struct {
+	Sink      android.Sink
+	Caller    dex.MethodRef // method containing the sink call
+	UnitIndex int           // call-site unit in the caller's IR body
+	Line      int           // dump text line of the call
+}
+
+// String renders the sink call site.
+func (s SinkCall) String() string {
+	return fmt.Sprintf("%s @ %s#%d", s.Sink.Method.SootSignature(), s.Caller.SootSignature(), s.UnitIndex)
+}
+
+// SinkReport is the per-sink analysis outcome.
+type SinkReport struct {
+	Call      SinkCall
+	Reachable bool            // backtracking reached a valid entry point
+	Cached    bool            // answered from the sink reachability cache
+	Entries   []dex.MethodRef // entry points reached
+	Values    []string        // dataflow representations of the tracked parameter
+	Insecure  bool            // vulnerability rule verdict
+	SSG       *ssg.Graph
+}
+
+// LoopKind names the four dead-loop types of Sec. IV-F.
+type LoopKind int
+
+// Loop kinds.
+const (
+	CrossBackward LoopKind = iota + 1
+	InnerBackward
+	CrossForward
+	InnerForward
+)
+
+// String names the loop kind as the paper does.
+func (k LoopKind) String() string {
+	switch k {
+	case CrossBackward:
+		return "CrossBackward"
+	case InnerBackward:
+		return "InnerBackward"
+	case CrossForward:
+		return "CrossForward"
+	case InnerForward:
+		return "InnerForward"
+	}
+	return "UnknownLoop"
+}
+
+// Stats aggregates the engineering measurements of Sec. IV-F plus cost
+// accounting.
+type Stats struct {
+	Search          bcsearch.Stats
+	SinkCallsTotal  int
+	SinkCallsCached int
+	Loops           map[LoopKind]int
+	MethodsAnalyzed int
+	WorkUnits       int64
+	SimMinutes      float64
+	WallTime        time.Duration
+}
+
+// SinkCacheRate returns the fraction of sink calls answered from the
+// reachability cache.
+func (s Stats) SinkCacheRate() float64 {
+	if s.SinkCallsTotal == 0 {
+		return 0
+	}
+	return float64(s.SinkCallsCached) / float64(s.SinkCallsTotal)
+}
+
+// LoopsDetected reports whether at least one dead loop was detected.
+func (s Stats) LoopsDetected() bool {
+	for _, n := range s.Loops {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the full analysis result of one app.
+type Report struct {
+	App      string
+	Sinks    []*SinkReport
+	Stats    Stats
+	TimedOut bool
+}
+
+// InsecureSinks returns the reachable sinks judged insecure.
+func (r *Report) InsecureSinks() []*SinkReport {
+	var out []*SinkReport
+	for _, s := range r.Sinks {
+		if s.Reachable && s.Insecure {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// reachState caches per-method reachability (the sink API call caching of
+// Sec. IV-F).
+type reachState struct {
+	reachable bool
+	entries   []dex.MethodRef
+}
+
+// Engine analyzes one app.
+type Engine struct {
+	app    *apk.App
+	opts   Options
+	dexf   *dex.File
+	prog   *ir.Program
+	dump   *dexdump.Text
+	search *bcsearch.Engine
+	hier   *cha.Hierarchy
+	meter  *simtime.Meter
+
+	reachCache  map[string]*reachState
+	callerCache map[string][]callerSite
+	entryCache  map[string]bool
+	analyzed    map[string]bool
+	loops       map[LoopKind]int
+	sinkTotal   int
+	sinkCached  int
+	lastValues  []constprop.Value
+	preTimedOut bool
+	appSSG      *ssg.Graph // shared graph when PerAppSSG is set
+}
+
+// New preprocesses the app (paper Sec. III step 1): merges multidex,
+// disassembles the bytecode to plaintext and builds the search and IR
+// infrastructure.
+func New(app *apk.App, opts Options) (*Engine, error) {
+	if len(opts.Sinks) == 0 {
+		opts.Sinks = android.DefaultSinks()
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 25
+	}
+	merged, err := app.MergedDex()
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocessing %s: %w", app.Name, err)
+	}
+	meter := simtime.NewMeter()
+	if opts.TimeoutMinutes > 0 {
+		meter.SetBudget(simtime.MinutesToUnits(opts.TimeoutMinutes))
+	}
+	dump := dexdump.Disassemble(merged)
+	// Disassembly cost: dexdump is a linear pass over the bytecode. A
+	// budget exhausted this early surfaces as a timed-out report from
+	// Analyze, not a construction error.
+	preTimedOut := meter.ChargeLines(dump.LineCount()) != nil
+	return &Engine{
+		preTimedOut: preTimedOut,
+		app:         app,
+		opts:        opts,
+		dexf:        merged,
+		prog:        ir.NewProgram(merged),
+		dump:        dump,
+		search:      bcsearch.New(dump, meter, opts.EnableSearchCache),
+		hier:        cha.New(merged),
+		meter:       meter,
+		reachCache:  make(map[string]*reachState),
+		callerCache: make(map[string][]callerSite),
+		entryCache:  make(map[string]bool),
+		analyzed:    make(map[string]bool),
+		loops:       make(map[LoopKind]int),
+	}, nil
+}
+
+// Meter exposes the work meter (used by experiment harnesses).
+func (e *Engine) Meter() *simtime.Meter { return e.meter }
+
+// Hierarchy exposes the class hierarchy (used by detectors and tests).
+func (e *Engine) Hierarchy() *cha.Hierarchy { return e.hier }
+
+// Analyze runs the full BackDroid pipeline and returns the report. On
+// simulated timeout the report carries TimedOut=true with whatever sinks
+// completed.
+func (e *Engine) Analyze() (*Report, error) {
+	start := time.Now()
+	report := &Report{App: e.app.Name}
+	if e.preTimedOut {
+		report.TimedOut = true
+		e.fillStats(report, start)
+		return report, nil
+	}
+
+	calls, err := e.locateSinkCalls()
+	if err != nil {
+		if err == simtime.ErrTimeout {
+			report.TimedOut = true
+			e.fillStats(report, start)
+			return report, nil
+		}
+		return nil, err
+	}
+
+	for _, call := range calls {
+		sr, err := e.analyzeSinkCall(call)
+		if err != nil {
+			if err == simtime.ErrTimeout {
+				report.TimedOut = true
+				break
+			}
+			return nil, err
+		}
+		report.Sinks = append(report.Sinks, sr)
+	}
+
+	e.fillStats(report, start)
+	return report, nil
+}
+
+func (e *Engine) fillStats(report *Report, start time.Time) {
+	loops := make(map[LoopKind]int, len(e.loops))
+	for k, v := range e.loops {
+		loops[k] = v
+	}
+	report.Stats = Stats{
+		Search:          e.search.Stats(),
+		SinkCallsTotal:  e.sinkTotal,
+		SinkCallsCached: e.sinkCached,
+		Loops:           loops,
+		MethodsAnalyzed: len(e.analyzed),
+		WorkUnits:       e.meter.Units(),
+		SimMinutes:      e.meter.Minutes(),
+		WallTime:        time.Since(start),
+	}
+}
+
+// analyzeSinkCall backtracks one sink call, builds its SSG and runs the
+// forward pass.
+func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
+	e.sinkTotal++
+	sr := &SinkReport{Call: call}
+
+	sig := call.Caller.SootSignature()
+	if e.opts.EnableSinkCache {
+		if st, ok := e.reachCache[sig]; ok {
+			e.sinkCached++
+			sr.Cached = true
+			if !st.reachable {
+				sr.Reachable = false
+				return sr, nil
+			}
+			// Reachable and cached: still slice for the values.
+		}
+	}
+
+	reachable, entries, err := e.reachable(call.Caller, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.EnableSinkCache {
+		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries}
+	}
+	sr.Reachable = reachable
+	sr.Entries = entries
+	if !reachable {
+		return sr, nil
+	}
+
+	g, sinkUnit, err := e.buildSSG(call)
+	if err != nil {
+		return nil, err
+	}
+	sr.SSG = g
+	for _, en := range entries {
+		g.MarkEntry(en)
+	}
+
+	values, err := e.propagate(g, sinkUnit, call)
+	if err != nil {
+		return nil, err
+	}
+	sr.Values = values
+	sr.Insecure = e.judgeLast(call.Sink.Rule)
+	return sr, nil
+}

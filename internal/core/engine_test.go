@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"backdroid/internal/android"
+)
+
+func TestLocatesAllSinkCalls(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	// 7 Cipher.getInstance sites + 1 setHostnameVerifier site.
+	if len(r.Sinks) != 8 {
+		t.Fatalf("sinks = %d, want 8: %v", len(r.Sinks), sinkNames(r))
+	}
+	if r.TimedOut {
+		t.Fatal("fixture must not time out")
+	}
+}
+
+func TestBasicSearchPrivateMethod(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("MainActivity"), "privateHelper")
+	if !s.Reachable {
+		t.Fatal("private helper sink must be reachable via basic signature search")
+	}
+	if !s.Insecure {
+		t.Errorf("ECB transformation must be insecure; values=%v", s.Values)
+	}
+	wantEntry := "<" + cls("MainActivity") + ": void onCreate(android.os.Bundle)>"
+	found := false
+	for _, en := range s.Entries {
+		if en.SootSignature() == wantEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("entries = %v, want %s", s.Entries, wantEntry)
+	}
+	if len(s.Values) != 1 || s.Values[0] != `"AES/ECB/PKCS5Padding"` {
+		t.Errorf("values = %v", s.Values)
+	}
+}
+
+func TestAdvancedSearchInterfaceCallback(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("NetcastHttpServer"), "start")
+	if !s.Reachable {
+		t.Fatal("SSL sink must be reachable through the Runnable/Executor chain")
+	}
+	if !s.Insecure {
+		t.Errorf("ALLOW_ALL verifier must be insecure; values=%v", s.Values)
+	}
+	// The value is the framework constant token.
+	foundToken := false
+	for _, v := range s.Values {
+		if strings.Contains(v, "ALLOW_ALL_HOSTNAME_VERIFIER") {
+			foundToken = true
+		}
+	}
+	if !foundToken {
+		t.Errorf("values = %v, want ALLOW_ALL token", s.Values)
+	}
+}
+
+func TestStaticInitializerTrack(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("HttpServerService"), "onCreate")
+	if !s.Reachable {
+		t.Fatal("registered service onCreate must be an entry")
+	}
+	if len(s.Values) != 1 || s.Values[0] != `"AES"` {
+		t.Fatalf("clinit-resolved value = %v, want \"AES\"", s.Values)
+	}
+	if !s.Insecure {
+		t.Error("bare AES defaults to ECB and must be insecure")
+	}
+	if s.SSG == nil || len(s.SSG.StaticTrack) == 0 {
+		t.Error("SSG must carry the off-path static initializer track")
+	}
+}
+
+func TestUnregisteredComponentAvoided(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("UnregActivity"), "onCreate")
+	if s.Reachable {
+		t.Error("unregistered component sink must be unreachable (Amandroid FP shape)")
+	}
+}
+
+func TestDeadCodeAvoided(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("DeadCode"), "unused")
+	if s.Reachable {
+		t.Error("dead code sink must be unreachable")
+	}
+}
+
+func TestChildClassSignatureSearch(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("CryptoBase"), "doCrypto")
+	if !s.Reachable {
+		t.Fatal("inherited method invoked via child signature must be found")
+	}
+	if s.Insecure {
+		t.Errorf("CBC transformation must be secure; values=%v", s.Values)
+	}
+	if len(s.Values) != 1 || s.Values[0] != `"AES/CBC/PKCS5Padding"` {
+		t.Errorf("values = %v", s.Values)
+	}
+}
+
+func TestSuperClassAdvancedSearch(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("SubServer"), "start")
+	if !s.Reachable {
+		t.Fatal("override invoked through super-class signature must be found")
+	}
+	if !s.Insecure {
+		t.Errorf("ECB must be insecure; values=%v", s.Values)
+	}
+}
+
+func TestThreadAsyncAdvancedSearch(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("WorkThread"), "run")
+	if !s.Reachable {
+		t.Fatal("Thread.run reached via Thread.start must be found")
+	}
+	if !s.Insecure {
+		t.Errorf("ECB must be insecure; values=%v", s.Values)
+	}
+}
+
+func TestInsecureSinkSummary(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	insecure := r.InsecureSinks()
+	// A (ECB), B (SSL), C (AES), G (ECB), H (ECB) = 5; F is secure CBC;
+	// D and E unreachable.
+	if len(insecure) != 5 {
+		var got []string
+		for _, s := range insecure {
+			got = append(got, s.Call.Caller.SootSignature())
+		}
+		t.Errorf("insecure sinks = %d (%v), want 5", len(insecure), got)
+	}
+}
+
+func TestSearchCacheStats(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if r.Stats.Search.Commands == 0 {
+		t.Fatal("no search commands recorded")
+	}
+	if r.Stats.Search.CacheHits == 0 {
+		t.Error("repeated searches across sinks should produce cache hits")
+	}
+	if r.Stats.WorkUnits == 0 || r.Stats.SimMinutes <= 0 {
+		t.Error("work accounting missing")
+	}
+}
+
+func TestICCCallerConnected(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	s := sinkByMethod(t, r, cls("HttpServerService"), "onCreate")
+	// The two-time ICC search should connect MainActivity.onCreate as a
+	// sender, extending the entry set beyond the service itself.
+	entrySigs := make(map[string]bool)
+	for _, en := range s.Entries {
+		entrySigs[en.SootSignature()] = true
+	}
+	if !entrySigs["<"+cls("HttpServerService")+": void onCreate()>"] {
+		t.Errorf("service onCreate must be an entry; entries=%v", s.Entries)
+	}
+	if !entrySigs["<"+cls("MainActivity")+": void onCreate(android.os.Bundle)>"] {
+		t.Errorf("ICC sender entry missing; entries=%v", s.Entries)
+	}
+}
+
+func TestSinkCacheAcrossCalls(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if r.Stats.SinkCallsTotal != 8 {
+		t.Errorf("SinkCallsTotal = %d, want 8", r.Stats.SinkCallsTotal)
+	}
+	// Every containing method has exactly one sink here, so cross-call
+	// caching is not expected in the default fixture.
+	if rate := r.Stats.SinkCacheRate(); rate < 0 || rate > 1 {
+		t.Errorf("cache rate out of range: %f", rate)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	opts := DefaultOptions()
+	if !opts.EnableSearchCache || !opts.EnableSinkCache || !opts.EnableLoopDetection {
+		t.Error("engineering enhancements must default on")
+	}
+	if opts.MaxDepth <= 0 {
+		t.Error("MaxDepth must default positive")
+	}
+	if len(opts.Sinks) != len(android.DefaultSinks()) {
+		t.Error("default sinks missing")
+	}
+}
+
+func TestLoopKindString(t *testing.T) {
+	names := map[LoopKind]string{
+		CrossBackward: "CrossBackward",
+		InnerBackward: "InnerBackward",
+		CrossForward:  "CrossForward",
+		InnerForward:  "InnerForward",
+		LoopKind(99):  "UnknownLoop",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("LoopKind(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

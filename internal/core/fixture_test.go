@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"backdroid/internal/testapps"
+)
+
+// cls qualifies a fixture class name.
+func cls(name string) string { return testapps.Cls(name) }
+
+// analyzeFixture runs the engine over the shared fixture app.
+func analyzeFixture(t *testing.T, opts Options) *Report {
+	t.Helper()
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatalf("Fixture: %v", err)
+	}
+	e, err := New(app, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	report, err := e.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return report
+}
+
+// sinkByMethod finds the report for the sink contained in the given class
+// and method name.
+func sinkByMethod(t *testing.T, r *Report, class, method string) *SinkReport {
+	t.Helper()
+	for _, s := range r.Sinks {
+		if s.Call.Caller.Class == class && s.Call.Caller.Name == method {
+			return s
+		}
+	}
+	t.Fatalf("no sink found in %s.%s; sinks: %v", class, method, sinkNames(r))
+	return nil
+}
+
+func sinkNames(r *Report) []string {
+	var out []string
+	for _, s := range r.Sinks {
+		out = append(out, s.Call.Caller.SootSignature())
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// TestPerAppSSGSameVerdicts: the per-app SSG extension must not change any
+// verdict relative to per-sink graphs.
+func TestPerAppSSGSameVerdicts(t *testing.T) {
+	perSink := analyzeFixture(t, DefaultOptions())
+
+	opts := DefaultOptions()
+	opts.PerAppSSG = true
+	perApp := analyzeFixture(t, opts)
+
+	if len(perSink.Sinks) != len(perApp.Sinks) {
+		t.Fatalf("sink counts differ: %d vs %d", len(perSink.Sinks), len(perApp.Sinks))
+	}
+	for i := range perSink.Sinks {
+		a, b := perSink.Sinks[i], perApp.Sinks[i]
+		if a.Call.Caller.SootSignature() != b.Call.Caller.SootSignature() {
+			t.Fatalf("sink order differs at %d", i)
+		}
+		if a.Reachable != b.Reachable || a.Insecure != b.Insecure {
+			t.Errorf("verdict differs for %s: per-sink (r=%v,i=%v) vs per-app (r=%v,i=%v)",
+				a.Call.Caller.SootSignature(), a.Reachable, a.Insecure, b.Reachable, b.Insecure)
+		}
+	}
+}
+
+// TestPerAppSSGSharesOneGraph: all reachable sinks point at the same graph
+// instance, and it accumulates every tracked method.
+func TestPerAppSSGSharesOneGraph(t *testing.T) {
+	opts := DefaultOptions()
+	opts.PerAppSSG = true
+	r := analyzeFixture(t, opts)
+
+	var sharedMethods int
+	var first interface{}
+	for _, s := range r.Sinks {
+		if s.SSG == nil {
+			continue
+		}
+		if first == nil {
+			first = s.SSG
+			sharedMethods = len(s.SSG.Methods())
+		} else if s.SSG != first {
+			t.Fatal("per-app mode must share a single SSG")
+		}
+	}
+	if first == nil {
+		t.Fatal("no SSG produced")
+	}
+	// The shared graph must cover methods from several distinct sink
+	// slices (fixture has >= 5 reachable sinks in different classes).
+	if sharedMethods < 5 {
+		t.Errorf("shared SSG tracks %d methods, want >= 5", sharedMethods)
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"backdroid/internal/android"
+	"backdroid/internal/constprop"
+	"backdroid/internal/ssg"
+	"backdroid/internal/vuln"
+)
+
+// propagate runs the forward constant and points-to propagation over the
+// SSG (paper Sec. V-B) and returns the rendered dataflow representations
+// of the tracked sink parameter. The vulnerability verdict is computed on
+// the typed values.
+func (e *Engine) propagate(g *ssg.Graph, sinkUnit *ssg.Unit, call SinkCall) ([]string, error) {
+	res, err := constprop.Run(g, e.prog, e.meter, constprop.Options{
+		SinkParamIndex: call.Sink.ParamIndex,
+		MaxDepth:       e.opts.MaxDepth,
+		SinkUnit:       sinkUnit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.lastValues = res.SinkValues
+	out := make([]string, len(res.SinkValues))
+	for i, v := range res.SinkValues {
+		out[i] = v.String()
+	}
+	return out, nil
+}
+
+// judge applies the vulnerability rule to the most recent propagation
+// result.
+func (e *Engine) judgeLast(rule android.RuleKind) bool {
+	return vuln.Judge(rule, e.lastValues)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"backdroid/internal/dex"
+)
+
+// reachable determines whether the method can be reached from a valid app
+// entry point by walking callers backward via bytecode search. Results are
+// memoized per method — this is the "sink API call caching" of Sec. IV-F:
+// several sink calls often share one (un)reachable containing method.
+//
+// Negative results obtained while a cycle was cut on the path are not
+// cached, because the cut may hide a path through the in-progress method.
+func (e *Engine) reachable(method dex.MethodRef, path []string, depth int) (bool, []dex.MethodRef, error) {
+	r, entries, _, err := e.reachableInner(method, path, depth)
+	return r, entries, err
+}
+
+func (e *Engine) reachableInner(method dex.MethodRef, path []string, depth int) (reachable bool, entries []dex.MethodRef, pure bool, err error) {
+	sig := method.SootSignature()
+	if st, ok := e.reachCache[sig]; ok {
+		return st.reachable, st.entries, true, nil
+	}
+	for _, p := range path {
+		if p == sig {
+			// CrossBackward loop (Sec. IV-F): the backward method search
+			// returned to a method already on the current path.
+			if e.opts.EnableLoopDetection {
+				e.loops[CrossBackward]++
+			}
+			return false, nil, false, nil
+		}
+	}
+	if depth > e.opts.MaxDepth {
+		return false, nil, false, nil
+	}
+	e.analyzed[sig] = true
+
+	sites, isEntry, err := e.findCallers(method)
+	if err != nil {
+		return false, nil, false, err
+	}
+	pure = true
+	seen := make(map[string]bool)
+	if isEntry {
+		entries = append(entries, method)
+		seen[sig] = true
+	}
+	childPath := append(path, sig)
+	for _, site := range sites {
+		r, subEntries, subPure, err := e.reachableInner(site.Method, childPath, depth+1)
+		if err != nil {
+			return false, nil, false, err
+		}
+		pure = pure && subPure
+		if !r {
+			continue
+		}
+		for _, en := range subEntries {
+			key := en.SootSignature()
+			if !seen[key] {
+				seen[key] = true
+				entries = append(entries, en)
+			}
+		}
+	}
+	reachable = len(entries) > 0
+	if reachable || pure {
+		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries}
+	}
+	return reachable, entries, pure, nil
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
+	"backdroid/internal/appgen"
+	"backdroid/internal/dex"
+	"backdroid/internal/manifest"
+)
+
+// buildApp wraps a dex file + manifest into an app.
+func buildApp(t *testing.T, pkg string, m *manifest.Manifest, classes ...*dex.ClassBuilder) *apk.App {
+	t.Helper()
+	f := dex.NewFile()
+	for _, cb := range classes {
+		if err := f.AddClass(cb.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return apk.New(pkg, m, f)
+}
+
+func analyzeApp(t *testing.T, app *apk.App, opts Options) *Report {
+	t.Helper()
+	e, err := New(app, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, err := e.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return r
+}
+
+// TestRecursionLoopDetected builds mutually recursive callers around a
+// sink: recursion must be cut by CrossBackward detection and counted.
+func TestRecursionLoopDetected(t *testing.T) {
+	const pkg = "com.loop.app"
+	objInit := dex.NewMethodRef("java.lang.Object", "<init>", dex.Void)
+	activInit := dex.NewMethodRef("android.app.Activity", "<init>", dex.Void)
+
+	aRef := dex.NewMethodRef(pkg+".Worker", "stepA", dex.Void)
+	bRef := dex.NewMethodRef(pkg+".Worker", "stepB", dex.Void)
+
+	worker := dex.NewClass(pkg + ".Worker")
+	wc := worker.Constructor()
+	wc.InvokeDirect(objInit, wc.This()).ReturnVoid().Done()
+	// stepA calls the sink and stepB; stepB calls stepA (cycle).
+	sa := worker.StaticMethod("stepA", dex.Void)
+	s, c := sa.Reg(), sa.Reg()
+	sa.ConstString(s, "AES/ECB/PKCS5Padding").
+		InvokeStatic(android.CipherGetInstance, s).
+		MoveResult(c).
+		InvokeStatic(bRef).
+		ReturnVoid().Done()
+	sb := worker.StaticMethod("stepB", dex.Void)
+	sb.InvokeStatic(aRef).ReturnVoid().Done()
+
+	main := dex.NewClass(pkg + ".MainActivity").Extends(android.ActivityClass)
+	mc := main.Constructor()
+	mc.InvokeDirect(activInit, mc.This()).ReturnVoid().Done()
+	oc := main.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	oc.InvokeStatic(aRef).ReturnVoid().Done()
+
+	m := manifest.New(pkg)
+	m.Add(manifest.Activity, pkg+".MainActivity")
+
+	r := analyzeApp(t, buildApp(t, pkg, m, worker, main), DefaultOptions())
+	if len(r.Sinks) != 1 {
+		t.Fatalf("sinks = %d", len(r.Sinks))
+	}
+	if !r.Sinks[0].Reachable || !r.Sinks[0].Insecure {
+		t.Errorf("recursive-caller sink should be reachable+insecure: %+v", r.Sinks[0])
+	}
+	if r.Stats.Loops[CrossBackward] == 0 {
+		t.Errorf("CrossBackward loop not detected; loops=%v", r.Stats.Loops)
+	}
+}
+
+// TestLoopDetectionDisabledStillTerminates verifies the depth-bound
+// fallback.
+func TestLoopDetectionDisabledStillTerminates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EnableLoopDetection = false
+	opts.MaxDepth = 8
+	r := analyzeFixture(t, opts)
+	if len(r.Sinks) != 8 {
+		t.Fatalf("sinks = %d", len(r.Sinks))
+	}
+	if r.Stats.LoopsDetected() {
+		t.Error("loop counters must stay zero when detection is disabled")
+	}
+}
+
+// TestImplicitICC routes the ICC through an intent action string instead
+// of a const-class — the other half of the two-time search.
+func TestImplicitICC(t *testing.T) {
+	const pkg = "com.icc.app"
+	activInit := dex.NewMethodRef("android.app.Activity", "<init>", dex.Void)
+	serviceInit := dex.NewMethodRef("android.app.Service", "<init>", dex.Void)
+	const action = "com.icc.app.action.WORK"
+
+	svc := dex.NewClass(pkg + ".WorkService").Extends(android.ServiceClass)
+	sc := svc.Constructor()
+	sc.InvokeDirect(serviceInit, sc.This()).ReturnVoid().Done()
+	oc := svc.Method("onCreate", dex.Void)
+	s, c := oc.Reg(), oc.Reg()
+	oc.ConstString(s, "AES/ECB/PKCS5Padding").
+		InvokeStatic(android.CipherGetInstance, s).
+		MoveResult(c).
+		ReturnVoid().Done()
+
+	main := dex.NewClass(pkg + ".MainActivity").Extends(android.ActivityClass)
+	mc := main.Constructor()
+	mc.InvokeDirect(activInit, mc.This()).ReturnVoid().Done()
+	moc := main.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	intent, act := moc.Reg(), moc.Reg()
+	startService := dex.NewMethodRef(android.ContextClass, "startService",
+		dex.T("android.content.ComponentName"), dex.T(android.IntentClass))
+	moc.New(intent, android.IntentClass).
+		ConstString(act, action).
+		InvokeDirect(android.IntentCtorImplicit, intent, act).
+		InvokeVirtual(startService, moc.This(), intent).
+		ReturnVoid().Done()
+
+	m := manifest.New(pkg)
+	m.Add(manifest.Activity, pkg+".MainActivity")
+	m.Add(manifest.Service, pkg+".WorkService", manifest.IntentFilter{Actions: []string{action}})
+
+	r := analyzeApp(t, buildApp(t, pkg, m, svc, main), DefaultOptions())
+	if len(r.Sinks) != 1 {
+		t.Fatalf("sinks = %d", len(r.Sinks))
+	}
+	sr := r.Sinks[0]
+	if !sr.Reachable {
+		t.Fatal("implicit-ICC service sink must be reachable")
+	}
+	// Both the service's own lifecycle entry and the ICC sender should be
+	// among the entries.
+	entries := map[string]bool{}
+	for _, en := range sr.Entries {
+		entries[en.Class] = true
+	}
+	if !entries[pkg+".MainActivity"] {
+		t.Errorf("implicit ICC sender missing from entries: %v", sr.Entries)
+	}
+}
+
+// TestLifecyclePredecessorSlicing stores the cipher mode in a field during
+// onCreate and uses it in onResume: the Sec. IV-E predecessor handling
+// must recover the value.
+func TestLifecyclePredecessorSlicing(t *testing.T) {
+	const pkg = "com.lc.app"
+	activInit := dex.NewMethodRef("android.app.Activity", "<init>", dex.Void)
+	modeField := dex.NewFieldRef(pkg+".MainActivity", "mode", dex.StringT)
+
+	main := dex.NewClass(pkg+".MainActivity").Extends(android.ActivityClass).
+		Field("mode", dex.StringT)
+	mc := main.Constructor()
+	mc.InvokeDirect(activInit, mc.This()).ReturnVoid().Done()
+
+	oc := main.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	v := oc.Reg()
+	oc.ConstString(v, "AES/ECB/PKCS5Padding").
+		IPut(v, oc.This(), modeField).
+		ReturnVoid().Done()
+
+	or := main.Method("onResume", dex.Void)
+	mv, c := or.Reg(), or.Reg()
+	or.IGet(mv, or.This(), modeField).
+		InvokeStatic(android.CipherGetInstance, mv).
+		MoveResult(c).
+		ReturnVoid().Done()
+
+	m := manifest.New(pkg)
+	m.Add(manifest.Activity, pkg+".MainActivity")
+
+	r := analyzeApp(t, buildApp(t, pkg, m, main), DefaultOptions())
+	if len(r.Sinks) != 1 {
+		t.Fatalf("sinks = %d", len(r.Sinks))
+	}
+	sr := r.Sinks[0]
+	if !sr.Reachable {
+		t.Fatal("onResume sink must be reachable")
+	}
+	if !sr.Insecure {
+		t.Errorf("value written in onCreate not recovered; values=%v", sr.Values)
+	}
+}
+
+// TestEngineTimeout aborts analysis on a tiny budget.
+func TestEngineTimeout(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TimeoutMinutes = 0.00001
+	r := analyzeFixture(t, opts)
+	if !r.TimedOut {
+		t.Error("tiny budget must time out")
+	}
+}
+
+// TestSubclassSinkAblation reproduces the paper's two false negatives and
+// their fix: the default engine misses a sink invoked through an app
+// subclass of the sink class; ResolveSinkSubclasses finds it.
+func TestSubclassSinkAblation(t *testing.T) {
+	app, truth, err := appgen.Generate(appgen.Spec{
+		Name:   "com.subclass.app",
+		Seed:   5,
+		SizeMB: 1,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowSubclassSink, Rule: android.RuleSSLAllowAll, Insecure: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := truth.Sinks[0]
+
+	defaultReport := analyzeApp(t, app, DefaultOptions())
+	for _, s := range defaultReport.Sinks {
+		if s.Call.Caller.Class == st.Class && s.Call.Caller.Name == st.Method {
+			t.Fatal("default initial search should miss the subclassed sink (paper FN)")
+		}
+	}
+
+	opts := DefaultOptions()
+	opts.ResolveSinkSubclasses = true
+	fixedReport := analyzeApp(t, app, opts)
+	found := false
+	for _, s := range fixedReport.Sinks {
+		if s.Call.Caller.Class == st.Class && s.Call.Caller.Name == st.Method {
+			found = s.Reachable && s.Insecure
+		}
+	}
+	if !found {
+		t.Error("class-hierarchy-aware search should find and judge the subclassed sink")
+	}
+}
+
+// TestSearchCacheAblationSameResults verifies the cache changes cost, not
+// outcomes.
+func TestSearchCacheAblationSameResults(t *testing.T) {
+	withCache := analyzeFixture(t, DefaultOptions())
+	opts := DefaultOptions()
+	opts.EnableSearchCache = false
+	without := analyzeFixture(t, opts)
+
+	if len(withCache.Sinks) != len(without.Sinks) {
+		t.Fatalf("sink counts differ: %d vs %d", len(withCache.Sinks), len(without.Sinks))
+	}
+	for i := range withCache.Sinks {
+		a, b := withCache.Sinks[i], without.Sinks[i]
+		if a.Reachable != b.Reachable || a.Insecure != b.Insecure {
+			t.Errorf("sink %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if without.Stats.Search.CacheHits != 0 {
+		t.Error("cache hits recorded with cache disabled")
+	}
+	if withCache.Stats.WorkUnits >= without.Stats.WorkUnits {
+		t.Errorf("cache should reduce work: %d vs %d",
+			withCache.Stats.WorkUnits, without.Stats.WorkUnits)
+	}
+}
+
+// TestSinkCacheSharedMethod verifies the Sec. IV-F sink API call caching:
+// two sinks in one unreachable method consult reachability once.
+func TestSinkCacheSharedMethod(t *testing.T) {
+	const pkg = "com.cache.app"
+	dead := dex.NewClass(pkg + ".Dead")
+	dm := dead.StaticMethod("both", dex.Void)
+	s1, c1, s2, c2 := dm.Reg(), dm.Reg(), dm.Reg(), dm.Reg()
+	dm.ConstString(s1, "AES/ECB/PKCS5Padding").
+		InvokeStatic(android.CipherGetInstance, s1).
+		MoveResult(c1).
+		ConstString(s2, "DES").
+		InvokeStatic(android.CipherGetInstance, s2).
+		MoveResult(c2).
+		ReturnVoid().Done()
+
+	m := manifest.New(pkg)
+	r := analyzeApp(t, buildApp(t, pkg, m, dead), DefaultOptions())
+	if r.Stats.SinkCallsTotal != 2 {
+		t.Fatalf("sink calls = %d", r.Stats.SinkCallsTotal)
+	}
+	if r.Stats.SinkCallsCached != 1 {
+		t.Errorf("cached sink calls = %d, want 1", r.Stats.SinkCallsCached)
+	}
+	for _, s := range r.Sinks {
+		if s.Reachable {
+			t.Error("dead sinks must be unreachable")
+		}
+	}
+}
+
+// TestCallbackFlow exercises the View$OnClickListener registration shape
+// (baseline gap; BackDroid advanced search).
+func TestCallbackFlow(t *testing.T) {
+	app, truth, err := appgen.Generate(appgen.Spec{
+		Name:   "com.cb.app",
+		Seed:   9,
+		SizeMB: 1,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowCallback, Rule: android.RuleCryptoECB, Insecure: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analyzeApp(t, app, DefaultOptions())
+	st := truth.Sinks[0]
+	found := false
+	for _, s := range r.Sinks {
+		if s.Call.Caller.Class == st.Class && s.Call.Caller.Name == st.Method {
+			found = s.Reachable && s.Insecure
+		}
+	}
+	if !found {
+		t.Error("onClick callback sink must be reachable via advanced search")
+	}
+}
+
+// TestMultiDexAnalysis verifies preprocessing merges multidex before
+// search.
+func TestMultiDexAnalysis(t *testing.T) {
+	app, truth, err := appgen.Generate(appgen.Spec{
+		Name:     "com.multi.app",
+		Seed:     4,
+		SizeMB:   2,
+		MultiDex: true,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Dexes) != 2 {
+		t.Fatalf("dexes = %d", len(app.Dexes))
+	}
+	r := analyzeApp(t, app, DefaultOptions())
+	st := truth.Sinks[0]
+	found := false
+	for _, s := range r.Sinks {
+		if s.Call.Caller.Class == st.Class {
+			found = s.Reachable && s.Insecure
+		}
+	}
+	if !found {
+		t.Error("multidex sink not found after merge")
+	}
+}

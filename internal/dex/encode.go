@@ -1,0 +1,376 @@
+package dex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary container format ("GDEX"): a compact dex-like serialization with a
+// string pool followed by class definitions. All integers are uvarints; all
+// strings are pool indices. The format is self-contained so app containers
+// can round-trip dex bytes exactly like real APKs carry classes.dex.
+
+const dexMagic = "GDEX0001"
+
+type encoder struct {
+	buf     bytes.Buffer
+	pool    []string
+	poolIdx map[string]uint64
+}
+
+func newEncoder() *encoder {
+	return &encoder{poolIdx: make(map[string]uint64)}
+}
+
+func (e *encoder) str(s string) uint64 {
+	if i, ok := e.poolIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(e.pool))
+	e.pool = append(e.pool, s)
+	e.poolIdx[s] = i
+	return i
+}
+
+func (e *encoder) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) methodRef(m *MethodRef) {
+	e.uvarint(e.str(m.Class))
+	e.uvarint(e.str(m.Name))
+	e.uvarint(uint64(len(m.Params)))
+	for _, p := range m.Params {
+		e.uvarint(e.str(string(p)))
+	}
+	e.uvarint(e.str(string(m.Ret)))
+}
+
+func (e *encoder) fieldRef(f *FieldRef) {
+	e.uvarint(e.str(f.Class))
+	e.uvarint(e.str(f.Name))
+	e.uvarint(e.str(string(f.Type)))
+}
+
+func (e *encoder) instruction(in *Instruction) {
+	e.uvarint(uint64(in.Op))
+	e.varint(int64(in.A))
+	e.varint(int64(in.B))
+	e.varint(int64(in.C))
+	e.varint(in.Lit)
+	e.uvarint(e.str(in.Str))
+	e.uvarint(e.str(string(in.Type)))
+	if in.Method != nil {
+		e.buf.WriteByte(1)
+		e.methodRef(in.Method)
+	} else {
+		e.buf.WriteByte(0)
+	}
+	if in.Field != nil {
+		e.buf.WriteByte(1)
+		e.fieldRef(in.Field)
+	} else {
+		e.buf.WriteByte(0)
+	}
+	e.uvarint(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		e.varint(int64(a))
+	}
+	e.varint(int64(in.Target))
+}
+
+// Encode serializes the dex file to its binary form.
+func Encode(f *File) []byte {
+	e := newEncoder()
+	// Body first so the string pool is complete, then assemble
+	// header+pool+body.
+	e.uvarint(uint64(len(f.Classes())))
+	for _, c := range f.Classes() {
+		e.uvarint(e.str(c.Name))
+		e.uvarint(e.str(c.Super))
+		e.uvarint(uint64(len(c.Interfaces)))
+		for _, i := range c.Interfaces {
+			e.uvarint(e.str(i))
+		}
+		e.uvarint(uint64(c.Flags))
+		e.uvarint(uint64(len(c.Fields)))
+		for _, fl := range c.Fields {
+			e.fieldRef(&fl.Ref)
+			e.uvarint(uint64(fl.Flags))
+		}
+		e.uvarint(uint64(len(c.Methods)))
+		for _, m := range c.Methods {
+			e.methodRef(&m.Ref)
+			e.uvarint(uint64(m.Flags))
+			e.uvarint(uint64(m.Registers))
+			e.uvarint(uint64(m.Ins))
+			e.uvarint(uint64(len(m.Code)))
+			for i := range m.Code {
+				e.instruction(&m.Code[i])
+			}
+		}
+	}
+
+	var out bytes.Buffer
+	out.WriteString(dexMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(e.pool)))
+	out.Write(tmp[:n])
+	for _, s := range e.pool {
+		n := binary.PutUvarint(tmp[:], uint64(len(s)))
+		out.Write(tmp[:n])
+		out.WriteString(s)
+	}
+	out.Write(e.buf.Bytes())
+	return out.Bytes()
+}
+
+type decoder struct {
+	r    *bytes.Reader
+	pool []string
+}
+
+func (d *decoder) uvarint() (uint64, error) { return binary.ReadUvarint(d.r) }
+func (d *decoder) varint() (int64, error)   { return binary.ReadVarint(d.r) }
+
+func (d *decoder) str() (string, error) {
+	i, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if i >= uint64(len(d.pool)) {
+		return "", fmt.Errorf("dex: string index %d out of range", i)
+	}
+	return d.pool[i], nil
+}
+
+func (d *decoder) methodRef() (MethodRef, error) {
+	var m MethodRef
+	var err error
+	if m.Class, err = d.str(); err != nil {
+		return m, err
+	}
+	if m.Name, err = d.str(); err != nil {
+		return m, err
+	}
+	np, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	for i := uint64(0); i < np; i++ {
+		p, err := d.str()
+		if err != nil {
+			return m, err
+		}
+		m.Params = append(m.Params, TypeDesc(p))
+	}
+	ret, err := d.str()
+	if err != nil {
+		return m, err
+	}
+	m.Ret = TypeDesc(ret)
+	return m, nil
+}
+
+func (d *decoder) fieldRef() (FieldRef, error) {
+	var f FieldRef
+	var err error
+	if f.Class, err = d.str(); err != nil {
+		return f, err
+	}
+	if f.Name, err = d.str(); err != nil {
+		return f, err
+	}
+	t, err := d.str()
+	if err != nil {
+		return f, err
+	}
+	f.Type = TypeDesc(t)
+	return f, nil
+}
+
+func (d *decoder) instruction() (Instruction, error) {
+	var in Instruction
+	op, err := d.uvarint()
+	if err != nil {
+		return in, err
+	}
+	in.Op = Op(op)
+	ints := []*int{&in.A, &in.B, &in.C}
+	for _, p := range ints {
+		v, err := d.varint()
+		if err != nil {
+			return in, err
+		}
+		*p = int(v)
+	}
+	if in.Lit, err = d.varint(); err != nil {
+		return in, err
+	}
+	if in.Str, err = d.str(); err != nil {
+		return in, err
+	}
+	typ, err := d.str()
+	if err != nil {
+		return in, err
+	}
+	in.Type = TypeDesc(typ)
+	hasMethod, err := d.r.ReadByte()
+	if err != nil {
+		return in, err
+	}
+	if hasMethod == 1 {
+		m, err := d.methodRef()
+		if err != nil {
+			return in, err
+		}
+		in.Method = &m
+	}
+	hasField, err := d.r.ReadByte()
+	if err != nil {
+		return in, err
+	}
+	if hasField == 1 {
+		f, err := d.fieldRef()
+		if err != nil {
+			return in, err
+		}
+		in.Field = &f
+	}
+	na, err := d.uvarint()
+	if err != nil {
+		return in, err
+	}
+	for i := uint64(0); i < na; i++ {
+		a, err := d.varint()
+		if err != nil {
+			return in, err
+		}
+		in.Args = append(in.Args, int(a))
+	}
+	tgt, err := d.varint()
+	if err != nil {
+		return in, err
+	}
+	in.Target = int(tgt)
+	return in, nil
+}
+
+// Decode parses a binary dex file produced by Encode.
+func Decode(data []byte) (*File, error) {
+	if len(data) < len(dexMagic) || string(data[:len(dexMagic)]) != dexMagic {
+		return nil, fmt.Errorf("dex: bad magic")
+	}
+	d := &decoder{r: bytes.NewReader(data[len(dexMagic):])}
+	np, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dex: pool size: %w", err)
+	}
+	d.pool = make([]string, np)
+	for i := uint64(0); i < np; i++ {
+		slen, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("dex: pool entry %d: %w", i, err)
+		}
+		buf := make([]byte, slen)
+		if _, err := d.r.Read(buf); err != nil {
+			return nil, fmt.Errorf("dex: pool entry %d: %w", i, err)
+		}
+		d.pool[i] = string(buf)
+	}
+
+	f := NewFile()
+	nc, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dex: class count: %w", err)
+	}
+	for ci := uint64(0); ci < nc; ci++ {
+		c := &Class{}
+		if c.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if c.Super, err = d.str(); err != nil {
+			return nil, err
+		}
+		ni, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < ni; i++ {
+			iface, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			c.Interfaces = append(c.Interfaces, iface)
+		}
+		flags, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		c.Flags = AccessFlags(flags)
+		nf, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nf; i++ {
+			ref, err := d.fieldRef()
+			if err != nil {
+				return nil, err
+			}
+			ff, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			c.Fields = append(c.Fields, &Field{Ref: ref, Flags: AccessFlags(ff)})
+		}
+		nm, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nm; i++ {
+			m := &Method{}
+			if m.Ref, err = d.methodRef(); err != nil {
+				return nil, err
+			}
+			mf, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Flags = AccessFlags(mf)
+			regs, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Registers = int(regs)
+			ins, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Ins = int(ins)
+			ncode, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Code = make([]Instruction, ncode)
+			for j := uint64(0); j < ncode; j++ {
+				if m.Code[j], err = d.instruction(); err != nil {
+					return nil, err
+				}
+			}
+			c.Methods = append(c.Methods, m)
+		}
+		if err := f.AddClass(c); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

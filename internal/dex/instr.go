@@ -1,0 +1,255 @@
+package dex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a bytecode opcode. The set is a Dalvik-like subset sufficient for
+// the control- and data-flow shapes the BackDroid analyses handle.
+type Op int
+
+// Opcodes.
+const (
+	OpNop Op = iota + 1
+
+	OpConst       // A := Lit
+	OpConstString // A := Str
+	OpConstClass  // A := class literal Type
+	OpConstNull   // A := null
+	OpMove        // A := B
+	OpMoveResult  // A := result of the preceding invoke
+
+	OpNewInstance // A := new Type
+	OpNewArray    // A := new Type[B]
+
+	OpInvokeVirtual   // Method(Args...) via virtual dispatch; Args[0] is receiver
+	OpInvokeDirect    // constructor / private dispatch; Args[0] is receiver
+	OpInvokeStatic    // static dispatch
+	OpInvokeInterface // interface dispatch; Args[0] is receiver
+	OpInvokeSuper     // super dispatch; Args[0] is receiver
+
+	OpIGet // A := B.Field
+	OpIPut // B.Field := A
+	OpSGet // A := Field (static)
+	OpSPut // Field := A (static)
+	OpAGet // A := B[C]
+	OpAPut // B[C] := A
+
+	OpAdd // A := B + C
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpAddLit // A := B + Lit
+
+	OpIfEq // if A == B goto Target
+	OpIfNe
+	OpIfLt
+	OpIfGe
+	OpIfGt
+	OpIfLe
+	OpIfEqz // if A == 0 goto Target
+	OpIfNez
+	OpGoto // goto Target
+
+	OpReturn // return A
+	OpReturnVoid
+	OpCheckCast  // A := (Type) A
+	OpInstanceOf // A := B instanceof Type
+	OpThrow      // throw A
+)
+
+var opMnemonics = map[Op]string{
+	OpNop:             "nop",
+	OpConst:           "const/16",
+	OpConstString:     "const-string",
+	OpConstClass:      "const-class",
+	OpConstNull:       "const/4",
+	OpMove:            "move",
+	OpMoveResult:      "move-result",
+	OpNewInstance:     "new-instance",
+	OpNewArray:        "new-array",
+	OpInvokeVirtual:   "invoke-virtual",
+	OpInvokeDirect:    "invoke-direct",
+	OpInvokeStatic:    "invoke-static",
+	OpInvokeInterface: "invoke-interface",
+	OpInvokeSuper:     "invoke-super",
+	OpIGet:            "iget",
+	OpIPut:            "iput",
+	OpSGet:            "sget",
+	OpSPut:            "sput",
+	OpAGet:            "aget",
+	OpAPut:            "aput",
+	OpAdd:             "add-int",
+	OpSub:             "sub-int",
+	OpMul:             "mul-int",
+	OpDiv:             "div-int",
+	OpRem:             "rem-int",
+	OpAnd:             "and-int",
+	OpOr:              "or-int",
+	OpXor:             "xor-int",
+	OpAddLit:          "add-int/lit8",
+	OpIfEq:            "if-eq",
+	OpIfNe:            "if-ne",
+	OpIfLt:            "if-lt",
+	OpIfGe:            "if-ge",
+	OpIfGt:            "if-gt",
+	OpIfLe:            "if-le",
+	OpIfEqz:           "if-eqz",
+	OpIfNez:           "if-nez",
+	OpGoto:            "goto",
+	OpReturn:          "return",
+	OpReturnVoid:      "return-void",
+	OpCheckCast:       "check-cast",
+	OpInstanceOf:      "instance-of",
+	OpThrow:           "throw",
+}
+
+// Mnemonic returns the dexdump mnemonic of the opcode.
+func (o Op) Mnemonic() string {
+	if m, ok := opMnemonics[o]; ok {
+		return m
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsInvoke reports whether the opcode is one of the five invoke kinds.
+func (o Op) IsInvoke() bool {
+	switch o {
+	case OpInvokeVirtual, OpInvokeDirect, OpInvokeStatic, OpInvokeInterface, OpInvokeSuper:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode may transfer control to Target.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe, OpIfEqz, OpIfNez, OpGoto:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the opcode is a two-way branch.
+func (o Op) IsConditional() bool { return o.IsBranch() && o != OpGoto }
+
+// IsBinop reports whether the opcode is a two-register arithmetic operation.
+func (o Op) IsBinop() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor:
+		return true
+	}
+	return false
+}
+
+// Terminates reports whether control never falls through the opcode.
+func (o Op) Terminates() bool {
+	switch o {
+	case OpReturn, OpReturnVoid, OpThrow, OpGoto:
+		return true
+	}
+	return false
+}
+
+// Instruction is one bytecode instruction. Operand meaning depends on Op;
+// see the opcode comments.
+type Instruction struct {
+	Op     Op
+	A      int        // destination / first register
+	B      int        // source / object register
+	C      int        // second source / index register
+	Lit    int64      // integer literal
+	Str    string     // string literal
+	Type   TypeDesc   // type operand
+	Method *MethodRef // invoke target
+	Field  *FieldRef  // field operand
+	Args   []int      // invoke argument registers (receiver first for instance kinds)
+	Target int        // branch target: instruction index within the method body
+}
+
+// typeSuffix mimics dexdump's -object/-wide/-boolean opcode suffixes for
+// field, array and move instructions.
+func typeSuffix(t TypeDesc) string {
+	switch {
+	case t.IsRef():
+		return "-object"
+	case t == Long || t == Double:
+		return "-wide"
+	case t == Bool:
+		return "-boolean"
+	default:
+		return ""
+	}
+}
+
+// Format renders the instruction in dexdump style, e.g.
+// "invoke-virtual {v0}, Lcom/foo/Bar;.start:()V". The rendering is what the
+// on-the-fly bytecode search matches against, so it must be stable.
+func (in *Instruction) Format() string {
+	reg := func(r int) string { return "v" + strconv.Itoa(r) }
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpConst:
+		return fmt.Sprintf("const/16 %s, #int %d", reg(in.A), in.Lit)
+	case OpConstString:
+		return fmt.Sprintf("const-string %s, %q", reg(in.A), in.Str)
+	case OpConstClass:
+		return fmt.Sprintf("const-class %s, %s", reg(in.A), in.Type)
+	case OpConstNull:
+		return fmt.Sprintf("const/4 %s, #null", reg(in.A))
+	case OpMove:
+		return fmt.Sprintf("move %s, %s", reg(in.A), reg(in.B))
+	case OpMoveResult:
+		return fmt.Sprintf("move-result %s", reg(in.A))
+	case OpNewInstance:
+		return fmt.Sprintf("new-instance %s, %s", reg(in.A), in.Type)
+	case OpNewArray:
+		return fmt.Sprintf("new-array %s, %s, %s", reg(in.A), reg(in.B), in.Type)
+	case OpInvokeVirtual, OpInvokeDirect, OpInvokeStatic, OpInvokeInterface, OpInvokeSuper:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = reg(a)
+		}
+		return fmt.Sprintf("%s {%s}, %s", in.Op.Mnemonic(), strings.Join(args, ", "), in.Method.DexSignature())
+	case OpIGet:
+		return fmt.Sprintf("iget%s %s, %s, %s", typeSuffix(in.Field.Type), reg(in.A), reg(in.B), in.Field.DexSignature())
+	case OpIPut:
+		return fmt.Sprintf("iput%s %s, %s, %s", typeSuffix(in.Field.Type), reg(in.A), reg(in.B), in.Field.DexSignature())
+	case OpSGet:
+		return fmt.Sprintf("sget%s %s, %s", typeSuffix(in.Field.Type), reg(in.A), in.Field.DexSignature())
+	case OpSPut:
+		return fmt.Sprintf("sput%s %s, %s", typeSuffix(in.Field.Type), reg(in.A), in.Field.DexSignature())
+	case OpAGet:
+		return fmt.Sprintf("aget %s, %s, %s", reg(in.A), reg(in.B), reg(in.C))
+	case OpAPut:
+		return fmt.Sprintf("aput %s, %s, %s", reg(in.A), reg(in.B), reg(in.C))
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Mnemonic(), reg(in.A), reg(in.B), reg(in.C))
+	case OpAddLit:
+		return fmt.Sprintf("add-int/lit8 %s, %s, #int %d", reg(in.A), reg(in.B), in.Lit)
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe:
+		return fmt.Sprintf("%s %s, %s, %04x", in.Op.Mnemonic(), reg(in.A), reg(in.B), in.Target)
+	case OpIfEqz, OpIfNez:
+		return fmt.Sprintf("%s %s, %04x", in.Op.Mnemonic(), reg(in.A), in.Target)
+	case OpGoto:
+		return fmt.Sprintf("goto %04x", in.Target)
+	case OpReturn:
+		return fmt.Sprintf("return %s", reg(in.A))
+	case OpReturnVoid:
+		return "return-void"
+	case OpCheckCast:
+		return fmt.Sprintf("check-cast %s, %s", reg(in.A), in.Type)
+	case OpInstanceOf:
+		return fmt.Sprintf("instance-of %s, %s, %s", reg(in.A), reg(in.B), in.Type)
+	case OpThrow:
+		return fmt.Sprintf("throw %s", reg(in.A))
+	}
+	return in.Op.Mnemonic()
+}

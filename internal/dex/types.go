@@ -1,0 +1,371 @@
+// Package dex models a Dalvik-like register-based bytecode: type
+// descriptors, method and field references, instructions, classes and a dex
+// file container with binary encode/decode support.
+//
+// The model intentionally mirrors the subset of real DEX semantics that the
+// BackDroid paper's analyses rely on: the five invoke kinds, instance and
+// static field accesses, const-string/const-class literals, object and array
+// allocation, branches and returns. Signatures are renderable both in Soot's
+// Jimple format (`<com.foo.Bar: void start()>`) and in dexdump's format
+// (`Lcom/foo/Bar;.start:()V`), because BackDroid constantly translates
+// between the program-analysis space and the bytecode-search space.
+package dex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeDesc is a JVM-style type descriptor: "V", "I", "Z", "J",
+// "Ljava/lang/String;", "[I", and so on.
+type TypeDesc string
+
+// Primitive and common descriptors.
+const (
+	Void    TypeDesc = "V"
+	Int     TypeDesc = "I"
+	Bool    TypeDesc = "Z"
+	Long    TypeDesc = "J"
+	Float   TypeDesc = "F"
+	Double  TypeDesc = "D"
+	Byte    TypeDesc = "B"
+	Short   TypeDesc = "S"
+	Char    TypeDesc = "C"
+	StringT TypeDesc = "Ljava/lang/String;"
+	ObjectT TypeDesc = "Ljava/lang/Object;"
+)
+
+// T converts a dotted Java class name into an object type descriptor.
+// T("java.lang.String") == "Ljava/lang/String;".
+func T(className string) TypeDesc {
+	return TypeDesc("L" + strings.ReplaceAll(className, ".", "/") + ";")
+}
+
+// Array returns the array descriptor of the element type.
+func Array(elem TypeDesc) TypeDesc { return "[" + elem }
+
+// IsObject reports whether the descriptor denotes a class type.
+func (t TypeDesc) IsObject() bool { return strings.HasPrefix(string(t), "L") }
+
+// IsArray reports whether the descriptor denotes an array type.
+func (t TypeDesc) IsArray() bool { return strings.HasPrefix(string(t), "[") }
+
+// IsRef reports whether the descriptor denotes a reference type
+// (class or array).
+func (t TypeDesc) IsRef() bool { return t.IsObject() || t.IsArray() }
+
+// IsPrimitive reports whether the descriptor denotes a primitive type.
+func (t TypeDesc) IsPrimitive() bool { return !t.IsRef() && t != Void }
+
+// Elem returns the element type of an array descriptor, or t itself when t
+// is not an array.
+func (t TypeDesc) Elem() TypeDesc {
+	if t.IsArray() {
+		return t[1:]
+	}
+	return t
+}
+
+// ClassName returns the dotted Java class name for an object descriptor.
+// For non-object descriptors it returns the empty string.
+func (t TypeDesc) ClassName() string {
+	if !t.IsObject() {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(string(t), "L"), ";")
+	return strings.ReplaceAll(inner, "/", ".")
+}
+
+// Human renders the descriptor in Java source form, as used by Soot
+// signatures: "V" -> "void", "Ljava/lang/String;" -> "java.lang.String",
+// "[I" -> "int[]".
+func (t TypeDesc) Human() string {
+	switch {
+	case t.IsArray():
+		return t.Elem().Human() + "[]"
+	case t.IsObject():
+		return t.ClassName()
+	}
+	switch t {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Bool:
+		return "boolean"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Byte:
+		return "byte"
+	case Short:
+		return "short"
+	case Char:
+		return "char"
+	}
+	return string(t)
+}
+
+// ParseHumanType parses a Java source form type name ("void", "int[]",
+// "java.lang.String") back into a descriptor.
+func ParseHumanType(s string) (TypeDesc, error) {
+	if strings.HasSuffix(s, "[]") {
+		elem, err := ParseHumanType(strings.TrimSuffix(s, "[]"))
+		if err != nil {
+			return "", err
+		}
+		return Array(elem), nil
+	}
+	switch s {
+	case "void":
+		return Void, nil
+	case "int":
+		return Int, nil
+	case "boolean":
+		return Bool, nil
+	case "long":
+		return Long, nil
+	case "float":
+		return Float, nil
+	case "double":
+		return Double, nil
+	case "byte":
+		return Byte, nil
+	case "short":
+		return Short, nil
+	case "char":
+		return Char, nil
+	}
+	if s == "" {
+		return "", fmt.Errorf("dex: empty type name")
+	}
+	return T(s), nil
+}
+
+// MethodRef identifies a method by declaring class, name and full
+// descriptor. It is the unit of identity used across the search and
+// analysis spaces.
+type MethodRef struct {
+	Class  string // dotted Java class name
+	Name   string
+	Params []TypeDesc
+	Ret    TypeDesc
+}
+
+// NewMethodRef builds a MethodRef.
+func NewMethodRef(class, name string, ret TypeDesc, params ...TypeDesc) MethodRef {
+	return MethodRef{Class: class, Name: name, Params: params, Ret: ret}
+}
+
+// Descriptor renders the parameter/return descriptor: "(Ljava/lang/String;I)V".
+func (m MethodRef) Descriptor() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for _, p := range m.Params {
+		b.WriteString(string(p))
+	}
+	b.WriteByte(')')
+	b.WriteString(string(m.Ret))
+	return b.String()
+}
+
+// DexSignature renders the dexdump-format signature used by bytecode search:
+// "Lcom/foo/Bar;.start:()V".
+func (m MethodRef) DexSignature() string {
+	return string(T(m.Class)) + "." + m.Name + ":" + m.Descriptor()
+}
+
+// SootSignature renders the Soot-format full signature used in the program
+// analysis space: "<com.foo.Bar: void start(java.lang.String)>".
+func (m MethodRef) SootSignature() string {
+	return "<" + m.Class + ": " + m.SubSignature() + ">"
+}
+
+// SubSignature renders the Soot sub-signature (no declaring class):
+// "void start(java.lang.String)". Methods with equal sub-signatures in
+// related classes override one another.
+func (m MethodRef) SubSignature() string {
+	parts := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		parts[i] = p.Human()
+	}
+	return m.Ret.Human() + " " + m.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// String returns the Soot signature.
+func (m MethodRef) String() string { return m.SootSignature() }
+
+// IsConstructor reports whether the reference names an instance constructor.
+func (m MethodRef) IsConstructor() bool { return m.Name == "<init>" }
+
+// IsStaticInitializer reports whether the reference names a class static
+// initializer.
+func (m MethodRef) IsStaticInitializer() bool { return m.Name == "<clinit>" }
+
+// WithClass returns a copy of the reference re-targeted at another declaring
+// class. Used to construct child/parent-class search signatures.
+func (m MethodRef) WithClass(class string) MethodRef {
+	cp := m
+	cp.Class = class
+	return cp
+}
+
+// ParseDexMethodSignature parses a dexdump-format method signature
+// ("Lcom/foo/Bar;.start:(I)V") into a MethodRef. This is the
+// search-space -> analysis-space translation step of the paper's Fig. 3.
+func ParseDexMethodSignature(s string) (MethodRef, error) {
+	dot := strings.Index(s, ";.")
+	if dot < 0 {
+		return MethodRef{}, fmt.Errorf("dex: malformed method signature %q", s)
+	}
+	classDesc := TypeDesc(s[:dot+1])
+	rest := s[dot+2:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return MethodRef{}, fmt.Errorf("dex: malformed method signature %q", s)
+	}
+	name := rest[:colon]
+	desc := rest[colon+1:]
+	params, ret, err := parseMethodDescriptor(desc)
+	if err != nil {
+		return MethodRef{}, fmt.Errorf("dex: signature %q: %w", s, err)
+	}
+	return MethodRef{Class: classDesc.ClassName(), Name: name, Params: params, Ret: ret}, nil
+}
+
+// ParseSootMethodSignature parses a Soot-format full signature
+// ("<com.foo.Bar: void start(int)>") into a MethodRef. This is the
+// analysis-space -> search-space translation step of the paper's Fig. 3.
+func ParseSootMethodSignature(s string) (MethodRef, error) {
+	if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
+		return MethodRef{}, fmt.Errorf("dex: malformed soot signature %q", s)
+	}
+	body := s[1 : len(s)-1]
+	ci := strings.Index(body, ": ")
+	if ci < 0 {
+		return MethodRef{}, fmt.Errorf("dex: malformed soot signature %q", s)
+	}
+	class := body[:ci]
+	sub := body[ci+2:]
+	sp := strings.Index(sub, " ")
+	lp := strings.Index(sub, "(")
+	if sp < 0 || lp < 0 || !strings.HasSuffix(sub, ")") {
+		return MethodRef{}, fmt.Errorf("dex: malformed soot signature %q", s)
+	}
+	ret, err := ParseHumanType(sub[:sp])
+	if err != nil {
+		return MethodRef{}, err
+	}
+	name := sub[sp+1 : lp]
+	var params []TypeDesc
+	inner := sub[lp+1 : len(sub)-1]
+	if inner != "" {
+		for _, p := range strings.Split(inner, ",") {
+			pd, err := ParseHumanType(strings.TrimSpace(p))
+			if err != nil {
+				return MethodRef{}, err
+			}
+			params = append(params, pd)
+		}
+	}
+	return MethodRef{Class: class, Name: name, Params: params, Ret: ret}, nil
+}
+
+func parseMethodDescriptor(desc string) ([]TypeDesc, TypeDesc, error) {
+	if !strings.HasPrefix(desc, "(") {
+		return nil, "", fmt.Errorf("malformed descriptor %q", desc)
+	}
+	rp := strings.Index(desc, ")")
+	if rp < 0 {
+		return nil, "", fmt.Errorf("malformed descriptor %q", desc)
+	}
+	var params []TypeDesc
+	body := desc[1:rp]
+	for len(body) > 0 {
+		td, rest, err := takeTypeDesc(body)
+		if err != nil {
+			return nil, "", err
+		}
+		params = append(params, td)
+		body = rest
+	}
+	ret := TypeDesc(desc[rp+1:])
+	if ret == "" {
+		return nil, "", fmt.Errorf("malformed descriptor %q: no return type", desc)
+	}
+	return params, ret, nil
+}
+
+func takeTypeDesc(s string) (TypeDesc, string, error) {
+	switch s[0] {
+	case '[':
+		inner, rest, err := takeTypeDesc(s[1:])
+		if err != nil {
+			return "", "", err
+		}
+		return "[" + inner, rest, nil
+	case 'L':
+		semi := strings.Index(s, ";")
+		if semi < 0 {
+			return "", "", fmt.Errorf("malformed type in %q", s)
+		}
+		return TypeDesc(s[:semi+1]), s[semi+1:], nil
+	case 'V', 'I', 'Z', 'J', 'F', 'D', 'B', 'S', 'C':
+		return TypeDesc(s[:1]), s[1:], nil
+	}
+	return "", "", fmt.Errorf("malformed type in %q", s)
+}
+
+// FieldRef identifies a field by declaring class, name and type.
+type FieldRef struct {
+	Class string // dotted Java class name
+	Name  string
+	Type  TypeDesc
+}
+
+// NewFieldRef builds a FieldRef.
+func NewFieldRef(class, name string, typ TypeDesc) FieldRef {
+	return FieldRef{Class: class, Name: name, Type: typ}
+}
+
+// DexSignature renders the dexdump-format field signature:
+// "Lcom/foo/Bar;.port:I".
+func (f FieldRef) DexSignature() string {
+	return string(T(f.Class)) + "." + f.Name + ":" + string(f.Type)
+}
+
+// SootSignature renders the Soot-format field signature:
+// "<com.foo.Bar: int port>".
+func (f FieldRef) SootSignature() string {
+	return "<" + f.Class + ": " + f.Type.Human() + " " + f.Name + ">"
+}
+
+// String returns the Soot signature.
+func (f FieldRef) String() string { return f.SootSignature() }
+
+// ParseSootFieldSignature parses a Soot-format field signature
+// ("<com.foo.Bar: int port>") into a FieldRef.
+func ParseSootFieldSignature(s string) (FieldRef, error) {
+	if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
+		return FieldRef{}, fmt.Errorf("dex: malformed soot field signature %q", s)
+	}
+	body := s[1 : len(s)-1]
+	ci := strings.Index(body, ": ")
+	if ci < 0 {
+		return FieldRef{}, fmt.Errorf("dex: malformed soot field signature %q", s)
+	}
+	class := body[:ci]
+	rest := body[ci+2:]
+	sp := strings.LastIndex(rest, " ")
+	if sp < 0 {
+		return FieldRef{}, fmt.Errorf("dex: malformed soot field signature %q", s)
+	}
+	typ, err := ParseHumanType(rest[:sp])
+	if err != nil {
+		return FieldRef{}, err
+	}
+	return FieldRef{Class: class, Name: rest[sp+1:], Type: typ}, nil
+}

@@ -1,0 +1,120 @@
+package dexdump
+
+import (
+	"strings"
+	"testing"
+
+	"backdroid/internal/dex"
+)
+
+func sampleFile(t *testing.T) *dex.File {
+	t.Helper()
+	f := dex.NewFile()
+
+	server := dex.NewClass("com.connectsdk.service.netcast.NetcastHttpServer")
+	server.Method("start", dex.Void).ReturnVoid().Done()
+	if err := f.AddClass(server.Build()); err != nil {
+		t.Fatal(err)
+	}
+
+	runner := dex.NewClass("com.connectsdk.service.NetcastTVService$1").
+		Implements("java.lang.Runnable")
+	run := runner.Method("run", dex.Void)
+	srv := run.Reg()
+	startRef := dex.NewMethodRef("com.connectsdk.service.netcast.NetcastHttpServer", "start", dex.Void)
+	objInit := dex.NewMethodRef("java.lang.Object", "<init>", dex.Void)
+	run.New(srv, "com.connectsdk.service.netcast.NetcastHttpServer").
+		InvokeDirect(objInit, srv).
+		InvokeVirtual(startRef, srv).
+		ReturnVoid().Done()
+	if err := f.AddClass(runner.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDisassembleLayout(t *testing.T) {
+	txt := Disassemble(sampleFile(t))
+	s := txt.String()
+
+	wantFragments := []string{
+		"Class descriptor  : 'Lcom/connectsdk/service/netcast/NetcastHttpServer;'",
+		"Superclass        : 'Ljava/lang/Object;'",
+		"#0              : 'Ljava/lang/Runnable;'",
+		"(in Lcom/connectsdk/service/NetcastTVService$1;)",
+		"name          : 'run'",
+		"type          : '()V'",
+		"invoke-virtual {v1}, Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V",
+		"new-instance v1, Lcom/connectsdk/service/netcast/NetcastHttpServer;",
+	}
+	for _, frag := range wantFragments {
+		if !strings.Contains(s, frag) {
+			t.Errorf("dump missing fragment %q", frag)
+		}
+	}
+}
+
+func TestMethodAtMapsInstructionLines(t *testing.T) {
+	txt := Disassemble(sampleFile(t))
+	// Find the invoke-virtual start line and confirm its containing method
+	// is NetcastTVService$1.run() — the paper's step 2 of Fig. 3.
+	found := false
+	for i, line := range txt.Lines() {
+		if strings.Contains(line, ";.start:()V") && strings.Contains(line, "invoke-virtual") {
+			m, ok := txt.MethodAt(i)
+			if !ok {
+				t.Fatal("instruction line has no containing method")
+			}
+			want := "<com.connectsdk.service.NetcastTVService$1: void run()>"
+			if m.SootSignature() != want {
+				t.Errorf("containing method = %s, want %s", m.SootSignature(), want)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("invoke-virtual start line not found in dump")
+	}
+}
+
+func TestMethodAtHeaderLines(t *testing.T) {
+	txt := Disassemble(sampleFile(t))
+	if _, ok := txt.MethodAt(0); ok {
+		t.Error("class header line must not map to a method")
+	}
+	if _, ok := txt.MethodAt(-1); ok {
+		t.Error("negative line must not map")
+	}
+	if _, ok := txt.MethodAt(txt.LineCount() + 5); ok {
+		t.Error("out-of-range line must not map")
+	}
+}
+
+func TestMethodsListed(t *testing.T) {
+	txt := Disassemble(sampleFile(t))
+	if len(txt.Methods()) != 2 {
+		t.Fatalf("methods = %d, want 2", len(txt.Methods()))
+	}
+	sigs := map[string]bool{}
+	for _, m := range txt.Methods() {
+		sigs[m.DexSignature()] = true
+	}
+	if !sigs["Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V"] {
+		t.Error("start method missing from dump method list")
+	}
+}
+
+func TestAbstractMethodsHaveNoCode(t *testing.T) {
+	f := dex.NewFile()
+	iface := dex.NewInterface("com.example.Task").AbstractMethod("exec", dex.Void)
+	if err := f.AddClass(iface.Build()); err != nil {
+		t.Fatal(err)
+	}
+	txt := Disassemble(f)
+	if strings.Contains(txt.String(), "insns size") {
+		t.Error("abstract methods must not emit code sections")
+	}
+	if !strings.Contains(txt.String(), "name          : 'exec'") {
+		t.Error("abstract method header missing")
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"backdroid/internal/apk"
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+	"backdroid/internal/simtime"
+	"backdroid/internal/wholeapp"
+)
+
+// RunConfig selects which analyzers to run over the corpus.
+type RunConfig struct {
+	RunBackDroid bool
+	RunWholeApp  bool
+	RunCallGraph bool // FlowDroid-style CallGraphOnly pass (Fig. 1)
+	// BackDroidOptions overrides the engine options (ablations); nil uses
+	// DefaultOptions.
+	BackDroidOptions *core.Options
+	// Progress, when non-nil, receives one line per analyzed app.
+	Progress io.Writer
+}
+
+// AppRun bundles one app's artifacts and analysis outcomes.
+type AppRun struct {
+	Spec      appgen.Spec
+	Truth     *appgen.GroundTruth
+	BackDroid *core.Report
+	WholeApp  *wholeapp.Report
+	CallGraph *wholeapp.Report
+}
+
+// CorpusRun is the result of running the analyzers over a generated
+// corpus; all figure/table experiments consume it.
+type CorpusRun struct {
+	Apps []AppRun
+}
+
+// RunCorpus generates every app of the corpus and runs the selected
+// analyzers. Apps are generated, analyzed and discarded one at a time to
+// bound memory (like analyzing APKs off disk).
+func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
+	specs := appgen.EvalCorpus(opts)
+	run := &CorpusRun{Apps: make([]AppRun, 0, len(specs))}
+	for i, spec := range specs {
+		app, truth, err := appgen.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+		}
+		ar := AppRun{Spec: spec, Truth: truth}
+		if cfg.RunBackDroid {
+			ar.BackDroid, err = runBackDroid(app, cfg.BackDroidOptions)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: backdroid on %s: %w", spec.Name, err)
+			}
+		}
+		if cfg.RunWholeApp {
+			ar.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: wholeapp on %s: %w", spec.Name, err)
+			}
+		}
+		if cfg.RunCallGraph {
+			ar.CallGraph, err = runWholeApp(app, wholeapp.CallGraphOnly)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: callgraph on %s: %w", spec.Name, err)
+			}
+		}
+		run.Apps = append(run.Apps, ar)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "  [%3d/%3d] %s done\n", i+1, len(specs), spec.Name)
+		}
+	}
+	return run, nil
+}
+
+func runBackDroid(app *apk.App, opts *core.Options) (*core.Report, error) {
+	o := core.DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	e, err := core.New(app, o)
+	if err != nil {
+		return nil, err
+	}
+	return e.Analyze()
+}
+
+func runWholeApp(app *apk.App, mode wholeapp.Mode) (*wholeapp.Report, error) {
+	o := wholeapp.DefaultOptions()
+	o.Mode = mode
+	a, err := wholeapp.New(app, o)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze()
+}
+
+// BackDroidSamples extracts the per-app timing samples of the BackDroid
+// runs.
+func (r *CorpusRun) BackDroidSamples() []Sample {
+	var out []Sample
+	for _, a := range r.Apps {
+		if a.BackDroid == nil {
+			continue
+		}
+		out = append(out, Sample{
+			App:      a.Spec.Name,
+			Minutes:  a.BackDroid.Stats.SimMinutes,
+			TimedOut: a.BackDroid.TimedOut,
+		})
+	}
+	return out
+}
+
+// WholeAppSamples extracts the per-app timing samples of the baseline
+// runs. Aborted runs (Err != nil) are excluded, matching the paper's
+// handling of Amandroid's manifest-parsing failures.
+func (r *CorpusRun) WholeAppSamples() []Sample {
+	var out []Sample
+	for _, a := range r.Apps {
+		if a.WholeApp == nil || a.WholeApp.Err != nil {
+			continue
+		}
+		out = append(out, Sample{
+			App:      a.Spec.Name,
+			Minutes:  a.WholeApp.Stats.SimMinutes,
+			TimedOut: a.WholeApp.TimedOut,
+		})
+	}
+	return out
+}
+
+// CallGraphSamples extracts the per-app timing samples of the
+// CallGraphOnly runs.
+func (r *CorpusRun) CallGraphSamples() []Sample {
+	var out []Sample
+	for _, a := range r.Apps {
+		if a.CallGraph == nil || a.CallGraph.Err != nil {
+			continue
+		}
+		out = append(out, Sample{
+			App:      a.Spec.Name,
+			Minutes:  a.CallGraph.Stats.SimMinutes,
+			TimedOut: a.CallGraph.TimedOut,
+		})
+	}
+	return out
+}
+
+// TimeoutBudgetMinutes is the evaluation timeout, re-exported for
+// renderers.
+const TimeoutBudgetMinutes = simtime.TimeoutMinutes

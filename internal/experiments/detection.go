@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+	"backdroid/internal/wholeapp"
+)
+
+// MissReason categorizes why the whole-app baseline missed a sink that
+// BackDroid found — the four factors of paper Sec. VI-C.
+type MissReason int
+
+// Miss reasons.
+const (
+	MissTimeout MissReason = iota + 1
+	MissSkippedLib
+	MissImplicitFlow // unrobust handling of async flows / callbacks
+	MissAnalysisError
+	MissOther
+)
+
+// String names the reason with the paper's terminology.
+func (m MissReason) String() string {
+	switch m {
+	case MissTimeout:
+		return "timed-out failure"
+	case MissSkippedLib:
+		return "skipped library"
+	case MissImplicitFlow:
+		return "unrobust implicit flow handling"
+	case MissAnalysisError:
+		return "whole-app analysis error"
+	}
+	return "other"
+}
+
+// DetectionResult is the Sec. VI-C accuracy comparison against ground
+// truth.
+type DetectionResult struct {
+	// Ground truth totals.
+	TrueVulns int // reachable + insecure sinks embedded
+
+	// Per-tool confusion counts.
+	BackDroidTP, BackDroidFP, BackDroidFN int
+	WholeAppTP, WholeAppFP, WholeAppFN    int
+
+	// BackDroid-only detections, categorized by why the baseline missed
+	// them (the paper's 54 additional apps).
+	BackDroidOnly map[MissReason]int
+	// WholeAppOnly detections BackDroid missed (the paper's two
+	// subclassed-sink FNs).
+	WholeAppOnly int
+	// WholeAppOnlyFlows names the flows behind WholeAppOnly.
+	WholeAppOnlyFlows []string
+	// AvoidedFPs counts unreachable sinks the baseline reported but
+	// BackDroid correctly rejected (the paper's six avoided FPs).
+	AvoidedFPs int
+}
+
+// Detection scores both tools against the generated ground truth.
+func Detection(run *CorpusRun) DetectionResult {
+	res := DetectionResult{BackDroidOnly: make(map[MissReason]int)}
+	for i := range run.Apps {
+		a := &run.Apps[i]
+		if a.BackDroid == nil || a.WholeApp == nil {
+			continue
+		}
+		for _, truth := range a.Truth.Sinks {
+			bdFound := backdroidDetected(a.BackDroid, truth)
+			waFound := wholeappDetected(a.WholeApp, truth)
+
+			if truth.Insecure {
+				res.TrueVulns++
+				if bdFound {
+					res.BackDroidTP++
+				} else {
+					res.BackDroidFN++
+				}
+				if waFound {
+					res.WholeAppTP++
+				} else {
+					res.WholeAppFN++
+				}
+				switch {
+				case bdFound && !waFound:
+					res.BackDroidOnly[missReason(a, truth)]++
+				case waFound && !bdFound:
+					res.WholeAppOnly++
+					res.WholeAppOnlyFlows = append(res.WholeAppOnlyFlows, truth.Spec.Flow.String())
+				}
+				continue
+			}
+
+			// Not truly vulnerable (secure value, dead or unregistered):
+			// any report is a false positive.
+			if bdFound {
+				res.BackDroidFP++
+			}
+			if waFound {
+				res.WholeAppFP++
+				if !bdFound && !truth.Reachable {
+					res.AvoidedFPs++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// backdroidDetected checks whether the engine reported the embedded sink
+// as reachable and insecure.
+func backdroidDetected(r *core.Report, truth appgen.SinkTruth) bool {
+	for _, s := range r.Sinks {
+		if s.Call.Caller.Class == truth.Class && s.Call.Caller.Name == truth.Method {
+			if s.Reachable && s.Insecure {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wholeappDetected checks the baseline's findings likewise.
+func wholeappDetected(r *wholeapp.Report, truth appgen.SinkTruth) bool {
+	for _, f := range r.Findings {
+		if f.Caller.Class == truth.Class && f.Caller.Name == truth.Method && f.Insecure {
+			return true
+		}
+	}
+	return false
+}
+
+// missReason attributes a baseline miss to its cause.
+func missReason(a *AppRun, truth appgen.SinkTruth) MissReason {
+	switch {
+	case a.WholeApp.TimedOut:
+		return MissTimeout
+	case a.WholeApp.Err != nil:
+		return MissAnalysisError
+	case truth.Spec.Flow == appgen.FlowSkippedLib:
+		return MissSkippedLib
+	case truth.Spec.Flow == appgen.FlowAsyncExecutor || truth.Spec.Flow == appgen.FlowCallback:
+		return MissImplicitFlow
+	}
+	return MissOther
+}
+
+// Render prints the Sec. VI-C comparison.
+func (d DetectionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Sec. VI-C detection comparison (ground-truth scored)\n")
+	fmt.Fprintf(&b, "  true vulnerabilities embedded: %d\n", d.TrueVulns)
+	fmt.Fprintf(&b, "  BackDroid:  TP=%d FP=%d FN=%d\n", d.BackDroidTP, d.BackDroidFP, d.BackDroidFN)
+	fmt.Fprintf(&b, "  Whole-app:  TP=%d FP=%d FN=%d\n", d.WholeAppTP, d.WholeAppFP, d.WholeAppFN)
+	fmt.Fprintf(&b, "  unreachable-sink FPs avoided by BackDroid: %d (paper: 6)\n", d.AvoidedFPs)
+	fmt.Fprintf(&b, "  whole-app-only detections: %d via %v (paper: 2, subclassed sinks)\n",
+		d.WholeAppOnly, d.WholeAppOnlyFlows)
+	b.WriteString("  BackDroid-only detections by baseline failure cause (paper: 54 total;\n")
+	b.WriteString("  28 timeouts, 8 skipped libs, 8 implicit flows, 10 errors):\n")
+	total := 0
+	for _, reason := range []MissReason{MissTimeout, MissSkippedLib, MissImplicitFlow, MissAnalysisError, MissOther} {
+		n := d.BackDroidOnly[reason]
+		total += n
+		fmt.Fprintf(&b, "    %-32s %4d\n", reason.String(), n)
+	}
+	fmt.Fprintf(&b, "    %-32s %4d\n", "total", total)
+	return b.String()
+}

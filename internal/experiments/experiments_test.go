@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+)
+
+func tinyCorpus(t *testing.T, cfg RunConfig) *CorpusRun {
+	t.Helper()
+	run, err := RunCorpus(appgen.CorpusOptions{Apps: 6, Seed: 99, SizeScale: 0.05}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestMakeHistogramBuckets(t *testing.T) {
+	samples := []Sample{
+		{App: "a", Minutes: 0.5},
+		{App: "b", Minutes: 3},
+		{App: "c", Minutes: 7},
+		{App: "d", Minutes: 50},
+		{App: "e", TimedOut: true},
+	}
+	h := MakeHistogram("test", samples, Fig8Buckets)
+	if h.Total != 5 {
+		t.Errorf("total = %d", h.Total)
+	}
+	// Fig8: 1-5m bucket covers [0,5): a and b; 5-10m: c; 30-100m: d;
+	// timeout: e.
+	want := []int{2, 1, 0, 1, 0, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %q = %d, want %d", h.Buckets[i].Label, h.Counts[i], w)
+		}
+	}
+	if !strings.Contains(h.Render(), "Timeout") {
+		t.Error("render must include the timeout bar")
+	}
+}
+
+func TestMakeHistogramDropsTimeoutsWithoutBucket(t *testing.T) {
+	samples := []Sample{{App: "a", Minutes: 0.5}, {App: "b", TimedOut: true}}
+	h := MakeHistogram("t", samples, Fig7Buckets) // Fig7 has no timeout bar
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 1 {
+		t.Errorf("bucketed = %d, want 1 (timeout dropped)", sum)
+	}
+}
+
+func TestMedianAndFraction(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %f", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %f", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Errorf("median empty = %f", m)
+	}
+	ss := []Sample{{Minutes: 1}, {Minutes: 5}}
+	if f := Fraction(ss, func(s Sample) bool { return s.Minutes < 2 }); f != 0.5 {
+		t.Errorf("fraction = %f", f)
+	}
+	if f := Fraction(nil, func(Sample) bool { return true }); f != 0 {
+		t.Errorf("fraction empty = %f", f)
+	}
+}
+
+func TestTable1MatchesPaperMoments(t *testing.T) {
+	res := Table1(7)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if math.Abs(r.AvgMB-r.PaperAvgMB) > r.PaperAvgMB*0.15 {
+			t.Errorf("year %d avg %.1f vs paper %.1f", r.Year, r.AvgMB, r.PaperAvgMB)
+		}
+		if math.Abs(r.MedMB-r.PaperMedMB) > r.PaperMedMB*0.15 {
+			t.Errorf("year %d med %.1f vs paper %.1f", r.Year, r.MedMB, r.PaperMedMB)
+		}
+	}
+	rendered := res.Render()
+	if !strings.Contains(rendered, "2018") || !strings.Contains(rendered, "Table I") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCorpusRunBackDroidOnly(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true})
+	if len(run.Apps) != 6 {
+		t.Fatalf("apps = %d", len(run.Apps))
+	}
+	samples := run.BackDroidSamples()
+	if len(samples) != 6 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.TimedOut {
+			t.Errorf("BackDroid timed out on %s", s.App)
+		}
+	}
+	if run.WholeAppSamples() != nil {
+		t.Error("whole-app samples without runs")
+	}
+}
+
+func TestFig7AndFig9FromRun(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true})
+	h := Fig7(run)
+	if h.Total != 6 {
+		t.Errorf("fig7 total = %d", h.Total)
+	}
+	f9 := Fig9(run)
+	if len(f9.Points) != 6 || f9.AvgSinksPerApp <= 0 {
+		t.Errorf("fig9 = %+v", f9)
+	}
+	if !strings.Contains(f9.Render(), "sinks") {
+		t.Error("fig9 render incomplete")
+	}
+}
+
+func TestHeadlineFromRun(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true, RunWholeApp: true, RunCallGraph: true})
+	h := Headline(run)
+	if h.BackDroidMedianMin <= 0 || h.WholeAppMedianMin <= 0 {
+		t.Fatalf("headline medians: %+v", h)
+	}
+	if h.Speedup <= 1 {
+		t.Errorf("whole-app should be slower; speedup = %.2f", h.Speedup)
+	}
+	if h.BackDroidTimeouts != 0 {
+		t.Errorf("BackDroid timeouts = %f", h.BackDroidTimeouts)
+	}
+	if !strings.Contains(h.Render(), "speedup") && !strings.Contains(h.Render(), "Speedup") {
+		t.Error("headline render incomplete")
+	}
+}
+
+func TestDetectionFromRun(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true, RunWholeApp: true})
+	d := Detection(run)
+	if d.TrueVulns == 0 {
+		t.Fatal("no vulnerabilities embedded in tiny corpus")
+	}
+	if d.BackDroidTP+d.BackDroidFN != d.TrueVulns {
+		t.Errorf("BackDroid TP+FN = %d, want %d", d.BackDroidTP+d.BackDroidFN, d.TrueVulns)
+	}
+	if d.WholeAppTP+d.WholeAppFN != d.TrueVulns {
+		t.Errorf("whole-app TP+FN = %d, want %d", d.WholeAppTP+d.WholeAppFN, d.TrueVulns)
+	}
+	if !strings.Contains(d.Render(), "detection comparison") {
+		t.Error("detection render incomplete")
+	}
+}
+
+func TestCacheStatsFromRun(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true})
+	s := CacheStats(run)
+	if s.SearchRateAvg <= 0 || s.SearchRateMax < s.SearchRateAvg {
+		t.Errorf("search rates: %+v", s)
+	}
+	if s.SearchRateMin > s.SearchRateAvg {
+		t.Errorf("min rate above avg: %+v", s)
+	}
+	if !strings.Contains(s.Render(), "CrossBackward") {
+		t.Error("cache stats render incomplete")
+	}
+}
+
+func TestClinitCheckNeverOverclaims(t *testing.T) {
+	run := tinyCorpus(t, RunConfig{RunBackDroid: true})
+	c := ClinitCheck(run)
+	if c.Confirmed != c.Claimed {
+		t.Errorf("clinit reachability %d/%d: recursive search over-claimed", c.Confirmed, c.Claimed)
+	}
+	if !strings.Contains(c.Render(), "37/37") {
+		t.Error("clinit render should cite the paper value")
+	}
+}
+
+func TestBackDroidAblationOptionsThreadThrough(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.EnableSearchCache = false
+	run, err := RunCorpus(appgen.CorpusOptions{Apps: 2, Seed: 5, SizeScale: 0.05},
+		RunConfig{RunBackDroid: true, BackDroidOptions: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range run.Apps {
+		if a.BackDroid.Stats.Search.CacheHits != 0 {
+			t.Error("cache disabled but hits recorded")
+		}
+	}
+}
+
+func TestMissReasonString(t *testing.T) {
+	for reason, want := range map[MissReason]string{
+		MissTimeout:       "timed-out failure",
+		MissSkippedLib:    "skipped library",
+		MissImplicitFlow:  "unrobust implicit flow handling",
+		MissAnalysisError: "whole-app analysis error",
+		MissOther:         "other",
+	} {
+		if reason.String() != want {
+			t.Errorf("reason %d = %q, want %q", int(reason), reason.String(), want)
+		}
+	}
+}

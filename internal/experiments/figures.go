@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig1 regenerates Fig. 1: the distribution of whole-app (FlowDroid-style,
+// context-sensitive geomPTA) call graph generation times over the
+// evaluation corpus, with the 300-simulated-minute timeout.
+func Fig1(run *CorpusRun) HistogramResult {
+	return MakeHistogram(
+		"Fig. 1: whole-app call graph generation time (FlowDroid-style)",
+		run.CallGraphSamples(), Fig1Buckets)
+}
+
+// Fig7 regenerates Fig. 7: the distribution of BackDroid analysis times.
+func Fig7(run *CorpusRun) HistogramResult {
+	return MakeHistogram(
+		"Fig. 7: BackDroid analysis time distribution",
+		run.BackDroidSamples(), Fig7Buckets)
+}
+
+// Fig8 regenerates Fig. 8: the distribution of whole-app (Amandroid-style)
+// analysis times, including the timeout bar.
+func Fig8(run *CorpusRun) HistogramResult {
+	return MakeHistogram(
+		"Fig. 8: whole-app analysis time distribution (Amandroid-style)",
+		run.WholeAppSamples(), Fig8Buckets)
+}
+
+// Fig9Point is one app's (sink count, minutes) sample.
+type Fig9Point struct {
+	App     string
+	Sinks   int
+	Minutes float64
+}
+
+// Fig9Result regenerates Fig. 9: BackDroid's analysis time against the
+// number of sink API calls analyzed per app.
+type Fig9Result struct {
+	Points []Fig9Point
+	// AvgSinksPerApp should be near the paper's 20.93.
+	AvgSinksPerApp float64
+	// SecondsPerSink is the median per-sink analysis rate; the paper
+	// observes most apps under 30 seconds per sink call.
+	SecondsPerSink float64
+	// Outlier is the slowest app (the paper's Huawei Health analogue).
+	Outlier Fig9Point
+}
+
+// Fig9 extracts the per-app sink-count-vs-time relationship.
+func Fig9(run *CorpusRun) Fig9Result {
+	var res Fig9Result
+	totalSinks := 0
+	var rates []float64
+	for _, a := range run.Apps {
+		if a.BackDroid == nil {
+			continue
+		}
+		p := Fig9Point{
+			App:     a.Spec.Name,
+			Sinks:   a.BackDroid.Stats.SinkCallsTotal,
+			Minutes: a.BackDroid.Stats.SimMinutes,
+		}
+		res.Points = append(res.Points, p)
+		totalSinks += p.Sinks
+		if p.Sinks > 0 {
+			rates = append(rates, p.Minutes*60/float64(p.Sinks))
+		}
+		if p.Minutes > res.Outlier.Minutes {
+			res.Outlier = p
+		}
+	}
+	if len(res.Points) > 0 {
+		res.AvgSinksPerApp = float64(totalSinks) / float64(len(res.Points))
+	}
+	res.SecondsPerSink = Median(rates)
+	return res
+}
+
+// Render prints the scatter as CSV-ish rows plus the summary line.
+func (f Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9: sink API calls vs BackDroid analysis time\n")
+	b.WriteString("  app, sinks, minutes\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "  %s, %d, %.2f\n", p.App, p.Sinks, p.Minutes)
+	}
+	fmt.Fprintf(&b, "  avg sinks/app = %.2f (paper: 20.93)\n", f.AvgSinksPerApp)
+	fmt.Fprintf(&b, "  median rate = %.1f s/sink (paper: <30 s/sink for the majority)\n", f.SecondsPerSink)
+	fmt.Fprintf(&b, "  outlier = %s: %d sinks, %.1f min (paper: 121 sinks, 81 min)\n",
+		f.Outlier.App, f.Outlier.Sinks, f.Outlier.Minutes)
+	return b.String()
+}
+
+// HeadlineResult regenerates the Sec. VI-B headline comparison.
+type HeadlineResult struct {
+	BackDroidMedianMin float64 // paper: 2.13
+	WholeAppMedianMin  float64 // paper: 78.15
+	Speedup            float64 // paper: ~37x
+	BackDroidTimeouts  float64 // paper: 0
+	WholeAppTimeouts   float64 // paper: 0.35
+	BackDroidUnder1m   float64 // paper: ~0.30
+	BackDroidUnder10m  float64 // paper: ~0.77
+	WholeAppUnder10m   float64 // paper: ~0.17
+	CallGraphMedianMin float64 // paper Fig. 1: 9.76
+	CallGraphTimeouts  float64 // paper Fig. 1: 0.24
+}
+
+// Headline computes the Sec. VI-B summary numbers from a corpus run.
+// Medians are computed over all per-app times with timed-out runs counted
+// at the timeout budget (a lower bound, as in the paper).
+func Headline(run *CorpusRun) HeadlineResult {
+	var res HeadlineResult
+
+	minutesAtLeast := func(ss []Sample) []float64 {
+		out := make([]float64, 0, len(ss))
+		for _, s := range ss {
+			if s.TimedOut {
+				out = append(out, TimeoutBudgetMinutes)
+			} else {
+				out = append(out, s.Minutes)
+			}
+		}
+		return out
+	}
+
+	bd := run.BackDroidSamples()
+	wa := run.WholeAppSamples()
+	cg := run.CallGraphSamples()
+
+	res.BackDroidMedianMin = Median(minutesAtLeast(bd))
+	res.WholeAppMedianMin = Median(minutesAtLeast(wa))
+	if res.BackDroidMedianMin > 0 {
+		res.Speedup = res.WholeAppMedianMin / res.BackDroidMedianMin
+	}
+	res.BackDroidTimeouts = Fraction(bd, func(s Sample) bool { return s.TimedOut })
+	res.WholeAppTimeouts = Fraction(wa, func(s Sample) bool { return s.TimedOut })
+	res.BackDroidUnder1m = Fraction(bd, func(s Sample) bool { return !s.TimedOut && s.Minutes < 1 })
+	res.BackDroidUnder10m = Fraction(bd, func(s Sample) bool { return !s.TimedOut && s.Minutes < 10 })
+	res.WholeAppUnder10m = Fraction(wa, func(s Sample) bool { return !s.TimedOut && s.Minutes < 10 })
+	res.CallGraphMedianMin = Median(minutesAtLeast(cg))
+	res.CallGraphTimeouts = Fraction(cg, func(s Sample) bool { return s.TimedOut })
+	return res
+}
+
+// Render prints the paper-vs-measured headline table.
+func (h HeadlineResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Sec. VI-B headline comparison (paper vs measured)\n")
+	row := func(name string, paper, got float64, unit string) {
+		fmt.Fprintf(&b, "  %-34s paper %8.2f%s   measured %8.2f%s\n", name, paper, unit, got, unit)
+	}
+	row("BackDroid median time", 2.13, h.BackDroidMedianMin, "m")
+	row("Whole-app median time", 78.15, h.WholeAppMedianMin, "m")
+	row("Median speedup", 37, h.Speedup, "x")
+	row("BackDroid timeout rate", 0, h.BackDroidTimeouts*100, "%")
+	row("Whole-app timeout rate", 35, h.WholeAppTimeouts*100, "%")
+	row("BackDroid apps < 1 min", 30, h.BackDroidUnder1m*100, "%")
+	row("BackDroid apps < 10 min", 77, h.BackDroidUnder10m*100, "%")
+	row("Whole-app apps < 10 min", 17, h.WholeAppUnder10m*100, "%")
+	row("Call graph (Fig. 1) median", 9.76, h.CallGraphMedianMin, "m")
+	row("Call graph timeout rate", 24, h.CallGraphTimeouts*100, "%")
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package ir
+
+import (
+	"strings"
+
+	"backdroid/internal/dex"
+)
+
+// Body is the IR of one method: locals, identity statements binding
+// parameters, and the translated units.
+type Body struct {
+	Method dex.MethodRef
+	Flags  dex.AccessFlags
+	Locals []*Local
+	Units  []Unit
+}
+
+// IsStatic reports whether the method is static.
+func (b *Body) IsStatic() bool { return b.Flags.Has(dex.AccStatic) }
+
+// Successors returns the unit indexes control may reach after unit i.
+func (b *Body) Successors(i int) []int {
+	if i < 0 || i >= len(b.Units) {
+		return nil
+	}
+	var out []int
+	switch s := b.Units[i].(type) {
+	case *GotoStmt:
+		out = append(out, s.Target)
+	case *IfStmt:
+		out = append(out, s.Target)
+		if i+1 < len(b.Units) {
+			out = append(out, i+1)
+		}
+	case *ReturnStmt, *ThrowStmt:
+		// no successors
+	default:
+		if i+1 < len(b.Units) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// Predecessors computes the full predecessor map of the body.
+func (b *Body) Predecessors() [][]int {
+	preds := make([][]int, len(b.Units))
+	for i := range b.Units {
+		for _, s := range b.Successors(i) {
+			if s >= 0 && s < len(b.Units) {
+				preds[s] = append(preds[s], i)
+			}
+		}
+	}
+	return preds
+}
+
+// InvokeSites returns the unit indexes containing invoke expressions,
+// optionally filtered to a callee signature (empty string matches all).
+func (b *Body) InvokeSites(calleeSootSig string) []int {
+	var out []int
+	for i, u := range b.Units {
+		inv := InvokeOf(u)
+		if inv == nil {
+			continue
+		}
+		if calleeSootSig == "" || inv.Method.SootSignature() == calleeSootSig {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the body in a Jimple-like layout, useful in reports and
+// debugging output.
+func (b *Body) String() string {
+	var sb strings.Builder
+	sb.WriteString(b.Method.SootSignature())
+	sb.WriteString(" {\n")
+	for i, u := range b.Units {
+		sb.WriteString("    ")
+		_ = i
+		sb.WriteString(u.String())
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,406 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"backdroid/internal/dex"
+)
+
+// BuildSSA converts a body into SSA form — the Shimple view of the paper's
+// IR: every local is defined exactly once, and control-flow joins where a
+// local has several reaching definitions receive a PhiExpr definition
+// (paper Sec. V-B lists PhiExpr among the six handled expression kinds).
+//
+// The input body is not modified; a fresh body with versioned locals
+// ("r1#2") is returned. Unreachable units are dropped.
+func BuildSSA(b *Body) *Body {
+	n := len(b.Units)
+	if n == 0 {
+		return &Body{Method: b.Method, Flags: b.Flags}
+	}
+
+	// Reachability and predecessors at unit granularity.
+	reach := make([]bool, n)
+	var stack []int
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u < 0 || u >= n || reach[u] {
+			continue
+		}
+		reach[u] = true
+		stack = append(stack, b.Successors(u)...)
+	}
+	preds := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		for _, s := range b.Successors(i) {
+			if s >= 0 && s < n && reach[s] {
+				preds[s] = append(preds[s], i)
+			}
+		}
+	}
+
+	idom := computeDominators(n, reach, preds)
+	frontiers := dominanceFrontiers(n, reach, preds, idom)
+
+	// Definition sites per local name.
+	defSites := make(map[string][]int)
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		if l, ok := definedLocal(b.Units[i]); ok {
+			defSites[l.Name] = append(defSites[l.Name], i)
+		}
+	}
+
+	// Iterated dominance frontier phi placement: phiAt[unit] lists local
+	// names needing a phi right before the unit.
+	phiAt := make(map[int][]string)
+	names := make([]string, 0, len(defSites))
+	for name := range defSites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := defSites[name]
+		if len(sites) < 2 {
+			continue
+		}
+		placed := make(map[int]bool)
+		work := append([]int(nil), sites...)
+		for len(work) > 0 {
+			d := work[0]
+			work = work[1:]
+			for _, f := range frontiers[d] {
+				if placed[f] {
+					continue
+				}
+				placed[f] = true
+				phiAt[f] = append(phiAt[f], name)
+				work = append(work, f)
+			}
+		}
+	}
+
+	return renameSSA(b, reach, preds, idom, phiAt)
+}
+
+// definedLocal extracts the local defined by a unit, if any.
+func definedLocal(u Unit) (*Local, bool) {
+	if d, ok := u.(Definition); ok {
+		if l, ok2 := d.DefLHS().(*Local); ok2 {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// computeDominators runs the iterative dataflow algorithm (Cooper-Harvey-
+// Kennedy style on RPO) at unit granularity. idom[0] == 0; unreachable
+// units get -1.
+func computeDominators(n int, reach []bool, preds [][]int) []int {
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+
+	// Reverse postorder over successor sets rebuilt from the predecessor
+	// table.
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int, func(int) []int)
+	succs := make([][]int, n)
+	for j := 0; j < n; j++ {
+		for _, p := range preds[j] {
+			succs[p] = append(succs[p], j)
+		}
+	}
+	dfs = func(u int, next func(int) []int) {
+		visited[u] = true
+		for _, s := range next(u) {
+			if !visited[s] {
+				dfs(s, next)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(0, func(i int) []int { return succs[i] })
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range rpo {
+		rpoNum[u] = i
+	}
+
+	intersect := func(a, c int) int {
+		for a != c {
+			for rpoNum[a] > rpoNum[c] {
+				a = idom[a]
+			}
+			for rpoNum[c] > rpoNum[a] {
+				c = idom[c]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo {
+			if u == 0 || !reach[u] {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[u] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominanceFrontiers computes DF per unit.
+func dominanceFrontiers(n int, reach []bool, preds [][]int, idom []int) [][]int {
+	df := make([][]int, n)
+	seen := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		if !reach[u] || len(preds[u]) < 2 {
+			continue
+		}
+		for _, p := range preds[u] {
+			runner := p
+			for runner != -1 && runner != idom[u] {
+				if seen[runner] == nil {
+					seen[runner] = make(map[int]bool)
+				}
+				if !seen[runner][u] {
+					seen[runner][u] = true
+					df[runner] = append(df[runner], u)
+				}
+				next := idom[runner]
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+// renameSSA rebuilds the unit list with phis inserted and locals renamed to
+// unique versions along the dominator tree.
+func renameSSA(b *Body, reach []bool, preds [][]int, idom []int, phiAt map[int][]string) *Body {
+	n := len(b.Units)
+	out := &Body{Method: b.Method, Flags: b.Flags}
+
+	// Layout: for each reachable old unit, its phis (in name order) then
+	// the unit itself. Compute new indexes first for branch remapping.
+	newIndex := make([]int, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			newIndex[i] = -1
+			continue
+		}
+		sort.Strings(phiAt[i])
+		next += len(phiAt[i])
+		newIndex[i] = next
+		next++
+	}
+	// Branch targets jump to the phi block of the target, not past it.
+	branchTarget := func(old int) int {
+		if old < 0 || old >= n || newIndex[old] < 0 {
+			return 0
+		}
+		return newIndex[old] - len(phiAt[old])
+	}
+
+	units := make([]Unit, next)
+
+	// Version bookkeeping.
+	versions := make(map[string]int)
+	typeOf := make(map[string]*Local)
+	for _, l := range b.Locals {
+		typeOf[l.Name] = l
+	}
+	fresh := func(name string) *Local {
+		versions[name]++
+		t := dex.ObjectT
+		if base := typeOf[name]; base != nil {
+			t = base.Type
+		}
+		nl := &Local{Name: fmt.Sprintf("%s#%d", name, versions[name]), Type: t}
+		out.Locals = append(out.Locals, nl)
+		return nl
+	}
+
+	// Phi nodes per (old unit, name), to fill operands during renaming.
+	type phiRef struct {
+		phi *PhiExpr
+		lhs *Local
+	}
+	phiNodes := make(map[int]map[string]*phiRef)
+	for i, names := range phiAt {
+		phiNodes[i] = make(map[string]*phiRef, len(names))
+		for _, name := range names {
+			phiNodes[i][name] = &phiRef{phi: &PhiExpr{}}
+		}
+	}
+
+	// Dominator tree children.
+	children := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if u != 0 && reach[u] && idom[u] >= 0 {
+			children[idom[u]] = append(children[idom[u]], u)
+		}
+	}
+
+	var rename func(u int, env map[string]*Local)
+	rename = func(u int, env map[string]*Local) {
+		local := make(map[string]*Local, len(env))
+		for k, v := range env {
+			local[k] = v
+		}
+
+		// Phi definitions first.
+		base := newIndex[u] - len(phiAt[u])
+		for pi, name := range phiAt[u] {
+			ref := phiNodes[u][name]
+			nl := fresh(name)
+			ref.lhs = nl
+			units[base+pi] = &AssignStmt{LHS: nl, RHS: ref.phi}
+			local[name] = nl
+		}
+
+		// The unit itself, uses rewritten then defs versioned.
+		units[newIndex[u]] = rewriteUnit(b.Units[u], local, fresh, branchTarget)
+		if l, ok := definedLocal(b.Units[u]); ok {
+			if nu, ok2 := definedLocal(units[newIndex[u]]); ok2 {
+				local[l.Name] = nu
+			}
+		}
+
+		// Fill phi operands of CFG successors with the reaching versions.
+		for _, s := range sortedInts(succsOf(preds, n, u)) {
+			for _, name := range phiAt[s] {
+				ref := phiNodes[s][name]
+				if v, ok := local[name]; ok {
+					ref.phi.Args = append(ref.phi.Args, v)
+				}
+			}
+		}
+
+		for _, c := range children[u] {
+			rename(c, local)
+		}
+	}
+	rename(0, map[string]*Local{})
+
+	out.Units = units
+	return out
+}
+
+// succsOf recovers the successor list of u from the predecessor table.
+func succsOf(preds [][]int, n, u int) []int {
+	var out []int
+	for j := 0; j < n; j++ {
+		for _, p := range preds[j] {
+			if p == u {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+func sortedInts(v []int) []int {
+	sort.Ints(v)
+	return v
+}
+
+// rewriteUnit clones a unit with uses replaced by current versions, the
+// defined local given a fresh version, and branch targets remapped.
+func rewriteUnit(u Unit, env map[string]*Local, fresh func(string) *Local, target func(int) int) Unit {
+	use := func(v Value) Value { return rewriteValue(v, env) }
+	switch s := u.(type) {
+	case *IdentityStmt:
+		return &IdentityStmt{LHS: fresh(s.LHS.Name), RHS: s.RHS}
+	case *AssignStmt:
+		rhs := use(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *Local:
+			return &AssignStmt{LHS: fresh(lhs.Name), RHS: rhs}
+		default:
+			return &AssignStmt{LHS: use(s.LHS), RHS: rhs}
+		}
+	case *InvokeStmt:
+		return &InvokeStmt{Invoke: use(s.Invoke).(*InvokeExpr)}
+	case *IfStmt:
+		return &IfStmt{Cond: use(s.Cond).(*BinopExpr), Target: target(s.Target)}
+	case *GotoStmt:
+		return &GotoStmt{Target: target(s.Target)}
+	case *ReturnStmt:
+		if s.Val == nil {
+			return &ReturnStmt{}
+		}
+		return &ReturnStmt{Val: use(s.Val)}
+	case *ThrowStmt:
+		return &ThrowStmt{Val: use(s.Val)}
+	}
+	return &NopStmt{}
+}
+
+// rewriteValue replaces locals with their current SSA versions.
+func rewriteValue(v Value, env map[string]*Local) Value {
+	switch t := v.(type) {
+	case *Local:
+		if nl, ok := env[t.Name]; ok {
+			return nl
+		}
+		return t
+	case *InstanceFieldRef:
+		return &InstanceFieldRef{Base: rewriteValue(t.Base, env).(*Local), Field: t.Field}
+	case *ArrayRef:
+		return &ArrayRef{Base: rewriteValue(t.Base, env).(*Local), Index: rewriteValue(t.Index, env)}
+	case *BinopExpr:
+		return &BinopExpr{Op: t.Op, Left: rewriteValue(t.Left, env), Right: rewriteValue(t.Right, env)}
+	case *CastExpr:
+		return &CastExpr{Type: t.Type, Val: rewriteValue(t.Val, env)}
+	case *NewArrayExpr:
+		return &NewArrayExpr{Elem: t.Elem, Size: rewriteValue(t.Size, env)}
+	case *InvokeExpr:
+		inv := &InvokeExpr{Kind: t.Kind, Method: t.Method}
+		if t.Base != nil {
+			inv.Base = rewriteValue(t.Base, env).(*Local)
+		}
+		for _, a := range t.Args {
+			inv.Args = append(inv.Args, rewriteValue(a, env))
+		}
+		return inv
+	}
+	return v
+}

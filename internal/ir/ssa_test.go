@@ -1,0 +1,230 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"backdroid/internal/dex"
+)
+
+// diamondBody builds: if (p==0) r=1 else r=2; return r.
+func diamondBody(t *testing.T) *Body {
+	t.Helper()
+	cb := dex.NewClass("com.ssa.D")
+	mb := cb.StaticMethod("f", dex.Int, dex.Int)
+	p := mb.Param(0)
+	r := mb.Reg()
+	mb.IfZ(dex.OpIfEqz, p, "zero").
+		Const(r, 2).
+		Goto("end").
+		Label("zero").
+		Const(r, 1).
+		Label("end").
+		Return(r).
+		Done()
+	return mustTranslate(t, cb.Build().FindMethod("f", dex.Int))
+}
+
+// ssaLocalDefs counts definitions per local name in a body.
+func ssaLocalDefs(b *Body) map[string]int {
+	defs := make(map[string]int)
+	for _, u := range b.Units {
+		if l, ok := definedLocal(u); ok {
+			defs[l.Name]++
+		}
+	}
+	return defs
+}
+
+func TestBuildSSADiamondInsertsPhi(t *testing.T) {
+	ssa := BuildSSA(diamondBody(t))
+
+	phis := 0
+	for _, u := range ssa.Units {
+		if as, ok := u.(*AssignStmt); ok {
+			if _, isPhi := as.RHS.(*PhiExpr); isPhi {
+				phis++
+				phi := as.RHS.(*PhiExpr)
+				if len(phi.Args) != 2 {
+					t.Errorf("diamond phi args = %d, want 2: %s", len(phi.Args), as)
+				}
+			}
+		}
+	}
+	if phis != 1 {
+		t.Fatalf("phis = %d, want 1 (join of the two const defs)\n%s", phis, ssa)
+	}
+}
+
+func TestBuildSSASingleAssignmentProperty(t *testing.T) {
+	ssa := BuildSSA(diamondBody(t))
+	for name, n := range ssaLocalDefs(ssa) {
+		if n != 1 {
+			t.Errorf("local %s defined %d times; SSA requires exactly one", name, n)
+		}
+	}
+}
+
+func TestBuildSSAReturnUsesPhiResult(t *testing.T) {
+	ssa := BuildSSA(diamondBody(t))
+	var phiLHS string
+	for _, u := range ssa.Units {
+		if as, ok := u.(*AssignStmt); ok {
+			if _, isPhi := as.RHS.(*PhiExpr); isPhi {
+				phiLHS = as.LHS.(*Local).Name
+			}
+		}
+	}
+	if phiLHS == "" {
+		t.Fatal("no phi")
+	}
+	found := false
+	for _, u := range ssa.Units {
+		if ret, ok := u.(*ReturnStmt); ok && ret.Val != nil {
+			if l, ok2 := ret.Val.(*Local); ok2 && l.Name == phiLHS {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("return should use the phi result %s\n%s", phiLHS, ssa)
+	}
+}
+
+func TestBuildSSALoop(t *testing.T) {
+	// while (p != 0) { p = p - 1 }; return p  — loop header needs a phi.
+	cb := dex.NewClass("com.ssa.L")
+	mb := cb.StaticMethod("f", dex.Int, dex.Int)
+	p := mb.Param(0)
+	one := mb.Reg()
+	mb.Const(one, 1).
+		Label("head").
+		IfZ(dex.OpIfEqz, p, "end").
+		Binop(dex.OpSub, p, p, one).
+		Goto("head").
+		Label("end").
+		Return(p).
+		Done()
+	body := mustTranslate(t, cb.Build().FindMethod("f", dex.Int))
+	ssa := BuildSSA(body)
+
+	for name, n := range ssaLocalDefs(ssa) {
+		if n != 1 {
+			t.Errorf("local %s defined %d times\n%s", name, n, ssa)
+		}
+	}
+	phis := 0
+	for _, u := range ssa.Units {
+		if as, ok := u.(*AssignStmt); ok {
+			if _, isPhi := as.RHS.(*PhiExpr); isPhi {
+				phis++
+			}
+		}
+	}
+	if phis == 0 {
+		t.Errorf("loop header should carry a phi\n%s", ssa)
+	}
+}
+
+func TestBuildSSADropsUnreachable(t *testing.T) {
+	cb := dex.NewClass("com.ssa.U")
+	mb := cb.StaticMethod("f", dex.Int, dex.Int)
+	p := mb.Param(0)
+	mb.Return(p).
+		Const(p, 99). // dead
+		Return(p).
+		Done()
+	body := mustTranslate(t, cb.Build().FindMethod("f", dex.Int))
+	ssa := BuildSSA(body)
+	if len(ssa.Units) >= len(body.Units) {
+		t.Errorf("unreachable units should be dropped: %d -> %d", len(body.Units), len(ssa.Units))
+	}
+	if strings.Contains(ssa.String(), "99") {
+		t.Error("dead const survived SSA")
+	}
+}
+
+func TestBuildSSAEmptyBody(t *testing.T) {
+	ssa := BuildSSA(&Body{Method: dex.NewMethodRef("com.ssa.E", "e", dex.Void)})
+	if len(ssa.Units) != 0 {
+		t.Error("empty body must stay empty")
+	}
+}
+
+func TestBuildSSAStraightLineNoPhis(t *testing.T) {
+	cb := dex.NewClass("com.ssa.S")
+	mb := cb.StaticMethod("f", dex.Int, dex.Int)
+	p := mb.Param(0)
+	r := mb.Reg()
+	mb.Const(r, 5).
+		Binop(dex.OpAdd, r, r, p).
+		Return(r).
+		Done()
+	body := mustTranslate(t, cb.Build().FindMethod("f", dex.Int))
+	ssa := BuildSSA(body)
+	for _, u := range ssa.Units {
+		if as, ok := u.(*AssignStmt); ok {
+			if _, isPhi := as.RHS.(*PhiExpr); isPhi {
+				t.Fatalf("straight-line code must not get phis: %s", as)
+			}
+		}
+	}
+	// Redefinition of r became two versions.
+	defs := ssaLocalDefs(ssa)
+	versions := 0
+	for name := range defs {
+		if strings.HasPrefix(name, "$r1#") {
+			versions++
+		}
+	}
+	if versions != 2 {
+		t.Errorf("redefined local should have 2 versions, got %d (%v)", versions, defs)
+	}
+}
+
+// TestBuildSSASingleAssignmentQuick: for random linear register programs,
+// the SSA output always satisfies the single-assignment property and
+// preserves the unit count (no branches -> no phis, no dropped code).
+func TestBuildSSASingleAssignmentQuick(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		if len(ops) > 30 {
+			ops = ops[:30]
+		}
+		cb := dex.NewClass("com.ssa.Q")
+		mb := cb.StaticMethod("f", dex.Int, dex.Int)
+		p := mb.Param(0)
+		r := mb.Reg()
+		mb.Const(r, 1)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				mb.Const(r, int64(op))
+			case 1:
+				mb.Binop(dex.OpAdd, r, r, p)
+			case 2:
+				mb.Move(r, p)
+			case 3:
+				mb.AddLit(p, p, 1)
+			}
+		}
+		mb.Return(r).Done()
+		body, err := Translate(cb.Build().FindMethod("f", dex.Int))
+		if err != nil {
+			return false
+		}
+		ssa := BuildSSA(body)
+		if len(ssa.Units) != len(body.Units) {
+			return false
+		}
+		for _, n := range ssaLocalDefs(ssa) {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

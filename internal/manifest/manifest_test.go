@@ -1,0 +1,116 @@
+package manifest
+
+import "testing"
+
+func sample() *Manifest {
+	m := New("com.example.app")
+	m.Add(Activity, "com.example.app.MainActivity", IntentFilter{
+		Actions:    []string{"android.intent.action.MAIN"},
+		Categories: []string{"android.intent.category.LAUNCHER"},
+	})
+	m.Add(Service, "com.example.app.SyncService")
+	m.Add(Receiver, "com.example.app.BootReceiver", IntentFilter{
+		Actions: []string{"android.intent.action.BOOT_COMPLETED"},
+	})
+	m.Add(Provider, "com.example.app.DataProvider")
+	return m
+}
+
+func TestComponentLookup(t *testing.T) {
+	m := sample()
+	if !m.IsRegistered("com.example.app.MainActivity") {
+		t.Error("MainActivity should be registered")
+	}
+	if m.IsRegistered("com.example.app.HiddenActivity") {
+		t.Error("HiddenActivity should not be registered")
+	}
+	c := m.Component("com.example.app.SyncService")
+	if c == nil || c.Kind != Service {
+		t.Fatalf("SyncService lookup = %+v", c)
+	}
+	if c.Exported {
+		t.Error("filter-less component should not be exported")
+	}
+}
+
+func TestComponentsOfKind(t *testing.T) {
+	m := sample()
+	if got := len(m.ComponentsOfKind(Activity)); got != 1 {
+		t.Errorf("activities = %d, want 1", got)
+	}
+	if got := len(m.ComponentsOfKind(Provider)); got != 1 {
+		t.Errorf("providers = %d, want 1", got)
+	}
+}
+
+func TestComponentForAction(t *testing.T) {
+	m := sample()
+	c := m.ComponentForAction("android.intent.action.BOOT_COMPLETED")
+	if c == nil || c.Name != "com.example.app.BootReceiver" {
+		t.Fatalf("ComponentForAction = %+v", c)
+	}
+	if m.ComponentForAction("no.such.ACTION") != nil {
+		t.Error("unknown action should return nil")
+	}
+}
+
+func TestHandlesAction(t *testing.T) {
+	m := sample()
+	c := m.Component("com.example.app.MainActivity")
+	if !c.HandlesAction("android.intent.action.MAIN") {
+		t.Error("MAIN action should be handled")
+	}
+	if c.HandlesAction("android.intent.action.VIEW") {
+		t.Error("VIEW action should not be handled")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	m := sample()
+	data, err := m.ToXML()
+	if err != nil {
+		t.Fatalf("MarshalXML: %v", err)
+	}
+	got, err := ParseXML(data)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	if got.Package != m.Package {
+		t.Errorf("Package = %q, want %q", got.Package, m.Package)
+	}
+	if len(got.Components) != len(m.Components) {
+		t.Fatalf("components = %d, want %d", len(got.Components), len(m.Components))
+	}
+	for _, want := range m.Components {
+		c := got.Component(want.Name)
+		if c == nil {
+			t.Fatalf("component %s lost in round trip", want.Name)
+		}
+		if c.Kind != want.Kind || c.Exported != want.Exported {
+			t.Errorf("component %s = %+v, want %+v", want.Name, c, want)
+		}
+		if len(c.Filters) != len(want.Filters) {
+			t.Errorf("component %s filters = %d, want %d", want.Name, len(c.Filters), len(want.Filters))
+		}
+	}
+	// Filter contents survive.
+	c := got.Component("com.example.app.MainActivity")
+	if !c.HandlesAction("android.intent.action.MAIN") {
+		t.Error("action lost in round trip")
+	}
+}
+
+func TestParseXMLError(t *testing.T) {
+	if _, err := ParseXML([]byte("not xml <")); err == nil {
+		t.Error("ParseXML should fail on malformed input")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Activity.String() != "activity" || Service.String() != "service" {
+		t.Error("kind names wrong")
+	}
+	if ComponentKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

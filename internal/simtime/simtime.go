@@ -1,0 +1,97 @@
+// Package simtime provides the deterministic work meter that stands in for
+// wall-clock measurement in the paper's evaluation. Every analysis pass
+// charges units for the work it performs (IR statements visited, dump lines
+// scanned, call-graph edges resolved); a calibration constant maps units to
+// "simulated minutes" on the paper's i7-4790 scale, and budgets reproduce
+// the 300-minute timeout regime of Sec. VI-A.
+//
+// Absolute times on a synthetic substrate are meaningless; ratios and
+// distribution shapes (speedup factors, timeout rates, histogram buckets)
+// are calibration-independent, which is what EXPERIMENTS.md compares.
+package simtime
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Calibration constants. See DESIGN.md Sec. 5.
+const (
+	// UnitsPerMinute maps work units to simulated minutes: the throughput
+	// an Amandroid-class analysis achieves on the paper's hardware.
+	UnitsPerMinute = 25000
+
+	// LinesPerUnit is how many dump text lines one work unit scans. Text
+	// search is much cheaper per element than semantic IR analysis.
+	LinesPerUnit = 40
+
+	// TimeoutMinutes is the per-app analysis timeout of the paper's
+	// evaluation (Sec. VI-A: 300 minutes).
+	TimeoutMinutes = 300
+)
+
+// ErrTimeout is returned by Charge when the budget is exhausted — the
+// analogue of Amandroid's 300-minute timeout kills.
+var ErrTimeout = errors.New("simtime: analysis budget exhausted (timeout)")
+
+// Meter accumulates work units, optionally against a budget.
+type Meter struct {
+	units  int64
+	budget int64 // 0 means unlimited
+}
+
+// NewMeter returns an unlimited meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// NewMeterWithTimeout returns a meter that times out after the given number
+// of simulated minutes.
+func NewMeterWithTimeout(minutes float64) *Meter {
+	return &Meter{budget: MinutesToUnits(minutes)}
+}
+
+// SetBudget sets the unit budget; zero disables the budget.
+func (m *Meter) SetBudget(units int64) { m.budget = units }
+
+// Charge adds n work units. It returns ErrTimeout once the cumulative work
+// exceeds the budget. The overage is still recorded so reports can show how
+// far past the deadline the analysis was killed.
+func (m *Meter) Charge(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("simtime: negative charge %d", n)
+	}
+	m.units += n
+	if m.budget > 0 && m.units > m.budget {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// ChargeLines charges for scanning n dump text lines.
+func (m *Meter) ChargeLines(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/LinesPerUnit) + 1)
+}
+
+// Units returns the accumulated work units.
+func (m *Meter) Units() int64 { return m.units }
+
+// Minutes returns the accumulated work in simulated minutes.
+func (m *Meter) Minutes() float64 { return UnitsToMinutes(m.units) }
+
+// Exhausted reports whether the meter has passed its budget.
+func (m *Meter) Exhausted() bool { return m.budget > 0 && m.units > m.budget }
+
+// MinutesToUnits converts simulated minutes to work units. Any positive
+// duration yields at least one unit so tiny budgets still enforce a limit.
+func MinutesToUnits(minutes float64) int64 {
+	units := int64(minutes * UnitsPerMinute)
+	if units == 0 && minutes > 0 {
+		return 1
+	}
+	return units
+}
+
+// UnitsToMinutes converts work units to simulated minutes.
+func UnitsToMinutes(units int64) float64 { return float64(units) / UnitsPerMinute }

@@ -1,0 +1,95 @@
+package simtime
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	m := NewMeter()
+	for i := 0; i < 10; i++ {
+		if err := m.Charge(100); err != nil {
+			t.Fatalf("Charge: %v", err)
+		}
+	}
+	if m.Units() != 1000 {
+		t.Errorf("Units = %d, want 1000", m.Units())
+	}
+	if m.Exhausted() {
+		t.Error("unlimited meter must not exhaust")
+	}
+}
+
+func TestChargeNegative(t *testing.T) {
+	m := NewMeter()
+	if err := m.Charge(-1); err == nil {
+		t.Error("negative charge must fail")
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(100)
+	if err := m.Charge(100); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.Charge(1)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("over budget err = %v, want ErrTimeout", err)
+	}
+	if !m.Exhausted() {
+		t.Error("Exhausted should be true")
+	}
+	// Overage is recorded.
+	if m.Units() != 101 {
+		t.Errorf("Units = %d, want 101", m.Units())
+	}
+}
+
+func TestTimeoutMeterMinutes(t *testing.T) {
+	m := NewMeterWithTimeout(2)
+	if err := m.Charge(MinutesToUnits(1.5)); err != nil {
+		t.Fatalf("1.5 min within 2 min budget: %v", err)
+	}
+	if err := m.Charge(MinutesToUnits(1)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("2.5 min should exceed 2 min budget, got %v", err)
+	}
+}
+
+func TestChargeLines(t *testing.T) {
+	m := NewMeter()
+	if err := m.ChargeLines(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Units() != 1 {
+		t.Errorf("zero lines should still cost 1, got %d", m.Units())
+	}
+	m2 := NewMeter()
+	if err := m2.ChargeLines(LinesPerUnit * 10); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Units() != 11 {
+		t.Errorf("ChargeLines(%d) = %d units, want 11", LinesPerUnit*10, m2.Units())
+	}
+}
+
+func TestUnitConversionRoundTrip(t *testing.T) {
+	f := func(mins uint16) bool {
+		m := float64(mins)
+		return UnitsToMinutes(MinutesToUnits(m)) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinutes(t *testing.T) {
+	m := NewMeter()
+	if err := m.Charge(UnitsPerMinute * 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Minutes() != 3 {
+		t.Errorf("Minutes = %f, want 3", m.Minutes())
+	}
+}

@@ -1,0 +1,284 @@
+// Package testapps builds small hand-crafted apps with known ground truth,
+// exercising every search mechanism of the paper's Sec. IV. Unit tests of
+// both analyzers and the examples share these fixtures.
+package testapps
+
+import (
+	"fmt"
+
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
+	"backdroid/internal/dex"
+	"backdroid/internal/manifest"
+)
+
+// Framework method references shared by the fixture.
+var (
+	objInit     = dex.NewMethodRef("java.lang.Object", "<init>", dex.Void)
+	activInit   = dex.NewMethodRef("android.app.Activity", "<init>", dex.Void)
+	serviceInit = dex.NewMethodRef("android.app.Service", "<init>", dex.Void)
+	threadInit  = dex.NewMethodRef("java.lang.Thread", "<init>", dex.Void)
+	threadStart = dex.NewMethodRef("java.lang.Thread", "start", dex.Void)
+	execExecute = dex.NewMethodRef("java.util.concurrent.Executor", "execute", dex.Void,
+		dex.T("java.lang.Runnable"))
+	intentInitExplicit = android.IntentCtorExplicit
+	startServiceRef    = dex.NewMethodRef("android.content.Context", "startService",
+		dex.T("android.content.ComponentName"), dex.T(android.IntentClass))
+	sslFactoryInit = dex.NewMethodRef(android.SSLSocketFactoryClass, "<init>", dex.Void)
+)
+
+// Pkg is the package name of the fixture app.
+const Pkg = "com.fixture.app"
+
+// Cls qualifies a simple class name with the fixture package.
+func Cls(name string) string { return Pkg + "." + name }
+
+// Fixture builds one app exercising every search mechanism of Sec. IV:
+//
+//	sink A (crypto, ECB):    MainActivity.onCreate -> privateHelper (basic search, private)
+//	sink B (SSL allow-all):  onCreate -> connect -> [ctor+Executor.execute] -> Anon.run -> Server.start (advanced, interface)
+//	sink C (crypto, "AES"):  HttpServerService.onCreate, value via ConfigHolder.<clinit> (static track) + ICC caller
+//	sink D (crypto, ECB):    UnregActivity.onCreate — unregistered component, must be unreachable
+//	sink E (crypto, "DES"):  DeadCode.unused — no callers, unreachable
+//	sink F (crypto, CBC):    CryptoChild (inherited, not overloaded) — child-class signature search; secure value
+//	sink G (crypto, ECB):    SubServer.start overriding SuperServer.start — super-class advanced search
+//	sink H (crypto, ECB):    WorkThread.run — Thread async advanced search
+func Fixture() (*apk.App, error) {
+	f := dex.NewFile()
+	var buildErr error
+	add := func(b *dex.ClassBuilder) {
+		if err := f.AddClass(b.Build()); err != nil && buildErr == nil {
+			buildErr = fmt.Errorf("testapps: %w", err)
+		}
+	}
+
+	cipherSink := android.CipherGetInstance
+	sslSink := android.SSLSetHostnameVerifier
+
+	// --- sink A + drivers -------------------------------------------------
+	main := dex.NewClass(Cls("MainActivity")).Extends(android.ActivityClass)
+	ctor := main.Constructor()
+	ctor.InvokeDirect(activInit, ctor.This()).ReturnVoid().Done()
+
+	helper := main.PrivateMethod("privateHelper", dex.Void)
+	{
+		s, c := helper.Reg(), helper.Reg()
+		helper.ConstString(s, "AES/ECB/PKCS5Padding").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+
+	onCreate := main.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	{
+		svc := onCreate.Reg()
+		svcInit := dex.NewMethodRef(Cls("NetcastTVService"), "<init>", dex.Void)
+		connectRef := dex.NewMethodRef(Cls("NetcastTVService"), "connect", dex.Void)
+		intent, klass := onCreate.Reg(), onCreate.Reg()
+		child := onCreate.Reg()
+		childInit := dex.NewMethodRef(Cls("CryptoChild"), "<init>", dex.Void)
+		doCryptoChild := dex.NewMethodRef(Cls("CryptoChild"), "doCrypto", dex.Void)
+		sup := onCreate.Reg()
+		subInit := dex.NewMethodRef(Cls("SubServer"), "<init>", dex.Void)
+		superStart := dex.NewMethodRef(Cls("SuperServer"), "start", dex.Void)
+		th := onCreate.Reg()
+		workInit := dex.NewMethodRef(Cls("WorkThread"), "<init>", dex.Void)
+
+		onCreate.InvokeDirect(helper.Ref(), onCreate.This()).
+			// sink B chain root
+			New(svc, Cls("NetcastTVService")).
+			InvokeDirect(svcInit, svc).
+			InvokeVirtual(connectRef, svc).
+			// explicit ICC to HttpServerService
+			New(intent, android.IntentClass).
+			ConstClass(klass, Cls("HttpServerService")).
+			InvokeDirect(intentInitExplicit, intent, onCreate.This(), klass).
+			InvokeVirtual(startServiceRef, onCreate.This(), intent).
+			// child-class search driver (sink F)
+			New(child, Cls("CryptoChild")).
+			InvokeDirect(childInit, child).
+			InvokeVirtual(doCryptoChild, child).
+			// super-class polymorphism driver (sink G): static type SuperServer
+			New(sup, Cls("SubServer")).
+			InvokeDirect(subInit, sup).
+			InvokeVirtual(superStart, sup).
+			// Thread async driver (sink H)
+			New(th, Cls("WorkThread")).
+			InvokeDirect(workInit, th).
+			InvokeVirtual(threadStart, th).
+			ReturnVoid().Done()
+	}
+	add(main)
+
+	// --- sink B: advanced interface/callback chain ------------------------
+	svc := dex.NewClass(Cls("NetcastTVService"))
+	svcCtor := svc.Constructor()
+	svcCtor.InvokeDirect(objInit, svcCtor.This()).ReturnVoid().Done()
+	connect := svc.Method("connect", dex.Void)
+	{
+		r := connect.Reg()
+		anonInit := dex.NewMethodRef(Cls("NetcastTVService$1"), "<init>", dex.Void,
+			dex.T(Cls("NetcastTVService")))
+		runInBg := dex.NewMethodRef(Cls("Util"), "runInBackground", dex.Void,
+			dex.T("java.lang.Runnable"))
+		connect.New(r, Cls("NetcastTVService$1")).
+			InvokeDirect(anonInit, r, connect.This()).
+			InvokeStatic(runInBg, r).
+			ReturnVoid().Done()
+	}
+	add(svc)
+
+	anon := dex.NewClass(Cls("NetcastTVService$1")).Implements("java.lang.Runnable")
+	anonCtor := anon.Constructor(dex.T(Cls("NetcastTVService")))
+	anonCtor.InvokeDirect(objInit, anonCtor.This()).ReturnVoid().Done()
+	run := anon.Method("run", dex.Void)
+	{
+		srv := run.Reg()
+		serverInit := dex.NewMethodRef(Cls("NetcastHttpServer"), "<init>", dex.Void)
+		serverStart := dex.NewMethodRef(Cls("NetcastHttpServer"), "start", dex.Void)
+		run.New(srv, Cls("NetcastHttpServer")).
+			InvokeDirect(serverInit, srv).
+			InvokeVirtual(serverStart, srv).
+			ReturnVoid().Done()
+	}
+	add(anon)
+
+	util := dex.NewClass(Cls("Util")).
+		StaticField("executor", dex.T("java.util.concurrent.Executor"))
+	rib := util.StaticMethod("runInBackground", dex.Void, dex.T("java.lang.Runnable"))
+	{
+		ex := rib.Reg()
+		rib.SGet(ex, dex.NewFieldRef(Cls("Util"), "executor", dex.T("java.util.concurrent.Executor"))).
+			InvokeInterface(execExecute, ex, rib.Param(0)).
+			ReturnVoid().Done()
+	}
+	add(util)
+
+	server := dex.NewClass(Cls("NetcastHttpServer"))
+	serverCtor := server.Constructor()
+	serverCtor.InvokeDirect(objInit, serverCtor.This()).ReturnVoid().Done()
+	start := server.Method("start", dex.Void)
+	{
+		fac, ver := start.Reg(), start.Reg()
+		start.New(fac, android.SSLSocketFactoryClass).
+			InvokeDirect(sslFactoryInit, fac).
+			SGet(ver, android.AllowAllVerifierField).
+			InvokeVirtual(sslSink, fac, ver).
+			ReturnVoid().Done()
+	}
+	add(server)
+
+	// --- sink C: static initializer + ICC ---------------------------------
+	holder := dex.NewClass(Cls("ConfigHolder")).StaticField("MODE", dex.StringT)
+	clinit := holder.StaticInitializer()
+	{
+		r := clinit.Reg()
+		clinit.ConstString(r, "AES").
+			SPut(r, dex.NewFieldRef(Cls("ConfigHolder"), "MODE", dex.StringT)).
+			ReturnVoid().Done()
+	}
+	add(holder)
+
+	httpSvc := dex.NewClass(Cls("HttpServerService")).Extends(android.ServiceClass)
+	httpCtor := httpSvc.Constructor()
+	httpCtor.InvokeDirect(serviceInit, httpCtor.This()).ReturnVoid().Done()
+	svcOnCreate := httpSvc.Method("onCreate", dex.Void)
+	{
+		m, c := svcOnCreate.Reg(), svcOnCreate.Reg()
+		svcOnCreate.SGet(m, dex.NewFieldRef(Cls("ConfigHolder"), "MODE", dex.StringT)).
+			InvokeStatic(cipherSink, m).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(httpSvc)
+
+	// --- sink D: unregistered component (Amandroid FP shape) --------------
+	unreg := dex.NewClass(Cls("UnregActivity")).Extends(android.ActivityClass)
+	unregCreate := unreg.Method("onCreate", dex.Void, dex.T(android.BundleClass))
+	{
+		s, c := unregCreate.Reg(), unregCreate.Reg()
+		unregCreate.ConstString(s, "AES/ECB/PKCS5Padding").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(unreg)
+
+	// --- sink E: dead code -------------------------------------------------
+	dead := dex.NewClass(Cls("DeadCode"))
+	deadM := dead.StaticMethod("unused", dex.Void)
+	{
+		s, c := deadM.Reg(), deadM.Reg()
+		deadM.ConstString(s, "DES").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(dead)
+
+	// --- sink F: child-class signature search ------------------------------
+	base := dex.NewClass(Cls("CryptoBase"))
+	baseCtor := base.Constructor()
+	baseCtor.InvokeDirect(objInit, baseCtor.This()).ReturnVoid().Done()
+	doCrypto := base.Method("doCrypto", dex.Void)
+	{
+		s, c := doCrypto.Reg(), doCrypto.Reg()
+		doCrypto.ConstString(s, "AES/CBC/PKCS5Padding").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(base)
+	childCls := dex.NewClass(Cls("CryptoChild")).Extends(Cls("CryptoBase"))
+	childCtor := childCls.Constructor()
+	childCtor.InvokeDirect(dex.NewMethodRef(Cls("CryptoBase"), "<init>", dex.Void), childCtor.This()).
+		ReturnVoid().Done()
+	add(childCls)
+
+	// --- sink G: super-class polymorphism ----------------------------------
+	superSrv := dex.NewClass(Cls("SuperServer"))
+	superCtor := superSrv.Constructor()
+	superCtor.InvokeDirect(objInit, superCtor.This()).ReturnVoid().Done()
+	superSrv.Method("start", dex.Void).ReturnVoid().Done()
+	add(superSrv)
+
+	subSrv := dex.NewClass(Cls("SubServer")).Extends(Cls("SuperServer"))
+	subCtor := subSrv.Constructor()
+	subCtor.InvokeDirect(dex.NewMethodRef(Cls("SuperServer"), "<init>", dex.Void), subCtor.This()).
+		ReturnVoid().Done()
+	subStart := subSrv.Method("start", dex.Void)
+	{
+		s, c := subStart.Reg(), subStart.Reg()
+		subStart.ConstString(s, "AES/ECB/PKCS5Padding").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(subSrv)
+
+	// --- sink H: Thread async ----------------------------------------------
+	work := dex.NewClass(Cls("WorkThread")).Extends("java.lang.Thread")
+	workCtor := work.Constructor()
+	workCtor.InvokeDirect(threadInit, workCtor.This()).ReturnVoid().Done()
+	workRun := work.Method("run", dex.Void)
+	{
+		s, c := workRun.Reg(), workRun.Reg()
+		workRun.ConstString(s, "AES/ECB/PKCS5Padding").
+			InvokeStatic(cipherSink, s).
+			MoveResult(c).
+			ReturnVoid().Done()
+	}
+	add(work)
+
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	m := manifest.New(Pkg)
+	m.Add(manifest.Activity, Cls("MainActivity"), manifest.IntentFilter{
+		Actions: []string{"android.intent.action.MAIN"},
+	})
+	m.Add(manifest.Service, Cls("HttpServerService"))
+	// UnregActivity deliberately NOT registered.
+
+	return apk.New(Pkg, m, f), nil
+}

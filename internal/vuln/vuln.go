@@ -1,0 +1,60 @@
+// Package vuln evaluates vulnerability rules over the dataflow
+// representations that forward propagation computed for sink parameters:
+// insecure ECB cipher transformations and allow-all SSL hostname
+// verification — the two sink-based problems of the paper's evaluation
+// (Sec. VI-A).
+package vuln
+
+import (
+	"strings"
+
+	"backdroid/internal/android"
+	"backdroid/internal/constprop"
+)
+
+// Judge returns whether any of the possible sink parameter values violates
+// the rule.
+func Judge(rule android.RuleKind, values []constprop.Value) bool {
+	for _, v := range values {
+		if judgeOne(rule, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func judgeOne(rule android.RuleKind, v constprop.Value) bool {
+	switch rule {
+	case android.RuleCryptoECB:
+		s, ok := v.(constprop.Str)
+		return ok && android.IsInsecureCipherTransformation(s.S)
+
+	case android.RuleSSLAllowAll:
+		switch t := v.(type) {
+		case constprop.Token:
+			// The ALLOW_ALL_HOSTNAME_VERIFIER framework constant.
+			return strings.HasPrefix(t.Sig, android.AllowAllVerifierField.SootSignature())
+		case *constprop.Obj:
+			// new AllowAllHostnameVerifier().
+			return t.Class == android.AllowAllVerifierClass
+		}
+	}
+	return false
+}
+
+// Explain renders a human-readable reason for an insecure verdict, or ""
+// when the values are secure.
+func Explain(rule android.RuleKind, values []constprop.Value) string {
+	for _, v := range values {
+		if !judgeOne(rule, v) {
+			continue
+		}
+		switch rule {
+		case android.RuleCryptoECB:
+			return "insecure ECB cipher transformation " + v.String()
+		case android.RuleSSLAllowAll:
+			return "allow-all hostname verifier " + v.String()
+		}
+	}
+	return ""
+}

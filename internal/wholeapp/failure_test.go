@@ -1,0 +1,72 @@
+package wholeapp
+
+import (
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+)
+
+// corruptApp generates an app with an insecure sink plus a reachable
+// corrupted method (a body that fails IR translation).
+func corruptApp(t *testing.T) (*appgen.GroundTruth, *Report, *core.Report) {
+	t.Helper()
+	app, truth, err := appgen.Generate(appgen.Spec{
+		Name:           "com.err.app",
+		Seed:           2,
+		SizeMB:         1,
+		CorruptMethods: 1,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wa, err := New(app, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	war, err := wa.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := core.New(app, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdr, err := e.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return truth, war, bdr
+}
+
+// TestCorruptMethodAbortsWholeAppButNotBackDroid reproduces the paper's
+// "occasional errors in whole-app analysis" asymmetry (Sec. VI-C): a
+// malformed reachable method kills the whole-app run, while the targeted
+// analysis — which never visits the method — still detects the sink.
+func TestCorruptMethodAbortsWholeAppButNotBackDroid(t *testing.T) {
+	truth, war, bdr := corruptApp(t)
+
+	if war.Err == nil {
+		t.Error("whole-app analysis should abort on the corrupted reachable method")
+	}
+	if len(war.Findings) != 0 {
+		t.Error("aborted whole-app run must produce no findings")
+	}
+
+	st := truth.Sinks[0]
+	found := false
+	for _, s := range bdr.Sinks {
+		if s.Call.Caller.Class == st.Class && s.Call.Caller.Name == st.Method {
+			found = s.Reachable && s.Insecure
+		}
+	}
+	if !found {
+		t.Error("BackDroid should still detect the sink despite the corrupted method")
+	}
+}

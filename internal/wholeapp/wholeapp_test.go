@@ -1,0 +1,206 @@
+package wholeapp
+
+import (
+	"strings"
+	"testing"
+
+	"backdroid/internal/apk"
+	"backdroid/internal/testapps"
+)
+
+func analyzeFixture(t *testing.T, opts Options) *Report {
+	t.Helper()
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatalf("Fixture: %v", err)
+	}
+	a, err := New(app, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, err := a.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return r
+}
+
+func findingIn(r *Report, class, method string) *Finding {
+	for _, f := range r.Findings {
+		if f.Caller.Class == class && f.Caller.Name == method {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestBaselineFindsDirectSink(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if r.TimedOut || r.Err != nil {
+		t.Fatalf("fixture run failed: timedout=%v err=%v", r.TimedOut, r.Err)
+	}
+	f := findingIn(r, testapps.Cls("MainActivity"), "privateHelper")
+	if f == nil {
+		t.Fatal("private helper sink not found")
+	}
+	if !f.Insecure {
+		t.Errorf("ECB must be insecure; values=%v", f.Values)
+	}
+}
+
+func TestBaselineMissesExecutorFlow(t *testing.T) {
+	// The documented Amandroid gap: no Executor.execute -> run() edge, so
+	// the SSL sink behind the Runnable chain is a false negative here
+	// while BackDroid's advanced search finds it.
+	r := analyzeFixture(t, DefaultOptions())
+	if f := findingIn(r, testapps.Cls("NetcastHttpServer"), "start"); f != nil {
+		t.Errorf("baseline should miss the Executor-driven SSL sink, found %+v", f)
+	}
+}
+
+func TestBaselineClinitValueResolved(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	f := findingIn(r, testapps.Cls("HttpServerService"), "onCreate")
+	if f == nil {
+		t.Fatal("service onCreate sink not found")
+	}
+	if !f.Insecure {
+		t.Errorf("clinit-resolved bare AES must be insecure; values=%v", f.Values)
+	}
+	foundAES := false
+	for _, v := range f.Values {
+		if v == `"AES"` {
+			foundAES = true
+		}
+	}
+	if !foundAES {
+		t.Errorf("values = %v, want \"AES\" via <clinit>", f.Values)
+	}
+}
+
+func TestBaselineUnregisteredComponentFalsePositive(t *testing.T) {
+	// Amandroid derives entries from all components in the dex, so the
+	// unregistered activity's sink is (incorrectly) reported.
+	r := analyzeFixture(t, DefaultOptions())
+	f := findingIn(r, testapps.Cls("UnregActivity"), "onCreate")
+	if f == nil {
+		t.Fatal("baseline should report the unregistered component sink (its documented FP)")
+	}
+	if !f.Insecure {
+		t.Errorf("FP finding should still be judged insecure; values=%v", f.Values)
+	}
+}
+
+func TestBaselineDeadCodeExcluded(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if f := findingIn(r, testapps.Cls("DeadCode"), "unused"); f != nil {
+		t.Error("dead code sink must not be reachable from entries")
+	}
+}
+
+func TestBaselineVirtualDispatchCases(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if f := findingIn(r, testapps.Cls("CryptoBase"), "doCrypto"); f == nil {
+		t.Error("inherited-method sink not found via CHA")
+	} else if f.Insecure {
+		t.Errorf("CBC is secure; values=%v", f.Values)
+	}
+	if f := findingIn(r, testapps.Cls("SubServer"), "start"); f == nil {
+		t.Error("override sink not found via CHA fan-out")
+	} else if !f.Insecure {
+		t.Errorf("ECB must be insecure; values=%v", f.Values)
+	}
+	if f := findingIn(r, testapps.Cls("WorkThread"), "run"); f == nil {
+		t.Error("Thread.run sink not found via the domain-knowledge table")
+	}
+}
+
+func TestCallGraphOnlyMode(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mode = CallGraphOnly
+	r := analyzeFixture(t, opts)
+	if r.Err != nil || r.TimedOut {
+		t.Fatalf("callgraph-only failed: %v timedout=%v", r.Err, r.TimedOut)
+	}
+	if len(r.Findings) != 0 {
+		t.Error("callgraph-only mode must not produce findings")
+	}
+	if r.Stats.CallGraphNodes == 0 || r.Stats.CallGraphEdges == 0 {
+		t.Errorf("call graph stats missing: %+v", r.Stats)
+	}
+}
+
+func TestBaselineTimeout(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TimeoutMinutes = 0.0001 // sub-unit budget
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Error("tiny budget must time out")
+	}
+	if len(r.Findings) != 0 {
+		t.Error("timed-out analysis must output no findings (paper Sec. VI-B)")
+	}
+}
+
+func TestLibListSkipping(t *testing.T) {
+	opts := DefaultOptions()
+	r := analyzeFixture(t, opts)
+	// The fixture has no liblist packages, so nothing is skipped.
+	if r.Stats.SkippedLibCalls != 0 {
+		t.Errorf("SkippedLibCalls = %d, want 0", r.Stats.SkippedLibCalls)
+	}
+	for _, p := range DefaultLibList() {
+		if !strings.HasSuffix(p, ".") {
+			t.Errorf("liblist prefix %q must end with a dot to avoid partial matches", p)
+		}
+	}
+}
+
+func TestBaselineStatsAccounting(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	if r.Stats.WorkUnits == 0 || r.Stats.SimMinutes <= 0 {
+		t.Error("work accounting missing")
+	}
+	if r.Stats.FixpointPasses < 2 {
+		t.Errorf("fixpoint should need multiple passes, got %d", r.Stats.FixpointPasses)
+	}
+	if r.Stats.MethodsVisited == 0 {
+		t.Error("no methods visited")
+	}
+}
+
+func TestInsecureFindings(t *testing.T) {
+	r := analyzeFixture(t, DefaultOptions())
+	insecure := r.InsecureFindings()
+	// A, C, D(FP), G, H are insecure for the baseline; B missed; F secure.
+	if len(insecure) != 5 {
+		var got []string
+		for _, f := range insecure {
+			got = append(got, f.Caller.SootSignature())
+		}
+		t.Errorf("insecure findings = %d (%v), want 5", len(insecure), got)
+	}
+}
+
+func TestMergedDexFailure(t *testing.T) {
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate dex content breaks the multidex merge.
+	bad := apk.New(app.Name, app.Manifest, app.Dexes[0], app.Dexes[0])
+	if _, err := New(bad, DefaultOptions()); err == nil {
+		t.Error("duplicate multidex must fail preprocessing")
+	}
+}
