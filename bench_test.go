@@ -5,11 +5,13 @@
 package backdroid
 
 import (
+	"fmt"
 	"testing"
 
 	"backdroid/internal/android"
 	"backdroid/internal/apk"
 	"backdroid/internal/appgen"
+	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/experiments"
 	"backdroid/internal/testapps"
@@ -252,6 +254,66 @@ func BenchmarkAblationSinkSubclass(b *testing.B) {
 		opts.ResolveSinkSubclasses = true
 		benchFixtureEngine(b, opts)
 	})
+}
+
+// corpusSearchCost runs BackDroid over the scaled corpus with the given
+// search backend and returns the total charged line-scans, postings visits
+// and work units across all apps.
+func corpusSearchCost(b *testing.B, kind bcsearch.BackendKind) (lines, postings, units int64) {
+	b.Helper()
+	opts := core.DefaultOptions()
+	opts.SearchBackend = kind
+	run := runScaledCorpus(b, experiments.RunConfig{RunBackDroid: true, BackDroidOptions: &opts})
+	for _, a := range run.Apps {
+		lines += a.BackDroid.Stats.Search.LinesScanned
+		postings += a.BackDroid.Stats.Search.PostingsScanned
+		units += a.BackDroid.Stats.WorkUnits
+	}
+	return lines, postings, units
+}
+
+// BenchmarkSearchLinearVsIndexed is the backend ablation of the DESIGN.md
+// Sec. 3 refactor: the same corpus analyzed with the paper-faithful linear
+// scanner and with the inverted-index backend. The benchmark is
+// self-checking — the indexed backend must charge strictly fewer
+// line-scan units (and strictly less total simulated work) than linear,
+// or the index is not doing its job.
+func BenchmarkSearchLinearVsIndexed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		linLines, _, linUnits := corpusSearchCost(b, bcsearch.BackendLinear)
+		idxLines, idxPostings, idxUnits := corpusSearchCost(b, bcsearch.BackendIndexed)
+		if idxLines >= linLines {
+			b.Fatalf("indexed scanned %d lines, linear %d — index must scan strictly fewer", idxLines, linLines)
+		}
+		if idxUnits >= linUnits {
+			b.Fatalf("indexed charged %d units, linear %d — index must be strictly cheaper", idxUnits, linUnits)
+		}
+		b.ReportMetric(float64(linLines), "linear-lines/op")
+		b.ReportMetric(float64(idxLines), "indexed-lines/op")
+		b.ReportMetric(float64(idxPostings), "indexed-postings/op")
+		b.ReportMetric(float64(linUnits)/float64(idxUnits), "search-speedup")
+	}
+}
+
+// BenchmarkCorpusWorkers measures the wall-clock effect of the bounded
+// worker pool on the scaled corpus (results are identical for any worker
+// count; only elapsed time changes).
+func BenchmarkCorpusWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := experiments.RunCorpus(benchCorpus(),
+					experiments.RunConfig{RunBackDroid: true, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(run.Apps) == 0 {
+					b.Fatal("empty corpus run")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEnginePreprocessing measures the per-app preprocessing cost

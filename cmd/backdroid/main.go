@@ -1,60 +1,97 @@
-// Command backdroid analyzes an app container with the BackDroid targeted
+// Command backdroid analyzes app containers with the BackDroid targeted
 // analysis engine and prints the per-sink report.
 //
 // Usage:
 //
-//	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] app.apk...
+//	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W] app.apk...
+//
+// B selects the bytecode search backend: indexed (default, inverted-index
+// lookups) or linear (paper-faithful full-text scan). W bounds how many of
+// the listed apps are analyzed concurrently; reports are always printed in
+// argument order and are identical for any W.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"backdroid/internal/apk"
+	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
+	"backdroid/internal/pool"
 )
 
+// config carries the parsed CLI flags.
+type config struct {
+	subclassSinks bool
+	timeout       float64
+	showSSG       bool
+	backend       string
+	workers       int
+}
+
 func main() {
-	var (
-		subclassSinks = flag.Bool("subclass-sinks", false,
-			"resolve sink APIs invoked through app subclasses of system classes")
-		timeout = flag.Float64("timeout", 0, "simulated-minute budget (0 = none)")
-		showSSG = flag.Bool("ssg", false, "dump the self-contained slicing graph per sink")
-	)
+	var cfg config
+	flag.BoolVar(&cfg.subclassSinks, "subclass-sinks", false,
+		"resolve sink APIs invoked through app subclasses of system classes")
+	flag.Float64Var(&cfg.timeout, "timeout", 0, "simulated-minute budget (0 = none)")
+	flag.BoolVar(&cfg.showSSG, "ssg", false, "dump the self-contained slicing graph per sink")
+	flag.StringVar(&cfg.backend, "backend", "indexed", "search backend: indexed or linear")
+	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(),
+		"concurrent app analyses (reports stay in argument order)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: backdroid [flags] app.apk...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Args(), *subclassSinks, *timeout, *showSSG); err != nil {
+	if err := run(flag.Args(), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "backdroid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(paths []string, subclassSinks bool, timeout float64, showSSG bool) error {
+func run(paths []string, cfg config) error {
+	backend, err := bcsearch.ParseBackend(cfg.backend)
+	if err != nil {
+		return err
+	}
 	opts := core.DefaultOptions()
-	opts.ResolveSinkSubclasses = subclassSinks
-	opts.TimeoutMinutes = timeout
+	opts.SearchBackend = backend
+	opts.ResolveSinkSubclasses = cfg.subclassSinks
+	opts.TimeoutMinutes = cfg.timeout
 
-	for _, path := range paths {
-		app, err := apk.Load(path)
-		if err != nil {
-			return err
+	// Analyze concurrently, report in argument order. Every app gets its
+	// own engine; errors keep their argument position so the first failure
+	// reported is deterministic.
+	reports := make([]*core.Report, len(paths))
+	errs := pool.ForEach(len(paths), cfg.workers, func(i int) error {
+		var err error
+		reports[i], err = analyze(paths[i], opts)
+		return err
+	})
+
+	for i := range paths {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		engine, err := core.New(app, opts)
-		if err != nil {
-			return err
-		}
-		report, err := engine.Analyze()
-		if err != nil {
-			return err
-		}
-		printReport(report, showSSG)
+		printReport(reports[i], cfg.showSSG)
 	}
 	return nil
+}
+
+func analyze(path string, opts core.Options) (*core.Report, error) {
+	app, err := apk.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.New(app, opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Analyze()
 }
 
 func printReport(r *core.Report, showSSG bool) {
@@ -88,6 +125,10 @@ func printReport(r *core.Report, showSSG bool) {
 		st.SinkCallsTotal, st.SimMinutes, st.WallTime.Round(1e6), st.MethodsAnalyzed)
 	fmt.Printf("  search: %d commands, %.1f%% cache rate; sink cache %.1f%%; loops: %v\n",
 		st.Search.Commands, st.Search.Rate()*100, st.SinkCacheRate()*100, st.Loops)
+	if st.Search.IndexBuilds > 0 {
+		fmt.Printf("  index: built over %d lines; %d postings visited, %d lines scanned (raw fallbacks)\n",
+			st.Search.IndexLines, st.Search.PostingsScanned, st.Search.LinesScanned)
+	}
 }
 
 func indent(s, pad string) string {

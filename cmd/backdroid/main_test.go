@@ -23,17 +23,39 @@ func fixturePath(t *testing.T) string {
 
 func TestRunAnalyzesContainer(t *testing.T) {
 	path := fixturePath(t)
-	if err := run([]string{path}, false, 0, false); err != nil {
+	if err := run([]string{path}, config{backend: "indexed", workers: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// With SSG dumps and subclass resolution.
-	if err := run([]string{path}, true, 0, true); err != nil {
+	if err := run([]string{path}, config{subclassSinks: true, showSSG: true, workers: 1}); err != nil {
 		t.Fatalf("run with flags: %v", err)
 	}
 }
 
+func TestRunLinearBackend(t *testing.T) {
+	path := fixturePath(t)
+	if err := run([]string{path}, config{backend: "linear", workers: 1}); err != nil {
+		t.Fatalf("run linear: %v", err)
+	}
+}
+
+func TestRunUnknownBackend(t *testing.T) {
+	path := fixturePath(t)
+	if err := run([]string{path}, config{backend: "bogus"}); err == nil {
+		t.Error("unknown backend must fail")
+	}
+}
+
+func TestRunParallelApps(t *testing.T) {
+	path := fixturePath(t)
+	// The same fixture three times through a 3-worker pool.
+	if err := run([]string{path, path, path}, config{workers: 3}); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+}
+
 func TestRunMissingFile(t *testing.T) {
-	if err := run([]string{"/nonexistent/x.apk"}, false, 0, false); err == nil {
+	if err := run([]string{"/nonexistent/x.apk"}, config{}); err == nil {
 		t.Error("missing file must fail")
 	}
 }
@@ -43,7 +65,7 @@ func TestRunBadContainer(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a zip"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{bad}, false, 0, false); err == nil {
+	if err := run([]string{bad}, config{}); err == nil {
 		t.Error("bad container must fail")
 	}
 }

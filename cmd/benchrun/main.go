@@ -4,55 +4,73 @@
 //
 // Usage:
 //
-//	benchrun [-apps N] [-scale F] [-seed N] [-exp NAME]
+//	benchrun [-apps N] [-scale F] [-seed N] [-exp NAME] [-backend B] [-workers W]
 //
 // where NAME is one of: table1, fig1, fig7, fig8, fig9, headline,
-// detection, cachestats, clinit, all (default).
+// detection, cachestats, clinit, all (default); B selects the bytecode
+// search backend (indexed, the default, or linear for the paper-faithful
+// full-scan ablation); and W bounds how many apps are analyzed
+// concurrently (default: all CPUs; results are identical for any W).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"backdroid/internal/appgen"
+	"backdroid/internal/bcsearch"
+	"backdroid/internal/core"
 	"backdroid/internal/experiments"
 )
 
 func main() {
 	var (
-		apps  = flag.Int("apps", 144, "corpus size")
-		scale = flag.Float64("scale", 1.0, "app size scale factor")
-		seed  = flag.Int64("seed", 20200523, "corpus seed")
-		exp   = flag.String("exp", "all", "experiment to run")
-		quiet = flag.Bool("q", false, "suppress per-app progress")
+		apps    = flag.Int("apps", 144, "corpus size")
+		scale   = flag.Float64("scale", 1.0, "app size scale factor")
+		seed    = flag.Int64("seed", 20200523, "corpus seed")
+		exp     = flag.String("exp", "all", "experiment to run")
+		backend = flag.String("backend", "indexed", "search backend: indexed or linear")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent app analyses (results are worker-count independent)")
+		quiet   = flag.Bool("q", false, "suppress per-app progress")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *exp, *quiet); err != nil {
+	if err := run(*apps, *scale, *seed, *exp, *backend, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, exp string, quiet bool) error {
+func run(apps int, scale float64, seed int64, exp, backend string, workers int, quiet bool) error {
 	if exp == "table1" {
 		fmt.Print(experiments.Table1(seed).Render())
 		return nil
 	}
 
+	kind, err := bcsearch.ParseBackend(backend)
+	if err != nil {
+		return err
+	}
+	bdOpts := core.DefaultOptions()
+	bdOpts.SearchBackend = kind
+
 	opts := appgen.CorpusOptions{Apps: apps, Seed: seed, SizeScale: scale}
 	cfg := experiments.RunConfig{
-		RunBackDroid: true,
-		RunWholeApp:  exp == "all" || exp == "fig8" || exp == "headline" || exp == "detection",
-		RunCallGraph: exp == "all" || exp == "fig1" || exp == "headline",
+		RunBackDroid:     true,
+		RunWholeApp:      exp == "all" || exp == "fig8" || exp == "headline" || exp == "detection",
+		RunCallGraph:     exp == "all" || exp == "fig1" || exp == "headline",
+		BackDroidOptions: &bdOpts,
+		Workers:          workers,
 	}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "generating and analyzing %d apps (scale %.2f)...\n", apps, scale)
+	fmt.Fprintf(os.Stderr, "generating and analyzing %d apps (scale %.2f, %s backend, %d workers)...\n",
+		apps, scale, kind, workers)
 	corpus, err := experiments.RunCorpus(opts, cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module backdroid
+
+go 1.24

@@ -1,0 +1,201 @@
+package bcsearch
+
+import (
+	"fmt"
+	"strings"
+
+	"backdroid/internal/dexdump"
+	"backdroid/internal/simtime"
+)
+
+// BackendKind selects the search backend implementation.
+type BackendKind int
+
+// Backends. BackendIndexed is the zero value so an unset knob gets the
+// fast path; the linear scanner is kept for paper-faithful ablations.
+const (
+	BackendIndexed BackendKind = iota
+	BackendLinear
+)
+
+// String names the backend as the CLI flags spell it.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendIndexed:
+		return "indexed"
+	case BackendLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("backend(%d)", int(k))
+}
+
+// ParseBackend parses a CLI backend name.
+func ParseBackend(s string) (BackendKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "indexed", "index":
+		return BackendIndexed, nil
+	case "linear", "scan":
+		return BackendLinear, nil
+	}
+	return BackendIndexed, fmt.Errorf("bcsearch: unknown backend %q (want indexed or linear)", s)
+}
+
+// Cost is the work one command execution performed, for the Stats
+// accounting. Meter charging happens inside the backend (so timeouts abort
+// a command exactly as the paper's budget regime demands); Cost lets the
+// Engine report the same quantities without double charging.
+type Cost struct {
+	Lines      int64 // dump lines visited by a full scan
+	Postings   int64 // index postings visited
+	IndexBuilt bool  // this command triggered the one-time index build
+}
+
+// Searcher executes one uncached search command over the dump text. The
+// caching front-end (Engine) sits on top of a Searcher, so backends only
+// see cache misses.
+type Searcher interface {
+	Kind() BackendKind
+	Run(cmd Command) ([]Hit, Cost, error)
+}
+
+// NewSearcher constructs the backend of the given kind.
+func NewSearcher(kind BackendKind, text *dexdump.Text, meter *simtime.Meter) Searcher {
+	if kind == BackendLinear {
+		return NewLinearScanner(text, meter)
+	}
+	return NewIndexedSearcher(text, meter)
+}
+
+// collect verifies candidate lines against the command predicate and
+// attributes each hit to its containing method.
+func collect(text *dexdump.Text, cmd Command, candidates []int32) []Hit {
+	lines := text.Lines()
+	var hits []Hit
+	for _, n := range candidates {
+		line := lines[n]
+		if !cmd.Match(line) {
+			continue
+		}
+		h := Hit{Line: int(n), Text: line}
+		if m, ok := text.MethodAt(int(n)); ok {
+			h.Method = m
+		}
+		hits = append(hits, h)
+	}
+	return hits
+}
+
+// LinearScanner is the paper-faithful backend: every command is a full
+// O(lines) grep over the dump text (Fig. 3 steps 1-2). Kept for ablations
+// against the indexed backend.
+type LinearScanner struct {
+	text  *dexdump.Text
+	meter *simtime.Meter
+}
+
+// NewLinearScanner builds the linear backend.
+func NewLinearScanner(text *dexdump.Text, meter *simtime.Meter) *LinearScanner {
+	return &LinearScanner{text: text, meter: meter}
+}
+
+// Kind identifies the backend.
+func (s *LinearScanner) Kind() BackendKind { return BackendLinear }
+
+// Run scans every dump line, charging the meter for the full pass.
+func (s *LinearScanner) Run(cmd Command) ([]Hit, Cost, error) {
+	return scanAll(s.text, s.meter, cmd)
+}
+
+// scanAll is the shared full-scan path (also the indexed backend's raw
+// fallback). The charge lands before the scan so an exhausted budget kills
+// the command without producing hits, exactly as before the refactor.
+func scanAll(text *dexdump.Text, meter *simtime.Meter, cmd Command) ([]Hit, Cost, error) {
+	cost := Cost{Lines: int64(text.LineCount())}
+	if err := meter.ChargeLines(text.LineCount()); err != nil {
+		return nil, cost, err
+	}
+	lines := text.Lines()
+	var hits []Hit
+	for i, line := range lines {
+		if !cmd.Match(line) {
+			continue
+		}
+		h := Hit{Line: i, Text: line}
+		if m, ok := text.MethodAt(i); ok {
+			h.Method = m
+		}
+		hits = append(hits, h)
+	}
+	return hits, cost, nil
+}
+
+// IndexedSearcher resolves commands from a one-pass inverted index over
+// the dump text: each command touches only its postings list, O(hits)
+// instead of O(lines). The index is built lazily on the first indexable
+// command and its cost is charged to the meter then, so apps that are
+// never searched pay nothing. Raw substring commands cannot be indexed and
+// fall back to a full scan.
+//
+// An IndexedSearcher is not safe for concurrent use — like the Engine on
+// top of it, it is a per-app object (the corpus pipeline gives every
+// worker its own engine).
+type IndexedSearcher struct {
+	text  *dexdump.Text
+	meter *simtime.Meter
+	idx   *dexdump.Index
+}
+
+// NewIndexedSearcher builds the indexed backend; the index itself is built
+// lazily.
+func NewIndexedSearcher(text *dexdump.Text, meter *simtime.Meter) *IndexedSearcher {
+	return &IndexedSearcher{text: text, meter: meter}
+}
+
+// Kind identifies the backend.
+func (s *IndexedSearcher) Kind() BackendKind { return BackendIndexed }
+
+// Run resolves the command from the index, building it first if needed.
+func (s *IndexedSearcher) Run(cmd Command) ([]Hit, Cost, error) {
+	if cmd.Kind == CmdRaw {
+		return scanAll(s.text, s.meter, cmd)
+	}
+	var cost Cost
+	if s.idx == nil {
+		// One-time tokenization pass, charged like the linear scan it is
+		// (plus a tokenization factor — see simtime.IndexBuildLinesPerUnit).
+		if err := s.meter.ChargeIndexBuild(s.text.LineCount()); err != nil {
+			return nil, cost, err
+		}
+		s.idx = dexdump.BuildIndex(s.text)
+		cost.IndexBuilt = true
+	}
+	candidates := s.lookup(cmd)
+	cost.Postings = int64(len(candidates))
+	if err := s.meter.ChargePostings(len(candidates)); err != nil {
+		return nil, cost, err
+	}
+	return collect(s.text, cmd, candidates), cost, nil
+}
+
+// lookup maps the command to its postings list.
+func (s *IndexedSearcher) lookup(cmd Command) []int32 {
+	switch cmd.Kind {
+	case CmdInvoke:
+		return s.idx.InvokeBySig(cmd.Arg)
+	case CmdCtor:
+		return s.idx.CtorByPrefix(cmd.Arg)
+	case CmdNewInstance:
+		return s.idx.NewInstance(cmd.Arg)
+	case CmdConstClass:
+		return s.idx.ConstClass(cmd.Arg)
+	case CmdConstString:
+		return s.idx.ConstString(cmd.Arg)
+	case CmdFieldAccess:
+		return s.idx.FieldBySig(cmd.Arg)
+	case CmdClassUse:
+		return s.idx.ClassUse(cmd.Arg)
+	case CmdInvokeName:
+		return s.idx.InvokeByName(cmd.Arg)
+	}
+	return nil
+}

@@ -3,14 +3,19 @@
 // literals, string constants and field accesses, and maps every hit back to
 // its containing method (the paper's Fig. 3 steps 1-2).
 //
+// The engine is split into a caching front-end (Engine) and a pluggable
+// Searcher backend. Two backends exist: the paper-faithful LinearScanner
+// that greps every dump line per command, and the default IndexedSearcher
+// that resolves commands from a one-pass inverted index in O(hits). Both
+// answer every command identically (see DESIGN.md Sec. 3); only their cost
+// profile differs.
+//
 // Every distinct search command and its results are cached (paper
 // Sec. IV-F "search caching"); the cache hit rate statistic that the paper
 // reports (avg 23.39% per app) is exposed via Stats.
 package bcsearch
 
 import (
-	"strings"
-
 	"backdroid/internal/dex"
 	"backdroid/internal/dexdump"
 	"backdroid/internal/simtime"
@@ -24,10 +29,20 @@ type Hit struct {
 	Method dex.MethodRef
 }
 
-// Stats counts search commands and cache hits.
+// Stats counts search commands, cache hits and the work the backend did.
 type Stats struct {
 	Commands  int // total search commands issued
 	CacheHits int // commands answered from the cache
+
+	// Backend work accounting. LinesScanned counts dump lines visited by
+	// full scans: every linear command, plus the indexed backend's raw
+	// fallbacks. PostingsScanned counts inverted-index postings visited.
+	// IndexBuilds is 0 or 1 (the index is built at most once per app) and
+	// IndexLines is the dump size tokenized by that build.
+	LinesScanned    int64
+	PostingsScanned int64
+	IndexBuilds     int
+	IndexLines      int64
 }
 
 // Rate returns the cache hit rate in [0,1].
@@ -38,36 +53,68 @@ func (s Stats) Rate() float64 {
 	return float64(s.CacheHits) / float64(s.Commands)
 }
 
-// Engine searches one app's dump text.
+// Config configures a search engine.
+type Config struct {
+	// Meter is charged for the work performed; nil gets a fresh unlimited
+	// meter.
+	Meter *simtime.Meter
+	// Backend selects the search implementation; the zero value is
+	// BackendIndexed.
+	Backend BackendKind
+	// EnableCache turns on the Sec. IV-F command cache.
+	EnableCache bool
+}
+
+// Engine searches one app's dump text: it owns the command cache and
+// statistics and delegates cache misses to its backend. Engines are
+// per-app, single-goroutine objects; the parallel corpus pipeline creates
+// one per worker.
 type Engine struct {
-	text  *dexdump.Text
-	meter *simtime.Meter
+	text    *dexdump.Text
+	meter   *simtime.Meter
+	backend Searcher
 
 	cacheEnabled bool
 	cache        map[string][]Hit
 	stats        Stats
 }
 
-// New builds a search engine over the dump. The meter is charged for every
-// line scanned; cache hits charge a single unit.
-func New(text *dexdump.Text, meter *simtime.Meter, enableCache bool) *Engine {
+// NewEngine builds a search engine over the dump with the given
+// configuration.
+func NewEngine(text *dexdump.Text, cfg Config) *Engine {
+	if cfg.Meter == nil {
+		cfg.Meter = simtime.NewMeter()
+	}
 	return &Engine{
 		text:         text,
-		meter:        meter,
-		cacheEnabled: enableCache,
+		meter:        cfg.Meter,
+		backend:      NewSearcher(cfg.Backend, text, cfg.Meter),
+		cacheEnabled: cfg.EnableCache,
 		cache:        make(map[string][]Hit),
 	}
 }
 
-// Stats returns the cache statistics so far.
+// New builds a search engine with the default (indexed) backend. The meter
+// is charged for every line or posting visited; cache hits charge a single
+// unit.
+func New(text *dexdump.Text, meter *simtime.Meter, enableCache bool) *Engine {
+	return NewEngine(text, Config{Meter: meter, EnableCache: enableCache})
+}
+
+// Stats returns the cache and work statistics so far.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// run executes a raw scan over all dump lines, returning lines for which
-// match returns true. The command string is the cache key.
-func (e *Engine) run(command string, match func(line string) bool) ([]Hit, error) {
+// Backend returns the kind of the active backend.
+func (e *Engine) Backend() BackendKind { return e.backend.Kind() }
+
+// Run executes one search command: answered from the cache when possible
+// (charging a single unit), otherwise delegated to the backend. The
+// command key string is the cache key (Sec. IV-F).
+func (e *Engine) Run(cmd Command) ([]Hit, error) {
 	e.stats.Commands++
+	key := cmd.Key()
 	if e.cacheEnabled {
-		if hits, ok := e.cache[command]; ok {
+		if hits, ok := e.cache[key]; ok {
 			e.stats.CacheHits++
 			if err := e.meter.Charge(1); err != nil {
 				return nil, err
@@ -75,79 +122,56 @@ func (e *Engine) run(command string, match func(line string) bool) ([]Hit, error
 			return hits, nil
 		}
 	}
-	lines := e.text.Lines()
-	if err := e.meter.ChargeLines(len(lines)); err != nil {
+	hits, cost, err := e.backend.Run(cmd)
+	e.stats.LinesScanned += cost.Lines
+	e.stats.PostingsScanned += cost.Postings
+	if cost.IndexBuilt {
+		e.stats.IndexBuilds++
+		e.stats.IndexLines += int64(e.text.LineCount())
+	}
+	if err != nil {
 		return nil, err
 	}
-	var hits []Hit
-	for i, line := range lines {
-		if !match(line) {
-			continue
-		}
-		h := Hit{Line: i, Text: line}
-		if m, ok := e.text.MethodAt(i); ok {
-			h.Method = m
-		}
-		hits = append(hits, h)
-	}
 	if e.cacheEnabled {
-		e.cache[command] = hits
+		e.cache[key] = hits
 	}
 	return hits, nil
 }
 
-// Search scans for a raw substring across all dump lines.
+// Search scans for a raw substring across all dump lines. Raw patterns
+// cannot be indexed, so this is a full scan on either backend.
 func (e *Engine) Search(pattern string) ([]Hit, error) {
-	return e.run("raw:"+pattern, func(line string) bool {
-		return strings.Contains(line, pattern)
-	})
+	return e.Run(RawCommand(pattern))
 }
 
 // FindInvocations locates all call sites of the method with the given
 // dexdump signature (e.g. "Lcom/a/B;.start:()V"). This is the basic
 // signature based search of Sec. IV-A.
 func (e *Engine) FindInvocations(ref dex.MethodRef) ([]Hit, error) {
-	sig := ref.DexSignature()
-	return e.run("invoke:"+sig, func(line string) bool {
-		return strings.Contains(line, "invoke-") && strings.HasSuffix(line, ", "+sig)
-	})
+	return e.Run(InvokeCommand(ref))
 }
 
 // FindConstructorCalls locates the invoke-direct sites of all constructors
 // of the class — the entry step of the advanced search (Sec. IV-B).
 func (e *Engine) FindConstructorCalls(class string) ([]Hit, error) {
-	prefix := string(dex.T(class)) + ".<init>:"
-	return e.run("ctor:"+prefix, func(line string) bool {
-		return strings.Contains(line, "invoke-direct") && strings.Contains(line, prefix)
-	})
+	return e.Run(CtorCommand(class))
 }
 
 // FindNewInstance locates new-instance allocations of the class.
 func (e *Engine) FindNewInstance(class string) ([]Hit, error) {
-	needle := "new-instance"
-	desc := string(dex.T(class))
-	return e.run("new:"+desc, func(line string) bool {
-		return strings.Contains(line, needle) && strings.HasSuffix(line, ", "+desc)
-	})
+	return e.Run(NewInstanceCommand(class))
 }
 
 // FindConstClass locates const-class literals of the class — one half of
 // the two-time ICC search (Sec. IV-D, explicit intents).
 func (e *Engine) FindConstClass(class string) ([]Hit, error) {
-	desc := string(dex.T(class))
-	return e.run("const-class:"+desc, func(line string) bool {
-		return strings.Contains(line, "const-class") && strings.HasSuffix(line, ", "+desc)
-	})
+	return e.Run(ConstClassCommand(class))
 }
 
 // FindConstString locates const-string literals with the exact value — the
 // other half of the ICC search (implicit intent actions).
 func (e *Engine) FindConstString(value string) ([]Hit, error) {
-	needle := "const-string"
-	quoted := "\"" + value + "\""
-	return e.run("const-string:"+value, func(line string) bool {
-		return strings.Contains(line, needle) && strings.Contains(line, quoted)
-	})
+	return e.Run(ConstStringCommand(value))
 }
 
 // FieldAccessKind selects which accesses FindFieldAccesses returns.
@@ -165,39 +189,14 @@ const (
 // tainted static field (Sec. V-A) instead of analyzing every contained
 // method.
 func (e *Engine) FindFieldAccesses(ref dex.FieldRef, kind FieldAccessKind) ([]Hit, error) {
-	sig := ref.DexSignature()
-	key := "field:" + sig
-	switch kind {
-	case FieldReads:
-		key = "field-read:" + sig
-	case FieldWrites:
-		key = "field-write:" + sig
-	}
-	return e.run(key, func(line string) bool {
-		if !strings.Contains(line, sig) {
-			return false
-		}
-		isGet := strings.Contains(line, "iget") || strings.Contains(line, "sget")
-		isPut := strings.Contains(line, "iput") || strings.Contains(line, "sput")
-		switch kind {
-		case FieldReads:
-			return isGet
-		case FieldWrites:
-			return isPut
-		default:
-			return isGet || isPut
-		}
-	})
+	return e.Run(FieldAccessCommand(ref, kind))
 }
 
 // FindClassUses locates every line that references the class descriptor at
 // all — invocations of its methods, field accesses, allocations, literals.
 // The recursive <clinit> reachability search (Sec. IV-C) is built on this.
 func (e *Engine) FindClassUses(class string) ([]Hit, error) {
-	desc := string(dex.T(class))
-	return e.run("class-use:"+desc, func(line string) bool {
-		return strings.Contains(line, desc)
-	})
+	return e.Run(ClassUseCommand(class))
 }
 
 // FindInvocationsOfName locates call sites by method name and descriptor
@@ -206,10 +205,7 @@ func (e *Engine) FindClassUses(class string) ([]Hit, error) {
 // invoked through app subclasses of system classes — the paper's fix for
 // its two false negatives.
 func (e *Engine) FindInvocationsOfName(name string, descriptor string) ([]Hit, error) {
-	needle := "." + name + ":" + descriptor
-	return e.run("invoke-name:"+needle, func(line string) bool {
-		return strings.Contains(line, "invoke-") && strings.HasSuffix(line, needle)
-	})
+	return e.Run(InvokeNameCommand(name, descriptor))
 }
 
 // CallersOf deduplicates the containing methods of a set of hits,

@@ -1,0 +1,161 @@
+package bcsearch
+
+import (
+	"strings"
+
+	"backdroid/internal/dex"
+)
+
+// CommandKind enumerates the search command families of Sec. IV. Every
+// family except CmdRaw has a dedicated postings list in the inverted index;
+// CmdRaw is an arbitrary-substring scan and always runs linearly.
+type CommandKind int
+
+// Command kinds.
+const (
+	CmdRaw CommandKind = iota + 1
+	CmdInvoke
+	CmdCtor
+	CmdNewInstance
+	CmdConstClass
+	CmdConstString
+	CmdFieldAccess
+	CmdClassUse
+	CmdInvokeName
+)
+
+// Command is one reified search command. The same Command drives both
+// backends: LinearScanner applies Match to every dump line, IndexedSearcher
+// applies Match only to the candidate lines its postings lookup returns, so
+// hit semantics are defined in exactly one place.
+type Command struct {
+	Kind CommandKind
+	// Arg is the kind-specific operand: the raw pattern (CmdRaw), the full
+	// dexdump method signature (CmdInvoke), the "Lcls;.<init>:" prefix
+	// (CmdCtor), the class descriptor (CmdNewInstance, CmdConstClass,
+	// CmdClassUse), the string value (CmdConstString), the field signature
+	// (CmdFieldAccess) or the ".name:descriptor" needle (CmdInvokeName).
+	Arg string
+	// Field selects the access direction for CmdFieldAccess.
+	Field FieldAccessKind
+}
+
+// RawCommand searches for an arbitrary substring.
+func RawCommand(pattern string) Command {
+	return Command{Kind: CmdRaw, Arg: pattern}
+}
+
+// InvokeCommand searches for call sites of the exact method signature.
+func InvokeCommand(ref dex.MethodRef) Command {
+	return Command{Kind: CmdInvoke, Arg: ref.DexSignature()}
+}
+
+// CtorCommand searches for invoke-direct sites of any constructor of the
+// class.
+func CtorCommand(class string) Command {
+	return Command{Kind: CmdCtor, Arg: string(dex.T(class)) + ".<init>:"}
+}
+
+// NewInstanceCommand searches for new-instance allocations of the class.
+func NewInstanceCommand(class string) Command {
+	return Command{Kind: CmdNewInstance, Arg: string(dex.T(class))}
+}
+
+// ConstClassCommand searches for const-class literals of the class.
+func ConstClassCommand(class string) Command {
+	return Command{Kind: CmdConstClass, Arg: string(dex.T(class))}
+}
+
+// ConstStringCommand searches for const-string literals with the exact
+// value.
+func ConstStringCommand(value string) Command {
+	return Command{Kind: CmdConstString, Arg: value}
+}
+
+// FieldAccessCommand searches for accesses of the field signature.
+func FieldAccessCommand(ref dex.FieldRef, kind FieldAccessKind) Command {
+	return Command{Kind: CmdFieldAccess, Arg: ref.DexSignature(), Field: kind}
+}
+
+// ClassUseCommand searches for any reference to the class descriptor.
+func ClassUseCommand(class string) Command {
+	return Command{Kind: CmdClassUse, Arg: string(dex.T(class))}
+}
+
+// InvokeNameCommand searches for call sites by method name and descriptor
+// regardless of declaring class.
+func InvokeNameCommand(name, descriptor string) Command {
+	return Command{Kind: CmdInvokeName, Arg: "." + name + ":" + descriptor}
+}
+
+// Key returns the cache key of the command (paper Sec. IV-F: the command
+// string is the cache key).
+func (c Command) Key() string {
+	switch c.Kind {
+	case CmdRaw:
+		return "raw:" + c.Arg
+	case CmdInvoke:
+		return "invoke:" + c.Arg
+	case CmdCtor:
+		return "ctor:" + c.Arg
+	case CmdNewInstance:
+		return "new:" + c.Arg
+	case CmdConstClass:
+		return "const-class:" + c.Arg
+	case CmdConstString:
+		return "const-string:" + c.Arg
+	case CmdFieldAccess:
+		switch c.Field {
+		case FieldReads:
+			return "field-read:" + c.Arg
+		case FieldWrites:
+			return "field-write:" + c.Arg
+		}
+		return "field:" + c.Arg
+	case CmdClassUse:
+		return "class-use:" + c.Arg
+	case CmdInvokeName:
+		return "invoke-name:" + c.Arg
+	}
+	return "unknown:" + c.Arg
+}
+
+// Match reports whether the dump line satisfies the command. These are the
+// paper-faithful grep predicates; both backends defer to them, so a
+// postings lookup can only narrow the candidate set, never change what a
+// hit means.
+func (c Command) Match(line string) bool {
+	switch c.Kind {
+	case CmdRaw:
+		return strings.Contains(line, c.Arg)
+	case CmdInvoke:
+		return strings.Contains(line, "invoke-") && strings.HasSuffix(line, ", "+c.Arg)
+	case CmdCtor:
+		return strings.Contains(line, "invoke-direct") && strings.Contains(line, c.Arg)
+	case CmdNewInstance:
+		return strings.Contains(line, "new-instance") && strings.HasSuffix(line, ", "+c.Arg)
+	case CmdConstClass:
+		return strings.Contains(line, "const-class") && strings.HasSuffix(line, ", "+c.Arg)
+	case CmdConstString:
+		return strings.Contains(line, "const-string") && strings.Contains(line, "\""+c.Arg+"\"")
+	case CmdFieldAccess:
+		if !strings.Contains(line, c.Arg) {
+			return false
+		}
+		isGet := strings.Contains(line, "iget") || strings.Contains(line, "sget")
+		isPut := strings.Contains(line, "iput") || strings.Contains(line, "sput")
+		switch c.Field {
+		case FieldReads:
+			return isGet
+		case FieldWrites:
+			return isPut
+		default:
+			return isGet || isPut
+		}
+	case CmdClassUse:
+		return strings.Contains(line, c.Arg)
+	case CmdInvokeName:
+		return strings.Contains(line, "invoke-") && strings.HasSuffix(line, c.Arg)
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"backdroid/internal/bcsearch"
+)
+
+// TestSearchBackendAblationSameResults is the engine-level half of the
+// backend parity property: the full BackDroid pipeline produces the same
+// per-sink verdicts, entries and recovered values on either backend, and
+// the indexed backend does strictly less charged search work.
+func TestSearchBackendAblationSameResults(t *testing.T) {
+	indexed := analyzeFixture(t, DefaultOptions())
+	opts := DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendLinear
+	linear := analyzeFixture(t, opts)
+
+	if len(indexed.Sinks) != len(linear.Sinks) {
+		t.Fatalf("sink counts differ: %d vs %d", len(indexed.Sinks), len(linear.Sinks))
+	}
+	for i := range indexed.Sinks {
+		a, b := indexed.Sinks[i], linear.Sinks[i]
+		if a.Call.String() != b.Call.String() {
+			t.Errorf("sink %d call differs: %s vs %s", i, a.Call, b.Call)
+		}
+		if a.Reachable != b.Reachable || a.Insecure != b.Insecure {
+			t.Errorf("sink %d verdict differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Errorf("sink %d values differ: %v vs %v", i, a.Values, b.Values)
+		} else {
+			for j := range a.Values {
+				if a.Values[j] != b.Values[j] {
+					t.Errorf("sink %d value %d differs: %s vs %s", i, j, a.Values[j], b.Values[j])
+				}
+			}
+		}
+	}
+
+	// Same command stream, same cache behavior — only the backend cost
+	// profile differs.
+	is, ls := indexed.Stats.Search, linear.Stats.Search
+	if is.Commands != ls.Commands || is.CacheHits != ls.CacheHits {
+		t.Errorf("cache accounting differs across backends: %+v vs %+v", is, ls)
+	}
+	if ls.IndexBuilds != 0 || ls.PostingsScanned != 0 {
+		t.Errorf("linear backend used the index: %+v", ls)
+	}
+	if is.IndexBuilds > 1 {
+		t.Errorf("index built %d times, want at most once", is.IndexBuilds)
+	}
+	if is.LinesScanned >= ls.LinesScanned {
+		t.Errorf("indexed backend scanned %d lines, linear %d — index not used",
+			is.LinesScanned, ls.LinesScanned)
+	}
+	if indexed.Stats.WorkUnits >= linear.Stats.WorkUnits {
+		t.Errorf("indexed work %d >= linear work %d — index not cheaper on the fixture",
+			indexed.Stats.WorkUnits, linear.Stats.WorkUnits)
+	}
+}

@@ -38,6 +38,12 @@ type Options struct {
 	// EnableSearchCache caches search commands and results (Sec. IV-F).
 	EnableSearchCache bool
 
+	// SearchBackend selects the bytecode search implementation. The zero
+	// value (BackendIndexed) resolves each search command from a one-pass
+	// inverted index over the dump text; BackendLinear is the
+	// paper-faithful full-text scan, kept for ablations.
+	SearchBackend bcsearch.BackendKind
+
 	// EnableSinkCache caches per-method reachability so repeated sink
 	// calls in the same unreachable method are skipped (Sec. IV-F).
 	EnableSinkCache bool
@@ -79,6 +85,7 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{
 		Sinks:               android.DefaultSinks(),
+		SearchBackend:       bcsearch.BackendIndexed,
 		EnableSearchCache:   true,
 		EnableSinkCache:     true,
 		EnableLoopDetection: true,
@@ -247,7 +254,11 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		dexf:        merged,
 		prog:        ir.NewProgram(merged),
 		dump:        dump,
-		search:      bcsearch.New(dump, meter, opts.EnableSearchCache),
+		search: bcsearch.NewEngine(dump, bcsearch.Config{
+			Meter:       meter,
+			Backend:     opts.SearchBackend,
+			EnableCache: opts.EnableSearchCache,
+		}),
 		hier:        cha.New(merged),
 		meter:       meter,
 		reachCache:  make(map[string]*reachState),

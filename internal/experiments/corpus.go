@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"backdroid/internal/apk"
 	"backdroid/internal/appgen"
 	"backdroid/internal/core"
+	"backdroid/internal/pool"
 	"backdroid/internal/simtime"
 	"backdroid/internal/wholeapp"
 )
@@ -21,6 +23,12 @@ type RunConfig struct {
 	BackDroidOptions *core.Options
 	// Progress, when non-nil, receives one line per analyzed app.
 	Progress io.Writer
+	// Workers bounds how many apps are generated and analyzed
+	// concurrently; values <= 1 run sequentially. Every app gets its own
+	// generator, engines and work meter, and results land at the app's
+	// corpus position, so reports and figures are identical for any
+	// worker count — only wall time changes.
+	Workers int
 }
 
 // AppRun bundles one app's artifacts and analysis outcomes.
@@ -40,40 +48,59 @@ type CorpusRun struct {
 
 // RunCorpus generates every app of the corpus and runs the selected
 // analyzers. Apps are generated, analyzed and discarded one at a time to
-// bound memory (like analyzing APKs off disk).
+// bound memory (like analyzing APKs off disk). With cfg.Workers > 1 the
+// apps are distributed over a bounded worker pool; each worker builds
+// per-app engines, so no analysis state is shared across goroutines and
+// the results are bitwise identical to a sequential run.
 func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
 	specs := appgen.EvalCorpus(opts)
-	run := &CorpusRun{Apps: make([]AppRun, 0, len(specs))}
-	for i, spec := range specs {
+	apps := make([]AppRun, len(specs))
+
+	var (
+		mu   sync.Mutex // guards done and cfg.Progress writes
+		done int
+	)
+	analyzeOne := func(i int) error {
+		spec := specs[i]
 		app, truth, err := appgen.Generate(spec)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+			return fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
 		}
 		ar := AppRun{Spec: spec, Truth: truth}
 		if cfg.RunBackDroid {
 			ar.BackDroid, err = runBackDroid(app, cfg.BackDroidOptions)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: backdroid on %s: %w", spec.Name, err)
+				return fmt.Errorf("experiments: backdroid on %s: %w", spec.Name, err)
 			}
 		}
 		if cfg.RunWholeApp {
 			ar.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: wholeapp on %s: %w", spec.Name, err)
+				return fmt.Errorf("experiments: wholeapp on %s: %w", spec.Name, err)
 			}
 		}
 		if cfg.RunCallGraph {
 			ar.CallGraph, err = runWholeApp(app, wholeapp.CallGraphOnly)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: callgraph on %s: %w", spec.Name, err)
+				return fmt.Errorf("experiments: callgraph on %s: %w", spec.Name, err)
 			}
 		}
-		run.Apps = append(run.Apps, ar)
+		apps[i] = ar
 		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "  [%3d/%3d] %s done\n", i+1, len(specs), spec.Name)
+			mu.Lock()
+			done++
+			fmt.Fprintf(cfg.Progress, "  [%3d/%3d] %s done\n", done, len(specs), spec.Name)
+			mu.Unlock()
 		}
+		return nil
 	}
-	return run, nil
+
+	// The error of the lowest corpus position is reported, so failures
+	// are deterministic regardless of worker scheduling.
+	if err := pool.First(pool.ForEach(len(specs), cfg.Workers, analyzeOne)); err != nil {
+		return nil, err
+	}
+	return &CorpusRun{Apps: apps}, nil
 }
 
 func runBackDroid(app *apk.App, opts *core.Options) (*core.Report, error) {

@@ -1,0 +1,54 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// analysis pipelines (corpus runs, multi-app CLI analysis). It is
+// deliberately minimal: indexed fan-out with per-index error capture, so
+// callers get results in input order regardless of scheduling.
+package pool
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0,n) over a pool of the given number
+// of workers and returns the per-index errors (nil entries for successes).
+// workers is clamped to [1,n]; workers <= 1 still goes through a single
+// goroutine, so fn's concurrency contract is uniform. Because errors keep
+// their index, callers that report the lowest-index failure behave
+// deterministically for any worker count.
+func ForEach(n, workers int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errs
+}
+
+// First returns the error with the lowest index, or nil if all entries
+// are nil.
+func First(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		var ran int64
+		hit := make([]int32, 50)
+		errs := ForEach(50, workers, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if ran != 50 {
+			t.Errorf("workers=%d: ran %d, want 50", workers, ran)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+		if err := First(errs); err != nil {
+			t.Errorf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorsKeepIndex(t *testing.T) {
+	boom3 := errors.New("boom-3")
+	boom7 := errors.New("boom-7")
+	errs := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return boom3
+		case 7:
+			return boom7
+		}
+		return nil
+	})
+	if errs[3] != boom3 || errs[7] != boom7 {
+		t.Errorf("errors misplaced: %v", errs)
+	}
+	// First is the lowest index, deterministic under any scheduling.
+	if err := First(errs); err != boom3 {
+		t.Errorf("First = %v, want boom-3", err)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	errs := ForEach(0, 8, func(int) error { t.Error("fn called for n=0"); return nil })
+	if len(errs) != 0 || First(errs) != nil {
+		t.Errorf("empty run: %v", errs)
+	}
+}

@@ -25,6 +25,18 @@ const (
 	// search is much cheaper per element than semantic IR analysis.
 	LinesPerUnit = 40
 
+	// IndexBuildLinesPerUnit is how many dump lines one work unit
+	// tokenizes while building the inverted search index. Tokenization
+	// extracts and hashes every operand token, so it is ~2x the cost of a
+	// plain substring scan — paid once per app, after which commands
+	// resolve from postings.
+	IndexBuildLinesPerUnit = 20
+
+	// PostingsPerUnit is how many inverted-index postings one work unit
+	// visits. A posting points straight at a candidate line, so visiting
+	// one is much cheaper than scanning a line of text for a match.
+	PostingsPerUnit = 400
+
 	// TimeoutMinutes is the per-app analysis timeout of the paper's
 	// evaluation (Sec. VI-A: 300 minutes).
 	TimeoutMinutes = 300
@@ -72,6 +84,23 @@ func (m *Meter) ChargeLines(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/LinesPerUnit) + 1)
+}
+
+// ChargeIndexBuild charges for tokenizing n dump lines into the inverted
+// search index (a one-time per-app cost on the indexed backend).
+func (m *Meter) ChargeIndexBuild(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/IndexBuildLinesPerUnit) + 1)
+}
+
+// ChargePostings charges for visiting n inverted-index postings.
+func (m *Meter) ChargePostings(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/PostingsPerUnit) + 1)
 }
 
 // Units returns the accumulated work units.

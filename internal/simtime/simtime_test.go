@@ -74,6 +74,49 @@ func TestChargeLines(t *testing.T) {
 	}
 }
 
+func TestChargeIndexBuild(t *testing.T) {
+	m := NewMeter()
+	if err := m.ChargeIndexBuild(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Units() != 1 {
+		t.Errorf("zero-line build should still cost 1, got %d", m.Units())
+	}
+	m2 := NewMeter()
+	if err := m2.ChargeIndexBuild(IndexBuildLinesPerUnit * 10); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Units() != 11 {
+		t.Errorf("ChargeIndexBuild(%d) = %d units, want 11", IndexBuildLinesPerUnit*10, m2.Units())
+	}
+	// The cost model must keep index construction dearer per line than a
+	// plain scan, and postings cheaper than lines — the whole point of
+	// paying the build once.
+	if IndexBuildLinesPerUnit >= LinesPerUnit {
+		t.Errorf("index build (%d lines/unit) should cost more per line than scanning (%d)",
+			IndexBuildLinesPerUnit, LinesPerUnit)
+	}
+	if PostingsPerUnit <= LinesPerUnit {
+		t.Errorf("postings (%d/unit) should be cheaper than line scans (%d/unit)",
+			PostingsPerUnit, LinesPerUnit)
+	}
+}
+
+func TestChargePostings(t *testing.T) {
+	m := NewMeter()
+	if err := m.ChargePostings(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Units() != 1 {
+		t.Errorf("zero postings should still cost 1, got %d", m.Units())
+	}
+	m2 := NewMeter()
+	m2.SetBudget(2)
+	if err := m2.ChargePostings(PostingsPerUnit * 10); !errors.Is(err, ErrTimeout) {
+		t.Errorf("postings charge should respect the budget, got %v", err)
+	}
+}
+
 func TestUnitConversionRoundTrip(t *testing.T) {
 	f := func(mins uint16) bool {
 		m := float64(mins)
