@@ -295,6 +295,63 @@ func BenchmarkSearchLinearVsIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchShardedIndex ablates the sharded index against both
+// neighbors: it must charge strictly less than the paper-faithful linear
+// scan (the parallel shard build is the critical-path charge) while
+// returning results the parity tests pin as identical. Reported metrics
+// feed the CI bench gate next to the linear-vs-indexed numbers.
+func BenchmarkSearchShardedIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		linLines, _, linUnits := corpusSearchCost(b, bcsearch.BackendLinear)
+		shLines, shPostings, shUnits := corpusSearchCost(b, bcsearch.BackendSharded)
+		if shLines >= linLines {
+			b.Fatalf("sharded scanned %d lines, linear %d — shards must scan strictly fewer", shLines, linLines)
+		}
+		if shUnits >= linUnits {
+			b.Fatalf("sharded charged %d units, linear %d — shards must be strictly cheaper", shUnits, linUnits)
+		}
+		b.ReportMetric(float64(shLines), "sharded-lines/op")
+		b.ReportMetric(float64(shPostings), "sharded-postings/op")
+		b.ReportMetric(float64(linUnits)/float64(shUnits), "sharded-speedup")
+	}
+}
+
+// BenchmarkIndexCacheWarmCorpus measures the persistent-cache payoff: the
+// same corpus analyzed cold (tokenizing and writing cache files) and warm
+// (loading them). The warm run must charge zero index builds and strictly
+// less total work — the benchmark self-checks the cache contract the CI
+// gate also enforces.
+func BenchmarkIndexCacheWarmCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		opts := core.DefaultOptions()
+		opts.SearchBackend = bcsearch.BackendSharded
+		cfg := experiments.RunConfig{RunBackDroid: true, BackDroidOptions: &opts, IndexCacheDir: dir}
+		measure := func() (builds int, units int64) {
+			run := runScaledCorpus(b, cfg)
+			for _, a := range run.Apps {
+				builds += a.BackDroid.Stats.Search.IndexBuilds
+				units += a.BackDroid.Stats.WorkUnits
+			}
+			return builds, units
+		}
+		coldBuilds, coldUnits := measure()
+		warmBuilds, warmUnits := measure()
+		if coldBuilds == 0 {
+			b.Fatal("cold corpus run built no indexes")
+		}
+		if warmBuilds != 0 {
+			b.Fatalf("warm corpus run built %d indexes, want 0", warmBuilds)
+		}
+		if warmUnits >= coldUnits {
+			b.Fatalf("warm run charged %d units, cold %d — cache not cheaper", warmUnits, coldUnits)
+		}
+		b.ReportMetric(float64(coldUnits), "cold-units/op")
+		b.ReportMetric(float64(warmUnits), "warm-units/op")
+		b.ReportMetric(float64(coldUnits)/float64(warmUnits), "cache-speedup")
+	}
+}
+
 // BenchmarkCorpusWorkers measures the wall-clock effect of the bounded
 // worker pool on the scaled corpus (results are identical for any worker
 // count; only elapsed time changes).

@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W] app.apk...
+//	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
+//	          [-shards N] [-index-cache DIR] [-stats=false] app.apk...
 //
 // B selects the bytecode search backend: indexed (default, inverted-index
-// lookups) or linear (paper-faithful full-text scan). W bounds how many of
-// the listed apps are analyzed concurrently; reports are always printed in
-// argument order and are identical for any W.
+// lookups), sharded (per-classesN.dex index shards, built concurrently) or
+// linear (paper-faithful full-text scan). W bounds how many of the listed
+// apps are analyzed concurrently; reports are always printed in argument
+// order and are identical for any W. -shards overrides the sharded
+// backend's shard count (0 = auto). -index-cache persists each app's
+// search index in DIR so re-analyses skip tokenization. -stats=false
+// suppresses the cost/statistics lines, leaving only the deterministic
+// detection report (useful for diffing backends against each other).
 package main
 
 import (
@@ -30,6 +36,9 @@ type config struct {
 	showSSG       bool
 	backend       string
 	workers       int
+	shards        int
+	indexCache    string
+	stats         bool
 }
 
 func main() {
@@ -38,9 +47,15 @@ func main() {
 		"resolve sink APIs invoked through app subclasses of system classes")
 	flag.Float64Var(&cfg.timeout, "timeout", 0, "simulated-minute budget (0 = none)")
 	flag.BoolVar(&cfg.showSSG, "ssg", false, "dump the self-contained slicing graph per sink")
-	flag.StringVar(&cfg.backend, "backend", "indexed", "search backend: indexed or linear")
+	flag.StringVar(&cfg.backend, "backend", "indexed", "search backend: indexed, sharded or linear")
 	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(),
 		"concurrent app analyses (reports stay in argument order)")
+	flag.IntVar(&cfg.shards, "shards", 0,
+		"index shard count for -backend sharded (0 = auto: per classesN.dex)")
+	flag.StringVar(&cfg.indexCache, "index-cache", "",
+		"directory for persistent index cache files (empty = disabled)")
+	flag.BoolVar(&cfg.stats, "stats", true,
+		"print cost/statistics lines (disable for deterministic backend diffs)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: backdroid [flags] app.apk...")
@@ -62,6 +77,8 @@ func run(paths []string, cfg config) error {
 	opts.SearchBackend = backend
 	opts.ResolveSinkSubclasses = cfg.subclassSinks
 	opts.TimeoutMinutes = cfg.timeout
+	opts.IndexShards = cfg.shards
+	opts.IndexCacheDir = cfg.indexCache
 
 	// Analyze concurrently, report in argument order. Every app gets its
 	// own engine; errors keep their argument position so the first failure
@@ -77,7 +94,7 @@ func run(paths []string, cfg config) error {
 		if errs[i] != nil {
 			return errs[i]
 		}
-		printReport(reports[i], cfg.showSSG)
+		printReport(reports[i], cfg)
 	}
 	return nil
 }
@@ -94,7 +111,7 @@ func analyze(path string, opts core.Options) (*core.Report, error) {
 	return engine.Analyze()
 }
 
-func printReport(r *core.Report, showSSG bool) {
+func printReport(r *core.Report, cfg config) {
 	fmt.Printf("== %s ==\n", r.App)
 	if r.TimedOut {
 		fmt.Println("  TIMED OUT")
@@ -116,9 +133,12 @@ func printReport(r *core.Report, showSSG bool) {
 		for _, en := range s.Entries {
 			fmt.Printf("    entry: %s\n", en.SootSignature())
 		}
-		if showSSG && s.SSG != nil {
+		if cfg.showSSG && s.SSG != nil {
 			fmt.Println(indent(s.SSG.String(), "    "))
 		}
+	}
+	if !cfg.stats {
+		return
 	}
 	st := r.Stats
 	fmt.Printf("  stats: %d sink calls, %.2f sim-min, wall %v, %d methods analyzed\n",
@@ -126,8 +146,12 @@ func printReport(r *core.Report, showSSG bool) {
 	fmt.Printf("  search: %d commands, %.1f%% cache rate; sink cache %.1f%%; loops: %v\n",
 		st.Search.Commands, st.Search.Rate()*100, st.SinkCacheRate()*100, st.Loops)
 	if st.Search.IndexBuilds > 0 {
-		fmt.Printf("  index: built over %d lines; %d postings visited, %d lines scanned (raw fallbacks)\n",
-			st.Search.IndexLines, st.Search.PostingsScanned, st.Search.LinesScanned)
+		fmt.Printf("  index: built over %d lines (%d shards); %d postings visited, %d lines scanned (raw fallbacks)\n",
+			st.Search.IndexLines, st.Search.ShardCount, st.Search.PostingsScanned, st.Search.LinesScanned)
+	}
+	if st.Search.IndexCacheHits > 0 {
+		fmt.Printf("  index cache: warm (%d shards loaded); %d postings visited\n",
+			st.Search.ShardCount, st.Search.PostingsScanned)
 	}
 }
 

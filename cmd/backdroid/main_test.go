@@ -76,3 +76,40 @@ func TestIndent(t *testing.T) {
 		t.Errorf("indent = %q", got)
 	}
 }
+
+func TestRunShardedBackend(t *testing.T) {
+	path := fixturePath(t)
+	if err := run([]string{path}, config{backend: "sharded", workers: 1, stats: true}); err != nil {
+		t.Fatalf("run sharded: %v", err)
+	}
+	if err := run([]string{path}, config{backend: "sharded", shards: 3, workers: 1}); err != nil {
+		t.Fatalf("run sharded with explicit count: %v", err)
+	}
+}
+
+func TestRunIndexCache(t *testing.T) {
+	path := fixturePath(t)
+	dir := t.TempDir()
+	cfg := config{backend: "sharded", workers: 1, indexCache: dir, stats: true}
+	if err := run([]string{path}, cfg); err != nil {
+		t.Fatalf("cold cached run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache dir has %d entries, want 1", len(entries))
+	}
+	// Warm run loads the file written above.
+	if err := run([]string{path}, cfg); err != nil {
+		t.Fatalf("warm cached run: %v", err)
+	}
+}
+
+func TestRunStatsSuppressed(t *testing.T) {
+	path := fixturePath(t)
+	if err := run([]string{path}, config{backend: "linear", workers: 1, stats: false}); err != nil {
+		t.Fatalf("run without stats: %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+// Command benchgate is the CI bench-regression gate for the bytecode
+// search stack. It analyzes the scaled benchmark corpus once per search
+// backend (linear, indexed, sharded) plus a warm persistent-cache run,
+// emits the charged-work measurements as JSON (BENCH_search.json), and
+// fails when charged work regresses beyond the tolerance against a
+// checked-in baseline.
+//
+// Usage:
+//
+//	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
+//	          [-tolerance F] [-write-baseline]
+//
+// Charged work is simulated time (deterministic for a given corpus), so
+// the gate is immune to runner noise: a regression means the search stack
+// really does more work, not that the CI machine was slow. The tolerance
+// (default 10%) only absorbs deliberate cost-model recalibrations.
+// Improvements are reported but do not fail the gate; refresh the
+// baseline with -write-baseline when they should become the new floor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"backdroid/internal/appgen"
+	"backdroid/internal/bcsearch"
+	"backdroid/internal/core"
+	"backdroid/internal/experiments"
+)
+
+// BackendCost is the charged search work of one corpus run, summed over
+// all apps. Deterministic for a given corpus and backend.
+type BackendCost struct {
+	LinesScanned    int64   `json:"lines_scanned"`
+	PostingsScanned int64   `json:"postings_scanned"`
+	MergedPostings  int64   `json:"merged_postings"`
+	IndexBuilds     int     `json:"index_builds"`
+	IndexCacheHits  int     `json:"index_cache_hits"`
+	WorkUnits       int64   `json:"work_units"`
+	SimMinutes      float64 `json:"sim_minutes"`
+}
+
+// CorpusMeta identifies the measured corpus; baselines for a different
+// corpus are not comparable.
+type CorpusMeta struct {
+	Apps  int     `json:"apps"`
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+}
+
+// Report is the BENCH_search.json schema.
+type Report struct {
+	Corpus         CorpusMeta             `json:"corpus"`
+	Backends       map[string]BackendCost `json:"backends"`
+	WarmCache      BackendCost            `json:"warm_cache"` // sharded backend, pre-warmed index cache
+	SpeedupIndexed float64                `json:"speedup_indexed"`
+	SpeedupSharded float64                `json:"speedup_sharded"`
+}
+
+func main() {
+	var (
+		apps      = flag.Int("apps", 16, "corpus size")
+		scale     = flag.Float64("scale", 0.15, "app size scale factor")
+		seed      = flag.Int64("seed", 20200523, "corpus seed")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+		out       = flag.String("out", "BENCH_search.json", "output JSON path")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
+		write     = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
+	)
+	flag.Parse()
+	if err := run(*apps, *scale, *seed, *baseline, *out, *tolerance, *write); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(apps int, scale float64, seed int64, baselinePath, outPath string, tolerance float64, writeBaseline bool) error {
+	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
+	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
+
+	for _, kind := range []bcsearch.BackendKind{bcsearch.BackendLinear, bcsearch.BackendIndexed, bcsearch.BackendSharded} {
+		cost, err := measure(meta, kind, "")
+		if err != nil {
+			return err
+		}
+		report.Backends[kind.String()] = cost
+		fmt.Fprintf(os.Stderr, "%-8s %10d units, %9d line-scans, %9d postings\n",
+			kind, cost.WorkUnits, cost.LinesScanned, cost.PostingsScanned)
+	}
+
+	// Warm persistent-cache run: first pass populates the cache directory,
+	// second pass must load every index instead of tokenizing.
+	cacheDir, err := os.MkdirTemp("", "benchgate-idx-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	if _, err := measure(meta, bcsearch.BackendSharded, cacheDir); err != nil {
+		return err
+	}
+	report.WarmCache, err = measure(meta, bcsearch.BackendSharded, cacheDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%-8s %10d units, %d cache hits, %d index builds\n",
+		"warm", report.WarmCache.WorkUnits, report.WarmCache.IndexCacheHits, report.WarmCache.IndexBuilds)
+
+	lin := report.Backends["linear"].WorkUnits
+	if idx := report.Backends["indexed"].WorkUnits; idx > 0 {
+		report.SpeedupIndexed = float64(lin) / float64(idx)
+	}
+	if sh := report.Backends["sharded"].WorkUnits; sh > 0 {
+		report.SpeedupSharded = float64(lin) / float64(sh)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (speedup indexed %.2fx, sharded %.2fx)\n",
+		outPath, report.SpeedupIndexed, report.SpeedupSharded)
+
+	// Invariants the gate always enforces, baseline or not.
+	if report.WarmCache.IndexBuilds != 0 {
+		return fmt.Errorf("warm cache run built %d indexes, want 0 (persistent cache not hitting)", report.WarmCache.IndexBuilds)
+	}
+	if report.SpeedupIndexed <= 1 || report.SpeedupSharded <= 1 {
+		return fmt.Errorf("index speedups %.2fx/%.2fx not >1 — index backends charge more than the linear scan",
+			report.SpeedupIndexed, report.SpeedupSharded)
+	}
+
+	if writeBaseline {
+		if baselinePath == "" {
+			return fmt.Errorf("-write-baseline needs -baseline PATH")
+		}
+		if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s refreshed\n", baselinePath)
+		return nil
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	return gate(report, baselinePath, tolerance)
+}
+
+// measure runs BackDroid over the corpus with the given backend and sums
+// the charged search work.
+func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string) (BackendCost, error) {
+	opts := core.DefaultOptions()
+	opts.SearchBackend = kind
+	run, err := experiments.RunCorpus(
+		appgen.CorpusOptions{Apps: meta.Apps, Seed: meta.Seed, SizeScale: meta.Scale},
+		experiments.RunConfig{
+			RunBackDroid:     true,
+			BackDroidOptions: &opts,
+			Workers:          runtime.NumCPU(),
+			IndexCacheDir:    cacheDir,
+		})
+	if err != nil {
+		return BackendCost{}, err
+	}
+	var c BackendCost
+	for _, a := range run.Apps {
+		s := a.BackDroid.Stats
+		c.LinesScanned += s.Search.LinesScanned
+		c.PostingsScanned += s.Search.PostingsScanned
+		c.MergedPostings += s.Search.MergedPostings
+		c.IndexBuilds += s.Search.IndexBuilds
+		c.IndexCacheHits += s.Search.IndexCacheHits
+		c.WorkUnits += s.WorkUnits
+		c.SimMinutes += s.SimMinutes
+	}
+	return c, nil
+}
+
+// gate compares the run against the baseline and fails on charged-work
+// regressions beyond the tolerance.
+func gate(report Report, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w (run with -write-baseline to create it)", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if base.Corpus != report.Corpus {
+		return fmt.Errorf("baseline measured corpus %+v, this run %+v — not comparable", base.Corpus, report.Corpus)
+	}
+	var failures []string
+	check := func(name, metric string, cur, old int64) {
+		if old <= 0 {
+			return
+		}
+		limit := float64(old) * (1 + tolerance)
+		switch {
+		case float64(cur) > limit:
+			failures = append(failures, fmt.Sprintf(
+				"%s %s regressed: %d -> %d (+%.1f%%, limit +%.0f%%)",
+				name, metric, old, cur, 100*float64(cur-old)/float64(old), 100*tolerance))
+		case cur < old:
+			fmt.Fprintf(os.Stderr, "note: %s %s improved: %d -> %d (-%.1f%%); consider refreshing the baseline\n",
+				name, metric, old, cur, 100*float64(old-cur)/float64(old))
+		}
+	}
+	for name, old := range base.Backends {
+		cur, ok := report.Backends[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("backend %q in baseline but not measured", name))
+			continue
+		}
+		check(name, "work_units", cur.WorkUnits, old.WorkUnits)
+		check(name, "lines_scanned", cur.LinesScanned, old.LinesScanned)
+	}
+	check("warm-cache", "work_units", report.WarmCache.WorkUnits, base.WarmCache.WorkUnits)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+		}
+		return fmt.Errorf("%d charged-work regression(s) vs %s", len(failures), baselinePath)
+	}
+	fmt.Fprintln(os.Stderr, "bench gate passed: no charged-work regressions")
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, r Report) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleReport() Report {
+	return Report{
+		Corpus: CorpusMeta{Apps: 16, Scale: 0.15, Seed: 1},
+		Backends: map[string]BackendCost{
+			"linear":  {WorkUnits: 100000, LinesScanned: 5000000},
+			"indexed": {WorkUnits: 20000},
+			"sharded": {WorkUnits: 21000},
+		},
+		WarmCache: BackendCost{WorkUnits: 15000, IndexCacheHits: 16},
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := sampleReport()
+	path := writeBaseline(t, base)
+
+	cur := sampleReport()
+	cur.Backends["indexed"] = BackendCost{WorkUnits: 21900} // +9.5%
+	if err := gate(cur, path, 0.10); err != nil {
+		t.Errorf("within-tolerance run failed the gate: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := sampleReport()
+	path := writeBaseline(t, base)
+
+	cur := sampleReport()
+	cur.Backends["indexed"] = BackendCost{WorkUnits: 23000} // +15%
+	if err := gate(cur, path, 0.10); err == nil {
+		t.Error("15% charged-work regression passed the gate")
+	}
+
+	cur = sampleReport()
+	lin := cur.Backends["linear"]
+	lin.LinesScanned = 6000000 // +20% line scans at equal units
+	cur.Backends["linear"] = lin
+	if err := gate(cur, path, 0.10); err == nil {
+		t.Error("line-scan regression passed the gate")
+	}
+
+	cur = sampleReport()
+	cur.WarmCache.WorkUnits = 20000 // warm path regressed
+	if err := gate(cur, path, 0.10); err == nil {
+		t.Error("warm-cache regression passed the gate")
+	}
+}
+
+func TestGateRejectsMismatchedCorpus(t *testing.T) {
+	base := sampleReport()
+	path := writeBaseline(t, base)
+	cur := sampleReport()
+	cur.Corpus.Apps = 32
+	if err := gate(cur, path, 0.10); err == nil {
+		t.Error("baseline for a different corpus accepted")
+	}
+}
+
+func TestGateRejectsMissingBackend(t *testing.T) {
+	base := sampleReport()
+	path := writeBaseline(t, base)
+	cur := sampleReport()
+	delete(cur.Backends, "sharded")
+	if err := gate(cur, path, 0.10); err == nil {
+		t.Error("missing backend accepted")
+	}
+}
+
+func TestGateMissingBaselineFile(t *testing.T) {
+	if err := gate(sampleReport(), filepath.Join(t.TempDir(), "nope.json"), 0.10); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

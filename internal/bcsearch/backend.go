@@ -12,10 +12,13 @@ import (
 type BackendKind int
 
 // Backends. BackendIndexed is the zero value so an unset knob gets the
-// fast path; the linear scanner is kept for paper-faithful ablations.
+// fast path; the linear scanner is kept for paper-faithful ablations;
+// BackendSharded splits the index per classesN.dex (or per package
+// prefix) so construction parallelizes and postings stay shard-local.
 const (
 	BackendIndexed BackendKind = iota
 	BackendLinear
+	BackendSharded
 )
 
 // String names the backend as the CLI flags spell it.
@@ -25,6 +28,8 @@ func (k BackendKind) String() string {
 		return "indexed"
 	case BackendLinear:
 		return "linear"
+	case BackendSharded:
+		return "sharded"
 	}
 	return fmt.Sprintf("backend(%d)", int(k))
 }
@@ -36,8 +41,10 @@ func ParseBackend(s string) (BackendKind, error) {
 		return BackendIndexed, nil
 	case "linear", "scan":
 		return BackendLinear, nil
+	case "sharded", "shards", "shard":
+		return BackendSharded, nil
 	}
-	return BackendIndexed, fmt.Errorf("bcsearch: unknown backend %q (want indexed or linear)", s)
+	return BackendIndexed, fmt.Errorf("bcsearch: unknown backend %q (want indexed, sharded or linear)", s)
 }
 
 // Cost is the work one command execution performed, for the Stats
@@ -45,9 +52,13 @@ func ParseBackend(s string) (BackendKind, error) {
 // a command exactly as the paper's budget regime demands); Cost lets the
 // Engine report the same quantities without double charging.
 type Cost struct {
-	Lines      int64 // dump lines visited by a full scan
-	Postings   int64 // index postings visited
-	IndexBuilt bool  // this command triggered the one-time index build
+	Lines          int64 // dump lines visited by a full scan
+	Postings       int64 // index postings visited
+	Merged         int64 // postings merged across shard lists
+	IndexBuilt     bool  // this command triggered the one-time index build
+	IndexLoaded    bool  // the index came from the persistent cache instead
+	IndexCacheMiss bool  // a cache probe failed (missing/stale/corrupt file)
+	Shards         int   // shard count of the built/loaded index
 }
 
 // Searcher executes one uncached search command over the dump text. The
@@ -58,12 +69,22 @@ type Searcher interface {
 	Run(cmd Command) ([]Hit, Cost, error)
 }
 
-// NewSearcher constructs the backend of the given kind.
-func NewSearcher(kind BackendKind, text *dexdump.Text, meter *simtime.Meter) Searcher {
-	if kind == BackendLinear {
-		return NewLinearScanner(text, meter)
+// NewSearcher constructs the backend the config selects.
+func NewSearcher(text *dexdump.Text, cfg Config) Searcher {
+	if cfg.Backend == BackendLinear {
+		return NewLinearScanner(text, cfg.Meter)
 	}
-	return NewIndexedSearcher(text, meter)
+	s := NewIndexedSearcher(text, cfg.Meter)
+	s.kind = cfg.Backend
+	s.cachePath = cfg.CachePath
+	s.buildWorkers = cfg.BuildWorkers
+	if cfg.Backend == BackendSharded {
+		s.plan = cfg.Plan
+		if s.plan == nil {
+			s.plan = dexdump.PackagePrefixPlan(text, DefaultShards)
+		}
+	}
+	return s
 }
 
 // collect verifies candidate lines against the command predicate and
@@ -129,73 +150,147 @@ func scanAll(text *dexdump.Text, meter *simtime.Meter, cmd Command) ([]Hit, Cost
 	return hits, cost, nil
 }
 
-// IndexedSearcher resolves commands from a one-pass inverted index over
-// the dump text: each command touches only its postings list, O(hits)
-// instead of O(lines). The index is built lazily on the first indexable
-// command and its cost is charged to the meter then, so apps that are
-// never searched pay nothing. Raw substring commands cannot be indexed and
-// fall back to a full scan.
+// IndexedSearcher resolves commands from an inverted index over the dump
+// text: each command touches only its postings list, O(hits) instead of
+// O(lines). The index is acquired lazily on the first indexable command —
+// loaded from the persistent cache when one is configured and valid,
+// otherwise built (as a single merged index, or as per-shard indexes
+// constructed concurrently when a shard plan is set) and charged to the
+// meter then, so apps that are never searched pay nothing. Raw substring
+// commands cannot be indexed and fall back to a full scan.
 //
 // An IndexedSearcher is not safe for concurrent use — like the Engine on
 // top of it, it is a per-app object (the corpus pipeline gives every
-// worker its own engine).
+// worker its own engine). Shard construction parallelism is internal and
+// invisible to callers.
 type IndexedSearcher struct {
 	text  *dexdump.Text
 	meter *simtime.Meter
-	idx   *dexdump.Index
+	src   dexdump.Source
+
+	kind         BackendKind
+	plan         *dexdump.ShardPlan // non-nil selects a sharded build
+	cachePath    string             // non-empty enables the persistent cache
+	buildWorkers int                // shard build concurrency (wall-clock only)
 }
 
-// NewIndexedSearcher builds the indexed backend; the index itself is built
-// lazily.
+// DefaultShards is the package-prefix shard count used when the sharded
+// backend is selected without an explicit plan. Fixed (never derived from
+// the machine) so simulated time stays deterministic.
+const DefaultShards = 4
+
+// NewIndexedSearcher builds the single-index backend; the index itself is
+// built lazily. Use NewSearcher to configure sharding and caching.
 func NewIndexedSearcher(text *dexdump.Text, meter *simtime.Meter) *IndexedSearcher {
-	return &IndexedSearcher{text: text, meter: meter}
+	return &IndexedSearcher{text: text, meter: meter, kind: BackendIndexed}
 }
 
 // Kind identifies the backend.
-func (s *IndexedSearcher) Kind() BackendKind { return BackendIndexed }
+func (s *IndexedSearcher) Kind() BackendKind { return s.kind }
 
-// Run resolves the command from the index, building it first if needed.
+// Run resolves the command from the index, acquiring it first if needed.
 func (s *IndexedSearcher) Run(cmd Command) ([]Hit, Cost, error) {
 	if cmd.Kind == CmdRaw {
 		return scanAll(s.text, s.meter, cmd)
 	}
 	var cost Cost
-	if s.idx == nil {
-		// One-time tokenization pass, charged like the linear scan it is
-		// (plus a tokenization factor — see simtime.IndexBuildLinesPerUnit).
-		if err := s.meter.ChargeIndexBuild(s.text.LineCount()); err != nil {
+	if s.src == nil {
+		if err := s.acquire(&cost); err != nil {
 			return nil, cost, err
 		}
-		s.idx = dexdump.BuildIndex(s.text)
-		cost.IndexBuilt = true
 	}
 	candidates := s.lookup(cmd)
 	cost.Postings = int64(len(candidates))
 	if err := s.meter.ChargePostings(len(candidates)); err != nil {
 		return nil, cost, err
 	}
+	if s.src.ShardCount() > 1 {
+		// Lazy merge of the per-shard lists — charged per posting merged.
+		cost.Merged = int64(len(candidates))
+		if err := s.meter.ChargeShardMerge(len(candidates)); err != nil {
+			return nil, cost, err
+		}
+	}
 	return collect(s.text, cmd, candidates), cost, nil
+}
+
+// acquire obtains the postings source: persistent cache first (any
+// invalid file — missing, truncated, stale hash, old version, or a
+// shard layout other than the one this searcher was configured with —
+// is a silent miss), then a charged build, written back to the cache
+// best-effort so the next analysis of the same dump starts warm.
+func (s *IndexedSearcher) acquire(cost *Cost) error {
+	if s.cachePath != "" {
+		if src, err := dexdump.LoadIndexCache(s.cachePath, s.text); err == nil && src.ShardCount() == s.wantShards() {
+			// Deserialization is charged at the cheap cache-load rate;
+			// no tokenization happens on this path.
+			if err := s.meter.ChargeIndexCacheLoad(s.text.LineCount()); err != nil {
+				return err
+			}
+			s.src = src
+			cost.IndexLoaded = true
+			cost.Shards = src.ShardCount()
+			return nil
+		}
+		cost.IndexCacheMiss = true
+	}
+	if s.plan != nil {
+		// Shards tokenize in parallel: the charge is the critical path
+		// (largest shard) plus per-shard coordination overhead.
+		if err := s.meter.ChargeShardedIndexBuild(s.plan.MaxShardLines(), s.plan.Shards()); err != nil {
+			return err
+		}
+		s.src = dexdump.BuildShardedIndex(s.text, s.plan, s.buildWorkers)
+	} else {
+		// One-time tokenization pass, charged like the linear scan it is
+		// (plus a tokenization factor — see simtime.IndexBuildLinesPerUnit).
+		if err := s.meter.ChargeIndexBuild(s.text.LineCount()); err != nil {
+			return err
+		}
+		s.src = dexdump.BuildIndex(s.text)
+	}
+	cost.IndexBuilt = true
+	cost.Shards = s.src.ShardCount()
+	if s.cachePath != "" {
+		// Best-effort: a failed write must never fail the analysis.
+		_ = dexdump.WriteIndexCache(s.cachePath, s.text, s.src)
+	}
+	return nil
+}
+
+// wantShards is the shard count this searcher's configuration produces —
+// a cached file with any other layout must not be loaded, or an explicit
+// -shards override (or an unsharded ablation run) would silently get
+// whichever layout happened to write the cache first, skewing charged
+// work.
+func (s *IndexedSearcher) wantShards() int {
+	if s.plan != nil {
+		return s.plan.Shards()
+	}
+	return 1
 }
 
 // lookup maps the command to its postings list.
 func (s *IndexedSearcher) lookup(cmd Command) []int32 {
 	switch cmd.Kind {
 	case CmdInvoke:
-		return s.idx.InvokeBySig(cmd.Arg)
+		return s.src.InvokeBySig(cmd.Arg)
 	case CmdCtor:
-		return s.idx.CtorByPrefix(cmd.Arg)
+		return s.src.CtorByPrefix(cmd.Arg)
 	case CmdNewInstance:
-		return s.idx.NewInstance(cmd.Arg)
+		return s.src.NewInstance(cmd.Arg)
 	case CmdConstClass:
-		return s.idx.ConstClass(cmd.Arg)
+		return s.src.ConstClass(cmd.Arg)
 	case CmdConstString:
-		return s.idx.ConstString(cmd.Arg)
+		return s.src.ConstString(cmd.Arg)
 	case CmdFieldAccess:
-		return s.idx.FieldBySig(cmd.Arg)
+		return s.src.FieldBySig(cmd.Arg)
 	case CmdClassUse:
-		return s.idx.ClassUse(cmd.Arg)
+		return s.src.ClassUse(cmd.Arg)
 	case CmdInvokeName:
-		return s.idx.InvokeByName(cmd.Arg)
+		return s.src.InvokeByName(cmd.Arg)
+	case CmdInvokeNamePrefix:
+		return s.src.InvokeByNamePrefix(cmd.Arg)
 	}
 	return nil
 }

@@ -43,6 +43,18 @@ type Stats struct {
 	PostingsScanned int64
 	IndexBuilds     int
 	IndexLines      int64
+
+	// Sharded-index and persistent-cache accounting. ShardCount is the
+	// shard count of the acquired index (1 for the single merged index, 0
+	// until an index exists). MergedPostings counts postings streamed
+	// through lazy cross-shard merges. IndexCacheHits/IndexCacheMisses
+	// count persistent-cache probes: a hit replaces the tokenization pass
+	// entirely, a miss (missing, truncated, stale or version-bumped file)
+	// falls back to a charged build.
+	ShardCount       int
+	MergedPostings   int64
+	IndexCacheHits   int
+	IndexCacheMisses int
 }
 
 // Rate returns the cache hit rate in [0,1].
@@ -63,6 +75,20 @@ type Config struct {
 	Backend BackendKind
 	// EnableCache turns on the Sec. IV-F command cache.
 	EnableCache bool
+
+	// Plan lays out the shards of BackendSharded — typically one shard
+	// per classesN.dex of the app. Nil with BackendSharded falls back to
+	// DefaultShards package-prefix shards. Ignored by other backends.
+	Plan *dexdump.ShardPlan
+	// BuildWorkers bounds how many shards are tokenized concurrently
+	// during a sharded build; <= 1 builds sequentially. Affects wall
+	// clock only — charged work and results are identical for any value.
+	BuildWorkers int
+	// CachePath, when non-empty, enables the persistent index cache: the
+	// built index is serialized there and later engines over the same
+	// dump load it instead of re-tokenizing. Invalid files (corrupt,
+	// stale, old version) are rebuilt and overwritten silently.
+	CachePath string
 }
 
 // Engine searches one app's dump text: it owns the command cache and
@@ -88,7 +114,7 @@ func NewEngine(text *dexdump.Text, cfg Config) *Engine {
 	return &Engine{
 		text:         text,
 		meter:        cfg.Meter,
-		backend:      NewSearcher(cfg.Backend, text, cfg.Meter),
+		backend:      NewSearcher(text, cfg),
 		cacheEnabled: cfg.EnableCache,
 		cache:        make(map[string][]Hit),
 	}
@@ -125,9 +151,19 @@ func (e *Engine) Run(cmd Command) ([]Hit, error) {
 	hits, cost, err := e.backend.Run(cmd)
 	e.stats.LinesScanned += cost.Lines
 	e.stats.PostingsScanned += cost.Postings
+	e.stats.MergedPostings += cost.Merged
 	if cost.IndexBuilt {
 		e.stats.IndexBuilds++
 		e.stats.IndexLines += int64(e.text.LineCount())
+	}
+	if cost.IndexLoaded {
+		e.stats.IndexCacheHits++
+	}
+	if cost.IndexCacheMiss {
+		e.stats.IndexCacheMisses++
+	}
+	if cost.Shards > 0 {
+		e.stats.ShardCount = cost.Shards
 	}
 	if err != nil {
 		return nil, err
@@ -206,6 +242,16 @@ func (e *Engine) FindClassUses(class string) ([]Hit, error) {
 // its two false negatives.
 func (e *Engine) FindInvocationsOfName(name string, descriptor string) ([]Hit, error) {
 	return e.Run(InvokeNameCommand(name, descriptor))
+}
+
+// FindInvocationsOfNamePrefix locates call sites by method name alone
+// (".name:" match), regardless of declaring class and descriptor. The
+// two-time ICC search's first pass (Sec. IV-D) uses it to collect the
+// startActivity/startService/sendBroadcast call sites; unlike the raw
+// substring search it replaced, it resolves from postings on the indexed
+// backends.
+func (e *Engine) FindInvocationsOfNamePrefix(name string) ([]Hit, error) {
+	return e.Run(InvokeNamePrefixCommand(name))
 }
 
 // CallersOf deduplicates the containing methods of a set of hits,

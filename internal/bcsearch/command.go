@@ -22,6 +22,7 @@ const (
 	CmdFieldAccess
 	CmdClassUse
 	CmdInvokeName
+	CmdInvokeNamePrefix
 )
 
 // Command is one reified search command. The same Command drives both
@@ -88,6 +89,15 @@ func InvokeNameCommand(name, descriptor string) Command {
 	return Command{Kind: CmdInvokeName, Arg: "." + name + ":" + descriptor}
 }
 
+// InvokeNamePrefixCommand searches for call sites by method name alone,
+// regardless of declaring class and descriptor — the ".name:" pattern of
+// the two-time ICC search's first pass (Sec. IV-D). Unlike the raw
+// substring command it replaces, it is indexable, so the indexed backends
+// answer it from postings instead of an O(lines) scan.
+func InvokeNamePrefixCommand(name string) Command {
+	return Command{Kind: CmdInvokeNamePrefix, Arg: "." + name + ":"}
+}
+
 // Key returns the cache key of the command (paper Sec. IV-F: the command
 // string is the cache key).
 func (c Command) Key() string {
@@ -116,6 +126,8 @@ func (c Command) Key() string {
 		return "class-use:" + c.Arg
 	case CmdInvokeName:
 		return "invoke-name:" + c.Arg
+	case CmdInvokeNamePrefix:
+		return "invoke-name-prefix:" + c.Arg
 	}
 	return "unknown:" + c.Arg
 }
@@ -156,6 +168,8 @@ func (c Command) Match(line string) bool {
 		return strings.Contains(line, c.Arg)
 	case CmdInvokeName:
 		return strings.Contains(line, "invoke-") && strings.HasSuffix(line, c.Arg)
+	case CmdInvokeNamePrefix:
+		return strings.Contains(line, "invoke-") && strings.Contains(line, c.Arg)
 	}
 	return false
 }

@@ -30,8 +30,10 @@ func parityQueries(f *dex.File) []Command {
 	addMethod := func(ref dex.MethodRef) {
 		add(InvokeCommand(ref))
 		add(InvokeNameCommand(ref.Name, ref.Descriptor()))
-		// Near miss: same name, impossible descriptor.
+		add(InvokeNamePrefixCommand(ref.Name))
+		// Near misses: same name, impossible descriptor; unknown name.
 		add(InvokeNameCommand(ref.Name, "(JJJ)V"))
+		add(InvokeNamePrefixCommand(ref.Name + "Nope"))
 	}
 	addClass := func(name string) {
 		if name == "" {
@@ -102,10 +104,11 @@ func hitsEqual(a, b []Hit) bool {
 }
 
 // TestBackendParityOnGeneratedCorpus is the property test of the backend
-// split: for generated corpus apps, the IndexedSearcher and the
-// LinearScanner return identical hit sets (line, text, containing method)
-// for every search command kind. Caching is disabled on both engines so
-// each command exercises the backend.
+// split: for generated corpus apps, the IndexedSearcher — single index
+// and sharded, for several shard counts — returns hit sets identical to
+// the LinearScanner (line, text, containing method) for every search
+// command kind. Caching is disabled on all engines so each command
+// exercises the backend.
 func TestBackendParityOnGeneratedCorpus(t *testing.T) {
 	specs := appgen.EvalCorpus(appgen.CorpusOptions{Apps: 8, Seed: 20210621, SizeScale: 0.08})
 	for _, spec := range specs {
@@ -121,7 +124,16 @@ func TestBackendParityOnGeneratedCorpus(t *testing.T) {
 			}
 			text := dexdump.Disassemble(merged)
 			linear := NewEngine(text, Config{Meter: simtime.NewMeter(), Backend: BackendLinear})
-			indexed := NewEngine(text, Config{Meter: simtime.NewMeter(), Backend: BackendIndexed})
+
+			variants := map[string]*Engine{
+				"indexed": NewEngine(text, Config{Meter: simtime.NewMeter(), Backend: BackendIndexed}),
+			}
+			for _, shards := range []int{1, 2, 3, 7} {
+				plan := dexdump.PackagePrefixPlan(text, shards)
+				variants[fmt.Sprintf("sharded-%d", shards)] = NewEngine(text, Config{
+					Meter: simtime.NewMeter(), Backend: BackendSharded, Plan: plan, BuildWorkers: 2,
+				})
+			}
 
 			cmds := parityQueries(merged)
 			if len(cmds) < 50 {
@@ -133,20 +145,22 @@ func TestBackendParityOnGeneratedCorpus(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ih, err := indexed.Run(cmd)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !hitsEqual(lh, ih) {
-					mismatches++
-					if mismatches <= 5 {
-						t.Errorf("command %q: linear %d hits, indexed %d hits\n  linear:  %v\n  indexed: %v",
-							cmd.Key(), len(lh), len(ih), summarize(lh), summarize(ih))
+				for name, e := range variants {
+					ih, err := e.Run(cmd)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !hitsEqual(lh, ih) {
+						mismatches++
+						if mismatches <= 5 {
+							t.Errorf("command %q: linear %d hits, %s %d hits\n  linear: %v\n  %s: %v",
+								cmd.Key(), len(lh), name, len(ih), summarize(lh), name, summarize(ih))
+						}
 					}
 				}
 			}
 			if mismatches > 0 {
-				t.Fatalf("%d/%d commands disagree between backends", mismatches, len(cmds))
+				t.Fatalf("%d command/backend pairs disagree with linear", mismatches)
 			}
 		})
 	}
@@ -199,6 +213,11 @@ func TestBackendParityAdversarialLiterals(t *testing.T) {
 		FieldAccessCommand(fld, FieldAny),
 		CtorCommand("com.adv.Victim"),
 		ClassUseCommand("com.adv.Victim"),
+		// The literal embeds "invoke-direct ... .<init>:" — the prefix
+		// command's linear grep matches it, so the index side list must
+		// surface it too.
+		InvokeNamePrefixCommand("<init>"),
+		InvokeNamePrefixCommand("use"),
 	}
 	for _, cmd := range cmds {
 		lh, err := linear.Run(cmd)

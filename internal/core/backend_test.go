@@ -3,8 +3,37 @@ package core
 import (
 	"testing"
 
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
 	"backdroid/internal/bcsearch"
+	"backdroid/internal/testapps"
 )
+
+// assertSameVerdicts compares the per-sink outcomes of two reports.
+func assertSameVerdicts(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	if len(a.Sinks) != len(b.Sinks) {
+		t.Fatalf("%s: sink counts differ: %d vs %d", label, len(a.Sinks), len(b.Sinks))
+	}
+	for i := range a.Sinks {
+		x, y := a.Sinks[i], b.Sinks[i]
+		if x.Call.String() != y.Call.String() {
+			t.Errorf("%s: sink %d call differs: %s vs %s", label, i, x.Call, y.Call)
+		}
+		if x.Reachable != y.Reachable || x.Insecure != y.Insecure {
+			t.Errorf("%s: sink %d verdict differs: %+v vs %+v", label, i, x, y)
+		}
+		if len(x.Values) != len(y.Values) {
+			t.Errorf("%s: sink %d values differ: %v vs %v", label, i, x.Values, y.Values)
+			continue
+		}
+		for j := range x.Values {
+			if x.Values[j] != y.Values[j] {
+				t.Errorf("%s: sink %d value %d differs: %s vs %s", label, i, j, x.Values[j], y.Values[j])
+			}
+		}
+	}
+}
 
 // TestSearchBackendAblationSameResults is the engine-level half of the
 // backend parity property: the full BackDroid pipeline produces the same
@@ -16,27 +45,7 @@ func TestSearchBackendAblationSameResults(t *testing.T) {
 	opts.SearchBackend = bcsearch.BackendLinear
 	linear := analyzeFixture(t, opts)
 
-	if len(indexed.Sinks) != len(linear.Sinks) {
-		t.Fatalf("sink counts differ: %d vs %d", len(indexed.Sinks), len(linear.Sinks))
-	}
-	for i := range indexed.Sinks {
-		a, b := indexed.Sinks[i], linear.Sinks[i]
-		if a.Call.String() != b.Call.String() {
-			t.Errorf("sink %d call differs: %s vs %s", i, a.Call, b.Call)
-		}
-		if a.Reachable != b.Reachable || a.Insecure != b.Insecure {
-			t.Errorf("sink %d verdict differs: %+v vs %+v", i, a, b)
-		}
-		if len(a.Values) != len(b.Values) {
-			t.Errorf("sink %d values differ: %v vs %v", i, a.Values, b.Values)
-		} else {
-			for j := range a.Values {
-				if a.Values[j] != b.Values[j] {
-					t.Errorf("sink %d value %d differs: %s vs %s", i, j, a.Values[j], b.Values[j])
-				}
-			}
-		}
-	}
+	assertSameVerdicts(t, "indexed-vs-linear", indexed, linear)
 
 	// Same command stream, same cache behavior — only the backend cost
 	// profile differs.
@@ -57,5 +66,138 @@ func TestSearchBackendAblationSameResults(t *testing.T) {
 	if indexed.Stats.WorkUnits >= linear.Stats.WorkUnits {
 		t.Errorf("indexed work %d >= linear work %d — index not cheaper on the fixture",
 			indexed.Stats.WorkUnits, linear.Stats.WorkUnits)
+	}
+}
+
+// TestShardedBackendSameResults extends the engine-level parity property
+// to the sharded index: for the auto plan and several explicit shard
+// counts, the full pipeline produces verdicts identical to the linear
+// scanner, and the sharded build stays cheaper than linear.
+func TestShardedBackendSameResults(t *testing.T) {
+	linOpts := DefaultOptions()
+	linOpts.SearchBackend = bcsearch.BackendLinear
+	linear := analyzeFixture(t, linOpts)
+
+	for _, shards := range []int{0, 1, 2, 5} {
+		opts := DefaultOptions()
+		opts.SearchBackend = bcsearch.BackendSharded
+		opts.IndexShards = shards
+		sharded := analyzeFixture(t, opts)
+		label := "sharded-auto"
+		if shards > 0 {
+			label = "sharded-" + string(rune('0'+shards))
+		}
+		assertSameVerdicts(t, label, linear, sharded)
+		ss := sharded.Stats.Search
+		if shards > 0 && ss.ShardCount != shards {
+			t.Errorf("%s: shard count = %d, want %d", label, ss.ShardCount, shards)
+		}
+		if ss.IndexBuilds != 1 {
+			t.Errorf("%s: index builds = %d, want 1", label, ss.IndexBuilds)
+		}
+		if sharded.Stats.WorkUnits >= linear.Stats.WorkUnits {
+			t.Errorf("%s: work %d >= linear %d", label, sharded.Stats.WorkUnits, linear.Stats.WorkUnits)
+		}
+	}
+}
+
+// TestShardedBackendPerDexPlan pins the multidex auto plan: a two-dex app
+// gets one shard per classesN.dex and the same verdicts as linear.
+func TestShardedBackendPerDexPlan(t *testing.T) {
+	spec := appgen.Spec{
+		Name: "com.shard.multidex", Seed: 11, SizeMB: 2, MultiDex: true,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowICC, Rule: android.RuleSSLAllowAll, Insecure: true},
+			{Flow: appgen.FlowClinit, Rule: android.RuleCryptoECB, Insecure: false},
+		},
+	}
+	app, _, err := appgen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Dexes) != 2 {
+		t.Fatalf("fixture app has %d dexes, want 2", len(app.Dexes))
+	}
+	analyze := func(opts Options) *Report {
+		e, err := New(app, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	linOpts := DefaultOptions()
+	linOpts.SearchBackend = bcsearch.BackendLinear
+	linear := analyze(linOpts)
+	opts := DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	sharded := analyze(opts)
+	assertSameVerdicts(t, "per-dex", linear, sharded)
+	if got := sharded.Stats.Search.ShardCount; got != 2 {
+		t.Errorf("auto plan built %d shards for a 2-dex app, want 2", got)
+	}
+}
+
+// TestIndexedBackendNoRawScans pins the ROADMAP "index-aware raw search"
+// fix: with the two-time ICC first pass on a typed command, the full
+// fixture pipeline issues no raw substring command, so the indexed
+// backend never falls back to an O(lines) scan.
+func TestIndexedBackendNoRawScans(t *testing.T) {
+	report := analyzeFixture(t, DefaultOptions())
+	if got := report.Stats.Search.LinesScanned; got != 0 {
+		t.Errorf("indexed pipeline scanned %d lines — a raw fallback survives", got)
+	}
+	if report.Stats.Search.PostingsScanned == 0 {
+		t.Error("no postings visited — search did not run")
+	}
+}
+
+// TestWarmIndexCacheEngineRun pins the acceptance criterion end to end: a
+// second engine over the same app with a persistent cache directory
+// charges zero tokenization/index-build simtime and reports identical
+// results for strictly less total work.
+func TestWarmIndexCacheEngineRun(t *testing.T) {
+	for _, backend := range []bcsearch.BackendKind{bcsearch.BackendIndexed, bcsearch.BackendSharded} {
+		t.Run(backend.String(), func(t *testing.T) {
+			app, err := testapps.Fixture()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.SearchBackend = backend
+			opts.IndexCacheDir = t.TempDir()
+			analyze := func() *Report {
+				e, err := New(app, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := e.Analyze()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			cold := analyze()
+			if cs := cold.Stats.Search; cs.IndexBuilds != 1 || cs.IndexCacheMisses != 1 {
+				t.Fatalf("cold stats = %+v, want one build after one miss", cs)
+			}
+			warm := analyze()
+			ws := warm.Stats.Search
+			if ws.IndexBuilds != 0 || ws.IndexLines != 0 {
+				t.Errorf("warm run tokenized: %+v, want zero index-build work", ws)
+			}
+			if ws.IndexCacheHits != 1 {
+				t.Errorf("warm run cache hits = %d, want 1", ws.IndexCacheHits)
+			}
+			assertSameVerdicts(t, "warm-cache", cold, warm)
+			if warm.Stats.WorkUnits >= cold.Stats.WorkUnits {
+				t.Errorf("warm work %d >= cold work %d — cache load not cheaper",
+					warm.Stats.WorkUnits, cold.Stats.WorkUnits)
+			}
+		})
 	}
 }

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"backdroid/internal/android"
@@ -40,9 +41,24 @@ type Options struct {
 
 	// SearchBackend selects the bytecode search implementation. The zero
 	// value (BackendIndexed) resolves each search command from a one-pass
-	// inverted index over the dump text; BackendLinear is the
-	// paper-faithful full-text scan, kept for ablations.
+	// inverted index over the dump text; BackendSharded splits that index
+	// per classesN.dex (package-prefix shards for single-dex apps) so
+	// construction parallelizes and postings stay shard-local;
+	// BackendLinear is the paper-faithful full-text scan, kept for
+	// ablations.
 	SearchBackend bcsearch.BackendKind
+
+	// IndexShards overrides the shard count of BackendSharded. 0 is auto:
+	// one shard per classesN.dex for multidex apps, DefaultShards
+	// package-prefix shards otherwise. Ignored by other backends.
+	IndexShards int
+
+	// IndexCacheDir, when non-empty, enables the persistent index cache:
+	// the search index is serialized to <dir>/<app>.bdx after its first
+	// build and re-analyses of the same app load it instead of
+	// re-tokenizing the dump. Corrupt, stale or version-bumped cache
+	// files are detected and rebuilt silently.
+	IndexCacheDir string
 
 	// EnableSinkCache caches per-method reachability so repeated sink
 	// calls in the same unreachable method are skipped (Sec. IV-F).
@@ -247,6 +263,18 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	// budget exhausted this early surfaces as a timed-out report from
 	// Analyze, not a construction error.
 	preTimedOut := meter.ChargeLines(dump.LineCount()) != nil
+	searchCfg := bcsearch.Config{
+		Meter:       meter,
+		Backend:     opts.SearchBackend,
+		EnableCache: opts.EnableSearchCache,
+	}
+	if opts.SearchBackend == bcsearch.BackendSharded {
+		searchCfg.Plan = shardPlan(app, dump, opts.IndexShards)
+		searchCfg.BuildWorkers = runtime.NumCPU()
+	}
+	if opts.IndexCacheDir != "" {
+		searchCfg.CachePath = dexdump.CachePath(opts.IndexCacheDir, app.Name)
+	}
 	return &Engine{
 		preTimedOut: preTimedOut,
 		app:         app,
@@ -254,11 +282,7 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		dexf:        merged,
 		prog:        ir.NewProgram(merged),
 		dump:        dump,
-		search: bcsearch.NewEngine(dump, bcsearch.Config{
-			Meter:       meter,
-			Backend:     opts.SearchBackend,
-			EnableCache: opts.EnableSearchCache,
-		}),
+		search:      bcsearch.NewEngine(dump, searchCfg),
 		hier:        cha.New(merged),
 		meter:       meter,
 		reachCache:  make(map[string]*reachState),
@@ -267,6 +291,25 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		analyzed:    make(map[string]bool),
 		loops:       make(map[LoopKind]int),
 	}, nil
+}
+
+// shardPlan lays out the sharded search index for an app: one shard per
+// classesN.dex when the app is multidex (the natural grain — each dex
+// disassembles to a contiguous run of classes in the merged dump),
+// deterministic package-prefix shards otherwise. An explicit shard-count
+// override always uses package-prefix shards, which support any count.
+func shardPlan(app *apk.App, dump *dexdump.Text, shards int) *dexdump.ShardPlan {
+	if shards > 0 {
+		return dexdump.PackagePrefixPlan(dump, shards)
+	}
+	if len(app.Dexes) > 1 {
+		counts := make([]int, len(app.Dexes))
+		for i, d := range app.Dexes {
+			counts[i] = len(d.Classes())
+		}
+		return dexdump.PerDexPlan(dump, counts)
+	}
+	return dexdump.PackagePrefixPlan(dump, bcsearch.DefaultShards)
 }
 
 // Meter exposes the work meter (used by experiment harnesses).

@@ -28,10 +28,13 @@ func iccCallNamesFor(kind manifest.ComponentKind) []string {
 // component for explicit ICC, const-string of a filter action for implicit
 // ICC) — and merges them: an ICC call satisfying both is the caller.
 func (e *Engine) iccSearch(component string, kind manifest.ComponentKind) ([]callerSite, error) {
-	// First search: ICC call sites of the matching kind.
+	// First search: ICC call sites of the matching kind. The name-prefix
+	// command is indexable, so on the indexed backends this pass resolves
+	// from invoke-name postings instead of the raw O(lines) substring scan
+	// it used to be.
 	var callHits []bcsearch.Hit
 	for _, name := range iccCallNamesFor(kind) {
-		hits, err := e.search.Search("." + name + ":")
+		hits, err := e.search.FindInvocationsOfNamePrefix(name)
 		if err != nil {
 			return nil, err
 		}

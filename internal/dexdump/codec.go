@@ -1,0 +1,335 @@
+package dexdump
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Persistent index cache codec. A serialized index lives next to the APK
+// (or in a configured cache directory) so repeated analyses of the same
+// app skip tokenization entirely. The file layout is:
+//
+//	offset  size  field
+//	0       4     magic "BDIX"
+//	4       2     codec version (little endian)
+//	6       2     shard count
+//	8       8     FNV-64a content hash of the full dump text
+//	16      4     dump line count
+//	20      4     IEEE CRC-32 of the payload
+//	24      ...   payload: per shard, every postings map and side list
+//
+// Postings maps are encoded with sorted keys and delta-varint line lists,
+// so files are deterministic for a given index. Every validation failure —
+// wrong magic, unknown version, stale content hash, line-count mismatch,
+// CRC mismatch, truncation — is an error the caller treats as a cache
+// miss: rebuild from the dump and overwrite the file, never fail the
+// analysis.
+
+// CodecVersion is the on-disk format version. Bump it whenever the
+// payload layout or the token families change; old files then decode as
+// stale and are rebuilt silently.
+const CodecVersion = 1
+
+const (
+	codecMagic      = "BDIX"
+	codecHeaderSize = 24
+)
+
+// CacheFileExt is the filename extension of persistent index cache files.
+const CacheFileExt = ".bdx"
+
+// DumpHash returns the FNV-64a content hash of the dump text — the
+// staleness check of the persistent cache.
+func DumpHash(t *Text) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.full))
+	return h.Sum64()
+}
+
+// shardsOf flattens a Source into its shard list.
+func shardsOf(src Source) ([]*Index, error) {
+	switch s := src.(type) {
+	case *Index:
+		return []*Index{s}, nil
+	case *ShardedIndex:
+		return s.shards, nil
+	}
+	return nil, fmt.Errorf("dexdump: cannot encode index source %T", src)
+}
+
+// EncodeIndexFile serializes the index (single or sharded) of the dump
+// into the cache file format.
+func EncodeIndexFile(t *Text, src Source) ([]byte, error) {
+	shards, err := shardsOf(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(shards) > 0xffff {
+		return nil, fmt.Errorf("dexdump: %d shards exceed the codec limit", len(shards))
+	}
+	var payload []byte
+	for _, sh := range shards {
+		payload = appendShard(payload, sh)
+	}
+	buf := make([]byte, codecHeaderSize, codecHeaderSize+len(payload))
+	copy(buf[0:4], codecMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], CodecVersion)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(shards)))
+	binary.LittleEndian.PutUint64(buf[8:16], DumpHash(t))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(t.LineCount()))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...), nil
+}
+
+// DecodeIndexFile parses a cache file and validates it against the dump
+// text. A one-shard file decodes to a plain *Index, a multi-shard file to
+// a *ShardedIndex. Any validation failure returns an error; the caller
+// rebuilds from the dump.
+func DecodeIndexFile(data []byte, t *Text) (Source, error) {
+	if len(data) < codecHeaderSize {
+		return nil, fmt.Errorf("dexdump: index cache truncated: %d bytes", len(data))
+	}
+	if string(data[0:4]) != codecMagic {
+		return nil, fmt.Errorf("dexdump: index cache bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != CodecVersion {
+		return nil, fmt.Errorf("dexdump: index cache version %d, want %d", v, CodecVersion)
+	}
+	shardCount := int(binary.LittleEndian.Uint16(data[6:8]))
+	if shardCount == 0 {
+		return nil, fmt.Errorf("dexdump: index cache has no shards")
+	}
+	if h := binary.LittleEndian.Uint64(data[8:16]); h != DumpHash(t) {
+		return nil, fmt.Errorf("dexdump: index cache stale: content hash mismatch")
+	}
+	if n := int(binary.LittleEndian.Uint32(data[16:20])); n != t.LineCount() {
+		return nil, fmt.Errorf("dexdump: index cache stale: %d lines, dump has %d", n, t.LineCount())
+	}
+	payload := data[codecHeaderSize:]
+	if crc := binary.LittleEndian.Uint32(data[20:24]); crc != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("dexdump: index cache payload CRC mismatch")
+	}
+	shards := make([]*Index, shardCount)
+	rest := payload
+	var err error
+	for i := range shards {
+		shards[i], rest, err = decodeShard(rest, t.LineCount())
+		if err != nil {
+			return nil, fmt.Errorf("dexdump: index cache shard %d: %w", i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("dexdump: index cache has %d trailing bytes", len(rest))
+	}
+	if shardCount == 1 {
+		idx := shards[0]
+		idx.lines = t.LineCount()
+		return idx, nil
+	}
+	return &ShardedIndex{shards: shards, lines: t.LineCount()}, nil
+}
+
+// CachePath returns the cache file path for an app inside dir.
+func CachePath(dir, appName string) string {
+	return filepath.Join(dir, appName+CacheFileExt)
+}
+
+// WriteIndexCache atomically persists the index next to path (temp file +
+// rename), creating the directory if needed.
+func WriteIndexCache(path string, t *Text, src Source) error {
+	data, err := EncodeIndexFile(t, src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bdx-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadIndexCache reads and validates a cache file against the dump text.
+func LoadIndexCache(path string, t *Text) (Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIndexFile(data, t)
+}
+
+// appendShard encodes one shard: the lines/postings counters, all nine
+// postings maps (sorted keys, delta-varint lists) and the four side lists.
+func appendShard(buf []byte, x *Index) []byte {
+	buf = binary.AppendUvarint(buf, uint64(x.lines))
+	buf = binary.AppendUvarint(buf, uint64(x.postings))
+	for _, m := range x.maps() {
+		buf = appendMap(buf, *m)
+	}
+	for _, l := range x.sideLists() {
+		buf = appendPostings(buf, *l)
+	}
+	return buf
+}
+
+// maps returns the postings maps in fixed codec order.
+func (x *Index) maps() []*map[string][]int32 {
+	return []*map[string][]int32{
+		&x.invokeBySig, &x.invokeByName, &x.invokeByNameP, &x.ctorByPrefix,
+		&x.newInstance, &x.constClass, &x.constString, &x.fieldBySig, &x.classUse,
+	}
+}
+
+// sideLists returns the side lists in fixed codec order.
+func (x *Index) sideLists() []*[]int32 {
+	return []*[]int32{&x.oddStrings, &x.oddFields, &x.oddCtors, &x.oddInvokes}
+}
+
+func appendMap(buf []byte, m map[string][]int32) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = appendPostings(buf, m[k])
+	}
+	return buf
+}
+
+// appendPostings delta-encodes an ascending postings list.
+func appendPostings(buf []byte, p []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	prev := int32(0)
+	for _, n := range p {
+		buf = binary.AppendUvarint(buf, uint64(n-prev))
+		prev = n
+	}
+	return buf
+}
+
+func decodeShard(buf []byte, maxLines int) (*Index, []byte, error) {
+	x := newIndex(0)
+	lines, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	postings, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lines > uint64(maxLines) {
+		return nil, nil, fmt.Errorf("shard claims %d lines, dump has %d", lines, maxLines)
+	}
+	x.lines = int(lines)
+	x.postings = int(postings)
+	for _, m := range x.maps() {
+		*m, buf, err = decodeMap(buf, maxLines)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, l := range x.sideLists() {
+		*l, buf, err = decodePostings(buf, maxLines)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return x, buf, nil
+}
+
+func decodeMap(buf []byte, maxLines int) (map[string][]int32, []byte, error) {
+	count, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string][]int32, count)
+	for i := uint64(0); i < count; i++ {
+		var klen uint64
+		klen, buf, err = readUvarint(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if uint64(len(buf)) < klen {
+			return nil, nil, fmt.Errorf("truncated map key")
+		}
+		key := string(buf[:klen])
+		buf = buf[klen:]
+		var p []int32
+		p, buf, err = decodePostings(buf, maxLines)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = p
+	}
+	return m, buf, nil
+}
+
+// decodePostings rebuilds a delta-encoded postings list, rejecting any
+// line outside [0, maxLines) and any non-ascending sequence: a lookup
+// hands these lines straight to the dump text, so a CRC-colliding or
+// hand-crafted file must decode as a miss, never panic later.
+func decodePostings(buf []byte, maxLines int) ([]int32, []byte, error) {
+	count, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count == 0 {
+		return nil, buf, nil
+	}
+	if count > uint64(maxLines) {
+		return nil, nil, fmt.Errorf("%d postings for a %d-line dump", count, maxLines)
+	}
+	p := make([]int32, 0, count)
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		var d uint64
+		d, buf, err = readUvarint(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if d > uint64(maxLines) {
+			return nil, nil, fmt.Errorf("posting delta %d out of range", d)
+		}
+		if i == 0 {
+			prev = int64(d)
+		} else {
+			if d == 0 {
+				return nil, nil, fmt.Errorf("postings not strictly ascending")
+			}
+			prev += int64(d)
+		}
+		if prev >= int64(maxLines) {
+			return nil, nil, fmt.Errorf("posting line %d out of range (dump has %d lines)", prev, maxLines)
+		}
+		p = append(p, int32(prev))
+	}
+	return p, buf, nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated varint")
+	}
+	return v, buf[n:], nil
+}

@@ -1,0 +1,179 @@
+package dexdump
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func roundtrip(t *testing.T, text *Text, src Source) Source {
+	t.Helper()
+	data, err := EncodeIndexFile(text, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeIndexFile(data, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dec
+}
+
+func assertSameLookups(t *testing.T, want, got Source, label string) {
+	t.Helper()
+	w, g := lookups(want), lookups(got)
+	for name := range w {
+		if !equalPostings(g[name], w[name]) {
+			t.Errorf("%s: %s postings = %v, want %v", label, name, g[name], w[name])
+		}
+	}
+	if got.Postings() != want.Postings() {
+		t.Errorf("%s: postings count = %d, want %d", label, got.Postings(), want.Postings())
+	}
+	if got.ShardCount() != want.ShardCount() {
+		t.Errorf("%s: shard count = %d, want %d", label, got.ShardCount(), want.ShardCount())
+	}
+}
+
+func TestCodecRoundtripSingleIndex(t *testing.T) {
+	_, text := shardFixture(t)
+	idx := BuildIndex(text)
+	dec := roundtrip(t, text, idx)
+	if _, ok := dec.(*Index); !ok {
+		t.Fatalf("one-shard file decoded to %T, want *Index", dec)
+	}
+	assertSameLookups(t, idx, dec, "single")
+}
+
+func TestCodecRoundtripShardedIndex(t *testing.T) {
+	_, text := shardFixture(t)
+	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 2)
+	dec := roundtrip(t, text, sharded)
+	if _, ok := dec.(*ShardedIndex); !ok {
+		t.Fatalf("multi-shard file decoded to %T, want *ShardedIndex", dec)
+	}
+	assertSameLookups(t, sharded, dec, "sharded")
+}
+
+func TestCodecDeterministicBytes(t *testing.T) {
+	_, text := shardFixture(t)
+	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 2)
+	a, err := EncodeIndexFile(text, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeIndexFile(text, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("encoding the same index twice produced different bytes")
+	}
+}
+
+func TestCodecRejectsInvalidFiles(t *testing.T) {
+	_, text := shardFixture(t)
+	idx := BuildIndex(text)
+	good, err := EncodeIndexFile(text, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		data := append([]byte(nil), good...)
+		return mutate(data)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"truncated header":  good[:10],
+		"truncated payload": good[:len(good)-7],
+		"bad magic":         corrupt(func(d []byte) []byte { d[0] = 'X'; return d }),
+		"version bump": corrupt(func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[4:6], CodecVersion+1)
+			return d
+		}),
+		"stale hash": corrupt(func(d []byte) []byte { d[9] ^= 0xff; return d }),
+		"payload bit flip": corrupt(func(d []byte) []byte {
+			d[len(d)-1] ^= 0x01
+			return d
+		}),
+		"trailing garbage": append(append([]byte(nil), good...), 0xAB),
+	}
+	for name, data := range cases {
+		if _, err := DecodeIndexFile(data, text); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestCodecStaleAgainstDifferentDump(t *testing.T) {
+	_, text := shardFixture(t)
+	idx := BuildIndex(text)
+	data, err := EncodeIndexFile(text, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Disassemble(sampleFile(t))
+	if _, err := DecodeIndexFile(data, other); err == nil {
+		t.Error("cache for one dump decoded against another — hash check missing")
+	}
+}
+
+func TestWriteLoadIndexCache(t *testing.T) {
+	_, text := shardFixture(t)
+	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 2), 1)
+	path := CachePath(filepath.Join(t.TempDir(), "nested"), "com.example.app")
+	if err := WriteIndexCache(path, text, sharded); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := LoadIndexCache(path, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameLookups(t, sharded, dec, "file roundtrip")
+
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("cache dir has %d entries, want just the cache file", len(entries))
+	}
+
+	if _, err := LoadIndexCache(filepath.Join(t.TempDir(), "missing.bdx"), text); err == nil {
+		t.Error("loading a missing cache file must error")
+	}
+}
+
+func TestDecodePostingsRejectsMalformedLists(t *testing.T) {
+	enc := func(vals ...uint64) []byte {
+		var buf []byte
+		for _, v := range vals {
+			buf = binary.AppendUvarint(buf, v)
+		}
+		return buf
+	}
+	const maxLines = 100
+	cases := map[string][]byte{
+		"line beyond dump":      enc(1, 100),       // first posting == maxLines
+		"delta overflow":        enc(2, 50, 1<<40), // would overflow/escape range
+		"zero delta (dup line)": enc(2, 5, 0),
+		"count beyond dump":     enc(101),
+		"sum beyond dump":       enc(3, 60, 30, 30),
+	}
+	for name, buf := range cases {
+		if _, _, err := decodePostings(buf, maxLines); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// A well-formed list still decodes.
+	p, rest, err := decodePostings(enc(3, 5, 2, 90), maxLines)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("valid list failed: %v (rest %d)", err, len(rest))
+	}
+	if !equalPostings(p, []int32{5, 7, 97}) {
+		t.Errorf("decoded %v, want [5 7 97]", p)
+	}
+}

@@ -19,7 +19,17 @@ type Text struct {
 	lines        []string
 	methodOfLine []int // index into methods, -1 for non-instruction lines
 	methods      []dex.MethodRef
+	spans        []ClassSpan
 	full         string
+}
+
+// ClassSpan is the contiguous line range one class occupies in the dump.
+// Spans tile [0, LineCount()) in class order; they are the atomic unit the
+// sharded index partitions (a class never straddles two shards).
+type ClassSpan struct {
+	Name  string // dotted class name, e.g. "com.lge.app1.Main"
+	Start int    // first dump line of the class block
+	End   int    // one past the last dump line of the class block
 }
 
 // Disassemble renders the dex file as searchable plaintext.
@@ -36,6 +46,7 @@ func Disassemble(f *dex.File) *Text {
 	}
 
 	for ci, c := range f.Classes() {
+		span := ClassSpan{Name: c.Name, Start: len(t.lines)}
 		emit(-1, "Class #%d            -", ci)
 		emit(-1, "  Class descriptor  : '%s'", dex.T(c.Name))
 		emit(-1, "  Access flags      : %s", c.Flags)
@@ -69,6 +80,8 @@ func Disassemble(f *dex.File) *Text {
 		}
 		emitMethods("Direct methods ", c.DirectMethods())
 		emitMethods("Virtual methods", c.VirtualMethods())
+		span.End = len(t.lines)
+		t.spans = append(t.spans, span)
 	}
 
 	t.full = b.String()
@@ -94,3 +107,7 @@ func (t *Text) MethodAt(line int) (dex.MethodRef, bool) {
 
 // Methods returns every method that appears in the dump, in dump order.
 func (t *Text) Methods() []dex.MethodRef { return t.methods }
+
+// ClassSpans returns the per-class line ranges in dump order. The spans
+// tile [0, LineCount()). The slice must not be modified.
+func (t *Text) ClassSpans() []ClassSpan { return t.spans }

@@ -15,14 +15,15 @@ import "strings"
 // Postings are line numbers in ascending order. An Index is immutable
 // after construction and safe for concurrent readers.
 type Index struct {
-	invokeBySig  map[string][]int32 // full target sig -> invoke-* lines
-	invokeByName map[string][]int32 // ".name:descriptor" -> invoke-* lines
-	ctorByPrefix map[string][]int32 // "Lcls;.<init>:" -> invoke-direct lines
-	newInstance  map[string][]int32 // class descriptor -> new-instance lines
-	constClass   map[string][]int32 // class descriptor -> const-class lines
-	constString  map[string][]int32 // rendered literal -> const-string lines
-	fieldBySig   map[string][]int32 // field sig -> iget/iput/sget/sput lines
-	classUse     map[string][]int32 // class descriptor -> every line using it
+	invokeBySig   map[string][]int32 // full target sig -> invoke-* lines
+	invokeByName  map[string][]int32 // ".name:descriptor" -> invoke-* lines
+	invokeByNameP map[string][]int32 // ".name:" prefix -> invoke-* lines
+	ctorByPrefix  map[string][]int32 // "Lcls;.<init>:" -> invoke-direct lines
+	newInstance   map[string][]int32 // class descriptor -> new-instance lines
+	constClass    map[string][]int32 // class descriptor -> const-class lines
+	constString   map[string][]int32 // rendered literal -> const-string lines
+	fieldBySig    map[string][]int32 // field sig -> iget/iput/sget/sput lines
+	classUse      map[string][]int32 // class descriptor -> every line using it
 
 	// Side lists for lines whose string literal could satisfy a
 	// Contains-style predicate in ways token extraction cannot
@@ -30,26 +31,52 @@ type Index struct {
 	oddStrings []int32 // const-string lines with escaped values
 	oddFields  []int32 // quoted lines containing a field mnemonic
 	oddCtors   []int32 // quoted lines containing "invoke-direct"
+	oddInvokes []int32 // quoted lines containing "invoke-"
 
 	lines    int
 	postings int
+}
+
+// Source is the postings interface the indexed search backend resolves
+// commands against. Both the single merged Index and the ShardedIndex
+// implement it; every lookup returns an ascending, duplicate-free list of
+// candidate dump lines that the caller re-verifies against the exact
+// command predicate.
+type Source interface {
+	InvokeBySig(sig string) []int32
+	InvokeByName(needle string) []int32
+	InvokeByNamePrefix(prefix string) []int32
+	CtorByPrefix(prefix string) []int32
+	NewInstance(desc string) []int32
+	ConstClass(desc string) []int32
+	ConstString(value string) []int32
+	FieldBySig(sig string) []int32
+	ClassUse(desc string) []int32
+	Lines() int
+	Postings() int
+	ShardCount() int
+}
+
+func newIndex(lines int) *Index {
+	return &Index{
+		invokeBySig:   make(map[string][]int32),
+		invokeByName:  make(map[string][]int32),
+		invokeByNameP: make(map[string][]int32),
+		ctorByPrefix:  make(map[string][]int32),
+		newInstance:   make(map[string][]int32),
+		constClass:    make(map[string][]int32),
+		constString:   make(map[string][]int32),
+		fieldBySig:    make(map[string][]int32),
+		classUse:      make(map[string][]int32),
+		lines:         lines,
+	}
 }
 
 // BuildIndex tokenizes every dump line once and returns the inverted
 // index. Cost is linear in the dump text; the caller is responsible for
 // charging the work meter.
 func BuildIndex(t *Text) *Index {
-	idx := &Index{
-		invokeBySig:  make(map[string][]int32),
-		invokeByName: make(map[string][]int32),
-		ctorByPrefix: make(map[string][]int32),
-		newInstance:  make(map[string][]int32),
-		constClass:   make(map[string][]int32),
-		constString:  make(map[string][]int32),
-		fieldBySig:   make(map[string][]int32),
-		classUse:     make(map[string][]int32),
-		lines:        len(t.lines),
-	}
+	idx := newIndex(len(t.lines))
 	for i, line := range t.lines {
 		idx.addLine(int32(i), line)
 	}
@@ -93,9 +120,15 @@ func (x *Index) addLine(n int32, line string) {
 	// hit.
 	if strings.Contains(line, "invoke-") && tail != "" {
 		x.add(x.invokeBySig, tail, n)
-		// ".name:descriptor" begins at the dot after the class descriptor.
+		// ".name:descriptor" begins at the dot after the class descriptor;
+		// the ".name:" prefix (descriptor-independent, the two-time ICC
+		// search's first pass) ends at the colon after the name.
 		if p := strings.Index(tail, ";."); p >= 0 {
-			x.add(x.invokeByName, tail[p+1:], n)
+			needle := tail[p+1:]
+			x.add(x.invokeByName, needle, n)
+			if c := strings.IndexByte(needle, ':'); c >= 0 {
+				x.add(x.invokeByNameP, needle[:c+1], n)
+			}
 		}
 		// Constructor prefix "Lcls;.<init>:" — everything up to and
 		// including the colon that separates name from descriptor.
@@ -103,6 +136,12 @@ func (x *Index) addLine(n int32, line string) {
 			if c := strings.IndexByte(tail, ':'); c >= 0 {
 				x.add(x.ctorByPrefix, tail[:c+1], n)
 			}
+		}
+		// A quoted line "containing" invoke- is a string literal that could
+		// embed any ".name:" needle anywhere, which the linear Contains grep
+		// would match; every prefix lookup must consider it.
+		if quoted {
+			x.addSide(&x.oddInvokes, n)
 		}
 	}
 	if strings.Contains(line, "new-instance") && tail != "" {
@@ -171,6 +210,16 @@ func (x *Index) InvokeBySig(sig string) []int32 { return x.invokeBySig[sig] }
 // ".name:descriptor" regardless of declaring class.
 func (x *Index) InvokeByName(needle string) []int32 { return x.invokeByName[needle] }
 
+// InvokeByNamePrefix returns the candidate invoke lines whose target
+// method name matches the ".name:" prefix regardless of declaring class
+// and descriptor, plus any string literal mentioning an invoke mnemonic
+// (the linear Contains grep would match those too; the caller's predicate
+// filters them). This backs the two-time ICC search's first pass, which
+// previously fell back to a raw O(lines) scan.
+func (x *Index) InvokeByNamePrefix(prefix string) []int32 {
+	return mergePostings(x.invokeByNameP[prefix], x.oddInvokes)
+}
+
 // CtorByPrefix returns the candidate invoke-direct lines calling any
 // constructor with the given "Lcls;.<init>:" prefix, plus any string
 // literal mentioning invoke-direct (the linear Contains grep would match
@@ -237,3 +286,6 @@ func (x *Index) Lines() int { return x.lines }
 // Postings returns the total number of postings across all token maps — a
 // size/overhead measure for reports and tests.
 func (x *Index) Postings() int { return x.postings }
+
+// ShardCount returns 1: a single merged Index is one shard.
+func (x *Index) ShardCount() int { return 1 }

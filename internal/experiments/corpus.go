@@ -29,6 +29,11 @@ type RunConfig struct {
 	// corpus position, so reports and figures are identical for any
 	// worker count — only wall time changes.
 	Workers int
+	// IndexCacheDir, when non-empty, persists every app's search index
+	// there (overriding BackDroidOptions.IndexCacheDir), so re-running
+	// the same corpus — CI re-checks, parameter sweeps over non-search
+	// knobs — skips tokenization entirely on the second and later runs.
+	IndexCacheDir string
 }
 
 // AppRun bundles one app's artifacts and analysis outcomes.
@@ -68,7 +73,7 @@ func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
 		}
 		ar := AppRun{Spec: spec, Truth: truth}
 		if cfg.RunBackDroid {
-			ar.BackDroid, err = runBackDroid(app, cfg.BackDroidOptions)
+			ar.BackDroid, err = runBackDroid(app, cfg.BackDroidOptions, cfg.IndexCacheDir)
 			if err != nil {
 				return fmt.Errorf("experiments: backdroid on %s: %w", spec.Name, err)
 			}
@@ -103,10 +108,13 @@ func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
 	return &CorpusRun{Apps: apps}, nil
 }
 
-func runBackDroid(app *apk.App, opts *core.Options) (*core.Report, error) {
+func runBackDroid(app *apk.App, opts *core.Options, cacheDir string) (*core.Report, error) {
 	o := core.DefaultOptions()
 	if opts != nil {
 		o = *opts
+	}
+	if cacheDir != "" {
+		o.IndexCacheDir = cacheDir
 	}
 	e, err := core.New(app, o)
 	if err != nil {

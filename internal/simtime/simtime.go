@@ -37,6 +37,23 @@ const (
 	// one is much cheaper than scanning a line of text for a match.
 	PostingsPerUnit = 400
 
+	// ShardOverheadUnits is the fixed coordination cost charged per shard
+	// when a sharded index is built: dispatching the shard to a worker and
+	// publishing its postings.
+	ShardOverheadUnits = 2
+
+	// ShardMergePostingsPerUnit is how many postings one work unit merges
+	// when a lookup combines per-shard lists. Merging streams two ascending
+	// lists — cheaper than the candidate-verify visit each posting also
+	// pays, pricier than free.
+	ShardMergePostingsPerUnit = 800
+
+	// IndexCacheLoadLinesPerUnit is how many dump lines' worth of index one
+	// work unit deserializes from the persistent cache. Loading postings
+	// back is a flat decode — ~10x cheaper than tokenizing the same lines,
+	// which is the entire point of the cache.
+	IndexCacheLoadLinesPerUnit = 200
+
 	// TimeoutMinutes is the per-app analysis timeout of the paper's
 	// evaluation (Sec. VI-A: 300 minutes).
 	TimeoutMinutes = 300
@@ -93,6 +110,41 @@ func (m *Meter) ChargeIndexBuild(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/IndexBuildLinesPerUnit) + 1)
+}
+
+// ChargeShardedIndexBuild charges for building a sharded index whose
+// largest shard tokenizes maxShardLines dump lines. Shards build in
+// parallel, so the tokenization charge is the critical path (the largest
+// shard) rather than the whole dump; each shard additionally pays a fixed
+// coordination overhead. The charge depends only on the shard plan — never
+// on worker count or machine — so simulated time stays deterministic.
+func (m *Meter) ChargeShardedIndexBuild(maxShardLines, shards int) error {
+	if shards < 1 {
+		shards = 1
+	}
+	units := int64(ShardOverheadUnits * shards)
+	if maxShardLines > 0 {
+		units += int64(maxShardLines / IndexBuildLinesPerUnit)
+	}
+	return m.Charge(units + 1)
+}
+
+// ChargeShardMerge charges for merging n postings across shard lists
+// during a lazy sharded lookup.
+func (m *Meter) ChargeShardMerge(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/ShardMergePostingsPerUnit) + 1)
+}
+
+// ChargeIndexCacheLoad charges for deserializing a persistent index cache
+// covering n dump lines — the warm-start path that replaces tokenization.
+func (m *Meter) ChargeIndexCacheLoad(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/IndexCacheLoadLinesPerUnit) + 1)
 }
 
 // ChargePostings charges for visiting n inverted-index postings.
