@@ -352,6 +352,116 @@ func BenchmarkIndexCacheWarmCorpus(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmStartEndToEnd measures the fully-warm engine path: the
+// first run over an app writes the persistent bundle (index + dump), the
+// second loads both. The benchmark is self-checking — the warm run must
+// perform zero disassembly and zero index builds, charge strictly less
+// total simulated work than the cold run, and report identical verdicts.
+func BenchmarkWarmStartEndToEnd(b *testing.B) {
+	app := benchAblationApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		opts := core.DefaultOptions()
+		opts.SearchBackend = bcsearch.BackendSharded
+		opts.IndexCacheDir = dir
+
+		analyze := func() *core.Report {
+			e, err := core.New(app, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := e.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+		cold := analyze()
+		warm := analyze()
+
+		cs, ws := cold.Stats, warm.Stats
+		if cs.DumpCacheHits != 0 || cs.DumpCacheMisses != 1 || cs.DumpLinesDisassembled == 0 {
+			b.Fatalf("cold run dump stats = %+v, want one probe miss and a real disassembly", cs)
+		}
+		if ws.DumpCacheHits != 1 || ws.DumpLinesDisassembled != 0 {
+			b.Fatalf("warm run dump stats = %+v, want a hit and zero disassembly", ws)
+		}
+		if ws.Search.IndexBuilds != 0 || ws.Search.IndexCacheHits != 1 {
+			b.Fatalf("warm run index stats = %+v, want a pure cache load", ws.Search)
+		}
+		if ws.WorkUnits >= cs.WorkUnits {
+			b.Fatalf("warm run charged %d units, cold %d — warm must be strictly cheaper", ws.WorkUnits, cs.WorkUnits)
+		}
+		if len(cold.Sinks) != len(warm.Sinks) {
+			b.Fatal("warm run changed the sink set")
+		}
+		for j := range cold.Sinks {
+			c, w := cold.Sinks[j], warm.Sinks[j]
+			if c.Reachable != w.Reachable || c.Insecure != w.Insecure {
+				b.Fatalf("sink %d verdict differs cold/warm", j)
+			}
+		}
+		b.ReportMetric(float64(cs.WorkUnits), "cold-units/op")
+		b.ReportMetric(float64(ws.WorkUnits), "warm-units/op")
+		b.ReportMetric(float64(cs.WorkUnits)/float64(ws.WorkUnits), "warm-speedup")
+	}
+}
+
+// BenchmarkManySinkOutlier measures the tuned per-app SSG on the Fig. 9
+// 121-sink outlier analogue: all sinks funnel through a shared config
+// chain, so per-sink graphs rebuild the same subgraph 121 times while the
+// per-app graph (slice interning + one forward pass) builds it once. The
+// benchmark is self-checking — per-app must charge strictly less total
+// work with identical verdicts.
+func BenchmarkManySinkOutlier(b *testing.B) {
+	app, truth, err := appgen.Generate(appgen.ManySinkOutlierSpec(4242))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(truth.Sinks) != 121 {
+		b.Fatalf("outlier app has %d sinks, want 121", len(truth.Sinks))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyze := func(perApp bool) *core.Report {
+			opts := core.DefaultOptions()
+			opts.PerAppSSG = perApp
+			e, err := core.New(app, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := e.Analyze()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r
+		}
+		perSink := analyze(false)
+		perApp := analyze(true)
+
+		if len(perSink.Sinks) != len(perApp.Sinks) || len(perSink.Sinks) != 121 {
+			b.Fatalf("sink counts differ: per-sink %d, per-app %d", len(perSink.Sinks), len(perApp.Sinks))
+		}
+		for j := range perSink.Sinks {
+			s, a := perSink.Sinks[j], perApp.Sinks[j]
+			if s.Reachable != a.Reachable || s.Insecure != a.Insecure {
+				b.Fatalf("sink %d (%s): per-sink (r=%v,i=%v) vs per-app (r=%v,i=%v)",
+					j, s.Call.Caller.SootSignature(), s.Reachable, s.Insecure, a.Reachable, a.Insecure)
+			}
+		}
+		su, au := perSink.Stats.WorkUnits, perApp.Stats.WorkUnits
+		if au >= su {
+			b.Fatalf("per-app SSG charged %d units, per-sink %d — sharing must be strictly cheaper on the outlier", au, su)
+		}
+		b.ReportMetric(float64(su), "per-sink-units/op")
+		b.ReportMetric(float64(au), "per-app-units/op")
+		b.ReportMetric(float64(su)/float64(au), "per-app-speedup")
+	}
+}
+
 // BenchmarkCorpusWorkers measures the wall-clock effect of the bounded
 // worker pool on the scaled corpus (results are identical for any worker
 // count; only elapsed time changes).

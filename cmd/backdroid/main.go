@@ -4,7 +4,8 @@
 // Usage:
 //
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
-//	          [-shards N] [-index-cache DIR] [-stats=false] app.apk...
+//	          [-shards N] [-index-cache DIR] [-parallel-lookups] [-stats=false]
+//	          app.apk...
 //
 // B selects the bytecode search backend: indexed (default, inverted-index
 // lookups), sharded (per-classesN.dex index shards, built concurrently) or
@@ -12,9 +13,12 @@
 // apps are analyzed concurrently; reports are always printed in argument
 // order and are identical for any W. -shards overrides the sharded
 // backend's shard count (0 = auto). -index-cache persists each app's
-// search index in DIR so re-analyses skip tokenization. -stats=false
-// suppresses the cost/statistics lines, leaving only the deterministic
-// detection report (useful for diffing backends against each other).
+// dump+index bundle in DIR so re-analyses skip disassembly and
+// tokenization entirely (a fully warm start). -parallel-lookups fans
+// hot-token postings fetches out per shard (sharded backend; results are
+// identical). -stats=false suppresses the cost/statistics lines, leaving
+// only the deterministic detection report (useful for diffing backends
+// against each other).
 package main
 
 import (
@@ -31,14 +35,15 @@ import (
 
 // config carries the parsed CLI flags.
 type config struct {
-	subclassSinks bool
-	timeout       float64
-	showSSG       bool
-	backend       string
-	workers       int
-	shards        int
-	indexCache    string
-	stats         bool
+	subclassSinks   bool
+	timeout         float64
+	showSSG         bool
+	backend         string
+	workers         int
+	shards          int
+	indexCache      string
+	parallelLookups bool
+	stats           bool
 }
 
 func main() {
@@ -53,7 +58,9 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0,
 		"index shard count for -backend sharded (0 = auto: per classesN.dex)")
 	flag.StringVar(&cfg.indexCache, "index-cache", "",
-		"directory for persistent index cache files (empty = disabled)")
+		"directory for persistent dump+index bundles (empty = disabled)")
+	flag.BoolVar(&cfg.parallelLookups, "parallel-lookups", false,
+		"fan hot-token shard lookups out on the worker pool (sharded backend)")
 	flag.BoolVar(&cfg.stats, "stats", true,
 		"print cost/statistics lines (disable for deterministic backend diffs)")
 	flag.Parse()
@@ -79,6 +86,7 @@ func run(paths []string, cfg config) error {
 	opts.TimeoutMinutes = cfg.timeout
 	opts.IndexShards = cfg.shards
 	opts.IndexCacheDir = cfg.indexCache
+	opts.ParallelLookups = cfg.parallelLookups
 
 	// Analyze concurrently, report in argument order. Every app gets its
 	// own engine; errors keep their argument position so the first failure
@@ -149,9 +157,16 @@ func printReport(r *core.Report, cfg config) {
 		fmt.Printf("  index: built over %d lines (%d shards); %d postings visited, %d lines scanned (raw fallbacks)\n",
 			st.Search.IndexLines, st.Search.ShardCount, st.Search.PostingsScanned, st.Search.LinesScanned)
 	}
-	if st.Search.IndexCacheHits > 0 {
-		fmt.Printf("  index cache: warm (%d shards loaded); %d postings visited\n",
-			st.Search.ShardCount, st.Search.PostingsScanned)
+	if st.Search.IndexCacheHits > 0 || st.Search.IndexCacheMisses > 0 {
+		fmt.Printf("  index cache: %d hits, %d misses (%d shards); %d postings visited\n",
+			st.Search.IndexCacheHits, st.Search.IndexCacheMisses, st.Search.ShardCount, st.Search.PostingsScanned)
+	}
+	if st.DumpCacheHits > 0 || st.DumpCacheMisses > 0 {
+		fmt.Printf("  dump cache: %d hits, %d misses; load charged %d units, %d lines disassembled\n",
+			st.DumpCacheHits, st.DumpCacheMisses, st.DumpCacheUnits, st.DumpLinesDisassembled)
+	}
+	if st.Search.ParallelLookups > 0 {
+		fmt.Printf("  parallel lookups: %d hot tokens fanned out\n", st.Search.ParallelLookups)
 	}
 }
 

@@ -1,14 +1,21 @@
 // Command benchgate is the CI bench-regression gate for the bytecode
 // search stack. It analyzes the scaled benchmark corpus once per search
-// backend (linear, indexed, sharded) plus a warm persistent-cache run,
-// emits the charged-work measurements as JSON (BENCH_search.json), and
-// fails when charged work regresses beyond the tolerance against a
-// checked-in baseline.
+// backend (linear, indexed, sharded), once with shard-parallel lookups,
+// and cold+warm against the persistent bundle cache; emits the
+// charged-work measurements as JSON (BENCH_search.json plus the warm-path
+// trajectory BENCH_warm.json), and fails when charged work regresses
+// beyond the tolerance against a checked-in baseline.
+//
+// Hard invariants enforced on every run, baseline or not:
+//   - index backends must beat the linear scan (speedup > 1);
+//   - a warm run must charge zero index builds AND zero disassembly
+//     (every app loads both bundle sections);
+//   - shard-parallel lookups must not change a single detection verdict.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
-//	          [-tolerance F] [-write-baseline]
+//	          [-warm-out FILE] [-tolerance F] [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"backdroid/internal/appgen"
 	"backdroid/internal/bcsearch"
@@ -39,6 +47,9 @@ type BackendCost struct {
 	MergedPostings  int64   `json:"merged_postings"`
 	IndexBuilds     int     `json:"index_builds"`
 	IndexCacheHits  int     `json:"index_cache_hits"`
+	DumpCacheHits   int     `json:"dump_cache_hits"`
+	DumpLinesCold   int64   `json:"dump_lines_disassembled"`
+	ParallelLookups int     `json:"parallel_lookups"`
 	WorkUnits       int64   `json:"work_units"`
 	SimMinutes      float64 `json:"sim_minutes"`
 }
@@ -55,9 +66,25 @@ type CorpusMeta struct {
 type Report struct {
 	Corpus         CorpusMeta             `json:"corpus"`
 	Backends       map[string]BackendCost `json:"backends"`
-	WarmCache      BackendCost            `json:"warm_cache"` // sharded backend, pre-warmed index cache
+	WarmCache      BackendCost            `json:"warm_cache"` // sharded backend, pre-warmed bundle cache
 	SpeedupIndexed float64                `json:"speedup_indexed"`
 	SpeedupSharded float64                `json:"speedup_sharded"`
+	SpeedupWarm    float64                `json:"speedup_warm"` // cold sharded vs warm bundle
+}
+
+// WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
+// tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
+// warm cost at measurement time, so the speedup over the previous warm
+// path (PR 2's index-only cache, initially) is recorded alongside the
+// absolute numbers.
+type WarmReport struct {
+	Corpus            CorpusMeta  `json:"corpus"`
+	ColdSharded       BackendCost `json:"cold_sharded"`
+	Warm              BackendCost `json:"warm"`
+	WarmParallel      BackendCost `json:"warm_parallel"`
+	SpeedupWarmVsCold float64     `json:"speedup_warm_vs_cold"`
+	BaselineWarmUnits int64       `json:"baseline_warm_work_units,omitempty"`
+	SpeedupVsBaseline float64     `json:"speedup_vs_baseline_warm,omitempty"`
 }
 
 func main() {
@@ -67,46 +94,75 @@ func main() {
 		seed      = flag.Int64("seed", 20200523, "corpus seed")
 		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
 		out       = flag.String("out", "BENCH_search.json", "output JSON path")
+		warmOut   = flag.String("warm-out", "BENCH_warm.json", "warm-path trajectory JSON path (empty = skip)")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write     = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
+	detections := make(map[string]string)
 	for _, kind := range []bcsearch.BackendKind{bcsearch.BackendLinear, bcsearch.BackendIndexed, bcsearch.BackendSharded} {
-		cost, err := measure(meta, kind, "")
+		cost, det, err := measure(meta, kind, "", false)
 		if err != nil {
 			return err
 		}
 		report.Backends[kind.String()] = cost
-		fmt.Fprintf(os.Stderr, "%-8s %10d units, %9d line-scans, %9d postings\n",
+		detections[kind.String()] = det
+		fmt.Fprintf(os.Stderr, "%-16s %10d units, %9d line-scans, %9d postings\n",
 			kind, cost.WorkUnits, cost.LinesScanned, cost.PostingsScanned)
 	}
 
-	// Warm persistent-cache run: first pass populates the cache directory,
-	// second pass must load every index instead of tokenizing.
+	// Parity matrix leg: shard-parallel lookups must not change one
+	// detection verdict while their charged work is tracked like a
+	// backend of its own.
+	parCost, parDet, err := measure(meta, bcsearch.BackendSharded, "", true)
+	if err != nil {
+		return err
+	}
+	report.Backends["sharded-parallel"] = parCost
+	fmt.Fprintf(os.Stderr, "%-16s %10d units, %d lookups fanned out\n",
+		"sharded-par", parCost.WorkUnits, parCost.ParallelLookups)
+	for name, det := range detections {
+		if det != detections["linear"] {
+			return fmt.Errorf("backend %q detection output diverges from linear", name)
+		}
+	}
+	if parDet != detections["sharded"] {
+		return fmt.Errorf("parallel lookups changed the detection output")
+	}
+
+	// Warm persistent-bundle runs: the first pass populates the cache
+	// directory, the second must load every dump and index section, the
+	// third re-checks the fully-warm path with parallel lookups on.
 	cacheDir, err := os.MkdirTemp("", "benchgate-idx-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(cacheDir)
-	if _, err := measure(meta, bcsearch.BackendSharded, cacheDir); err != nil {
-		return err
-	}
-	report.WarmCache, err = measure(meta, bcsearch.BackendSharded, cacheDir)
+	coldSharded, _, err := measure(meta, bcsearch.BackendSharded, cacheDir, false)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%-8s %10d units, %d cache hits, %d index builds\n",
-		"warm", report.WarmCache.WorkUnits, report.WarmCache.IndexCacheHits, report.WarmCache.IndexBuilds)
+	warm, warmDet, err := measure(meta, bcsearch.BackendSharded, cacheDir, false)
+	if err != nil {
+		return err
+	}
+	warmPar, warmParDet, err := measure(meta, bcsearch.BackendSharded, cacheDir, true)
+	if err != nil {
+		return err
+	}
+	report.WarmCache = warm
+	fmt.Fprintf(os.Stderr, "%-16s %10d units, %d index hits, %d dump hits, %d builds, %d lines disassembled\n",
+		"warm", warm.WorkUnits, warm.IndexCacheHits, warm.DumpCacheHits, warm.IndexBuilds, warm.DumpLinesCold)
 
 	lin := report.Backends["linear"].WorkUnits
 	if idx := report.Backends["indexed"].WorkUnits; idx > 0 {
@@ -114,6 +170,9 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath string, tole
 	}
 	if sh := report.Backends["sharded"].WorkUnits; sh > 0 {
 		report.SpeedupSharded = float64(lin) / float64(sh)
+	}
+	if warm.WorkUnits > 0 {
+		report.SpeedupWarm = float64(coldSharded.WorkUnits) / float64(warm.WorkUnits)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -124,16 +183,57 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath string, tole
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (speedup indexed %.2fx, sharded %.2fx)\n",
-		outPath, report.SpeedupIndexed, report.SpeedupSharded)
+	fmt.Fprintf(os.Stderr, "wrote %s (speedup indexed %.2fx, sharded %.2fx, warm %.2fx)\n",
+		outPath, report.SpeedupIndexed, report.SpeedupSharded, report.SpeedupWarm)
 
 	// Invariants the gate always enforces, baseline or not.
-	if report.WarmCache.IndexBuilds != 0 {
-		return fmt.Errorf("warm cache run built %d indexes, want 0 (persistent cache not hitting)", report.WarmCache.IndexBuilds)
+	if warm.IndexBuilds != 0 {
+		return fmt.Errorf("warm run built %d indexes, want 0 (persistent cache not hitting)", warm.IndexBuilds)
+	}
+	if warm.DumpLinesCold != 0 {
+		return fmt.Errorf("warm run disassembled %d dump lines, want 0 (bundle dump section not hitting)", warm.DumpLinesCold)
+	}
+	if warm.DumpCacheHits != apps {
+		return fmt.Errorf("warm run loaded %d cached dumps, want %d (one per app)", warm.DumpCacheHits, apps)
+	}
+	if warmDet != detections["sharded"] || warmParDet != detections["sharded"] {
+		return fmt.Errorf("warm bundle runs changed the detection output")
 	}
 	if report.SpeedupIndexed <= 1 || report.SpeedupSharded <= 1 {
 		return fmt.Errorf("index speedups %.2fx/%.2fx not >1 — index backends charge more than the linear scan",
 			report.SpeedupIndexed, report.SpeedupSharded)
+	}
+	if report.SpeedupWarm <= 1 {
+		return fmt.Errorf("warm speedup %.2fx not >1 — warm bundle runs charge more than cold", report.SpeedupWarm)
+	}
+
+	// The warm-path trajectory artifact. The baseline's warm cost is read
+	// before any refresh, so the recorded speedup is against the previous
+	// PR's warm path.
+	if warmOutPath != "" {
+		wr := WarmReport{
+			Corpus:            meta,
+			ColdSharded:       coldSharded,
+			Warm:              warm,
+			WarmParallel:      warmPar,
+			SpeedupWarmVsCold: report.SpeedupWarm,
+		}
+		if baselinePath != "" {
+			if base, err := readBaseline(baselinePath); err == nil && base.WarmCache.WorkUnits > 0 {
+				wr.BaselineWarmUnits = base.WarmCache.WorkUnits
+				wr.SpeedupVsBaseline = float64(base.WarmCache.WorkUnits) / float64(warm.WorkUnits)
+			}
+		}
+		wdata, err := json.MarshalIndent(wr, "", "  ")
+		if err != nil {
+			return err
+		}
+		wdata = append(wdata, '\n')
+		if err := os.WriteFile(warmOutPath, wdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (warm vs cold %.2fx, vs baseline warm %.2fx)\n",
+			warmOutPath, wr.SpeedupWarmVsCold, wr.SpeedupVsBaseline)
 	}
 
 	if writeBaseline {
@@ -153,10 +253,12 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath string, tole
 }
 
 // measure runs BackDroid over the corpus with the given backend and sums
-// the charged search work.
-func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string) (BackendCost, error) {
+// the charged search work; the returned string is a deterministic
+// detection summary (app, sink, verdict, values) used for parity checks.
+func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string, parallelLookups bool) (BackendCost, string, error) {
 	opts := core.DefaultOptions()
 	opts.SearchBackend = kind
+	opts.ParallelLookups = parallelLookups
 	run, err := experiments.RunCorpus(
 		appgen.CorpusOptions{Apps: meta.Apps, Seed: meta.Seed, SizeScale: meta.Scale},
 		experiments.RunConfig{
@@ -166,9 +268,10 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string) (Backe
 			IndexCacheDir:    cacheDir,
 		})
 	if err != nil {
-		return BackendCost{}, err
+		return BackendCost{}, "", err
 	}
 	var c BackendCost
+	var det strings.Builder
 	for _, a := range run.Apps {
 		s := a.BackDroid.Stats
 		c.LinesScanned += s.Search.LinesScanned
@@ -176,22 +279,36 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string) (Backe
 		c.MergedPostings += s.Search.MergedPostings
 		c.IndexBuilds += s.Search.IndexBuilds
 		c.IndexCacheHits += s.Search.IndexCacheHits
+		c.DumpCacheHits += s.DumpCacheHits
+		c.DumpLinesCold += s.DumpLinesDisassembled
+		c.ParallelLookups += s.Search.ParallelLookups
 		c.WorkUnits += s.WorkUnits
 		c.SimMinutes += s.SimMinutes
+		fmt.Fprintf(&det, "== %s ==\n", a.BackDroid.App)
+		for _, sk := range a.BackDroid.Sinks {
+			fmt.Fprintf(&det, "%s r=%v i=%v %v\n", sk.Call, sk.Reachable, sk.Insecure, sk.Values)
+		}
 	}
-	return c, nil
+	return c, det.String(), nil
+}
+
+// readBaseline parses a baseline report file.
+func readBaseline(path string) (Report, error) {
+	var base Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	err = json.Unmarshal(data, &base)
+	return base, err
 }
 
 // gate compares the run against the baseline and fails on charged-work
 // regressions beyond the tolerance.
 func gate(report Report, baselinePath string, tolerance float64) error {
-	data, err := os.ReadFile(baselinePath)
+	base, err := readBaseline(baselinePath)
 	if err != nil {
-		return fmt.Errorf("reading baseline: %w (run with -write-baseline to create it)", err)
-	}
-	var base Report
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		return fmt.Errorf("reading baseline %s: %w (run with -write-baseline to create it)", baselinePath, err)
 	}
 	if base.Corpus != report.Corpus {
 		return fmt.Errorf("baseline measured corpus %+v, this run %+v — not comparable", base.Corpus, report.Corpus)

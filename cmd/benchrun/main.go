@@ -5,15 +5,17 @@
 // Usage:
 //
 //	benchrun [-apps N] [-scale F] [-seed N] [-exp NAME] [-backend B] [-workers W]
-//	         [-shards N] [-index-cache DIR]
+//	         [-shards N] [-index-cache DIR] [-parallel-lookups]
 //
 // where NAME is one of: table1, fig1, fig7, fig8, fig9, headline,
 // detection, cachestats, clinit, all (default); B selects the bytecode
 // search backend (indexed, the default; sharded for per-dex index shards;
 // or linear for the paper-faithful full-scan ablation); and W bounds how
 // many apps are analyzed concurrently (default: all CPUs; results are
-// identical for any W). -index-cache persists per-app search indexes in
-// DIR so repeated corpus runs skip tokenization.
+// identical for any W). -index-cache persists per-app dump+index bundles
+// in DIR so repeated corpus runs skip disassembly and tokenization
+// entirely; -parallel-lookups fans hot-token shard lookups out on the
+// worker pool (sharded backend, identical results).
 package main
 
 import (
@@ -38,17 +40,18 @@ func main() {
 		backend    = flag.String("backend", "indexed", "search backend: indexed, sharded or linear")
 		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent app analyses (results are worker-count independent)")
 		shards     = flag.Int("shards", 0, "index shard count for -backend sharded (0 = auto)")
-		indexCache = flag.String("index-cache", "", "directory for persistent index cache files")
+		indexCache = flag.String("index-cache", "", "directory for persistent dump+index bundles")
+		parallel   = flag.Bool("parallel-lookups", false, "fan hot-token shard lookups out on the worker pool")
 		quiet      = flag.Bool("q", false, "suppress per-app progress")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *exp, *backend, *workers, *shards, *indexCache, *quiet); err != nil {
+	if err := run(*apps, *scale, *seed, *exp, *backend, *workers, *shards, *indexCache, *parallel, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, exp, backend string, workers, shards int, indexCache string, quiet bool) error {
+func run(apps int, scale float64, seed int64, exp, backend string, workers, shards int, indexCache string, parallelLookups bool, quiet bool) error {
 	if exp == "table1" {
 		fmt.Print(experiments.Table1(seed).Render())
 		return nil
@@ -61,6 +64,7 @@ func run(apps int, scale float64, seed int64, exp, backend string, workers, shar
 	bdOpts := core.DefaultOptions()
 	bdOpts.SearchBackend = kind
 	bdOpts.IndexShards = shards
+	bdOpts.ParallelLookups = parallelLookups
 
 	opts := appgen.CorpusOptions{Apps: apps, Seed: seed, SizeScale: scale}
 	cfg := experiments.RunConfig{

@@ -51,6 +51,7 @@ const (
 	FlowSuperPoly                     // override invoked via super-class signature
 	FlowRecursive                     // sink inside a mutually recursive helper pair
 	FlowDirectPair                    // two sink calls in one helper method
+	FlowSharedConfig                  // sink parameter flows through a shared config chain
 )
 
 var flowNames = map[Flow]string{
@@ -68,6 +69,7 @@ var flowNames = map[Flow]string{
 	FlowSuperPoly:     "super-poly",
 	FlowRecursive:     "recursive",
 	FlowDirectPair:    "direct-pair",
+	FlowSharedConfig:  "shared-config",
 }
 
 // String names the flow kind.
@@ -139,6 +141,10 @@ type generator struct {
 	mainBuilder  *dex.ClassBuilder
 	instrBudget  int
 	err          error
+
+	// sharedConfig caches the per-security-level shared configuration
+	// chain heads, emitted at most once per app (see flowSharedConfig).
+	sharedConfig map[bool]dex.MethodRef
 }
 
 // Generate builds the app and its ground truth.

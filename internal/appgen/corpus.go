@@ -84,6 +84,29 @@ func DefaultCorpus() CorpusOptions {
 	return CorpusOptions{Apps: 144, Seed: 20200523, SizeScale: 1.0}
 }
 
+// ManySinkOutlierSpec is the Fig. 9 many-sink outlier analogue (the
+// paper's 121-sink Huawei Health case, Sec. VI-D), purpose-built for
+// measuring the per-app SSG: one large app whose 121 sinks all funnel
+// their parameter through the app-shared configuration chain, so per-sink
+// slicing graphs rebuild the same subgraph 121 times while a per-app graph
+// builds it once.
+func ManySinkOutlierSpec(seed int64) Spec {
+	sinks := make([]SinkSpec, 0, 121)
+	for s := 0; s < 121; s++ {
+		sinks = append(sinks, SinkSpec{
+			Flow:     FlowSharedConfig,
+			Rule:     android.RuleCryptoECB,
+			Insecure: s%3 != 0,
+		})
+	}
+	return Spec{
+		Name:   "com.outlier.manysink",
+		Seed:   seed,
+		SizeMB: 8,
+		Sinks:  sinks,
+	}
+}
+
 // flowMix is the sampling weight of each flow kind in the corpus,
 // approximating the composition the paper's diagnosis implies
 // (Secs. VI-C/VI-D).

@@ -55,6 +55,8 @@ func (g *generator) buildFlow(i int, spec SinkSpec) {
 		g.flowRecursive(i, spec)
 	case FlowDirectPair:
 		g.flowDirectPair(i, spec)
+	case FlowSharedConfig:
+		g.flowSharedConfig(i, spec)
 	default:
 		if g.err == nil {
 			g.err = fmt.Errorf("appgen: unknown flow %v", spec.Flow)
@@ -68,6 +70,95 @@ func (g *generator) flowDirect(i int, spec SinkSpec) {
 	mb := cb.StaticMethod("doWork", dex.Void)
 	g.emitSinkCall(mb, spec)
 	mb.ReturnVoid().Done()
+	g.add(cb)
+	g.mainOnCreate.InvokeStatic(dex.NewMethodRef(g.cls(name), "doWork", dex.Void))
+	g.addTruth(spec, g.cls(name), "doWork", true)
+}
+
+// Shared-config chain parameters: the chain is sharedConfigDepth contained
+// static methods deep, and every step carries sharedConfigFiller untainted
+// statements that the backward scan must visit (charged) but never records
+// — the shape that makes re-slicing the chain per sink expensive and
+// interning it per app cheap.
+const (
+	sharedConfigDepth  = 10
+	sharedConfigFiller = 25
+)
+
+// sharedConfigRef returns (emitting on first use) the head of the shared
+// configuration chain for the given security level:
+// CryptoConfig{Secure,Insecure}.algorithm() -> step1() -> ... -> stepN(),
+// where the tail returns the crypto transformation string. Every
+// FlowSharedConfig sink of the app calls the same head, so all their
+// backward slices traverse one shared subgraph — the many-sink outlier
+// shape the per-app SSG (slice interning + single forward pass) exploits.
+func (g *generator) sharedConfigRef(insecure bool) dex.MethodRef {
+	if ref, ok := g.sharedConfig[insecure]; ok {
+		return ref
+	}
+	level, value := "Secure", "AES/GCM/NoPadding"
+	if insecure {
+		level, value = "Insecure", "AES/ECB/PKCS5Padding"
+	}
+	clsName := g.cls("CryptoConfig" + level)
+	strT := dex.T("java.lang.String")
+	cb := dex.NewClass(clsName)
+
+	filler := func(mb *dex.MethodBuilder, step int) {
+		for k := 0; k < sharedConfigFiller; k++ {
+			mb.ConstString(mb.Reg(), fmt.Sprintf("cfg-%s-%d-%d", level, step, k))
+		}
+	}
+	// Tail: the literal transformation value.
+	tailName := fmt.Sprintf("step%d", sharedConfigDepth)
+	tail := cb.StaticMethod(tailName, strT)
+	v := tail.Reg()
+	tail.ConstString(v, value)
+	filler(tail, sharedConfigDepth)
+	tail.Return(v).Done()
+
+	// Intermediate steps, each forwarding the next step's return value.
+	next := dex.NewMethodRef(clsName, tailName, strT)
+	for step := sharedConfigDepth - 1; step >= 1; step-- {
+		name := fmt.Sprintf("step%d", step)
+		mb := cb.StaticMethod(name, strT)
+		r := mb.Reg()
+		mb.InvokeStatic(next).MoveResult(r)
+		filler(mb, step)
+		out := mb.Reg()
+		mb.Move(out, r).Return(out).Done()
+		next = dex.NewMethodRef(clsName, name, strT)
+	}
+
+	head := cb.StaticMethod("algorithm", strT)
+	r := head.Reg()
+	head.InvokeStatic(next).MoveResult(r)
+	filler(head, 0)
+	head.Return(r).Done()
+	g.add(cb)
+
+	ref := dex.NewMethodRef(clsName, "algorithm", strT)
+	if g.sharedConfig == nil {
+		g.sharedConfig = make(map[bool]dex.MethodRef)
+	}
+	g.sharedConfig[insecure] = ref
+	return ref
+}
+
+// flowSharedConfig emits one sink whose parameter is resolved through the
+// app-shared configuration chain (always a crypto sink: the chain returns
+// the transformation string).
+func (g *generator) flowSharedConfig(i int, spec SinkSpec) {
+	cfg := g.sharedConfigRef(spec.Insecure)
+	name := fmt.Sprintf("SharedSink%d", i)
+	cb := dex.NewClass(g.cls(name))
+	mb := cb.StaticMethod("doWork", dex.Void)
+	s, c := mb.Reg(), mb.Reg()
+	mb.InvokeStatic(cfg).
+		MoveResult(s).
+		InvokeStatic(android.CipherGetInstance, s).
+		MoveResult(c).
+		ReturnVoid().Done()
 	g.add(cb)
 	g.mainOnCreate.InvokeStatic(dex.NewMethodRef(g.cls(name), "doWork", dex.Void))
 	g.addTruth(spec, g.cls(name), "doWork", true)

@@ -55,6 +55,7 @@ type Cost struct {
 	Lines          int64 // dump lines visited by a full scan
 	Postings       int64 // index postings visited
 	Merged         int64 // postings merged across shard lists
+	ParallelFanout bool  // the lookup fanned out per shard on the pool
 	IndexBuilt     bool  // this command triggered the one-time index build
 	IndexLoaded    bool  // the index came from the persistent cache instead
 	IndexCacheMiss bool  // a cache probe failed (missing/stale/corrupt file)
@@ -77,7 +78,15 @@ func NewSearcher(text *dexdump.Text, cfg Config) Searcher {
 	s := NewIndexedSearcher(text, cfg.Meter)
 	s.kind = cfg.Backend
 	s.cachePath = cfg.CachePath
+	s.bundleBytes = cfg.BundleBytes
 	s.buildWorkers = cfg.BuildWorkers
+	s.fingerprint = cfg.AppFingerprint
+	s.refreshBundle = cfg.RefreshBundle
+	s.parallelLookups = cfg.ParallelLookups
+	s.parallelMin = cfg.ParallelLookupMin
+	if s.parallelMin <= 0 {
+		s.parallelMin = DefaultParallelLookupMin
+	}
 	if cfg.Backend == BackendSharded {
 		s.plan = cfg.Plan
 		if s.plan == nil {
@@ -168,16 +177,28 @@ type IndexedSearcher struct {
 	meter *simtime.Meter
 	src   dexdump.Source
 
-	kind         BackendKind
-	plan         *dexdump.ShardPlan // non-nil selects a sharded build
-	cachePath    string             // non-empty enables the persistent cache
-	buildWorkers int                // shard build concurrency (wall-clock only)
+	kind            BackendKind
+	plan            *dexdump.ShardPlan // non-nil selects a sharded build
+	cachePath       string             // non-empty enables the persistent cache
+	bundleBytes     []byte             // pre-read bundle content (avoids a second read)
+	buildWorkers    int                // shard build concurrency (wall-clock only)
+	fingerprint     uint64             // app fingerprint stored in written bundles
+	refreshBundle   bool               // rewrite the bundle even on an index cache hit
+	parallelLookups bool               // fan hot-token lookups out per shard
+	parallelMin     int                // postings threshold for fanning out
 }
 
 // DefaultShards is the package-prefix shard count used when the sharded
 // backend is selected without an explicit plan. Fixed (never derived from
 // the machine) so simulated time stays deterministic.
 const DefaultShards = 4
+
+// DefaultParallelLookupMin is the total-postings threshold above which a
+// parallel-lookup searcher fans a sharded lookup out on the worker pool.
+// Below it the fan-out coordination would cost more than the sequential
+// visit saves, so cold tokens keep the lazy sequential path. Fixed so
+// charged work stays deterministic.
+const DefaultParallelLookupMin = 64
 
 // NewIndexedSearcher builds the single-index backend; the index itself is
 // built lazily. Use NewSearcher to configure sharding and caching.
@@ -199,6 +220,9 @@ func (s *IndexedSearcher) Run(cmd Command) ([]Hit, Cost, error) {
 			return nil, cost, err
 		}
 	}
+	if sharded, ok := s.src.(*dexdump.ShardedIndex); ok && s.parallelLookups && sharded.ShardCount() > 1 {
+		return s.runParallel(cmd, sharded, cost)
+	}
 	candidates := s.lookup(cmd)
 	cost.Postings = int64(len(candidates))
 	if err := s.meter.ChargePostings(len(candidates)); err != nil {
@@ -214,14 +238,58 @@ func (s *IndexedSearcher) Run(cmd Command) ([]Hit, Cost, error) {
 	return collect(s.text, cmd, candidates), cost, nil
 }
 
-// acquire obtains the postings source: persistent cache first (any
-// invalid file — missing, truncated, stale hash, old version, or a
-// shard layout other than the one this searcher was configured with —
-// is a silent miss), then a charged build, written back to the cache
-// best-effort so the next analysis of the same dump starts warm.
+// runParallel resolves one command against a sharded index with the
+// per-shard fetches fanned out on the worker pool. Results are bitwise
+// identical to the sequential lazy path — the per-shard lists are merged
+// in shard order — only the cost model changes: for hot tokens (total
+// postings >= the threshold) the visit charge is the max per-shard list
+// plus a flat fan-out overhead, modeling the fetches running concurrently;
+// the cross-shard merge stays charged at its critical path exactly as on
+// the lazy path. Cold tokens fall back to sequential charging so the
+// fan-out overhead never makes a cheap lookup dearer.
+func (s *IndexedSearcher) runParallel(cmd Command, sharded *dexdump.ShardedIndex, cost Cost) ([]Hit, Cost, error) {
+	get := shardGetter(cmd)
+	if get == nil {
+		return nil, cost, fmt.Errorf("bcsearch: no shard getter for command kind %v", cmd.Kind)
+	}
+	workers := s.buildWorkers
+	lists := sharded.LookupShards(get, workers)
+	total, maxPer := 0, 0
+	for _, p := range lists {
+		total += len(p)
+		if len(p) > maxPer {
+			maxPer = len(p)
+		}
+	}
+	cost.Postings = int64(total)
+	if total >= s.parallelMin {
+		cost.ParallelFanout = true
+		if err := s.meter.ChargeParallelLookup(maxPer); err != nil {
+			return nil, cost, err
+		}
+	} else if err := s.meter.ChargePostings(total); err != nil {
+		return nil, cost, err
+	}
+	candidates := dexdump.MergeShardLists(lists)
+	cost.Merged = int64(len(candidates))
+	if err := s.meter.ChargeShardMerge(len(candidates)); err != nil {
+		return nil, cost, err
+	}
+	return collect(s.text, cmd, candidates), cost, nil
+}
+
+// acquire obtains the postings source: persistent bundle first (any
+// invalid index section — missing, truncated, stale hash, unknown
+// version, or a shard layout other than the one this searcher was
+// configured with — is a silent miss), then a charged build, written back
+// to the bundle best-effort so the next analysis of the same dump starts
+// warm. When the engine signalled that its dump probe missed
+// (refreshBundle), an index cache hit still rewrites the file as a full
+// bundle, upgrading legacy index-only files and self-healing damaged dump
+// sections so the next run can skip disassembly too.
 func (s *IndexedSearcher) acquire(cost *Cost) error {
 	if s.cachePath != "" {
-		if src, err := dexdump.LoadIndexCache(s.cachePath, s.text); err == nil && src.ShardCount() == s.wantShards() {
+		if src, err := s.loadCachedIndex(); err == nil && src.ShardCount() == s.wantShards() {
 			// Deserialization is charged at the cheap cache-load rate;
 			// no tokenization happens on this path.
 			if err := s.meter.ChargeIndexCacheLoad(s.text.LineCount()); err != nil {
@@ -230,6 +298,10 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 			s.src = src
 			cost.IndexLoaded = true
 			cost.Shards = src.ShardCount()
+			if s.refreshBundle {
+				// Best-effort: a failed write must never fail the analysis.
+				_ = dexdump.WriteBundle(s.cachePath, s.text, s.src, s.fingerprint)
+			}
 			return nil
 		}
 		cost.IndexCacheMiss = true
@@ -253,9 +325,19 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 	cost.Shards = s.src.ShardCount()
 	if s.cachePath != "" {
 		// Best-effort: a failed write must never fail the analysis.
-		_ = dexdump.WriteIndexCache(s.cachePath, s.text, s.src)
+		_ = dexdump.WriteBundle(s.cachePath, s.text, s.src, s.fingerprint)
 	}
 	return nil
+}
+
+// loadCachedIndex decodes the bundle's index section — from the bytes the
+// engine already read for its dump probe when available, from disk
+// otherwise.
+func (s *IndexedSearcher) loadCachedIndex() (dexdump.Source, error) {
+	if len(s.bundleBytes) != 0 {
+		return dexdump.DecodeIndexFile(s.bundleBytes, s.text)
+	}
+	return dexdump.LoadIndexCache(s.cachePath, s.text)
 }
 
 // wantShards is the shard count this searcher's configuration produces —
@@ -291,6 +373,33 @@ func (s *IndexedSearcher) lookup(cmd Command) []int32 {
 		return s.src.InvokeByName(cmd.Arg)
 	case CmdInvokeNamePrefix:
 		return s.src.InvokeByNamePrefix(cmd.Arg)
+	}
+	return nil
+}
+
+// shardGetter maps the command to the per-shard lookup the parallel path
+// fans out — the same per-shard methods the lazy ShardedIndex lookups
+// visit sequentially, so the two paths cannot diverge.
+func shardGetter(cmd Command) func(*dexdump.Index) []int32 {
+	switch cmd.Kind {
+	case CmdInvoke:
+		return func(i *dexdump.Index) []int32 { return i.InvokeBySig(cmd.Arg) }
+	case CmdCtor:
+		return func(i *dexdump.Index) []int32 { return i.CtorByPrefix(cmd.Arg) }
+	case CmdNewInstance:
+		return func(i *dexdump.Index) []int32 { return i.NewInstance(cmd.Arg) }
+	case CmdConstClass:
+		return func(i *dexdump.Index) []int32 { return i.ConstClass(cmd.Arg) }
+	case CmdConstString:
+		return func(i *dexdump.Index) []int32 { return i.ConstString(cmd.Arg) }
+	case CmdFieldAccess:
+		return func(i *dexdump.Index) []int32 { return i.FieldBySig(cmd.Arg) }
+	case CmdClassUse:
+		return func(i *dexdump.Index) []int32 { return i.ClassUse(cmd.Arg) }
+	case CmdInvokeName:
+		return func(i *dexdump.Index) []int32 { return i.InvokeByName(cmd.Arg) }
+	case CmdInvokeNamePrefix:
+		return func(i *dexdump.Index) []int32 { return i.InvokeByNamePrefix(cmd.Arg) }
 	}
 	return nil
 }

@@ -50,11 +50,14 @@ type Stats struct {
 	// through lazy cross-shard merges. IndexCacheHits/IndexCacheMisses
 	// count persistent-cache probes: a hit replaces the tokenization pass
 	// entirely, a miss (missing, truncated, stale or version-bumped file)
-	// falls back to a charged build.
+	// falls back to a charged build. ParallelLookups counts commands whose
+	// per-shard postings fetches fanned out on the worker pool (hot tokens
+	// under Config.ParallelLookups).
 	ShardCount       int
 	MergedPostings   int64
 	IndexCacheHits   int
 	IndexCacheMisses int
+	ParallelLookups  int
 }
 
 // Rate returns the cache hit rate in [0,1].
@@ -84,11 +87,37 @@ type Config struct {
 	// during a sharded build; <= 1 builds sequentially. Affects wall
 	// clock only — charged work and results are identical for any value.
 	BuildWorkers int
-	// CachePath, when non-empty, enables the persistent index cache: the
-	// built index is serialized there and later engines over the same
-	// dump load it instead of re-tokenizing. Invalid files (corrupt,
-	// stale, old version) are rebuilt and overwritten silently.
+	// CachePath, when non-empty, enables the persistent bundle cache: the
+	// built index (and the dump text) is serialized there and later
+	// engines over the same dump load it instead of re-tokenizing.
+	// Invalid files (corrupt, stale, old version) are rebuilt and
+	// overwritten silently.
 	CachePath string
+	// AppFingerprint identifies the app the dump was rendered from (see
+	// dexdump.AppFingerprint); it is stored in written bundles so a later
+	// engine can validate the cached dump without disassembling. 0 marks
+	// it unknown — the bundle is still written, but its dump section will
+	// never validate on probe.
+	AppFingerprint uint64
+	// BundleBytes, when non-empty, is the already-read content of the
+	// CachePath bundle: the engine reads the file once for its dump probe
+	// and hands the bytes down, so the index section decodes from memory
+	// instead of a second disk read. Writes still go to CachePath.
+	BundleBytes []byte
+	// RefreshBundle forces a bundle rewrite even when the index section
+	// loads from the cache. The engine sets it after its dump probe missed
+	// on an otherwise valid file (legacy index-only layout, or a damaged
+	// dump section), so the file self-heals and the next run skips
+	// disassembly.
+	RefreshBundle bool
+	// ParallelLookups fans the per-shard postings fetches of hot tokens
+	// out on the worker pool (sharded backend only). Results are bitwise
+	// identical — lists merge in shard order — and the simulated charge
+	// becomes the max per-shard visit plus the merge critical path.
+	ParallelLookups bool
+	// ParallelLookupMin overrides the total-postings threshold above which
+	// a lookup fans out; 0 uses DefaultParallelLookupMin.
+	ParallelLookupMin int
 }
 
 // Engine searches one app's dump text: it owns the command cache and
@@ -152,6 +181,9 @@ func (e *Engine) Run(cmd Command) ([]Hit, error) {
 	e.stats.LinesScanned += cost.Lines
 	e.stats.PostingsScanned += cost.Postings
 	e.stats.MergedPostings += cost.Merged
+	if cost.ParallelFanout {
+		e.stats.ParallelLookups++
+	}
 	if cost.IndexBuilt {
 		e.stats.IndexBuilds++
 		e.stats.IndexLines += int64(e.text.LineCount())

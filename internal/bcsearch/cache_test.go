@@ -106,11 +106,15 @@ func TestPersistentCacheInvalidation(t *testing.T) {
 	staleHash[9] ^= 0xff
 	versionBump := append([]byte(nil), good...)
 	binary.LittleEndian.PutUint16(versionBump[4:6], dexdump.CodecVersion+1)
+	// The index payload starts right after the 28-byte v2 header; flip and
+	// truncate inside it (damage past it lands in the dump section, which
+	// by design does not invalidate the index — see
+	// TestPersistentCacheDumpSectionDamage).
 	payloadFlip := append([]byte(nil), good...)
-	payloadFlip[len(payloadFlip)-1] ^= 0x01
+	payloadFlip[40] ^= 0x01
 
 	cases := map[string][]byte{
-		"truncated":    good[:len(good)/2],
+		"truncated":    good[:40],
 		"empty":        {},
 		"garbage":      []byte("not a cache file at all"),
 		"stale-hash":   staleHash,
@@ -139,6 +143,35 @@ func TestPersistentCacheInvalidation(t *testing.T) {
 				t.Errorf("cache file not repaired after %s: %+v", name, st)
 			}
 		})
+	}
+}
+
+// TestPersistentCacheDumpSectionDamage pins the section isolation of the
+// bundle: damage confined to the dump section leaves the index section
+// loadable — the searcher still reports an index cache hit with identical
+// hits, since dump validation is the engine's concern, not the
+// searcher's.
+func TestPersistentCacheDumpSectionDamage(t *testing.T) {
+	text := searchFixture(t)
+	path := dexdump.CachePath(t.TempDir(), "app")
+	seed := NewEngine(text, cacheConfig(simtime.NewMeter(), path, BackendSharded))
+	wantHits := runFixtureQueries(t, seed)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01 // inside the dump payload
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(text, cacheConfig(simtime.NewMeter(), path, BackendSharded))
+	hits := runFixtureQueries(t, e)
+	if st := e.Stats(); st.IndexCacheHits != 1 || st.IndexBuilds != 0 {
+		t.Errorf("stats = %+v, want an index cache hit despite dump damage", st)
+	}
+	if !hitsEqual(hits, wantHits) {
+		t.Error("dump-section damage changed index search results")
 	}
 }
 

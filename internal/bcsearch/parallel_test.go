@@ -1,0 +1,180 @@
+package bcsearch
+
+import (
+	"fmt"
+	"testing"
+
+	"backdroid/internal/dex"
+	"backdroid/internal/dexdump"
+	"backdroid/internal/simtime"
+)
+
+// parallelConfig builds a sharded engine config with parallel lookups on
+// and the hot-token threshold forced down so every lookup fans out.
+func parallelConfig(text *dexdump.Text, shards int) Config {
+	return Config{
+		Meter:             simtime.NewMeter(),
+		Backend:           BackendSharded,
+		Plan:              dexdump.PackagePrefixPlan(text, shards),
+		BuildWorkers:      2,
+		ParallelLookups:   true,
+		ParallelLookupMin: 1,
+	}
+}
+
+// TestParallelLookupParity pins the determinism contract of the fan-out:
+// for several shard counts, a parallel-lookup engine returns hits bitwise
+// identical to the sequential lazy-merge engine for every fixture query.
+func TestParallelLookupParity(t *testing.T) {
+	text := searchFixture(t)
+	for _, shards := range []int{2, 3, 7} {
+		seq := NewEngine(text, Config{
+			Meter: simtime.NewMeter(), Backend: BackendSharded,
+			Plan: dexdump.PackagePrefixPlan(text, shards), BuildWorkers: 2,
+		})
+		par := NewEngine(text, parallelConfig(text, shards))
+		seqHits := runFixtureQueries(t, seq)
+		parHits := runFixtureQueries(t, par)
+		if !hitsEqual(seqHits, parHits) {
+			t.Errorf("shards=%d: parallel hits differ from sequential: %v vs %v",
+				shards, summarize(parHits), summarize(seqHits))
+		}
+		if st := par.Stats(); st.ParallelLookups == 0 {
+			t.Errorf("shards=%d: no lookup fanned out despite threshold 1: %+v", shards, st)
+		}
+		if st := seq.Stats(); st.ParallelLookups != 0 {
+			t.Errorf("shards=%d: sequential engine reported fan-outs: %+v", shards, st)
+		}
+	}
+}
+
+// hotTokenFixture builds a dump where one invoke target is genuinely hot:
+// thousands of call sites spread over several packages, so its postings
+// list is large and lands in every shard of a package-prefix plan.
+func hotTokenFixture(t *testing.T) (*dexdump.Text, dex.MethodRef) {
+	t.Helper()
+	f := dex.NewFile()
+	target := dex.NewMethodRef("com.hot.Target", "work", dex.Void)
+	tc := dex.NewClass("com.hot.Target")
+	tc.StaticMethod("work", dex.Void).ReturnVoid().Done()
+	if err := f.AddClass(tc.Build()); err != nil {
+		t.Fatal(err)
+	}
+	for i, pkg := range []string{"com.alpha", "com.beta", "org.gamma", "org.delta", "net.eps", "net.zeta"} {
+		c := dex.NewClass(fmt.Sprintf("%s.Caller%d", pkg, i))
+		m := c.StaticMethod("spam", dex.Void)
+		for j := 0; j < 600; j++ {
+			m.InvokeStatic(target)
+		}
+		m.ReturnVoid().Done()
+		if err := f.AddClass(c.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dexdump.Disassemble(f), target
+}
+
+// TestParallelLookupCheaperOnHotTokens pins the cost model: for a hot
+// token whose postings spread across shards, the fan-out (max per-shard
+// visit + flat overhead + merge critical path) charges strictly less than
+// the sequential full visit — while postings/merge accounting and hits
+// stay identical.
+func TestParallelLookupCheaperOnHotTokens(t *testing.T) {
+	text, target := hotTokenFixture(t)
+	seqMeter, parMeter := simtime.NewMeter(), simtime.NewMeter()
+	seq := NewEngine(text, Config{
+		Meter: seqMeter, Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+	})
+	par := NewEngine(text, Config{
+		Meter: parMeter, Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+		ParallelLookups: true, // default hot-token threshold
+	})
+	seqHits, err := seq.FindInvocations(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parHits, err := par.FindInvocations(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hitsEqual(seqHits, parHits) {
+		t.Fatal("hot-token parallel hits differ from sequential")
+	}
+	if len(seqHits) < DefaultParallelLookupMin {
+		t.Fatalf("fixture produced only %d hits — not a hot token", len(seqHits))
+	}
+	ss, ps := seq.Stats(), par.Stats()
+	if ps.ParallelLookups != 1 {
+		t.Fatalf("hot token did not fan out: %+v", ps)
+	}
+	if ps.PostingsScanned != ss.PostingsScanned || ps.MergedPostings != ss.MergedPostings {
+		t.Errorf("accounting differs: parallel %+v vs sequential %+v", ps, ss)
+	}
+	// Same index build charge on both sides, so total units compare the
+	// lookup paths directly.
+	if parMeter.Units() >= seqMeter.Units() {
+		t.Errorf("hot-token fan-out charged %d units total, sequential %d — must be strictly cheaper",
+			parMeter.Units(), seqMeter.Units())
+	}
+}
+
+// TestParallelLookupColdTokenGate pins the hot-token gate: with the
+// default threshold, the tiny fixture's lookups stay sequential (no
+// fan-out, identical charges), so cold tokens never pay coordination
+// overhead.
+func TestParallelLookupColdTokenGate(t *testing.T) {
+	text := searchFixture(t)
+	seqMeter, parMeter := simtime.NewMeter(), simtime.NewMeter()
+	seq := NewEngine(text, Config{
+		Meter: seqMeter, Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+	})
+	par := NewEngine(text, Config{
+		Meter: parMeter, Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+		ParallelLookups: true, // threshold left at DefaultParallelLookupMin
+	})
+	seqHits := runFixtureQueries(t, seq)
+	parHits := runFixtureQueries(t, par)
+	if !hitsEqual(seqHits, parHits) {
+		t.Error("gated parallel engine returned different hits")
+	}
+	if st := par.Stats(); st.ParallelLookups != 0 {
+		t.Errorf("fixture tokens are cold; %d lookups fanned out", st.ParallelLookups)
+	}
+	if parMeter.Units() != seqMeter.Units() {
+		t.Errorf("gated parallel engine charged %d units, sequential %d — cold path must charge identically",
+			parMeter.Units(), seqMeter.Units())
+	}
+}
+
+// TestParallelLookupWithBundleCache pins the composition the acceptance
+// criterion names: an engine that loads its sharded index from a warm
+// bundle and fans lookups out still answers every query identically.
+func TestParallelLookupWithBundleCache(t *testing.T) {
+	text := searchFixture(t)
+	path := dexdump.CachePath(t.TempDir(), "app")
+
+	cold := NewEngine(text, Config{
+		Meter: simtime.NewMeter(), Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2, CachePath: path,
+	})
+	wantHits := runFixtureQueries(t, cold)
+
+	cfg := parallelConfig(text, 3)
+	cfg.CachePath = path
+	warm := NewEngine(text, cfg)
+	warmHits := runFixtureQueries(t, warm)
+	st := warm.Stats()
+	if st.IndexCacheHits != 1 || st.IndexBuilds != 0 {
+		t.Errorf("warm parallel engine stats = %+v, want a pure cache load", st)
+	}
+	if st.ParallelLookups == 0 {
+		t.Error("warm parallel engine never fanned out")
+	}
+	if !hitsEqual(warmHits, wantHits) {
+		t.Error("warm parallel hits differ from cold sequential hits")
+	}
+}

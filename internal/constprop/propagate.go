@@ -21,6 +21,13 @@ type Options struct {
 	// fact is collected. Per-app SSGs record several sink calls in one
 	// graph; each propagation run targets one of them.
 	SinkUnit *ssg.Unit
+	// MultiSinks, when non-nil, collects facts for several sink call
+	// nodes in a single traversal: each entry maps a recorded call node
+	// to the parameter index to track at it. The per-app SSG mode uses
+	// this to run the forward pass once per app instead of once per sink
+	// — the traversal itself is identical to a single-sink run, only the
+	// collection points differ. SinkUnit/SinkParamIndex are ignored.
+	MultiSinks map[*ssg.Unit]int
 }
 
 // Result is the outcome of a propagation run.
@@ -28,6 +35,8 @@ type Result struct {
 	// SinkValues is the dataflow representation of the tracked sink
 	// parameter: every abstract value that can reach it.
 	SinkValues []Value
+	// MultiValues holds the per-node values of a MultiSinks run.
+	MultiValues map[*ssg.Unit][]Value
 }
 
 // Run traverses the SSG: the special static-field track first, then the
@@ -47,6 +56,12 @@ func Run(g *ssg.Graph, prog *ir.Program, meter *simtime.Meter, opts Options) (*R
 		sink:     NewFact(),
 		thisObjs: make(map[string]*Obj),
 	}
+	if opts.MultiSinks != nil {
+		a.multi = make(map[*ssg.Unit]*Fact, len(opts.MultiSinks))
+		for u := range opts.MultiSinks {
+			a.multi[u] = NewFact()
+		}
+	}
 
 	// Static field track first, so the normal track can resolve the
 	// fields it references.
@@ -60,7 +75,14 @@ func Run(g *ssg.Graph, prog *ir.Program, meter *simtime.Meter, opts Options) (*R
 			return nil, err
 		}
 	}
-	return &Result{SinkValues: a.sink.Values()}, nil
+	res := &Result{SinkValues: a.sink.Values()}
+	if a.multi != nil {
+		res.MultiValues = make(map[*ssg.Unit][]Value, len(a.multi))
+		for u, f := range a.multi {
+			res.MultiValues[u] = f.Values()
+		}
+	}
+	return res, nil
 }
 
 type env struct {
@@ -81,6 +103,7 @@ type analysis struct {
 	opts    Options
 	globals map[string]*Fact // static field soot sig -> fact
 	sink    *Fact
+	multi   map[*ssg.Unit]*Fact // per-node facts of a MultiSinks run
 	objSeq  int
 	// thisObjs gives every method of one class the same receiver object,
 	// so component state written in one lifecycle handler is visible in
@@ -293,13 +316,19 @@ func (a *analysis) evalAssign(ref dex.MethodRef, u *ssg.Unit, s *ir.AssignStmt, 
 // into tracked callees; model framework APIs otherwise. At the sink node
 // the tracked parameter's fact is collected.
 func (a *analysis) evalInvoke(ref dex.MethodRef, u *ssg.Unit, inv *ir.InvokeExpr, env *env, stack []string) (*Fact, error) {
-	target := a.opts.SinkUnit
-	if target == nil {
-		target = a.g.SinkSite
-	}
-	if target == u {
-		if a.opts.SinkParamIndex < len(inv.Args) {
-			a.sink.Merge(a.evalValue(inv.Args[a.opts.SinkParamIndex], env))
+	if a.multi != nil {
+		if pi, ok := a.opts.MultiSinks[u]; ok && pi < len(inv.Args) {
+			a.multi[u].Merge(a.evalValue(inv.Args[pi], env))
+		}
+	} else {
+		target := a.opts.SinkUnit
+		if target == nil {
+			target = a.g.SinkSite
+		}
+		if target == u {
+			if a.opts.SinkParamIndex < len(inv.Args) {
+				a.sink.Merge(a.evalValue(inv.Args[a.opts.SinkParamIndex], env))
+			}
 		}
 	}
 

@@ -57,11 +57,52 @@ func (e *Engine) buildSSG(call SinkCall) (*ssg.Graph, *ssg.Unit, error) {
 	return g, sinkUnit, nil
 }
 
-// slicer carries the state of one SSG construction.
+// slicer carries the state of one SSG construction. The static-field
+// writer cache lives on the engine — the writer set is a pure function of
+// the dump, so every slicer of the app shares it.
 type slicer struct {
-	engine      *Engine
-	g           *ssg.Graph
-	writerCache map[string]map[string]bool // static field sig -> writer methods
+	engine *Engine
+	g      *ssg.Graph
+}
+
+// internKey builds the per-app slice-intern key for a contained-method
+// slice: the seed kind, the static-track flag and the callee signature.
+func internKey(kind string, staticTrack bool, sig string) string {
+	track := "-"
+	if staticTrack {
+		track = "s"
+	}
+	return kind + "\x00" + track + "\x00" + sig
+}
+
+// internRecord is the taint state an interned slice completed under. A
+// later identical slice request is skipped only when BOTH the callee's
+// own taint set and the global static taints are unchanged since — a
+// newly tainted static field can change what a callee slice records
+// (sput writers), even though the callee's local set never moved.
+type internRecord struct {
+	callee int // callee TaintSet.Version at completion
+	global int // GlobalTaint.Version at completion
+}
+
+// internHit reports whether the interned record still describes the
+// current taint state.
+func (s *slicer) internHit(key string, calleeTaints *ssg.TaintSet) bool {
+	rec, ok := s.engine.sliceIntern[key]
+	return ok && rec.callee == calleeTaints.Version() && rec.global == s.g.GlobalTaint.Version()
+}
+
+// internStore records a completed slice for interning — unless any
+// depth-bound or loop cutoff truncated its subtree (cutoffs moved), in
+// which case the slice is not a faithful stand-in for a re-slice from a
+// shallower context and must not be replayed.
+func (s *slicer) internStore(key string, calleeTaints *ssg.TaintSet, cutoffsBefore int64) {
+	e := s.engine
+	if e.sliceCutoffs != cutoffsBefore {
+		delete(e.sliceIntern, key)
+		return
+	}
+	e.sliceIntern[key] = internRecord{callee: calleeTaints.Version(), global: s.g.GlobalTaint.Version()}
 }
 
 // slice scans the method backward from unit fromIdx-1, consuming and
@@ -72,10 +113,12 @@ func (s *slicer) slice(method dex.MethodRef, fromIdx int, path []string, depth i
 	e := s.engine
 	sig := method.SootSignature()
 	if depth > e.opts.MaxDepth {
+		e.sliceCutoffs++
 		return nil
 	}
 	for _, p := range path {
 		if p == sig {
+			e.sliceCutoffs++
 			if e.opts.EnableLoopDetection {
 				e.loops[CrossBackward]++
 			}
@@ -302,6 +345,7 @@ func (s *slicer) taintInvokeResult(method dex.MethodRef, body *ir.Body, idx int,
 	if e.opts.EnableLoopDetection {
 		for _, p := range path {
 			if p == inv.Method.SootSignature() {
+				e.sliceCutoffs++
 				e.loops[InnerBackward]++
 				return nil
 			}
@@ -315,9 +359,28 @@ func (s *slicer) taintInvokeResult(method dex.MethodRef, body *ir.Body, idx int,
 	s.g.AddEdge(ssg.ReturnEdge, site, inv.Method)
 
 	calleeTaints := s.g.Taints(inv.Method)
+	key := internKey("ret", staticTrack, inv.Method.SootSignature())
+	if e.opts.PerAppSSG {
+		// Slice interning (per-app SSG tuning): when an identical
+		// return-seeded slice of this callee already ran to completion on
+		// the shared graph and neither the callee's taint set nor the
+		// global static taints have moved since, the subgraph — recorded
+		// units, edges, residual taints — is already in place. Re-slicing
+		// would re-walk the same statements to the same state, so only
+		// the call-site bookkeeping above and the residual parameter
+		// mapping below are repeated.
+		if s.internHit(key, calleeTaints) {
+			s.mapCalleeParamsBack(inv, calleeTaints, ts)
+			return nil
+		}
+	}
+	cutoffs := e.sliceCutoffs
 	calleeTaints.AddLocal(retSentinel)
 	if err := s.slice(inv.Method, -1, append(path, method.SootSignature()), depth+1, staticTrack); err != nil {
 		return err
+	}
+	if e.opts.PerAppSSG {
+		s.internStore(key, calleeTaints, cutoffs)
 	}
 	// Map the callee's residual parameter taints back to our arguments.
 	s.mapCalleeParamsBack(inv, calleeTaints, ts)
@@ -350,6 +413,7 @@ func (s *slicer) handleInvoke(method dex.MethodRef, body *ir.Body, idx int, inv 
 	if e.opts.EnableLoopDetection {
 		for _, p := range path {
 			if p == inv.Method.SootSignature() {
+				e.sliceCutoffs++
 				e.loops[InnerBackward]++
 				return nil
 			}
@@ -421,16 +485,15 @@ func (s *slicer) writesTaintedStatic(ref dex.MethodRef) bool {
 }
 
 // traceStaticFieldWriters launches the field-signature search when a new
-// static field becomes tainted, caching the writer set.
+// static field becomes tainted, caching the writer set engine-wide (the
+// set depends only on the dump, never on the slice in progress).
 func (s *slicer) traceStaticFieldWriters(field dex.FieldRef, path []string, depth int) error {
-	if s.writerCache == nil {
-		s.writerCache = make(map[string]map[string]bool)
-	}
+	e := s.engine
 	sig := field.SootSignature()
-	if _, ok := s.writerCache[sig]; ok {
+	if _, ok := e.writerCache[sig]; ok {
 		return nil
 	}
-	hits, err := s.engine.search.FindFieldAccesses(field, bcsearch.FieldWrites)
+	hits, err := e.search.FindFieldAccesses(field, bcsearch.FieldWrites)
 	if err != nil {
 		return err
 	}
@@ -440,13 +503,13 @@ func (s *slicer) traceStaticFieldWriters(field dex.FieldRef, path []string, dept
 			writers[h.Method.SootSignature()] = true
 		}
 	}
-	s.writerCache[sig] = writers
+	e.writerCache[sig] = writers
 	return nil
 }
 
 // staticWriters returns the cached writer set of a static field.
 func (s *slicer) staticWriters(fieldSig string) (map[string]bool, bool) {
-	w, ok := s.writerCache[fieldSig]
+	w, ok := s.engine.writerCache[fieldSig]
 	return w, ok
 }
 
@@ -528,6 +591,7 @@ func (s *slicer) propagateToCallers(method dex.MethodRef, body *ir.Body, tainted
 			looped := false
 			for _, p := range path {
 				if p == site.Method.SootSignature() {
+					e.sliceCutoffs++
 					e.loops[CrossBackward]++
 					looped = true
 					break
@@ -598,8 +662,22 @@ func (s *slicer) addOffPathClinits() error {
 		if clinit == nil {
 			continue
 		}
+		key := internKey("clinit", true, clinit.Ref.SootSignature())
+		if e.opts.PerAppSSG {
+			// The clinit's static-track subgraph is shared across sinks;
+			// re-slice only when the taint state changed since it was
+			// last recorded (a later sink re-tainted a field the earlier
+			// slice consumed).
+			if s.internHit(key, s.g.Taints(clinit.Ref)) {
+				continue
+			}
+		}
+		cutoffs := e.sliceCutoffs
 		if err := s.slice(clinit.Ref, -1, nil, 0, true); err != nil {
 			return err
+		}
+		if e.opts.PerAppSSG {
+			s.internStore(key, s.g.Taints(clinit.Ref), cutoffs)
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -53,12 +54,29 @@ type Options struct {
 	// package-prefix shards otherwise. Ignored by other backends.
 	IndexShards int
 
-	// IndexCacheDir, when non-empty, enables the persistent index cache:
-	// the search index is serialized to <dir>/<app>.bdx after its first
-	// build and re-analyses of the same app load it instead of
-	// re-tokenizing the dump. Corrupt, stale or version-bumped cache
-	// files are detected and rebuilt silently.
+	// IndexCacheDir, when non-empty, enables the persistent bundle cache:
+	// the search index and the disassembled dump text are serialized to
+	// <dir>/<app>.bdx after the first analysis, and re-analyses of the
+	// same app load both — a warm engine run performs zero disassembly
+	// and zero tokenization, charging the cheap cache-load rates instead.
+	// Corrupt, stale or version-bumped cache files are detected and
+	// rebuilt silently; legacy index-only files still serve their index
+	// and are upgraded to full bundles in place.
 	IndexCacheDir string
+
+	// DumpProvider overrides the warm-start dump seam: before
+	// disassembling, the engine asks the provider for a previously
+	// rendered dump of the app. Nil uses the default provider, which
+	// probes the IndexCacheDir bundle (and is inert when no cache
+	// directory is configured). A provider miss falls back to disassembly
+	// transparently.
+	DumpProvider DumpProvider
+
+	// ParallelLookups fans the per-shard postings fetches of hot search
+	// tokens out on the worker pool (BackendSharded only). Detection
+	// results are bitwise identical; the simulated charge becomes the max
+	// per-shard visit plus the lazy-merge critical path.
+	ParallelLookups bool
 
 	// EnableSinkCache caches per-method reachability so repeated sink
 	// calls in the same unreachable method are skipped (Sec. IV-F).
@@ -170,6 +188,18 @@ type Stats struct {
 	WorkUnits       int64
 	SimMinutes      float64
 	WallTime        time.Duration
+
+	// Warm-start dump cache accounting. DumpCacheHits / DumpCacheMisses
+	// count dump-provider probes (at most one each per engine; both zero
+	// when no provider is configured). On a hit the engine performed zero
+	// disassembly and charged DumpCacheUnits at the cheap
+	// simtime.ChargeDumpCacheLoad rate; on a miss (or without a provider)
+	// DumpLinesDisassembled records the lines rendered and charged at the
+	// full disassembly rate.
+	DumpCacheHits         int
+	DumpCacheMisses       int
+	DumpCacheUnits        int64
+	DumpLinesDisassembled int64
 }
 
 // SinkCacheRate returns the fraction of sink calls answered from the
@@ -238,11 +268,61 @@ type Engine struct {
 	lastValues  []constprop.Value
 	preTimedOut bool
 	appSSG      *ssg.Graph // shared graph when PerAppSSG is set
+
+	// Per-app slice interning (PerAppSSG only): key -> taint state at the
+	// time the interned slice completed. sliceCutoffs counts every
+	// depth-bound or loop-cutoff truncation, so a slice whose subtree was
+	// truncated is never interned as if it were complete. See
+	// backslice.go.
+	sliceIntern  map[string]internRecord
+	sliceCutoffs int64
+	// Engine-wide static-field writer cache, shared across all slicers
+	// (the writer set is a pure function of the dump).
+	writerCache map[string]map[string]bool
+
+	// Warm-start dump cache accounting (see Stats).
+	dumpCacheHits   int
+	dumpCacheMisses int
+	dumpCacheUnits  int64
+	dumpLinesCold   int64
+}
+
+// DumpProvider is the warm-start seam of the engine: it may supply a
+// previously disassembled dump for the app, skipping the disassembly pass
+// entirely. Implementations must only return dumps that are valid for the
+// app's current bytecode (the default bundle provider validates via
+// dexdump.AppFingerprint); returning ok=false falls back to disassembly.
+type DumpProvider interface {
+	ProvideDump(app *apk.App) (*dexdump.Text, bool)
+}
+
+// bundleDumpProvider probes an already-read persistent .bdx bundle for a
+// serialized dump section matching the app's fingerprint. The engine
+// reads the bundle file once and shares the bytes with the searcher, so
+// a warm start costs a single disk read for both sections.
+type bundleDumpProvider struct {
+	data        []byte
+	fingerprint uint64
+}
+
+func (p bundleDumpProvider) ProvideDump(app *apk.App) (*dexdump.Text, bool) {
+	if len(p.data) == 0 {
+		return nil, false
+	}
+	t, err := dexdump.DecodeBundleDump(p.data, p.fingerprint)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
 }
 
 // New preprocesses the app (paper Sec. III step 1): merges multidex,
-// disassembles the bytecode to plaintext and builds the search and IR
-// infrastructure.
+// obtains the bytecode plaintext and builds the search and IR
+// infrastructure. With a persistent bundle configured (IndexCacheDir) the
+// dump provider is probed first: a valid cached dump makes this a warm
+// start — zero disassembly, charged at the cheap ChargeDumpCacheLoad rate
+// — while any invalid or absent dump section falls back to disassembly
+// transparently and self-heals the bundle.
 func New(app *apk.App, opts Options) (*Engine, error) {
 	if len(opts.Sinks) == 0 {
 		opts.Sinks = android.DefaultSinks()
@@ -250,39 +330,45 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = 25
 	}
-	merged, err := app.MergedDex()
-	if err != nil {
-		return nil, fmt.Errorf("core: preprocessing %s: %w", app.Name, err)
-	}
 	meter := simtime.NewMeter()
 	if opts.TimeoutMinutes > 0 {
 		meter.SetBudget(simtime.MinutesToUnits(opts.TimeoutMinutes))
 	}
-	dump := dexdump.Disassemble(merged)
-	// Disassembly cost: dexdump is a linear pass over the bytecode. A
-	// budget exhausted this early surfaces as a timed-out report from
-	// Analyze, not a construction error.
-	preTimedOut := meter.ChargeLines(dump.LineCount()) != nil
-	searchCfg := bcsearch.Config{
-		Meter:       meter,
-		Backend:     opts.SearchBackend,
-		EnableCache: opts.EnableSearchCache,
-	}
-	if opts.SearchBackend == bcsearch.BackendSharded {
-		searchCfg.Plan = shardPlan(app, dump, opts.IndexShards)
-		searchCfg.BuildWorkers = runtime.NumCPU()
-	}
+
+	// Warm-start probe, before any merge or disassembly work. The bundle
+	// file is read once; the searcher decodes its index section from the
+	// same bytes.
+	var fingerprint uint64
+	var bundleBytes []byte
+	cachePath := ""
 	if opts.IndexCacheDir != "" {
-		searchCfg.CachePath = dexdump.CachePath(opts.IndexCacheDir, app.Name)
+		cachePath = dexdump.CachePath(opts.IndexCacheDir, app.Name)
+		fingerprint = dexdump.AppFingerprint(app.Dexes)
 	}
-	return &Engine{
-		preTimedOut: preTimedOut,
+	provider := opts.DumpProvider
+	if provider == nil && cachePath != "" {
+		if data, err := os.ReadFile(cachePath); err == nil {
+			bundleBytes = data
+		}
+		provider = bundleDumpProvider{data: bundleBytes, fingerprint: fingerprint}
+	}
+	var dump *dexdump.Text
+	if provider != nil {
+		if t, ok := provider.ProvideDump(app); ok && t != nil {
+			dump = t
+		}
+	}
+
+	merged, err := app.MergedDex()
+	if err != nil {
+		return nil, fmt.Errorf("core: preprocessing %s: %w", app.Name, err)
+	}
+
+	e := &Engine{
 		app:         app,
 		opts:        opts,
 		dexf:        merged,
 		prog:        ir.NewProgram(merged),
-		dump:        dump,
-		search:      bcsearch.NewEngine(dump, searchCfg),
 		hier:        cha.New(merged),
 		meter:       meter,
 		reachCache:  make(map[string]*reachState),
@@ -290,7 +376,48 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		entryCache:  make(map[string]bool),
 		analyzed:    make(map[string]bool),
 		loops:       make(map[LoopKind]int),
-	}, nil
+		writerCache: make(map[string]map[string]bool),
+		sliceIntern: make(map[string]internRecord),
+	}
+	if dump != nil {
+		// Warm path: the cached dump replaces disassembly entirely;
+		// reading it back is charged at the flat cache-load rate.
+		e.dumpCacheHits = 1
+		before := meter.Units()
+		e.preTimedOut = meter.ChargeDumpCacheLoad(dump.LineCount()) != nil
+		e.dumpCacheUnits = meter.Units() - before
+	} else {
+		if provider != nil {
+			e.dumpCacheMisses = 1
+		}
+		dump = dexdump.Disassemble(merged)
+		e.dumpLinesCold = int64(dump.LineCount())
+		// Disassembly cost: dexdump is a linear pass over the bytecode. A
+		// budget exhausted this early surfaces as a timed-out report from
+		// Analyze, not a construction error.
+		e.preTimedOut = meter.ChargeLines(dump.LineCount()) != nil
+	}
+	e.dump = dump
+
+	searchCfg := bcsearch.Config{
+		Meter:           meter,
+		Backend:         opts.SearchBackend,
+		EnableCache:     opts.EnableSearchCache,
+		CachePath:       cachePath,
+		BundleBytes:     bundleBytes,
+		AppFingerprint:  fingerprint,
+		ParallelLookups: opts.ParallelLookups,
+		// A dump miss on a configured cache means the bundle is absent,
+		// legacy or damaged: have the searcher rewrite it even on an index
+		// cache hit, so the next run starts fully warm.
+		RefreshBundle: cachePath != "" && e.dumpCacheMisses > 0,
+	}
+	if opts.SearchBackend == bcsearch.BackendSharded {
+		searchCfg.Plan = shardPlan(app, dump, opts.IndexShards)
+		searchCfg.BuildWorkers = runtime.NumCPU()
+	}
+	e.search = bcsearch.NewEngine(dump, searchCfg)
+	return e, nil
 }
 
 // shardPlan lays out the sharded search index for an app: one shard per
@@ -340,16 +467,24 @@ func (e *Engine) Analyze() (*Report, error) {
 		return nil, err
 	}
 
-	for _, call := range calls {
-		sr, err := e.analyzeSinkCall(call)
+	if e.opts.PerAppSSG {
+		timedOut, err := e.analyzeSinksPerApp(report, calls)
 		if err != nil {
-			if err == simtime.ErrTimeout {
-				report.TimedOut = true
-				break
-			}
 			return nil, err
 		}
-		report.Sinks = append(report.Sinks, sr)
+		report.TimedOut = report.TimedOut || timedOut
+	} else {
+		for _, call := range calls {
+			sr, err := e.analyzeSinkCall(call)
+			if err != nil {
+				if err == simtime.ErrTimeout {
+					report.TimedOut = true
+					break
+				}
+				return nil, err
+			}
+			report.Sinks = append(report.Sinks, sr)
+		}
 	}
 
 	e.fillStats(report, start)
@@ -362,20 +497,26 @@ func (e *Engine) fillStats(report *Report, start time.Time) {
 		loops[k] = v
 	}
 	report.Stats = Stats{
-		Search:          e.search.Stats(),
-		SinkCallsTotal:  e.sinkTotal,
-		SinkCallsCached: e.sinkCached,
-		Loops:           loops,
-		MethodsAnalyzed: len(e.analyzed),
-		WorkUnits:       e.meter.Units(),
-		SimMinutes:      e.meter.Minutes(),
-		WallTime:        time.Since(start),
+		Search:                e.search.Stats(),
+		SinkCallsTotal:        e.sinkTotal,
+		SinkCallsCached:       e.sinkCached,
+		Loops:                 loops,
+		MethodsAnalyzed:       len(e.analyzed),
+		WorkUnits:             e.meter.Units(),
+		SimMinutes:            e.meter.Minutes(),
+		WallTime:              time.Since(start),
+		DumpCacheHits:         e.dumpCacheHits,
+		DumpCacheMisses:       e.dumpCacheMisses,
+		DumpCacheUnits:        e.dumpCacheUnits,
+		DumpLinesDisassembled: e.dumpLinesCold,
 	}
 }
 
-// analyzeSinkCall backtracks one sink call, builds its SSG and runs the
-// forward pass.
-func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
+// prepareSinkCall backtracks one sink call and builds (or extends, in
+// per-app mode) its SSG — everything up to but excluding the forward
+// pass. It returns the report skeleton and the recorded sink call node
+// (nil when the sink is unreachable or its caller failed translation).
+func (e *Engine) prepareSinkCall(call SinkCall) (*SinkReport, *ssg.Unit, error) {
 	e.sinkTotal++
 	sr := &SinkReport{Call: call}
 
@@ -386,7 +527,7 @@ func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
 			sr.Cached = true
 			if !st.reachable {
 				sr.Reachable = false
-				return sr, nil
+				return sr, nil, nil
 			}
 			// Reachable and cached: still slice for the values.
 		}
@@ -394,7 +535,7 @@ func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
 
 	reachable, entries, err := e.reachable(call.Caller, nil, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if e.opts.EnableSinkCache {
 		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries}
@@ -402,23 +543,92 @@ func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
 	sr.Reachable = reachable
 	sr.Entries = entries
 	if !reachable {
-		return sr, nil
+		return sr, nil, nil
 	}
 
 	g, sinkUnit, err := e.buildSSG(call)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sr.SSG = g
 	for _, en := range entries {
 		g.MarkEntry(en)
 	}
+	return sr, sinkUnit, nil
+}
 
-	values, err := e.propagate(g, sinkUnit, call)
+// analyzeSinkCall backtracks one sink call, builds its SSG and runs the
+// forward pass (the per-sink pipeline).
+func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
+	sr, sinkUnit, err := e.prepareSinkCall(call)
+	if err != nil {
+		return nil, err
+	}
+	if !sr.Reachable {
+		return sr, nil
+	}
+
+	values, err := e.propagate(sr.SSG, sinkUnit, call)
 	if err != nil {
 		return nil, err
 	}
 	sr.Values = values
 	sr.Insecure = e.judgeLast(call.Sink.Rule)
 	return sr, nil
+}
+
+// analyzeSinksPerApp is the tuned per-app SSG pipeline (Secs. V-A, VI-D):
+// every sink call is backtracked into the one shared slicing graph first —
+// with contained-method slices interned, so subgraphs shared between sinks
+// are built once — and the forward constant/points-to pass then runs a
+// single time over the accumulated graph, collecting all sink parameter
+// values in one traversal instead of once per sink. Returns whether the
+// simulated budget ran out.
+func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall) (bool, error) {
+	type pendingSink struct {
+		sr   *SinkReport
+		unit *ssg.Unit
+	}
+	var pend []pendingSink
+	for _, call := range calls {
+		sr, unit, err := e.prepareSinkCall(call)
+		if err != nil {
+			if err == simtime.ErrTimeout {
+				return true, nil
+			}
+			return false, err
+		}
+		report.Sinks = append(report.Sinks, sr)
+		if sr.Reachable && unit != nil {
+			pend = append(pend, pendingSink{sr: sr, unit: unit})
+		}
+	}
+	if len(pend) == 0 || e.appSSG == nil {
+		return false, nil
+	}
+
+	multi := make(map[*ssg.Unit]int, len(pend))
+	for _, p := range pend {
+		multi[p.unit] = p.sr.Call.Sink.ParamIndex
+	}
+	res, err := constprop.Run(e.appSSG, e.prog, e.meter, constprop.Options{
+		MaxDepth:   e.opts.MaxDepth,
+		MultiSinks: multi,
+	})
+	if err != nil {
+		if err == simtime.ErrTimeout {
+			return true, nil
+		}
+		return false, err
+	}
+	for _, p := range pend {
+		vals := res.MultiValues[p.unit]
+		out := make([]string, len(vals))
+		for i, v := range vals {
+			out[i] = v.String()
+		}
+		p.sr.Values = out
+		p.sr.Insecure = judgeValues(p.sr.Call.Sink.Rule, vals)
+	}
+	return false, nil
 }

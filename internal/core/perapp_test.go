@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
+)
 
 // TestPerAppSSGSameVerdicts: the per-app SSG extension must not change any
 // verdict relative to per-sink graphs.
@@ -53,5 +58,48 @@ func TestPerAppSSGSharesOneGraph(t *testing.T) {
 	// slices (fixture has >= 5 reachable sinks in different classes).
 	if sharedMethods < 5 {
 		t.Errorf("shared SSG tracks %d methods, want >= 5", sharedMethods)
+	}
+}
+
+// TestPerAppSSGSharedChainInterning: on an app whose sinks all funnel
+// through one shared config chain (the many-sink outlier shape), the
+// per-app SSG with slice interning must charge strictly less than
+// per-sink graphs while producing identical verdicts — the subgraph is
+// built once, not once per sink.
+func TestPerAppSSGSharedChainInterning(t *testing.T) {
+	var sinks []appgen.SinkSpec
+	for s := 0; s < 12; s++ {
+		sinks = append(sinks, appgen.SinkSpec{
+			Flow: appgen.FlowSharedConfig, Rule: android.RuleCryptoECB, Insecure: s%2 == 0,
+		})
+	}
+	app, truth, err := appgen.Generate(appgen.Spec{
+		Name: "com.perapp.chain", Seed: 99, SizeMB: 2, Sinks: sinks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perSink := analyzeApp(t, app, DefaultOptions())
+	opts := DefaultOptions()
+	opts.PerAppSSG = true
+	perApp := analyzeApp(t, app, opts)
+
+	assertSameVerdicts(t, "per-sink vs per-app", perSink, perApp)
+	if len(perApp.Sinks) != len(truth.Sinks) {
+		t.Fatalf("found %d sinks, truth has %d", len(perApp.Sinks), len(truth.Sinks))
+	}
+	// Ground truth: shared-config sinks resolve their chain value.
+	for _, s := range perApp.Sinks {
+		if !s.Reachable {
+			t.Errorf("%s unreachable", s.Call.Caller.SootSignature())
+		}
+		if len(s.Values) == 0 {
+			t.Errorf("%s resolved no value through the shared chain", s.Call.Caller.SootSignature())
+		}
+	}
+	su, au := perSink.Stats.WorkUnits, perApp.Stats.WorkUnits
+	if au >= su {
+		t.Errorf("per-app SSG charged %d units, per-sink %d — interning must make sharing cheaper", au, su)
 	}
 }

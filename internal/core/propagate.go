@@ -33,3 +33,10 @@ func (e *Engine) propagate(g *ssg.Graph, sinkUnit *ssg.Unit, call SinkCall) ([]s
 func (e *Engine) judgeLast(rule android.RuleKind) bool {
 	return vuln.Judge(rule, e.lastValues)
 }
+
+// judgeValues applies the vulnerability rule to typed values directly —
+// the per-app pipeline judges every sink from one propagation run, so
+// there is no meaningful "last" result.
+func judgeValues(rule android.RuleKind, values []constprop.Value) bool {
+	return vuln.Judge(rule, values)
+}

@@ -8,11 +8,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+
+	"backdroid/internal/dex"
 )
 
-// Persistent index cache codec. A serialized index lives next to the APK
-// (or in a configured cache directory) so repeated analyses of the same
-// app skip tokenization entirely. The file layout is:
+// Persistent cache codec. A serialized bundle lives next to the APK (or in
+// a configured cache directory) so repeated analyses of the same app skip
+// tokenization — and, since codec version 2, disassembly itself. The file
+// is a versioned multi-section bundle:
 //
 //	offset  size  field
 //	0       4     magic "BDIX"
@@ -20,27 +24,45 @@ import (
 //	6       2     shard count
 //	8       8     FNV-64a content hash of the full dump text
 //	16      4     dump line count
-//	20      4     IEEE CRC-32 of the payload
-//	24      ...   payload: per shard, every postings map and side list
+//	20      4     IEEE CRC-32 of the index payload
+//	24      4     index payload length (version >= 2 only)
+//	28      ...   index payload: per shard, every postings map and side list
+//	...     8     app fingerprint (FNV-64a over the encoded dex files)
+//	...     4     IEEE CRC-32 of the dump payload
+//	...     4     dump payload length
+//	...     ...   dump payload: the serialized dexdump.Text
+//
+// Version 1 files (PR 2) end after the index payload, which then runs to
+// EOF; the decoder still reads their index section, so upgrading the
+// binary never invalidates existing caches — it only leaves the dump
+// section absent until the next rewrite.
 //
 // Postings maps are encoded with sorted keys and delta-varint line lists,
 // so files are deterministic for a given index. Every validation failure —
-// wrong magic, unknown version, stale content hash, line-count mismatch,
-// CRC mismatch, truncation — is an error the caller treats as a cache
-// miss: rebuild from the dump and overwrite the file, never fail the
-// analysis.
+// wrong magic, unknown version, stale content hash or fingerprint,
+// line-count mismatch, CRC mismatch, truncation — is an error the caller
+// treats as a cache miss: rebuild from the app and overwrite the file,
+// never fail the analysis.
 
 // CodecVersion is the on-disk format version. Bump it whenever the
 // payload layout or the token families change; old files then decode as
-// stale and are rebuilt silently.
-const CodecVersion = 1
+// stale and are rebuilt silently. Version 2 added the dump section (and
+// the index payload length that delimits it); version-1 index sections
+// remain readable.
+const CodecVersion = 2
+
+// codecVersionIndexOnly is the PR 2 layout: no index-length field, no dump
+// section, index payload running to EOF.
+const codecVersionIndexOnly = 1
 
 const (
-	codecMagic      = "BDIX"
-	codecHeaderSize = 24
+	codecMagic            = "BDIX"
+	codecHeaderSizeV1     = 24
+	codecHeaderSize       = 28
+	dumpSectionHeaderSize = 16 // fingerprint u64 + CRC u32 + length u32
 )
 
-// CacheFileExt is the filename extension of persistent index cache files.
+// CacheFileExt is the filename extension of persistent cache bundles.
 const CacheFileExt = ".bdx"
 
 // DumpHash returns the FNV-64a content hash of the dump text — the
@@ -49,6 +71,31 @@ func DumpHash(t *Text) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(t.full))
 	return h.Sum64()
+}
+
+// AppFingerprint hashes the encoded dex files of an app (FNV-64a over
+// count, sizes and bytes). It is the staleness check of the bundle's dump
+// section: unlike DumpHash it can be computed without disassembling, which
+// is what lets a warm engine run validate a cached dump before — instead
+// of — rendering one. Encoding is deterministic, so the fingerprint is
+// stable across runs and machines. 0 is reserved for "unknown" and never
+// matches.
+func AppFingerprint(dexes []*dex.File) uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(dexes)))
+	h.Write(n[:])
+	for _, d := range dexes {
+		b := dex.Encode(d)
+		binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
 }
 
 // shardsOf flattens a Source into its shard list.
@@ -62,9 +109,11 @@ func shardsOf(src Source) ([]*Index, error) {
 	return nil, fmt.Errorf("dexdump: cannot encode index source %T", src)
 }
 
-// EncodeIndexFile serializes the index (single or sharded) of the dump
-// into the cache file format.
-func EncodeIndexFile(t *Text, src Source) ([]byte, error) {
+// EncodeBundle serializes the dump text and its index (single or sharded)
+// into the bundle format. fingerprint identifies the app the dump was
+// rendered from (see AppFingerprint); 0 marks it unknown, in which case
+// the dump section is written but will never validate on probe.
+func EncodeBundle(t *Text, src Source, fingerprint uint64) ([]byte, error) {
 	shards, err := shardsOf(src)
 	if err != nil {
 		return nil, err
@@ -72,59 +121,91 @@ func EncodeIndexFile(t *Text, src Source) ([]byte, error) {
 	if len(shards) > 0xffff {
 		return nil, fmt.Errorf("dexdump: %d shards exceed the codec limit", len(shards))
 	}
-	var payload []byte
+	var indexPayload []byte
 	for _, sh := range shards {
-		payload = appendShard(payload, sh)
+		indexPayload = appendShard(indexPayload, sh)
 	}
-	buf := make([]byte, codecHeaderSize, codecHeaderSize+len(payload))
+	dumpPayload := appendDump(nil, t)
+
+	buf := make([]byte, codecHeaderSize, codecHeaderSize+len(indexPayload)+dumpSectionHeaderSize+len(dumpPayload))
 	copy(buf[0:4], codecMagic)
 	binary.LittleEndian.PutUint16(buf[4:6], CodecVersion)
 	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(shards)))
 	binary.LittleEndian.PutUint64(buf[8:16], DumpHash(t))
 	binary.LittleEndian.PutUint32(buf[16:20], uint32(t.LineCount()))
-	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
-	return append(buf, payload...), nil
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(indexPayload))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(len(indexPayload)))
+	buf = append(buf, indexPayload...)
+
+	var dh [dumpSectionHeaderSize]byte
+	binary.LittleEndian.PutUint64(dh[0:8], fingerprint)
+	binary.LittleEndian.PutUint32(dh[8:12], crc32.ChecksumIEEE(dumpPayload))
+	binary.LittleEndian.PutUint32(dh[12:16], uint32(len(dumpPayload)))
+	buf = append(buf, dh[:]...)
+	return append(buf, dumpPayload...), nil
 }
 
-// DecodeIndexFile parses a cache file and validates it against the dump
-// text. A one-shard file decodes to a plain *Index, a multi-shard file to
-// a *ShardedIndex. Any validation failure returns an error; the caller
-// rebuilds from the dump.
-func DecodeIndexFile(data []byte, t *Text) (Source, error) {
-	if len(data) < codecHeaderSize {
-		return nil, fmt.Errorf("dexdump: index cache truncated: %d bytes", len(data))
+// indexSection validates the common header fields and returns the index
+// payload of a v1 or v2 file, without touching the dump section.
+func indexSection(data []byte) ([]byte, error) {
+	if len(data) < codecHeaderSizeV1 {
+		return nil, fmt.Errorf("dexdump: bundle truncated: %d bytes", len(data))
 	}
 	if string(data[0:4]) != codecMagic {
-		return nil, fmt.Errorf("dexdump: index cache bad magic %q", data[0:4])
+		return nil, fmt.Errorf("dexdump: bundle bad magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != CodecVersion {
-		return nil, fmt.Errorf("dexdump: index cache version %d, want %d", v, CodecVersion)
+	switch v := binary.LittleEndian.Uint16(data[4:6]); v {
+	case codecVersionIndexOnly:
+		return data[codecHeaderSizeV1:], nil
+	case CodecVersion:
+		if len(data) < codecHeaderSize {
+			return nil, fmt.Errorf("dexdump: bundle header truncated: %d bytes", len(data))
+		}
+		n := int(binary.LittleEndian.Uint32(data[24:28]))
+		if n > len(data)-codecHeaderSize {
+			return nil, fmt.Errorf("dexdump: index section claims %d bytes, %d remain", n, len(data)-codecHeaderSize)
+		}
+		return data[codecHeaderSize : codecHeaderSize+n], nil
+	default:
+		return nil, fmt.Errorf("dexdump: bundle version %d, want %d (or legacy %d)",
+			v, CodecVersion, codecVersionIndexOnly)
+	}
+}
+
+// DecodeIndexFile parses the index section of a bundle (or of a legacy
+// index-only file) and validates it against the dump text. A one-shard
+// section decodes to a plain *Index, a multi-shard section to a
+// *ShardedIndex. Any validation failure returns an error; the caller
+// rebuilds from the dump.
+func DecodeIndexFile(data []byte, t *Text) (Source, error) {
+	payload, err := indexSection(data)
+	if err != nil {
+		return nil, err
 	}
 	shardCount := int(binary.LittleEndian.Uint16(data[6:8]))
 	if shardCount == 0 {
-		return nil, fmt.Errorf("dexdump: index cache has no shards")
+		return nil, fmt.Errorf("dexdump: index section has no shards")
 	}
 	if h := binary.LittleEndian.Uint64(data[8:16]); h != DumpHash(t) {
-		return nil, fmt.Errorf("dexdump: index cache stale: content hash mismatch")
+		return nil, fmt.Errorf("dexdump: bundle stale: content hash mismatch")
 	}
 	if n := int(binary.LittleEndian.Uint32(data[16:20])); n != t.LineCount() {
-		return nil, fmt.Errorf("dexdump: index cache stale: %d lines, dump has %d", n, t.LineCount())
+		return nil, fmt.Errorf("dexdump: bundle stale: %d lines, dump has %d", n, t.LineCount())
 	}
-	payload := data[codecHeaderSize:]
 	if crc := binary.LittleEndian.Uint32(data[20:24]); crc != crc32.ChecksumIEEE(payload) {
-		return nil, fmt.Errorf("dexdump: index cache payload CRC mismatch")
+		return nil, fmt.Errorf("dexdump: index payload CRC mismatch")
 	}
 	shards := make([]*Index, shardCount)
 	rest := payload
-	var err error
+	var err2 error
 	for i := range shards {
-		shards[i], rest, err = decodeShard(rest, t.LineCount())
-		if err != nil {
-			return nil, fmt.Errorf("dexdump: index cache shard %d: %w", i, err)
+		shards[i], rest, err2 = decodeShard(rest, t.LineCount())
+		if err2 != nil {
+			return nil, fmt.Errorf("dexdump: index section shard %d: %w", i, err2)
 		}
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("dexdump: index cache has %d trailing bytes", len(rest))
+		return nil, fmt.Errorf("dexdump: index section has %d trailing bytes", len(rest))
 	}
 	if shardCount == 1 {
 		idx := shards[0]
@@ -134,15 +215,68 @@ func DecodeIndexFile(data []byte, t *Text) (Source, error) {
 	return &ShardedIndex{shards: shards, lines: t.LineCount()}, nil
 }
 
-// CachePath returns the cache file path for an app inside dir.
+// DecodeBundleDump parses and validates the dump section of a bundle,
+// reconstructing the dexdump.Text without any disassembly. Unlike the
+// index section it cannot be validated against an existing dump — that is
+// its entire point — so it validates against itself and against the app:
+// the stored fingerprint must equal the caller's (computed from the app's
+// dex files), the payload CRC must match, and the decoded text must hash
+// back to the header's dump hash and line count. Legacy index-only files
+// have no dump section and always miss.
+func DecodeBundleDump(data []byte, fingerprint uint64) (*Text, error) {
+	if len(data) < codecHeaderSize {
+		return nil, fmt.Errorf("dexdump: bundle truncated: %d bytes", len(data))
+	}
+	if string(data[0:4]) != codecMagic {
+		return nil, fmt.Errorf("dexdump: bundle bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != CodecVersion {
+		return nil, fmt.Errorf("dexdump: bundle version %d has no dump section", v)
+	}
+	indexLen := int(binary.LittleEndian.Uint32(data[24:28]))
+	if indexLen > len(data)-codecHeaderSize-dumpSectionHeaderSize {
+		return nil, fmt.Errorf("dexdump: bundle has no room for a dump section")
+	}
+	sec := data[codecHeaderSize+indexLen:]
+	if fingerprint == 0 {
+		return nil, fmt.Errorf("dexdump: cannot validate a dump section without an app fingerprint")
+	}
+	if fp := binary.LittleEndian.Uint64(sec[0:8]); fp != fingerprint {
+		return nil, fmt.Errorf("dexdump: dump section stale: app fingerprint mismatch")
+	}
+	n := int(binary.LittleEndian.Uint32(sec[12:16]))
+	if n > len(sec)-dumpSectionHeaderSize {
+		return nil, fmt.Errorf("dexdump: dump payload claims %d bytes, %d remain", n, len(sec)-dumpSectionHeaderSize)
+	}
+	payload := sec[dumpSectionHeaderSize : dumpSectionHeaderSize+n]
+	if len(sec) != dumpSectionHeaderSize+n {
+		return nil, fmt.Errorf("dexdump: bundle has %d trailing bytes", len(sec)-dumpSectionHeaderSize-n)
+	}
+	if crc := binary.LittleEndian.Uint32(sec[8:12]); crc != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("dexdump: dump payload CRC mismatch")
+	}
+	t, err := decodeDump(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dexdump: dump section: %w", err)
+	}
+	if h := binary.LittleEndian.Uint64(data[8:16]); h != DumpHash(t) {
+		return nil, fmt.Errorf("dexdump: decoded dump does not hash back to the header")
+	}
+	if n := int(binary.LittleEndian.Uint32(data[16:20])); n != t.LineCount() {
+		return nil, fmt.Errorf("dexdump: decoded dump has %d lines, header says %d", t.LineCount(), n)
+	}
+	return t, nil
+}
+
+// CachePath returns the bundle path for an app inside dir.
 func CachePath(dir, appName string) string {
 	return filepath.Join(dir, appName+CacheFileExt)
 }
 
-// WriteIndexCache atomically persists the index next to path (temp file +
-// rename), creating the directory if needed.
-func WriteIndexCache(path string, t *Text, src Source) error {
-	data, err := EncodeIndexFile(t, src)
+// WriteBundle atomically persists the dump and its index next to path
+// (temp file + rename), creating the directory if needed.
+func WriteBundle(path string, t *Text, src Source, fingerprint uint64) error {
+	data, err := EncodeBundle(t, src, fingerprint)
 	if err != nil {
 		return err
 	}
@@ -165,13 +299,175 @@ func WriteIndexCache(path string, t *Text, src Source) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// LoadIndexCache reads and validates a cache file against the dump text.
+// LoadIndexCache reads a bundle and validates its index section against
+// the dump text.
 func LoadIndexCache(path string, t *Text) (Source, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	return DecodeIndexFile(data, t)
+}
+
+// LoadBundleDump reads a bundle and validates + reconstructs its dump
+// section for the app with the given fingerprint.
+func LoadBundleDump(path string, fingerprint uint64) (*Text, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBundleDump(data, fingerprint)
+}
+
+// appendDump serializes a Text: the full rendered dump (lines are
+// recovered by splitting on '\n'), the method table, the per-line method
+// attribution and the class spans.
+func appendDump(buf []byte, t *Text) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t.full)))
+	buf = append(buf, t.full...)
+
+	buf = binary.AppendUvarint(buf, uint64(len(t.methods)))
+	for _, m := range t.methods {
+		buf = appendString(buf, m.Class)
+		buf = appendString(buf, m.Name)
+		buf = appendString(buf, string(m.Ret))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Params)))
+		for _, p := range m.Params {
+			buf = appendString(buf, string(p))
+		}
+	}
+
+	// methodOfLine: index+1 per line, 0 meaning "no method".
+	for _, idx := range t.methodOfLine {
+		buf = binary.AppendUvarint(buf, uint64(idx+1))
+	}
+
+	// Class spans tile [0, LineCount()), so lengths suffice.
+	buf = binary.AppendUvarint(buf, uint64(len(t.spans)))
+	for _, sp := range t.spans {
+		buf = appendString(buf, sp.Name)
+		buf = binary.AppendUvarint(buf, uint64(sp.End-sp.Start))
+	}
+	return buf
+}
+
+// decodeDump reconstructs a Text from its serialized form, bounds-checking
+// every count so a corrupt payload decodes as an error, never a panic.
+func decodeDump(buf []byte) (*Text, error) {
+	fullLen, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if fullLen > uint64(len(buf)) {
+		return nil, fmt.Errorf("full text claims %d bytes, %d remain", fullLen, len(buf))
+	}
+	t := &Text{full: string(buf[:fullLen])}
+	buf = buf[fullLen:]
+	if t.full != "" {
+		if t.full[len(t.full)-1] != '\n' {
+			return nil, fmt.Errorf("full text does not end in a newline")
+		}
+		t.lines = strings.Split(t.full[:len(t.full)-1], "\n")
+	}
+
+	methodCount, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if methodCount > uint64(len(buf)) {
+		return nil, fmt.Errorf("method table claims %d entries, %d bytes remain", methodCount, len(buf))
+	}
+	t.methods = make([]dex.MethodRef, methodCount)
+	for i := range t.methods {
+		var m dex.MethodRef
+		var ret string
+		if m.Class, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if m.Name, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if ret, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		m.Ret = dex.TypeDesc(ret)
+		var params uint64
+		if params, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if params > uint64(len(buf)) {
+			return nil, fmt.Errorf("method %d claims %d params", i, params)
+		}
+		m.Params = make([]dex.TypeDesc, params)
+		for j := range m.Params {
+			var p string
+			if p, buf, err = readString(buf); err != nil {
+				return nil, err
+			}
+			m.Params[j] = dex.TypeDesc(p)
+		}
+		t.methods[i] = m
+	}
+
+	t.methodOfLine = make([]int, len(t.lines))
+	for i := range t.methodOfLine {
+		var v uint64
+		if v, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if v > uint64(len(t.methods)) {
+			return nil, fmt.Errorf("line %d attributed to method %d of %d", i, v, len(t.methods))
+		}
+		t.methodOfLine[i] = int(v) - 1
+	}
+
+	spanCount, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if spanCount > uint64(len(t.lines))+1 {
+		return nil, fmt.Errorf("%d class spans for a %d-line dump", spanCount, len(t.lines))
+	}
+	t.spans = make([]ClassSpan, spanCount)
+	at := 0
+	for i := range t.spans {
+		var name string
+		if name, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		var length uint64
+		if length, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if length > uint64(len(t.lines)-at) {
+			return nil, fmt.Errorf("class span %d overruns the dump", i)
+		}
+		t.spans[i] = ClassSpan{Name: name, Start: at, End: at + int(length)}
+		at += int(length)
+	}
+	if at != len(t.lines) {
+		return nil, fmt.Errorf("class spans cover %d of %d lines", at, len(t.lines))
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after the dump payload", len(buf))
+	}
+	return t, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, buf, err := readUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(buf)) {
+		return "", nil, fmt.Errorf("truncated string")
+	}
+	return string(buf[:n]), buf[n:], nil
 }
 
 // appendShard encodes one shard: the lines/postings counters, all nine

@@ -2,14 +2,21 @@ package dexdump
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"backdroid/internal/dex"
 )
+
+// testFingerprint is the stand-in app fingerprint of the codec tests; any
+// non-zero value works since encode and probe agree on it.
+const testFingerprint uint64 = 0xfeedface
 
 func roundtrip(t *testing.T, text *Text, src Source) Source {
 	t.Helper()
-	data, err := EncodeIndexFile(text, src)
+	data, err := EncodeBundle(text, src, testFingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +43,34 @@ func assertSameLookups(t *testing.T, want, got Source, label string) {
 	}
 }
 
+// assertSameText checks a decoded dump reproduces the original Text
+// exactly: lines, method attribution, class spans.
+func assertSameText(t *testing.T, want, got *Text) {
+	t.Helper()
+	if got.String() != want.String() {
+		t.Fatal("decoded dump text differs from original")
+	}
+	if got.LineCount() != want.LineCount() {
+		t.Fatalf("decoded dump has %d lines, want %d", got.LineCount(), want.LineCount())
+	}
+	for i := 0; i < want.LineCount(); i++ {
+		wm, wok := want.MethodAt(i)
+		gm, gok := got.MethodAt(i)
+		if wok != gok || (wok && wm.SootSignature() != gm.SootSignature()) {
+			t.Fatalf("line %d method attribution differs: %v/%v vs %v/%v", i, wm, wok, gm, gok)
+		}
+	}
+	ws, gs := want.ClassSpans(), got.ClassSpans()
+	if len(ws) != len(gs) {
+		t.Fatalf("decoded dump has %d spans, want %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, gs[i], ws[i])
+		}
+	}
+}
+
 func TestCodecRoundtripSingleIndex(t *testing.T) {
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
@@ -56,61 +91,277 @@ func TestCodecRoundtripShardedIndex(t *testing.T) {
 	assertSameLookups(t, sharded, dec, "sharded")
 }
 
-func TestCodecDeterministicBytes(t *testing.T) {
+func TestCodecRoundtripDumpSection(t *testing.T) {
 	_, text := shardFixture(t)
-	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 2)
-	a, err := EncodeIndexFile(text, sharded)
+	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EncodeIndexFile(text, sharded)
+	dec, err := DecodeBundleDump(data, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameText(t, text, dec)
+
+	// The decoded dump is a full substitute: the index section validates
+	// against it just as against the original.
+	idx, err := DecodeIndexFile(data, dec)
+	if err != nil {
+		t.Fatalf("index section rejected the decoded dump: %v", err)
+	}
+	assertSameLookups(t, BuildIndex(text), idx, "via decoded dump")
+}
+
+func TestCodecDumpSectionFingerprint(t *testing.T) {
+	_, text := shardFixture(t)
+	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBundleDump(data, testFingerprint+1); err == nil {
+		t.Error("dump section decoded for a different app fingerprint")
+	}
+	if _, err := DecodeBundleDump(data, 0); err == nil {
+		t.Error("dump section decoded without a fingerprint to validate against")
+	}
+	// A bundle written without a fingerprint can never validate its dump.
+	anon, err := EncodeBundle(text, BuildIndex(text), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBundleDump(anon, testFingerprint); err == nil {
+		t.Error("fingerprint-less bundle validated a dump probe")
+	}
+}
+
+func TestCodecDeterministicBytes(t *testing.T) {
+	_, text := shardFixture(t)
+	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 2)
+	a, err := EncodeBundle(text, sharded, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeBundle(text, sharded, testFingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(a) != string(b) {
-		t.Error("encoding the same index twice produced different bytes")
+		t.Error("encoding the same bundle twice produced different bytes")
 	}
 }
 
-func TestCodecRejectsInvalidFiles(t *testing.T) {
+func TestAppFingerprintDeterministicAndSensitive(t *testing.T) {
+	f1, _ := shardFixture(t)
+	f2, _ := shardFixture(t)
+	if AppFingerprint([]*dex.File{f1}) != AppFingerprint([]*dex.File{f2}) {
+		t.Error("identical apps fingerprint differently")
+	}
+	other := sampleFile(t)
+	if AppFingerprint([]*dex.File{f1}) == AppFingerprint([]*dex.File{other}) {
+		t.Error("different apps share a fingerprint")
+	}
+	if AppFingerprint(nil) == 0 {
+		t.Error("fingerprint 0 is reserved for unknown")
+	}
+}
+
+// indexPayloadBounds returns the [start,end) byte range of the index
+// payload in a v2 bundle.
+func indexPayloadBounds(data []byte) (int, int) {
+	n := int(binary.LittleEndian.Uint32(data[24:28]))
+	return codecHeaderSize, codecHeaderSize + n
+}
+
+func TestCodecRejectsInvalidIndexSections(t *testing.T) {
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
-	good, err := EncodeIndexFile(text, idx)
+	good, err := EncodeBundle(text, idx, testFingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ipStart, ipEnd := indexPayloadBounds(good)
 
 	corrupt := func(mutate func([]byte) []byte) []byte {
 		data := append([]byte(nil), good...)
 		return mutate(data)
 	}
 	cases := map[string][]byte{
-		"empty":             {},
-		"truncated header":  good[:10],
-		"truncated payload": good[:len(good)-7],
-		"bad magic":         corrupt(func(d []byte) []byte { d[0] = 'X'; return d }),
+		"empty":                   {},
+		"truncated header":        good[:10],
+		"truncated index payload": good[:ipStart+(ipEnd-ipStart)/2],
+		"bad magic":               corrupt(func(d []byte) []byte { d[0] = 'X'; return d }),
 		"version bump": corrupt(func(d []byte) []byte {
 			binary.LittleEndian.PutUint16(d[4:6], CodecVersion+1)
 			return d
 		}),
 		"stale hash": corrupt(func(d []byte) []byte { d[9] ^= 0xff; return d }),
-		"payload bit flip": corrupt(func(d []byte) []byte {
-			d[len(d)-1] ^= 0x01
+		"index payload bit flip": corrupt(func(d []byte) []byte {
+			d[ipEnd-1] ^= 0x01
 			return d
 		}),
-		"trailing garbage": append(append([]byte(nil), good...), 0xAB),
+		"index length overflow": corrupt(func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[24:28], uint32(len(d)))
+			return d
+		}),
 	}
 	for name, data := range cases {
 		if _, err := DecodeIndexFile(data, text); err == nil {
-			t.Errorf("%s: decode succeeded, want error", name)
+			t.Errorf("%s: index decode succeeded, want error", name)
 		}
+		// The dump section is validated independently; it may survive
+		// index-side damage, but never yield a different text.
+		if dump, err := DecodeBundleDump(data, testFingerprint); err == nil && dump.String() != text.String() {
+			t.Errorf("%s: dump decode succeeded with different text", name)
+		}
+	}
+}
+
+func TestCodecDumpCorruptionIsolatedFromIndex(t *testing.T) {
+	// A bundle whose dump section is damaged must still serve its index
+	// section (the engine falls back to disassembly and self-heals the
+	// file), and vice versa a damaged index section must not poison the
+	// dump probe.
+	_, text := shardFixture(t)
+	idx := BuildIndex(text)
+	good, err := EncodeBundle(text, idx, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ipEnd := indexPayloadBounds(good)
+
+	dumpFlip := append([]byte(nil), good...)
+	dumpFlip[len(dumpFlip)-1] ^= 0x01 // inside the dump payload
+	if _, err := DecodeBundleDump(dumpFlip, testFingerprint); err == nil {
+		t.Error("corrupt dump payload validated")
+	}
+	dec, err := DecodeIndexFile(dumpFlip, text)
+	if err != nil {
+		t.Fatalf("dump corruption broke the index section: %v", err)
+	}
+	assertSameLookups(t, idx, dec, "dump-flip")
+
+	indexFlip := append([]byte(nil), good...)
+	indexFlip[ipEnd-1] ^= 0x01
+	if _, err := DecodeIndexFile(indexFlip, text); err == nil {
+		t.Error("corrupt index payload validated")
+	}
+	dump, err := DecodeBundleDump(indexFlip, testFingerprint)
+	if err != nil {
+		t.Fatalf("index corruption broke the dump section: %v", err)
+	}
+	assertSameText(t, text, dump)
+}
+
+// TestCodecBundleCorruptionFuzz flips every byte of a valid bundle (and
+// truncates at every section boundary) and asserts the silent-miss
+// discipline: each decode either errors or returns data identical to the
+// pristine decode — never a panic, never a wrong hit. Single-byte flips
+// are always caught by the section CRCs / hashes except in fields a given
+// section legitimately ignores, so equality on success is the invariant.
+func TestCodecBundleCorruptionFuzz(t *testing.T) {
+	_, text := shardFixture(t)
+	idx := BuildShardedIndex(text, PackagePrefixPlan(text, 2), 1)
+	good, err := EncodeBundle(text, idx, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := lookups(idx)
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: decode panicked: %v", name, r)
+			}
+		}()
+		if src, err := DecodeIndexFile(data, text); err == nil {
+			got := lookups(src)
+			for k := range wantIdx {
+				if !equalPostings(got[k], wantIdx[k]) {
+					t.Fatalf("%s: index decoded successfully but %s postings differ", name, k)
+				}
+			}
+		}
+		if dump, err := DecodeBundleDump(data, testFingerprint); err == nil {
+			if dump.String() != text.String() {
+				t.Fatalf("%s: dump decoded successfully but text differs", name)
+			}
+		}
+	}
+
+	// Every single-byte flip across the whole file: header, index payload,
+	// dump section header, dump payload — all section boundaries included.
+	for off := 0; off < len(good); off++ {
+		data := append([]byte(nil), good...)
+		data[off] ^= 0xa5
+		check("flip", data)
+	}
+	// Truncation at every boundary and a sweep inside each section.
+	_, ipEnd := indexPayloadBounds(good)
+	cuts := []int{0, 3, codecHeaderSizeV1, codecHeaderSize, ipEnd - 1, ipEnd,
+		ipEnd + 7, ipEnd + dumpSectionHeaderSize, len(good) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut > len(good) {
+			continue
+		}
+		check("truncate", good[:cut])
+	}
+	// Trailing garbage.
+	check("trailing", append(append([]byte(nil), good...), 0xAB))
+}
+
+// encodeLegacyIndexFile reproduces the PR 2 (version 1) index-only layout:
+// 24-byte header, index payload to EOF, no dump section.
+func encodeLegacyIndexFile(t *testing.T, text *Text, src Source) []byte {
+	t.Helper()
+	shards, err := shardsOf(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload []byte
+	for _, sh := range shards {
+		payload = appendShard(payload, sh)
+	}
+	buf := make([]byte, codecHeaderSizeV1, codecHeaderSizeV1+len(payload))
+	copy(buf[0:4], codecMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], codecVersionIndexOnly)
+	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(shards)))
+	binary.LittleEndian.PutUint64(buf[8:16], DumpHash(text))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(text.LineCount()))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// TestCodecMixedVersion pins forward compatibility: an old index-only file
+// still serves its index section under the new decoder (upgrading the
+// binary never cold-starts existing caches), while its absent dump section
+// is a clean miss, and corrupting the legacy payload is still rejected.
+func TestCodecMixedVersion(t *testing.T) {
+	_, text := shardFixture(t)
+	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 1)
+	legacy := encodeLegacyIndexFile(t, text, sharded)
+
+	dec, err := DecodeIndexFile(legacy, text)
+	if err != nil {
+		t.Fatalf("new decoder rejected a valid v1 index file: %v", err)
+	}
+	assertSameLookups(t, sharded, dec, "legacy")
+
+	if _, err := DecodeBundleDump(legacy, testFingerprint); err == nil {
+		t.Error("v1 file has no dump section; probe must miss")
+	}
+
+	corrupt := append([]byte(nil), legacy...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	if _, err := DecodeIndexFile(corrupt, text); err == nil {
+		t.Error("corrupt v1 payload accepted")
 	}
 }
 
 func TestCodecStaleAgainstDifferentDump(t *testing.T) {
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
-	data, err := EncodeIndexFile(text, idx)
+	data, err := EncodeBundle(text, idx, testFingerprint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +371,11 @@ func TestCodecStaleAgainstDifferentDump(t *testing.T) {
 	}
 }
 
-func TestWriteLoadIndexCache(t *testing.T) {
+func TestWriteLoadBundle(t *testing.T) {
 	_, text := shardFixture(t)
 	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 2), 1)
 	path := CachePath(filepath.Join(t.TempDir(), "nested"), "com.example.app")
-	if err := WriteIndexCache(path, text, sharded); err != nil {
+	if err := WriteBundle(path, text, sharded, testFingerprint); err != nil {
 		t.Fatal(err)
 	}
 	dec, err := LoadIndexCache(path, text)
@@ -133,17 +384,26 @@ func TestWriteLoadIndexCache(t *testing.T) {
 	}
 	assertSameLookups(t, sharded, dec, "file roundtrip")
 
+	dump, err := LoadBundleDump(path, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameText(t, text, dump)
+
 	// No stray temp files left behind.
 	entries, err := os.ReadDir(filepath.Dir(path))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(entries) != 1 {
-		t.Errorf("cache dir has %d entries, want just the cache file", len(entries))
+		t.Errorf("cache dir has %d entries, want just the bundle", len(entries))
 	}
 
 	if _, err := LoadIndexCache(filepath.Join(t.TempDir(), "missing.bdx"), text); err == nil {
-		t.Error("loading a missing cache file must error")
+		t.Error("loading a missing bundle must error")
+	}
+	if _, err := LoadBundleDump(filepath.Join(t.TempDir(), "missing.bdx"), testFingerprint); err == nil {
+		t.Error("probing a missing bundle must error")
 	}
 }
 

@@ -153,12 +153,40 @@ func BuildShardedIndex(t *Text, plan *ShardPlan, workers int) *ShardedIndex {
 	return &ShardedIndex{shards: shards, lines: len(t.lines)}
 }
 
-// lookup merges one postings list per shard, lazily at query time.
+// lookup merges one postings list per shard, lazily at query time — the
+// sequential twin of LookupShards + MergeShardLists, sharing the merge so
+// the two paths cannot diverge.
 func (x *ShardedIndex) lookup(get func(*Index) []int32) []int32 {
+	lists := make([][]int32, len(x.shards))
+	for i, sh := range x.shards {
+		lists[i] = get(sh)
+	}
+	return MergeShardLists(lists)
+}
+
+// LookupShards fetches one postings list per shard, fanning the per-shard
+// fetches out over a bounded worker pool (workers <= 1 fetches
+// sequentially). The lists come back indexed by shard — the same order the
+// sequential lazy lookup visits — so MergeShardLists over the result is
+// bitwise identical to lookup() for any worker count. This is the
+// wall-clock half of the parallel-lookup fast path; the caller charges the
+// simulated-time model (max per-shard list + merge critical path).
+func (x *ShardedIndex) LookupShards(get func(*Index) []int32, workers int) [][]int32 {
+	lists := make([][]int32, len(x.shards))
+	pool.ForEach(len(x.shards), workers, func(s int) error {
+		lists[s] = get(x.shards[s])
+		return nil
+	})
+	return lists
+}
+
+// MergeShardLists merges per-shard postings lists (ascending,
+// duplicate-free, disjoint across shards) into one ascending list in shard
+// order — deterministically, regardless of how the lists were fetched.
+func MergeShardLists(lists [][]int32) []int32 {
 	var merged []int32
 	first := true
-	for _, sh := range x.shards {
-		p := get(sh)
+	for _, p := range lists {
 		if len(p) == 0 {
 			continue
 		}

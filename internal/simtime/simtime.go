@@ -54,6 +54,23 @@ const (
 	// which is the entire point of the cache.
 	IndexCacheLoadLinesPerUnit = 200
 
+	// DumpCacheLoadLinesPerUnit is how many dump text lines one work unit
+	// reads back from the persistent bundle's dump section. The dump is
+	// stored pre-rendered, so a warm start is a sequential read plus a
+	// newline split — ~10x cheaper than the per-line formatting pass of
+	// disassembly (LinesPerUnit), and cheaper than the index-section decode
+	// too (no postings maps to rebuild). A fully warm engine run charges
+	// this instead of ChargeLines(LineCount) and nothing else for
+	// preprocessing.
+	DumpCacheLoadLinesPerUnit = 400
+
+	// ParallelLookupOverheadUnits is the fixed fan-out coordination cost of
+	// one shard-parallel postings lookup: dispatching the per-shard fetches
+	// to the worker pool and collecting the lists back in shard order. Flat
+	// (never per shard) so tiny shard counts are not penalized; the gate
+	// that only hot tokens fan out keeps the overhead amortized.
+	ParallelLookupOverheadUnits = 1
+
 	// TimeoutMinutes is the per-app analysis timeout of the paper's
 	// evaluation (Sec. VI-A: 300 minutes).
 	TimeoutMinutes = 300
@@ -145,6 +162,30 @@ func (m *Meter) ChargeIndexCacheLoad(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/IndexCacheLoadLinesPerUnit) + 1)
+}
+
+// ChargeDumpCacheLoad charges for reading n dump text lines back from the
+// persistent bundle's dump section — the fully-warm path that replaces the
+// disassembly pass entirely.
+func (m *Meter) ChargeDumpCacheLoad(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/DumpCacheLoadLinesPerUnit) + 1)
+}
+
+// ChargeParallelLookup charges for a shard-parallel postings lookup whose
+// largest per-shard list holds maxShardPostings entries. The per-shard
+// fetches run concurrently, so the visit charge is the critical path (the
+// hottest shard) plus a flat fan-out overhead; the cross-shard merge is
+// charged separately via ChargeShardMerge, exactly as on the lazy
+// sequential path. The charge depends only on postings sizes — never on
+// worker count — so simulated time stays deterministic.
+func (m *Meter) ChargeParallelLookup(maxShardPostings int) error {
+	if err := m.Charge(ParallelLookupOverheadUnits); err != nil {
+		return err
+	}
+	return m.ChargePostings(maxShardPostings)
 }
 
 // ChargePostings charges for visiting n inverted-index postings.

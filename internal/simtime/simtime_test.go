@@ -203,3 +203,58 @@ func TestChargeIndexCacheLoad(t *testing.T) {
 		t.Errorf("zero-line load should still cost 1, got %d", m.Units())
 	}
 }
+
+func TestChargeDumpCacheLoad(t *testing.T) {
+	lines := 100000
+	scan := NewMeter()
+	if err := scan.ChargeLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	load := NewMeter()
+	if err := load.ChargeDumpCacheLoad(lines); err != nil {
+		t.Fatal(err)
+	}
+	if load.Units()*5 >= scan.Units() {
+		t.Errorf("dump load charged %d units vs disassembly %d — load must be much cheaper",
+			load.Units(), scan.Units())
+	}
+	idx := NewMeter()
+	if err := idx.ChargeIndexCacheLoad(lines); err != nil {
+		t.Fatal(err)
+	}
+	if load.Units() > idx.Units() {
+		t.Errorf("dump load (%d units) should not cost more than the index-section decode (%d units)",
+			load.Units(), idx.Units())
+	}
+	m := NewMeter()
+	if err := m.ChargeDumpCacheLoad(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Units() != 1 {
+		t.Errorf("zero-line load should still cost 1, got %d", m.Units())
+	}
+}
+
+func TestChargeParallelLookup(t *testing.T) {
+	// Fanning out must never charge more than visiting the same postings
+	// sequentially would, once the lists are big enough to matter.
+	const perShard, shards = 4000, 4
+	seq := NewMeter()
+	if err := seq.ChargePostings(perShard * shards); err != nil {
+		t.Fatal(err)
+	}
+	par := NewMeter()
+	if err := par.ChargeParallelLookup(perShard); err != nil {
+		t.Fatal(err)
+	}
+	if par.Units() >= seq.Units() {
+		t.Errorf("parallel lookup charged %d units, sequential visit %d — fan-out must be cheaper on hot tokens",
+			par.Units(), seq.Units())
+	}
+	// The budget still applies to the fan-out overhead itself.
+	m := NewMeterWithTimeout(UnitsToMinutes(0))
+	m.SetBudget(1)
+	if err := m.ChargeParallelLookup(1 << 20); err != ErrTimeout {
+		t.Errorf("exhausted budget should abort the parallel lookup, got %v", err)
+	}
+}
