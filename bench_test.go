@@ -14,6 +14,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/experiments"
+	"backdroid/internal/service"
 	"backdroid/internal/testapps"
 )
 
@@ -459,6 +460,68 @@ func BenchmarkManySinkOutlier(b *testing.B) {
 		b.ReportMetric(float64(su), "per-sink-units/op")
 		b.ReportMetric(float64(au), "per-app-units/op")
 		b.ReportMetric(float64(su)/float64(au), "per-app-speedup")
+	}
+}
+
+// BenchmarkBatchServiceReuse measures the batch-service payoff: the same
+// corpus submitted twice through one scheduler with an in-memory
+// content-addressed bundle store. The benchmark is self-checking — the
+// second pass must perform zero disassembly, zero index builds and hit
+// the store once per app, charge strictly less than the first pass, and
+// report identical verdicts.
+func BenchmarkBatchServiceReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions()
+		opts.SearchBackend = bcsearch.BackendSharded
+		sched := service.New(service.Config{
+			Workers: 4,
+			Options: &opts,
+			Store:   service.NewBundleStore(0),
+		})
+		cfg := experiments.RunConfig{RunBackDroid: true, Scheduler: sched}
+		measure := func() (c struct {
+			builds, storeHits int
+			cold              int64
+			units             int64
+		}, det string) {
+			run, err := experiments.RunCorpus(benchCorpus(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, a := range run.Apps {
+				s := a.BackDroid.Stats
+				c.builds += s.Search.IndexBuilds
+				c.storeHits += s.BundleStoreHits
+				c.cold += s.DumpLinesDisassembled
+				c.units += s.WorkUnits
+				for _, sk := range a.BackDroid.Sinks {
+					det += fmt.Sprintf("%s r=%v i=%v %v\n", sk.Call, sk.Reachable, sk.Insecure, sk.Values)
+				}
+			}
+			return c, det
+		}
+		first, firstDet := measure()
+		second, secondDet := measure()
+		sched.Close()
+
+		if first.builds == 0 || first.cold == 0 {
+			b.Fatal("first pass performed no real work")
+		}
+		if second.builds != 0 || second.cold != 0 {
+			b.Fatalf("second pass built %d indexes, disassembled %d lines — store not hitting", second.builds, second.cold)
+		}
+		if second.storeHits != benchCorpus().Apps {
+			b.Fatalf("second pass hit the store %d times, want one per app", second.storeHits)
+		}
+		if second.units >= first.units {
+			b.Fatalf("second pass charged %d units, first %d — reuse must be strictly cheaper", second.units, first.units)
+		}
+		if firstDet != secondDet {
+			b.Fatal("store reuse changed the detection output")
+		}
+		b.ReportMetric(float64(first.units), "first-units/op")
+		b.ReportMetric(float64(second.units), "second-units/op")
+		b.ReportMetric(float64(first.units)/float64(second.units), "reuse-speedup")
 	}
 }
 

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
-//	          [-shards N] [-index-cache DIR] [-parallel-lookups] [-stats=false]
+//	          [-shards N] [-index-cache DIR] [-parallel-lookups]
+//	          [-auto-parallel-lookups] [-store-budget BYTES] [-stats=false]
 //	          app.apk...
 //
 // B selects the bytecode search backend: indexed (default, inverted-index
@@ -16,9 +17,14 @@
 // dump+index bundle in DIR so re-analyses skip disassembly and
 // tokenization entirely (a fully warm start). -parallel-lookups fans
 // hot-token postings fetches out per shard (sharded backend; results are
-// identical). -stats=false suppresses the cost/statistics lines, leaving
-// only the deterministic detection report (useful for diffing backends
-// against each other).
+// identical); -auto-parallel-lookups derives the hot-token gate from each
+// app's own postings distribution instead of the fixed default.
+// -store-budget shares an in-memory content-addressed bundle store across
+// the listed apps (listing an app twice makes the second analysis fully
+// warm with zero disk I/O); cmd/backdroidd keeps such a store alive
+// across submissions. -stats=false suppresses the cost/statistics lines,
+// leaving only the deterministic detection report (useful for diffing
+// backends against each other).
 package main
 
 import (
@@ -30,7 +36,9 @@ import (
 	"backdroid/internal/apk"
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
+	"backdroid/internal/dexdump"
 	"backdroid/internal/pool"
+	"backdroid/internal/service"
 )
 
 // config carries the parsed CLI flags.
@@ -43,6 +51,8 @@ type config struct {
 	shards          int
 	indexCache      string
 	parallelLookups bool
+	autoParallel    bool
+	storeBudget     int64
 	stats           bool
 }
 
@@ -61,6 +71,10 @@ func main() {
 		"directory for persistent dump+index bundles (empty = disabled)")
 	flag.BoolVar(&cfg.parallelLookups, "parallel-lookups", false,
 		"fan hot-token shard lookups out on the worker pool (sharded backend)")
+	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
+		"derive the hot-token fan-out gate from each app's postings distribution")
+	flag.Int64Var(&cfg.storeBudget, "store-budget", -1,
+		"share an in-memory content-addressed bundle store across the listed apps,\nwith this byte budget (0 = unlimited, -1 = disabled)")
 	flag.BoolVar(&cfg.stats, "stats", true,
 		"print cost/statistics lines (disable for deterministic backend diffs)")
 	flag.Parse()
@@ -87,6 +101,14 @@ func run(paths []string, cfg config) error {
 	opts.IndexShards = cfg.shards
 	opts.IndexCacheDir = cfg.indexCache
 	opts.ParallelLookups = cfg.parallelLookups
+	opts.AutoParallelLookups = cfg.autoParallel
+	var store *service.BundleStore
+	if cfg.storeBudget >= 0 {
+		// One content-addressed store for the whole invocation: listing
+		// the same app twice makes the second analysis fully warm.
+		store = service.NewBundleStore(cfg.storeBudget)
+		opts.Bundles = store
+	}
 
 	// Analyze concurrently, report in argument order. Every app gets its
 	// own engine; errors keep their argument position so the first failure
@@ -94,7 +116,7 @@ func run(paths []string, cfg config) error {
 	reports := make([]*core.Report, len(paths))
 	errs := pool.ForEach(len(paths), cfg.workers, func(i int) error {
 		var err error
-		reports[i], err = analyze(paths[i], opts)
+		reports[i], err = analyze(paths[i], opts, store)
 		return err
 	})
 
@@ -107,10 +129,21 @@ func run(paths []string, cfg config) error {
 	return nil
 }
 
-func analyze(path string, opts core.Options) (*core.Report, error) {
+func analyze(path string, opts core.Options, store *service.BundleStore) (*core.Report, error) {
 	app, err := apk.Load(path)
 	if err != nil {
 		return nil, err
+	}
+	if store != nil {
+		// Single-flight per fingerprint, exactly like the service
+		// scheduler: with the same app listed twice and workers > 1, the
+		// first analysis performs the only cold build and the second
+		// waits, then runs fully warm off the shared entry.
+		fp := dexdump.AppFingerprint(app.Dexes)
+		if !store.Contains(fp) {
+			release := store.LockFingerprint(fp)
+			defer release()
+		}
 	}
 	engine, err := core.New(app, opts)
 	if err != nil {
@@ -165,8 +198,15 @@ func printReport(r *core.Report, cfg config) {
 		fmt.Printf("  dump cache: %d hits, %d misses; load charged %d units, %d lines disassembled\n",
 			st.DumpCacheHits, st.DumpCacheMisses, st.DumpCacheUnits, st.DumpLinesDisassembled)
 	}
+	if st.BundleStoreHits > 0 || st.BundleStoreMisses > 0 {
+		fmt.Printf("  bundle store: %d hits, %d misses\n", st.BundleStoreHits, st.BundleStoreMisses)
+	}
+	if st.ForwardMemoHits > 0 {
+		fmt.Printf("  forward memo: %d evaluations reused\n", st.ForwardMemoHits)
+	}
 	if st.Search.ParallelLookups > 0 {
-		fmt.Printf("  parallel lookups: %d hot tokens fanned out\n", st.Search.ParallelLookups)
+		fmt.Printf("  parallel lookups: %d hot tokens fanned out (gate %d)\n",
+			st.Search.ParallelLookups, st.Search.ParallelLookupMin)
 	}
 }
 

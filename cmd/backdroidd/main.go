@@ -1,0 +1,238 @@
+// Command backdroidd is the long-running batch analysis service: a job
+// queue over the BackDroid engine with an in-memory content-addressed
+// bundle store, so re-analyses of an app the service has already seen
+// perform zero disassembly, zero index builds and zero bundle disk I/O.
+//
+// Usage:
+//
+//	backdroidd [-workers N] [-queue N] [-store-budget BYTES] [-backend B]
+//	           [-index-cache DIR] [-parallel-lookups] [-auto-parallel-lookups]
+//	           [-stats]
+//
+// The service reads commands from stdin, one per line, and streams typed
+// events to stdout as jobs progress:
+//
+//	submit PATH   queue the app container at PATH (a bare PATH works too)
+//	cancel ID     cancel a still-queued job
+//	stats         print scheduler + bundle store counters
+//	quit          drain the queue and exit (EOF does the same)
+//
+// Events are printed as single lines: "queued"/"started"/"canceled" with
+// the job id and app, one "sink" line per resolved sink (final verdict
+// included — emitted while the job is still running), and a terminal
+// "done" or "failed" line. Submitting the same APK again hits the bundle
+// store: the "done" line's store=hit marker and zero disassembled lines
+// make the reuse visible.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"backdroid/internal/apk"
+	"backdroid/internal/bcsearch"
+	"backdroid/internal/core"
+	"backdroid/internal/service"
+)
+
+// config carries the parsed CLI flags.
+type config struct {
+	workers      int
+	queue        int
+	storeBudget  int64
+	backend      string
+	indexCache   string
+	parallel     bool
+	autoParallel bool
+	stats        bool
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "concurrent job analyses")
+	flag.IntVar(&cfg.queue, "queue", 0, "bounded job queue depth (0 = 2x workers)")
+	flag.Int64Var(&cfg.storeBudget, "store-budget", 256<<20,
+		"in-memory bundle store byte budget (0 = unlimited, -1 = store disabled)")
+	flag.StringVar(&cfg.backend, "backend", "sharded", "search backend: indexed, sharded or linear")
+	flag.StringVar(&cfg.indexCache, "index-cache", "",
+		"directory for persistent dump+index bundles (empty = memory only)")
+	flag.BoolVar(&cfg.parallel, "parallel-lookups", false,
+		"fan hot-token shard lookups out on the worker pool")
+	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
+		"derive the hot-token gate from each app's postings distribution")
+	flag.BoolVar(&cfg.stats, "stats", true, "append cost counters to done lines")
+	flag.Parse()
+	if err := serve(os.Stdin, os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "backdroidd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the command loop: it owns the scheduler, forwards stdin
+// commands to it, and prints the event stream. Split from main so tests
+// drive it with in-memory pipes.
+func serve(in io.Reader, out io.Writer, cfg config) error {
+	backend, err := bcsearch.ParseBackend(cfg.backend)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.SearchBackend = backend
+	opts.ParallelLookups = cfg.parallel
+	opts.AutoParallelLookups = cfg.autoParallel
+
+	var store *service.BundleStore
+	if cfg.storeBudget >= 0 {
+		store = service.NewBundleStore(cfg.storeBudget)
+	}
+	events := make(chan service.Event, 64)
+	sched := service.New(service.Config{
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queue,
+		Options:       &opts,
+		IndexCacheDir: cfg.indexCache,
+		Store:         store,
+		Events:        events,
+	})
+
+	// One writer goroutine serializes event lines against command
+	// responses (both print through mu).
+	var mu sync.Mutex
+	printf := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Fprintf(out, format, args...)
+		mu.Unlock()
+	}
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for ev := range events {
+			printEvent(printf, ev, cfg.stats)
+			// Terminal events reap the scheduler's retained job state —
+			// the event line is this protocol's result delivery, so a
+			// long-running service must not accumulate finished reports.
+			switch ev.Kind {
+			case service.EventDone, service.EventFailed, service.EventCanceled:
+				sched.Forget(ev.Job)
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, arg := line, ""
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			cmd, arg = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		switch cmd {
+		case "quit", "exit":
+			goto shutdown
+		case "stats":
+			printf("%s", statsLine(sched))
+		case "cancel":
+			id, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				printf("error: cancel wants a job id, got %q\n", arg)
+				continue
+			}
+			if !sched.Cancel(service.JobID(id)) {
+				printf("error: job %d not cancelable (unknown, running or finished)\n", id)
+			}
+		case "submit":
+			submit(sched, printf, arg)
+		default:
+			// A bare path is a submit.
+			submit(sched, printf, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		sched.Close()
+		close(events)
+		drain.Wait()
+		return err
+	}
+
+shutdown:
+	sched.Close()
+	close(events)
+	drain.Wait()
+	printf("%s", statsLine(sched))
+	return nil
+}
+
+// submit queues one APK path; the file is opened lazily on the worker,
+// so a bad path surfaces as a failed event, not a submit error.
+func submit(sched *service.Scheduler, printf func(string, ...any), path string) {
+	if path == "" {
+		printf("error: submit wants a path\n")
+		return
+	}
+	name := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".apk")
+	_, err := sched.Submit(service.Job{
+		Name:         name,
+		Source:       func() (*apk.App, error) { return apk.Load(path) },
+		RunBackDroid: true,
+	})
+	if err != nil {
+		printf("error: submit %s: %v\n", path, err)
+	}
+}
+
+// printEvent renders one scheduler event as a stable single line. Sink
+// and done lines carry the deterministic detection fields first, so
+// diffing two submissions of the same app checks reuse end to end.
+func printEvent(printf func(string, ...any), ev service.Event, stats bool) {
+	switch ev.Kind {
+	case service.EventSink:
+		s := ev.Sink
+		printf("sink id=%d app=%s sink=%s caller=%s reachable=%v insecure=%v values=%v\n",
+			ev.Job, ev.Name, s.Call.Sink.Method.SootSignature(),
+			s.Call.Caller.SootSignature(), s.Reachable, s.Insecure, s.Values)
+	case service.EventDone:
+		r := ev.Result.BackDroid
+		line := fmt.Sprintf("done id=%d app=%s sinks=%d insecure=%d",
+			ev.Job, ev.Name, len(r.Sinks), len(r.InsecureSinks()))
+		if stats {
+			st := r.Stats
+			storeState := "off"
+			switch {
+			case st.BundleStoreHits > 0:
+				storeState = "hit"
+			case st.BundleStoreMisses > 0:
+				storeState = "miss"
+			}
+			line += fmt.Sprintf(" units=%d store=%s disassembled=%d builds=%d memo=%d",
+				st.WorkUnits, storeState, st.DumpLinesDisassembled,
+				st.Search.IndexBuilds, st.ForwardMemoHits)
+		}
+		printf("%s\n", line)
+	case service.EventFailed:
+		printf("failed id=%d app=%s err=%v\n", ev.Job, ev.Name, ev.Err)
+	default:
+		printf("%s id=%d app=%s\n", ev.Kind, ev.Job, ev.Name)
+	}
+}
+
+// statsLine renders the scheduler and store counters.
+func statsLine(sched *service.Scheduler) string {
+	store := sched.Store()
+	if store == nil {
+		return "stats store=disabled\n"
+	}
+	st := store.Stats()
+	return fmt.Sprintf("stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d\n",
+		st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions)
+}

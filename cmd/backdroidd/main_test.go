@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"backdroid/internal/testapps"
+)
+
+func fixturePath(t *testing.T) string {
+	t.Helper()
+	app, err := testapps.Fixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), app.Name+".apk")
+	if err := app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func serveLines(t *testing.T, script string, cfg config) []string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := serve(strings.NewReader(script), &out, cfg); err != nil {
+		t.Fatalf("serve: %v\noutput:\n%s", err, out.String())
+	}
+	return strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+}
+
+// grepLines returns the lines matching the pattern.
+func grepLines(lines []string, pattern string) []string {
+	re := regexp.MustCompile(pattern)
+	var out []string
+	for _, l := range lines {
+		if re.MatchString(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestServeWarmResubmission drives the full service loop: the same app
+// submitted twice must stream identical sink verdicts, with the second
+// job a bundle-store hit (zero disassembly, zero builds).
+func TestServeWarmResubmission(t *testing.T) {
+	path := fixturePath(t)
+	script := fmt.Sprintf("submit %s\nsubmit %s\nstats\nquit\n", path, path)
+	lines := serveLines(t, script, config{workers: 1, storeBudget: 0, backend: "sharded", stats: true})
+
+	for _, kind := range []string{"queued", "started", "done"} {
+		if got := len(grepLines(lines, "^"+kind+" ")); got != 2 {
+			t.Fatalf("%d %q lines, want 2:\n%s", got, kind, strings.Join(lines, "\n"))
+		}
+	}
+	// Sink streams of the two jobs must be identical once the job id is
+	// stripped — the store must not change one verdict.
+	strip := func(ls []string) string {
+		out := ""
+		for _, l := range ls {
+			out += regexp.MustCompile(`id=\d+ `).ReplaceAllString(l, "") + "\n"
+		}
+		return out
+	}
+	first := grepLines(lines, `^sink id=1 `)
+	second := grepLines(lines, `^sink id=2 `)
+	if len(first) == 0 {
+		t.Fatalf("no sink events streamed:\n%s", strings.Join(lines, "\n"))
+	}
+	if strip(first) != strip(second) {
+		t.Fatalf("warm resubmission changed the sink stream:\n%s\nvs\n%s", strip(first), strip(second))
+	}
+
+	done1 := grepLines(lines, `^done id=1 `)
+	done2 := grepLines(lines, `^done id=2 `)
+	if len(done1) != 1 || len(done2) != 1 {
+		t.Fatalf("missing done lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(done1[0], "store=miss") {
+		t.Fatalf("first done line should be a store miss: %s", done1[0])
+	}
+	if !strings.Contains(done2[0], "store=hit") || !strings.Contains(done2[0], "disassembled=0") ||
+		!strings.Contains(done2[0], "builds=0") {
+		t.Fatalf("second done line should be a fully-warm hit: %s", done2[0])
+	}
+	if got := grepLines(lines, `^stats store entries=1 `); len(got) == 0 {
+		t.Fatalf("stats line missing the store entry:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestServeBadPathFailsJobOnly pins failure isolation: a bad path fails
+// its own job; the service keeps running and analyzes the next one.
+func TestServeBadPathFailsJobOnly(t *testing.T) {
+	path := fixturePath(t)
+	script := fmt.Sprintf("submit /nonexistent/x.apk\nsubmit %s\nquit\n", path)
+	lines := serveLines(t, script, config{workers: 1, storeBudget: -1, backend: "indexed", stats: false})
+	if got := grepLines(lines, `^failed id=1 `); len(got) != 1 {
+		t.Fatalf("bad path did not fail job 1:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^done id=2 `); len(got) != 1 {
+		t.Fatalf("good job after a failure did not finish:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^stats store=disabled`); len(got) == 0 {
+		t.Fatalf("disabled store must report as such:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestServeCommandErrors pins the protocol's error replies.
+func TestServeCommandErrors(t *testing.T) {
+	lines := serveLines(t, "cancel notanumber\ncancel 42\nsubmit\nquit\n",
+		config{workers: 1, storeBudget: -1, backend: "indexed"})
+	for _, want := range []string{
+		`^error: cancel wants a job id`,
+		`^error: job 42 not cancelable`,
+		`^error: submit wants a path`,
+	} {
+		if got := grepLines(lines, want); len(got) != 1 {
+			t.Fatalf("missing %q reply:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+// TestServeUnknownBackend pins flag validation.
+func TestServeUnknownBackend(t *testing.T) {
+	var out bytes.Buffer
+	if err := serve(strings.NewReader("quit\n"), &out, config{backend: "bogus"}); err == nil {
+		t.Fatal("unknown backend must fail")
+	}
+}

@@ -1,21 +1,28 @@
 // Command benchgate is the CI bench-regression gate for the bytecode
 // search stack. It analyzes the scaled benchmark corpus once per search
 // backend (linear, indexed, sharded), once with shard-parallel lookups,
-// and cold+warm against the persistent bundle cache; emits the
-// charged-work measurements as JSON (BENCH_search.json plus the warm-path
-// trajectory BENCH_warm.json), and fails when charged work regresses
-// beyond the tolerance against a checked-in baseline.
+// cold+warm against the persistent bundle cache, and twice through the
+// batch service scheduler with an in-memory bundle store; emits the
+// charged-work measurements as JSON (BENCH_search.json, the warm-path
+// trajectory BENCH_warm.json and the batch-reuse leg BENCH_service.json),
+// and fails when charged work regresses beyond the tolerance against a
+// checked-in baseline.
 //
 // Hard invariants enforced on every run, baseline or not:
 //   - index backends must beat the linear scan (speedup > 1);
 //   - a warm run must charge zero index builds AND zero disassembly
 //     (every app loads both bundle sections);
-//   - shard-parallel lookups must not change a single detection verdict.
+//   - shard-parallel lookups must not change a single detection verdict;
+//   - the batch-reuse second pass must charge zero index builds and zero
+//     disassembly (every app a bundle-store hit), beat the first pass,
+//     and both scheduler passes must reproduce the plain RunCorpus
+//     detection output bit for bit.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
-//	          [-warm-out FILE] [-tolerance F] [-write-baseline]
+//	          [-warm-out FILE] [-service-out FILE] [-tolerance F]
+//	          [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -37,6 +44,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/experiments"
+	"backdroid/internal/service"
 )
 
 // BackendCost is the charged search work of one corpus run, summed over
@@ -48,8 +56,10 @@ type BackendCost struct {
 	IndexBuilds     int     `json:"index_builds"`
 	IndexCacheHits  int     `json:"index_cache_hits"`
 	DumpCacheHits   int     `json:"dump_cache_hits"`
+	BundleStoreHits int     `json:"bundle_store_hits"`
 	DumpLinesCold   int64   `json:"dump_lines_disassembled"`
 	ParallelLookups int     `json:"parallel_lookups"`
+	ForwardMemoHits int64   `json:"forward_memo_hits"`
 	WorkUnits       int64   `json:"work_units"`
 	SimMinutes      float64 `json:"sim_minutes"`
 }
@@ -72,6 +82,29 @@ type Report struct {
 	SpeedupWarm    float64                `json:"speedup_warm"` // cold sharded vs warm bundle
 }
 
+// StoreStats is the bundle-store counter block of BENCH_service.json.
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ServiceReport is the BENCH_service.json schema: the batch-reuse leg —
+// the same corpus submitted twice through one scheduler with an in-memory
+// bundle store. The second pass must charge zero disassembly and zero
+// index builds; its detection report must be bitwise identical to a plain
+// experiments.RunCorpus pass.
+type ServiceReport struct {
+	Corpus            CorpusMeta  `json:"corpus"`
+	FirstPass         BackendCost `json:"first_pass"`
+	SecondPass        BackendCost `json:"second_pass"`
+	Store             StoreStats  `json:"store"`
+	SpeedupBatchReuse float64     `json:"speedup_batch_reuse"`
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -89,23 +122,24 @@ type WarmReport struct {
 
 func main() {
 	var (
-		apps      = flag.Int("apps", 16, "corpus size")
-		scale     = flag.Float64("scale", 0.15, "app size scale factor")
-		seed      = flag.Int64("seed", 20200523, "corpus seed")
-		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
-		out       = flag.String("out", "BENCH_search.json", "output JSON path")
-		warmOut   = flag.String("warm-out", "BENCH_warm.json", "warm-path trajectory JSON path (empty = skip)")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
-		write     = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
+		apps       = flag.Int("apps", 16, "corpus size")
+		scale      = flag.Float64("scale", 0.15, "app size scale factor")
+		seed       = flag.Int64("seed", 20200523, "corpus seed")
+		baseline   = flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+		out        = flag.String("out", "BENCH_search.json", "output JSON path")
+		warmOut    = flag.String("warm-out", "BENCH_warm.json", "warm-path trajectory JSON path (empty = skip)")
+		serviceOut = flag.String("service-out", "BENCH_service.json", "batch-reuse leg JSON path (empty = skip)")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
+		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -207,6 +241,43 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 		return fmt.Errorf("warm speedup %.2fx not >1 — warm bundle runs charge more than cold", report.SpeedupWarm)
 	}
 
+	// Batch-reuse leg: the same corpus submitted twice through one
+	// scheduler with an in-memory bundle store. This is also the
+	// scheduler-vs-RunCorpus parity diff — both passes must reproduce the
+	// plain sharded detection output bit for bit.
+	if serviceOutPath != "" {
+		svc, firstDet, secondDet, err := measureService(meta)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %10d units cold, %10d units warm, %d store hits\n",
+			"batch-reuse", svc.FirstPass.WorkUnits, svc.SecondPass.WorkUnits, svc.SecondPass.BundleStoreHits)
+		if firstDet != detections["sharded"] || secondDet != detections["sharded"] {
+			return fmt.Errorf("scheduler runs changed the detection output vs RunCorpus")
+		}
+		if svc.SecondPass.IndexBuilds != 0 {
+			return fmt.Errorf("batch-reuse second pass built %d indexes, want 0 (bundle store not hitting)", svc.SecondPass.IndexBuilds)
+		}
+		if svc.SecondPass.DumpLinesCold != 0 {
+			return fmt.Errorf("batch-reuse second pass disassembled %d lines, want 0", svc.SecondPass.DumpLinesCold)
+		}
+		if svc.SecondPass.BundleStoreHits != apps {
+			return fmt.Errorf("batch-reuse second pass hit the store %d times, want %d (one per app)", svc.SecondPass.BundleStoreHits, apps)
+		}
+		if svc.SpeedupBatchReuse <= 1 {
+			return fmt.Errorf("batch-reuse speedup %.2fx not >1 — store reuse charges more than cold", svc.SpeedupBatchReuse)
+		}
+		sdata, err := json.MarshalIndent(svc, "", "  ")
+		if err != nil {
+			return err
+		}
+		sdata = append(sdata, '\n')
+		if err := os.WriteFile(serviceOutPath, sdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (batch reuse %.2fx)\n", serviceOutPath, svc.SpeedupBatchReuse)
+	}
+
 	// The warm-path trajectory artifact. The baseline's warm cost is read
 	// before any refresh, so the recorded speedup is against the previous
 	// PR's warm path.
@@ -259,14 +330,19 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string, parall
 	opts := core.DefaultOptions()
 	opts.SearchBackend = kind
 	opts.ParallelLookups = parallelLookups
+	return measureWith(meta, experiments.RunConfig{
+		RunBackDroid:     true,
+		BackDroidOptions: &opts,
+		Workers:          runtime.NumCPU(),
+		IndexCacheDir:    cacheDir,
+	})
+}
+
+// measureWith runs one corpus pass under the given config (possibly
+// through a shared scheduler) and sums its charged work.
+func measureWith(meta CorpusMeta, cfg experiments.RunConfig) (BackendCost, string, error) {
 	run, err := experiments.RunCorpus(
-		appgen.CorpusOptions{Apps: meta.Apps, Seed: meta.Seed, SizeScale: meta.Scale},
-		experiments.RunConfig{
-			RunBackDroid:     true,
-			BackDroidOptions: &opts,
-			Workers:          runtime.NumCPU(),
-			IndexCacheDir:    cacheDir,
-		})
+		appgen.CorpusOptions{Apps: meta.Apps, Seed: meta.Seed, SizeScale: meta.Scale}, cfg)
 	if err != nil {
 		return BackendCost{}, "", err
 	}
@@ -280,8 +356,10 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string, parall
 		c.IndexBuilds += s.Search.IndexBuilds
 		c.IndexCacheHits += s.Search.IndexCacheHits
 		c.DumpCacheHits += s.DumpCacheHits
+		c.BundleStoreHits += s.BundleStoreHits
 		c.DumpLinesCold += s.DumpLinesDisassembled
 		c.ParallelLookups += s.Search.ParallelLookups
+		c.ForwardMemoHits += s.ForwardMemoHits
 		c.WorkUnits += s.WorkUnits
 		c.SimMinutes += s.SimMinutes
 		fmt.Fprintf(&det, "== %s ==\n", a.BackDroid.App)
@@ -290,6 +368,44 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string, parall
 		}
 	}
 	return c, det.String(), nil
+}
+
+// measureService is the batch-reuse leg: one scheduler with an unbounded
+// in-memory bundle store, the same corpus submitted twice through it. The
+// first pass is cold (every fingerprint misses the store and is built
+// once); the second must be fully warm — zero disassembly, zero index
+// builds, every app a store hit — with detection output identical to the
+// plain RunCorpus path.
+func measureService(meta CorpusMeta) (ServiceReport, string, string, error) {
+	opts := core.DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	store := service.NewBundleStore(0)
+	sched := service.New(service.Config{
+		Workers: runtime.NumCPU(),
+		Options: &opts,
+		Store:   store,
+	})
+	defer sched.Close()
+
+	cfg := experiments.RunConfig{RunBackDroid: true, Scheduler: sched}
+	first, firstDet, err := measureWith(meta, cfg)
+	if err != nil {
+		return ServiceReport{}, "", "", err
+	}
+	second, secondDet, err := measureWith(meta, cfg)
+	if err != nil {
+		return ServiceReport{}, "", "", err
+	}
+	rep := ServiceReport{Corpus: meta, FirstPass: first, SecondPass: second}
+	st := store.Stats()
+	rep.Store = StoreStats{
+		Entries: st.Entries, Bytes: st.Bytes, Hits: st.Hits,
+		Misses: st.Misses, Puts: st.Puts, Evictions: st.Evictions,
+	}
+	if second.WorkUnits > 0 {
+		rep.SpeedupBatchReuse = float64(first.WorkUnits) / float64(second.WorkUnits)
+	}
+	return rep, firstDet, secondDet, nil
 }
 
 // readBaseline parses a baseline report file.

@@ -42,16 +42,17 @@ func main() {
 		shards     = flag.Int("shards", 0, "index shard count for -backend sharded (0 = auto)")
 		indexCache = flag.String("index-cache", "", "directory for persistent dump+index bundles")
 		parallel   = flag.Bool("parallel-lookups", false, "fan hot-token shard lookups out on the worker pool")
+		autoPar    = flag.Bool("auto-parallel-lookups", false, "derive the hot-token gate from each app's postings distribution")
 		quiet      = flag.Bool("q", false, "suppress per-app progress")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *exp, *backend, *workers, *shards, *indexCache, *parallel, *quiet); err != nil {
+	if err := run(*apps, *scale, *seed, *exp, *backend, *workers, *shards, *indexCache, *parallel, *autoPar, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, exp, backend string, workers, shards int, indexCache string, parallelLookups bool, quiet bool) error {
+func run(apps int, scale float64, seed int64, exp, backend string, workers, shards int, indexCache string, parallelLookups, autoParallel bool, quiet bool) error {
 	if exp == "table1" {
 		fmt.Print(experiments.Table1(seed).Render())
 		return nil
@@ -65,6 +66,7 @@ func run(apps int, scale float64, seed int64, exp, backend string, workers, shar
 	bdOpts.SearchBackend = kind
 	bdOpts.IndexShards = shards
 	bdOpts.ParallelLookups = parallelLookups
+	bdOpts.AutoParallelLookups = autoParallel
 
 	opts := appgen.CorpusOptions{Apps: apps, Seed: seed, SizeScale: scale}
 	cfg := experiments.RunConfig{

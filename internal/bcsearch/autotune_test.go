@@ -1,0 +1,102 @@
+package bcsearch
+
+import (
+	"sort"
+	"testing"
+
+	"backdroid/internal/dexdump"
+	"backdroid/internal/simtime"
+)
+
+// TestAutoParallelMinDerivesFromDistribution pins the auto-tuned gate:
+// once the index is acquired, the threshold equals the p95 per-token
+// postings-list length (floored), not the fixed default.
+func TestAutoParallelMinDerivesFromDistribution(t *testing.T) {
+	text, target := hotTokenFixture(t)
+	eng := NewEngine(text, Config{
+		Meter: simtime.NewMeter(), Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+		ParallelLookups: true, AutoParallelLookupMin: true,
+	})
+	if _, err := eng.FindInvocations(target); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	// Recompute the expected gate from the index itself.
+	idx := dexdump.BuildShardedIndex(text, dexdump.PackagePrefixPlan(text, 3), 1)
+	lengths := idx.TokenListLengths()
+	sort.Ints(lengths)
+	want := lengths[len(lengths)*95/100]
+	if want < AutoParallelLookupFloor {
+		want = AutoParallelLookupFloor
+	}
+	if st.ParallelLookupMin != want {
+		t.Fatalf("auto gate = %d, want p95 %d", st.ParallelLookupMin, want)
+	}
+	if st.ParallelLookupMin == DefaultParallelLookupMin {
+		t.Fatalf("auto gate landed exactly on the fixed default (%d) — fixture too bland to pin the derivation",
+			DefaultParallelLookupMin)
+	}
+}
+
+// TestAutoParallelMinKeepsResultsIdentical pins that auto-tuning moves
+// only the cost model: hits are bitwise identical to the fixed-gate and
+// sequential engines on every fixture query.
+func TestAutoParallelMinKeepsResultsIdentical(t *testing.T) {
+	text := searchFixture(t)
+	seq := NewEngine(text, Config{
+		Meter: simtime.NewMeter(), Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+	})
+	auto := NewEngine(text, Config{
+		Meter: simtime.NewMeter(), Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+		ParallelLookups: true, AutoParallelLookupMin: true,
+	})
+	seqHits := runFixtureQueries(t, seq)
+	autoHits := runFixtureQueries(t, auto)
+	if !hitsEqual(seqHits, autoHits) {
+		t.Fatal("auto-tuned parallel hits differ from sequential")
+	}
+}
+
+// TestAutoParallelMinFloor pins the floor: a dump whose postings lists
+// are all tiny must not derive a gate below AutoParallelLookupFloor.
+func TestAutoParallelMinFloor(t *testing.T) {
+	text := searchFixture(t)
+	eng := NewEngine(text, Config{
+		Meter: simtime.NewMeter(), Backend: BackendSharded,
+		Plan: dexdump.PackagePrefixPlan(text, 3), BuildWorkers: 2,
+		ParallelLookups: true, AutoParallelLookupMin: true,
+	})
+	runFixtureQueries(t, eng)
+	if st := eng.Stats(); st.ParallelLookupMin < AutoParallelLookupFloor {
+		t.Fatalf("auto gate = %d, below the floor %d", st.ParallelLookupMin, AutoParallelLookupFloor)
+	}
+}
+
+// TestTokenListLengthsShardedMatchesMerged pins the distribution source:
+// summing one token's per-shard lists must equal the merged index's list
+// for that token, so the derived gate is shard-layout independent for
+// per-token totals.
+func TestTokenListLengthsShardedMatchesMerged(t *testing.T) {
+	text, _ := hotTokenFixture(t)
+	merged := dexdump.BuildIndex(text)
+	sharded := dexdump.BuildShardedIndex(text, dexdump.PackagePrefixPlan(text, 4), 1)
+
+	sum := func(ls []int) int {
+		n := 0
+		for _, l := range ls {
+			n += l
+		}
+		return n
+	}
+	if sum(merged.TokenListLengths()) != sum(sharded.TokenListLengths()) {
+		t.Fatalf("total postings differ: merged %d vs sharded %d",
+			sum(merged.TokenListLengths()), sum(sharded.TokenListLengths()))
+	}
+	if len(merged.TokenListLengths()) != len(sharded.TokenListLengths()) {
+		t.Fatalf("distinct token counts differ: merged %d vs sharded %d",
+			len(merged.TokenListLengths()), len(sharded.TokenListLengths()))
+	}
+}

@@ -2,6 +2,7 @@ package bcsearch
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"backdroid/internal/dexdump"
@@ -84,6 +85,8 @@ func NewSearcher(text *dexdump.Text, cfg Config) Searcher {
 	s.refreshBundle = cfg.RefreshBundle
 	s.parallelLookups = cfg.ParallelLookups
 	s.parallelMin = cfg.ParallelLookupMin
+	s.autoParallelMin = cfg.AutoParallelLookupMin
+	s.storeBundle = cfg.StoreBundle
 	if s.parallelMin <= 0 {
 		s.parallelMin = DefaultParallelLookupMin
 	}
@@ -186,6 +189,8 @@ type IndexedSearcher struct {
 	refreshBundle   bool               // rewrite the bundle even on an index cache hit
 	parallelLookups bool               // fan hot-token lookups out per shard
 	parallelMin     int                // postings threshold for fanning out
+	autoParallelMin bool               // derive parallelMin from the postings distribution
+	storeBundle     func(data []byte)  // in-memory bundle store capture seam
 }
 
 // DefaultShards is the package-prefix shard count used when the sharded
@@ -199,6 +204,12 @@ const DefaultShards = 4
 // visit saves, so cold tokens keep the lazy sequential path. Fixed so
 // charged work stays deterministic.
 const DefaultParallelLookupMin = 64
+
+// AutoParallelLookupFloor is the lowest fan-out threshold the auto-tuned
+// gate (Config.AutoParallelLookupMin) will derive: below it the flat
+// fan-out overhead always outweighs the critical-path saving, no matter
+// how flat the app's postings distribution is.
+const AutoParallelLookupFloor = 8
 
 // NewIndexedSearcher builds the single-index backend; the index itself is
 // built lazily. Use NewSearcher to configure sharding and caching.
@@ -288,7 +299,7 @@ func (s *IndexedSearcher) runParallel(cmd Command, sharded *dexdump.ShardedIndex
 // bundle, upgrading legacy index-only files and self-healing damaged dump
 // sections so the next run can skip disassembly too.
 func (s *IndexedSearcher) acquire(cost *Cost) error {
-	if s.cachePath != "" {
+	if s.cachePath != "" || len(s.bundleBytes) != 0 {
 		if src, err := s.loadCachedIndex(); err == nil && src.ShardCount() == s.wantShards() {
 			// Deserialization is charged at the cheap cache-load rate;
 			// no tokenization happens on this path.
@@ -299,9 +310,13 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 			cost.IndexLoaded = true
 			cost.Shards = src.ShardCount()
 			if s.refreshBundle {
-				// Best-effort: a failed write must never fail the analysis.
-				_ = dexdump.WriteBundle(s.cachePath, s.text, s.src, s.fingerprint)
+				s.publishBundle()
+			} else if s.storeBundle != nil && len(s.bundleBytes) != 0 {
+				// The bytes already hold a validated full bundle (the
+				// engine's dump probe hit on them); share them as-is.
+				s.storeBundle(s.bundleBytes)
 			}
+			s.deriveParallelMin()
 			return nil
 		}
 		cost.IndexCacheMiss = true
@@ -323,11 +338,50 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 	}
 	cost.IndexBuilt = true
 	cost.Shards = s.src.ShardCount()
-	if s.cachePath != "" {
-		// Best-effort: a failed write must never fail the analysis.
-		_ = dexdump.WriteBundle(s.cachePath, s.text, s.src, s.fingerprint)
-	}
+	s.publishBundle()
+	s.deriveParallelMin()
 	return nil
+}
+
+// publishBundle encodes the current dump and index once and hands the
+// bytes to every configured consumer: the persistent cache file and the
+// in-memory store seam. Best-effort — a failed encode or write must never
+// fail the analysis.
+func (s *IndexedSearcher) publishBundle() {
+	if s.cachePath == "" && s.storeBundle == nil {
+		return
+	}
+	data, err := dexdump.EncodeBundle(s.text, s.src, s.fingerprint)
+	if err != nil {
+		return
+	}
+	if s.cachePath != "" {
+		_ = dexdump.WriteBundleBytes(s.cachePath, data)
+	}
+	if s.storeBundle != nil {
+		s.storeBundle(data)
+	}
+}
+
+// deriveParallelMin recomputes the hot-token fan-out gate from the
+// acquired index's per-token postings distribution: the p95 list length,
+// floored at AutoParallelLookupFloor so tiny apps keep the sequential
+// path. Depends only on the index contents, so charged work stays
+// deterministic across runs and machines.
+func (s *IndexedSearcher) deriveParallelMin() {
+	if !s.autoParallelMin || s.src == nil {
+		return
+	}
+	lengths := s.src.TokenListLengths()
+	if len(lengths) == 0 {
+		return
+	}
+	sort.Ints(lengths)
+	gate := lengths[len(lengths)*95/100]
+	if gate < AutoParallelLookupFloor {
+		gate = AutoParallelLookupFloor
+	}
+	s.parallelMin = gate
 }
 
 // loadCachedIndex decodes the bundle's index section — from the bytes the

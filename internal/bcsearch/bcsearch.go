@@ -58,6 +58,12 @@ type Stats struct {
 	IndexCacheHits   int
 	IndexCacheMisses int
 	ParallelLookups  int
+
+	// ParallelLookupMin is the hot-token fan-out gate in effect — the
+	// fixed default, an explicit override, or (under AutoParallelLookupMin)
+	// the threshold derived from the app's postings distribution once the
+	// index is acquired.
+	ParallelLookupMin int
 }
 
 // Rate returns the cache hit rate in [0,1].
@@ -118,6 +124,20 @@ type Config struct {
 	// ParallelLookupMin overrides the total-postings threshold above which
 	// a lookup fans out; 0 uses DefaultParallelLookupMin.
 	ParallelLookupMin int
+	// AutoParallelLookupMin derives the fan-out threshold from the
+	// acquired index's own postings distribution (the p95 per-token list
+	// length, floored at AutoParallelLookupFloor) instead of the fixed
+	// DefaultParallelLookupMin, so apps with unusually hot or unusually
+	// flat token distributions both gate correctly. Overrides
+	// ParallelLookupMin once the index is acquired; deterministic — the
+	// threshold depends only on the index contents.
+	AutoParallelLookupMin bool
+	// StoreBundle, when non-nil, receives the encoded bundle bytes as soon
+	// as the index is acquired: the freshly encoded bundle after a build or
+	// a refresh, or the validated on-disk file content on a persistent
+	// cache hit. The batch service's in-memory bundle store captures
+	// entries through this seam without a second encode.
+	StoreBundle func(data []byte)
 }
 
 // Engine searches one app's dump text: it owns the command cache and
@@ -157,7 +177,13 @@ func New(text *dexdump.Text, meter *simtime.Meter, enableCache bool) *Engine {
 }
 
 // Stats returns the cache and work statistics so far.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	if s, ok := e.backend.(*IndexedSearcher); ok {
+		st.ParallelLookupMin = s.parallelMin
+	}
+	return st
+}
 
 // Backend returns the kind of the active backend.
 func (e *Engine) Backend() BackendKind { return e.backend.Kind() }

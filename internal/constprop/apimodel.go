@@ -61,6 +61,8 @@ func (a *analysis) modelAPI(inv *ir.InvokeExpr, env *env) *Fact {
 		switch name {
 		case "append":
 			// Model the builder's content as a synthetic field on its Obj.
+			// A field write like any other for the memoization counters.
+			a.fieldSeq++
 			content := builderContent(base())
 			appended := mapStrings2(content, toStringFact(arg(0)), func(x, y string) string { return x + y })
 			setBuilderContent(base(), appended)

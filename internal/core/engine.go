@@ -72,6 +72,30 @@ type Options struct {
 	// transparently.
 	DumpProvider DumpProvider
 
+	// Bundles is the in-memory content-addressed bundle seam of the batch
+	// service: before touching the on-disk cache the engine asks it for an
+	// encoded bundle keyed by the app fingerprint. A hit makes the run
+	// fully warm — zero disassembly, zero index build, zero disk I/O —
+	// charged at the cheap simtime.ChargeBundleStoreLoad rate; a miss
+	// falls through to the disk cache (if configured) or a cold build,
+	// after which the freshly encoded bundle is handed back to the store.
+	// Nil disables the store. service.BundleStore is the production
+	// implementation.
+	Bundles BundleCache
+
+	// AutoParallelLookups derives the hot-token fan-out gate of
+	// ParallelLookups from the app's own postings distribution (p95
+	// per-token list length) instead of the fixed
+	// bcsearch.DefaultParallelLookupMin. Results are unchanged; only which
+	// lookups fan out — and thus the charged critical path — moves.
+	AutoParallelLookups bool
+
+	// MemoizeForwardPass caches constprop method evaluations keyed by
+	// (callee, argument facts) within one forward pass, so callees shared
+	// by many call edges are evaluated once per distinct fact environment.
+	// Results are identical with the cache on or off; on by default.
+	MemoizeForwardPass bool
+
 	// ParallelLookups fans the per-shard postings fetches of hot search
 	// tokens out on the worker pool (BackendSharded only). Detection
 	// results are bitwise identical; the simulated charge becomes the max
@@ -112,6 +136,13 @@ type Options struct {
 	// TimeoutMinutes aborts the analysis after this much simulated time;
 	// 0 disables the budget (BackDroid needs no timeout in the paper).
 	TimeoutMinutes float64
+
+	// SinkObserver, when non-nil, receives every SinkReport as soon as its
+	// verdict is final — per sink call during the per-sink pipeline, after
+	// the shared forward pass in PerAppSSG mode. The callback runs
+	// synchronously on the analysis goroutine, in report order; the batch
+	// service streams these as events while the job is still running.
+	SinkObserver func(*SinkReport)
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation:
@@ -123,8 +154,21 @@ func DefaultOptions() Options {
 		EnableSearchCache:   true,
 		EnableSinkCache:     true,
 		EnableLoopDetection: true,
+		MemoizeForwardPass:  true,
 		MaxDepth:            25,
 	}
+}
+
+// BundleCache is the in-memory content-addressed bundle store seam:
+// encoded .bdx bundle bytes keyed by app fingerprint (see
+// dexdump.AppFingerprint). GetBundle returns the entry and marks it
+// recently used; PutBundle inserts it (a later Put of the same
+// fingerprint is a refresh — entries are content-addressed, so the bytes
+// are identical). Implementations must be safe for concurrent use: the
+// batch service analyzes many apps at once against one store.
+type BundleCache interface {
+	GetBundle(fingerprint uint64) ([]byte, bool)
+	PutBundle(fingerprint uint64, data []byte)
 }
 
 // SinkCall is one located sink API call site.
@@ -200,6 +244,17 @@ type Stats struct {
 	DumpCacheMisses       int
 	DumpCacheUnits        int64
 	DumpLinesDisassembled int64
+
+	// In-memory bundle store accounting (Options.Bundles). At most one
+	// probe per engine; both zero when no store is configured. A hit
+	// means the whole warm start — dump and index — came out of process
+	// memory with zero disk I/O.
+	BundleStoreHits   int
+	BundleStoreMisses int
+
+	// ForwardMemoHits counts constprop method evaluations answered from
+	// the forward-pass memo cache (Options.MemoizeForwardPass).
+	ForwardMemoHits int64
 }
 
 // SinkCacheRate returns the fraction of sink calls answered from the
@@ -285,6 +340,13 @@ type Engine struct {
 	dumpCacheMisses int
 	dumpCacheUnits  int64
 	dumpLinesCold   int64
+
+	// In-memory bundle store accounting (see Stats).
+	bundleStoreHits   int
+	bundleStoreMisses int
+
+	// Forward-pass memoization accounting (see Stats).
+	memoHits int64
 }
 
 // DumpProvider is the warm-start seam of the engine: it may supply a
@@ -335,20 +397,32 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		meter.SetBudget(simtime.MinutesToUnits(opts.TimeoutMinutes))
 	}
 
-	// Warm-start probe, before any merge or disassembly work. The bundle
-	// file is read once; the searcher decodes its index section from the
-	// same bytes.
+	// Warm-start probes, before any merge or disassembly work. The
+	// in-memory bundle store is asked first — a hit costs zero disk I/O —
+	// then the on-disk bundle file, which is read once; the searcher
+	// decodes its index section from the same bytes either way.
 	var fingerprint uint64
 	var bundleBytes []byte
+	storeHit := false
 	cachePath := ""
 	if opts.IndexCacheDir != "" {
 		cachePath = dexdump.CachePath(opts.IndexCacheDir, app.Name)
+	}
+	if opts.IndexCacheDir != "" || opts.Bundles != nil {
 		fingerprint = dexdump.AppFingerprint(app.Dexes)
 	}
-	provider := opts.DumpProvider
-	if provider == nil && cachePath != "" {
-		if data, err := os.ReadFile(cachePath); err == nil {
+	if opts.Bundles != nil {
+		if data, ok := opts.Bundles.GetBundle(fingerprint); ok && len(data) != 0 {
 			bundleBytes = data
+			storeHit = true
+		}
+	}
+	provider := opts.DumpProvider
+	if provider == nil && (storeHit || cachePath != "") {
+		if !storeHit && cachePath != "" {
+			if data, err := os.ReadFile(cachePath); err == nil {
+				bundleBytes = data
+			}
 		}
 		provider = bundleDumpProvider{data: bundleBytes, fingerprint: fingerprint}
 	}
@@ -357,6 +431,18 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		if t, ok := provider.ProvideDump(app); ok && t != nil {
 			dump = t
 		}
+	}
+	if storeHit && dump == nil {
+		// A store entry that does not validate (damaged or written for
+		// different bytecode): drop it — a Put for a present fingerprint
+		// is a no-op refresh, so without the drop the bad entry would be
+		// pinned forever — and fall back to the cold path, which stores
+		// a fresh bundle.
+		if dropper, ok := opts.Bundles.(interface{ DropBundle(uint64) }); ok {
+			dropper.DropBundle(fingerprint)
+		}
+		storeHit = false
+		bundleBytes = nil
 	}
 
 	merged, err := app.MergedDex()
@@ -379,12 +465,24 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		writerCache: make(map[string]map[string]bool),
 		sliceIntern: make(map[string]internRecord),
 	}
+	if opts.Bundles != nil {
+		if storeHit {
+			e.bundleStoreHits = 1
+		} else {
+			e.bundleStoreMisses = 1
+		}
+	}
 	if dump != nil {
 		// Warm path: the cached dump replaces disassembly entirely;
-		// reading it back is charged at the flat cache-load rate.
+		// reading it back is charged at the flat cache-load rate — the
+		// cheaper in-memory rate when the bundle came from the store.
 		e.dumpCacheHits = 1
 		before := meter.Units()
-		e.preTimedOut = meter.ChargeDumpCacheLoad(dump.LineCount()) != nil
+		if storeHit {
+			e.preTimedOut = meter.ChargeBundleStoreLoad(dump.LineCount()) != nil
+		} else {
+			e.preTimedOut = meter.ChargeDumpCacheLoad(dump.LineCount()) != nil
+		}
 		e.dumpCacheUnits = meter.Units() - before
 	} else {
 		if provider != nil {
@@ -400,17 +498,25 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	e.dump = dump
 
 	searchCfg := bcsearch.Config{
-		Meter:           meter,
-		Backend:         opts.SearchBackend,
-		EnableCache:     opts.EnableSearchCache,
-		CachePath:       cachePath,
-		BundleBytes:     bundleBytes,
-		AppFingerprint:  fingerprint,
-		ParallelLookups: opts.ParallelLookups,
+		Meter:                 meter,
+		Backend:               opts.SearchBackend,
+		EnableCache:           opts.EnableSearchCache,
+		CachePath:             cachePath,
+		BundleBytes:           bundleBytes,
+		AppFingerprint:        fingerprint,
+		ParallelLookups:       opts.ParallelLookups,
+		AutoParallelLookupMin: opts.AutoParallelLookups,
 		// A dump miss on a configured cache means the bundle is absent,
 		// legacy or damaged: have the searcher rewrite it even on an index
 		// cache hit, so the next run starts fully warm.
 		RefreshBundle: cachePath != "" && e.dumpCacheMisses > 0,
+	}
+	if opts.Bundles != nil && !storeHit && fingerprint != 0 {
+		// Capture the bundle into the store once the searcher acquires the
+		// index; a store hit needs no re-put (content-addressed entries
+		// never change).
+		store, fp := opts.Bundles, fingerprint
+		searchCfg.StoreBundle = func(data []byte) { store.PutBundle(fp, data) }
 	}
 	if opts.SearchBackend == bcsearch.BackendSharded {
 		searchCfg.Plan = shardPlan(app, dump, opts.IndexShards)
@@ -473,6 +579,13 @@ func (e *Engine) Analyze() (*Report, error) {
 			return nil, err
 		}
 		report.TimedOut = report.TimedOut || timedOut
+		// Verdicts become final only after the shared forward pass, so
+		// the stream is delivered per app here, in report order.
+		if e.opts.SinkObserver != nil {
+			for _, sr := range report.Sinks {
+				e.opts.SinkObserver(sr)
+			}
+		}
 	} else {
 		for _, call := range calls {
 			sr, err := e.analyzeSinkCall(call)
@@ -484,6 +597,9 @@ func (e *Engine) Analyze() (*Report, error) {
 				return nil, err
 			}
 			report.Sinks = append(report.Sinks, sr)
+			if e.opts.SinkObserver != nil {
+				e.opts.SinkObserver(sr)
+			}
 		}
 	}
 
@@ -509,6 +625,9 @@ func (e *Engine) fillStats(report *Report, start time.Time) {
 		DumpCacheMisses:       e.dumpCacheMisses,
 		DumpCacheUnits:        e.dumpCacheUnits,
 		DumpLinesDisassembled: e.dumpLinesCold,
+		BundleStoreHits:       e.bundleStoreHits,
+		BundleStoreMisses:     e.bundleStoreMisses,
+		ForwardMemoHits:       e.memoHits,
 	}
 }
 
@@ -614,6 +733,7 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall) (bool, err
 	res, err := constprop.Run(e.appSSG, e.prog, e.meter, constprop.Options{
 		MaxDepth:   e.opts.MaxDepth,
 		MultiSinks: multi,
+		Memoize:    e.opts.MemoizeForwardPass,
 	})
 	if err != nil {
 		if err == simtime.ErrTimeout {
@@ -621,6 +741,7 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall) (bool, err
 		}
 		return false, err
 	}
+	e.memoHits += res.MemoHits
 	for _, p := range pend {
 		vals := res.MultiValues[p.unit]
 		out := make([]string, len(vals))

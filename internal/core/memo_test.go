@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/appgen"
+)
+
+// TestForwardMemoManySinkOutlier pins the forward-pass memoization on the
+// shape it exists for: the 121-sink outlier whose sinks all call one
+// shared config chain. In per-app SSG mode the single forward pass
+// descends the chain once per sink; with memoization the 120 repeat
+// descents answer from the cache — strictly fewer charged units, not one
+// verdict or value changed.
+func TestForwardMemoManySinkOutlier(t *testing.T) {
+	app, truth, err := appgen.Generate(appgen.ManySinkOutlierSpec(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Sinks) != 121 {
+		t.Fatalf("outlier app has %d sinks, want 121", len(truth.Sinks))
+	}
+
+	analyze := func(memo bool) *Report {
+		opts := DefaultOptions()
+		opts.PerAppSSG = true
+		opts.MemoizeForwardPass = memo
+		e, err := New(app, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := analyze(false)
+	memo := analyze(true)
+
+	if plain.Stats.ForwardMemoHits != 0 {
+		t.Fatalf("memo disabled but %d hits recorded", plain.Stats.ForwardMemoHits)
+	}
+	if memo.Stats.ForwardMemoHits == 0 {
+		t.Fatal("memoization produced zero hits on the shared-chain outlier")
+	}
+	if memo.Stats.WorkUnits >= plain.Stats.WorkUnits {
+		t.Fatalf("memo charged %d units, plain %d — caching must be strictly cheaper here",
+			memo.Stats.WorkUnits, plain.Stats.WorkUnits)
+	}
+	if len(plain.Sinks) != len(memo.Sinks) {
+		t.Fatalf("sink counts differ: %d vs %d", len(plain.Sinks), len(memo.Sinks))
+	}
+	for i := range plain.Sinks {
+		p, m := plain.Sinks[i], memo.Sinks[i]
+		if p.Reachable != m.Reachable || p.Insecure != m.Insecure {
+			t.Fatalf("sink %d verdict differs with memoization", i)
+		}
+		if len(p.Values) != len(m.Values) {
+			t.Fatalf("sink %d value count differs with memoization", i)
+		}
+		for j := range p.Values {
+			if p.Values[j] != m.Values[j] {
+				t.Fatalf("sink %d value %d differs: %q vs %q", i, j, p.Values[j], m.Values[j])
+			}
+		}
+	}
+	t.Logf("memo: %d hits, %d -> %d units (%.2fx)",
+		memo.Stats.ForwardMemoHits, plain.Stats.WorkUnits, memo.Stats.WorkUnits,
+		float64(plain.Stats.WorkUnits)/float64(memo.Stats.WorkUnits))
+}
+
+// TestForwardMemoPerSinkPipeline checks the per-sink pipeline too: every
+// propagation run gets its own cache, and verdicts stay identical.
+func TestForwardMemoPerSinkPipeline(t *testing.T) {
+	app, _, err := appgen.Generate(appgen.Spec{
+		Name: "com.memo.persink", Seed: 11, SizeMB: 1,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowSharedConfig, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowSharedConfig, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowSharedConfig, Rule: android.RuleCryptoECB},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyze := func(memo bool) *Report {
+		opts := DefaultOptions()
+		opts.MemoizeForwardPass = memo
+		e, err := New(app, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := analyze(false)
+	memo := analyze(true)
+	if len(plain.Sinks) != len(memo.Sinks) {
+		t.Fatalf("sink counts differ: %d vs %d", len(plain.Sinks), len(memo.Sinks))
+	}
+	for i := range plain.Sinks {
+		p, m := plain.Sinks[i], memo.Sinks[i]
+		if p.Reachable != m.Reachable || p.Insecure != m.Insecure {
+			t.Fatalf("sink %d verdict differs with memoization", i)
+		}
+	}
+	if memo.Stats.WorkUnits > plain.Stats.WorkUnits {
+		t.Fatalf("memo charged %d units, plain %d — caching must never cost extra",
+			memo.Stats.WorkUnits, plain.Stats.WorkUnits)
+	}
+}

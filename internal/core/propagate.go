@@ -16,10 +16,12 @@ func (e *Engine) propagate(g *ssg.Graph, sinkUnit *ssg.Unit, call SinkCall) ([]s
 		SinkParamIndex: call.Sink.ParamIndex,
 		MaxDepth:       e.opts.MaxDepth,
 		SinkUnit:       sinkUnit,
+		Memoize:        e.opts.MemoizeForwardPass,
 	})
 	if err != nil {
 		return nil, err
 	}
+	e.memoHits += res.MemoHits
 	e.lastValues = res.SinkValues
 	out := make([]string, len(res.SinkValues))
 	for i, v := range res.SinkValues {

@@ -280,6 +280,13 @@ func WriteBundle(path string, t *Text, src Source, fingerprint uint64) error {
 	if err != nil {
 		return err
 	}
+	return WriteBundleBytes(path, data)
+}
+
+// WriteBundleBytes atomically persists already-encoded bundle bytes (temp
+// file + rename), creating the directory if needed. Callers that feed both
+// the disk cache and an in-memory store encode once and reuse the bytes.
+func WriteBundleBytes(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

@@ -259,5 +259,29 @@ func (x *ShardedIndex) Postings() int {
 // ShardCount returns the number of shards.
 func (x *ShardedIndex) ShardCount() int { return len(x.shards) }
 
+// TokenListLengths returns the per-token total postings-list lengths of
+// the sharded index: a lookup for one token visits its list in every
+// shard, so the per-shard lengths of one (family, token) pair are summed.
+func (x *ShardedIndex) TokenListLengths() []int {
+	if len(x.shards) == 0 {
+		return nil
+	}
+	// Family maps are in the fixed codec order on every shard, so the
+	// family index disambiguates colliding key strings across maps.
+	totals := make(map[string]int)
+	for _, sh := range x.shards {
+		for fi, m := range sh.maps() {
+			for token, p := range *m {
+				totals[string(rune('0'+fi))+token] += len(p)
+			}
+		}
+	}
+	out := make([]int, 0, len(totals))
+	for _, n := range totals {
+		out = append(out, n)
+	}
+	return out
+}
+
 // Shard returns shard i (for the codec and tests).
 func (x *ShardedIndex) Shard(i int) *Index { return x.shards[i] }

@@ -8,7 +8,7 @@ import (
 	"backdroid/internal/apk"
 	"backdroid/internal/appgen"
 	"backdroid/internal/core"
-	"backdroid/internal/pool"
+	"backdroid/internal/service"
 	"backdroid/internal/simtime"
 	"backdroid/internal/wholeapp"
 )
@@ -27,13 +27,21 @@ type RunConfig struct {
 	// concurrently; values <= 1 run sequentially. Every app gets its own
 	// generator, engines and work meter, and results land at the app's
 	// corpus position, so reports and figures are identical for any
-	// worker count — only wall time changes.
+	// worker count — only wall time changes. Ignored when Scheduler is
+	// set (the scheduler's pool bounds concurrency then).
 	Workers int
 	// IndexCacheDir, when non-empty, persists every app's search index
 	// there (overriding BackDroidOptions.IndexCacheDir), so re-running
 	// the same corpus — CI re-checks, parameter sweeps over non-search
 	// knobs — skips tokenization entirely on the second and later runs.
 	IndexCacheDir string
+	// Scheduler, when non-nil, submits the corpus to an existing batch
+	// service scheduler instead of a private one, sharing its worker
+	// pool, in-memory bundle store and event stream across calls: a
+	// corpus replayed through one scheduler-with-store performs zero
+	// disassembly and zero index builds on the second pass. Reports stay
+	// bitwise identical to a private run.
+	Scheduler *service.Scheduler
 }
 
 // AppRun bundles one app's artifacts and analysis outcomes.
@@ -52,85 +60,81 @@ type CorpusRun struct {
 }
 
 // RunCorpus generates every app of the corpus and runs the selected
-// analyzers. Apps are generated, analyzed and discarded one at a time to
-// bound memory (like analyzing APKs off disk). With cfg.Workers > 1 the
-// apps are distributed over a bounded worker pool; each worker builds
-// per-app engines, so no analysis state is shared across goroutines and
-// the results are bitwise identical to a sequential run.
+// analyzers. It is a thin client of the batch service scheduler: every
+// app becomes one job whose Source generates the app on the worker, so
+// apps exist only while analyzed (memory stays bounded, like analyzing
+// APKs off disk), no analysis state is shared across goroutines, and the
+// results — collected in submission order — are bitwise identical for any
+// worker count and to a pre-service sequential run. By default a private
+// scheduler is created and torn down; cfg.Scheduler reuses a long-running
+// one, bundle store and all.
 func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
 	specs := appgen.EvalCorpus(opts)
 	apps := make([]AppRun, len(specs))
+
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = service.New(service.Config{Workers: cfg.Workers})
+		defer sched.Close()
+	}
 
 	var (
 		mu   sync.Mutex // guards done and cfg.Progress writes
 		done int
 	)
-	analyzeOne := func(i int) error {
-		spec := specs[i]
-		app, truth, err := appgen.Generate(spec)
-		if err != nil {
-			return fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+	ids := make([]service.JobID, len(specs))
+	for i := range specs {
+		i, spec := i, specs[i]
+		job := service.Job{
+			Name: spec.Name,
+			Source: func() (*apk.App, error) {
+				app, truth, err := appgen.Generate(spec)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: generating %s: %w", spec.Name, err)
+				}
+				// Only this job's worker writes the slot; the collection
+				// loop reads it after Wait establishes happens-before.
+				apps[i].Spec = spec
+				apps[i].Truth = truth
+				return app, nil
+			},
+			Options:       cfg.BackDroidOptions,
+			IndexCacheDir: cfg.IndexCacheDir,
+			RunBackDroid:  cfg.RunBackDroid,
+			RunWholeApp:   cfg.RunWholeApp,
+			RunCallGraph:  cfg.RunCallGraph,
 		}
-		ar := AppRun{Spec: spec, Truth: truth}
-		if cfg.RunBackDroid {
-			ar.BackDroid, err = runBackDroid(app, cfg.BackDroidOptions, cfg.IndexCacheDir)
-			if err != nil {
-				return fmt.Errorf("experiments: backdroid on %s: %w", spec.Name, err)
-			}
-		}
-		if cfg.RunWholeApp {
-			ar.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
-			if err != nil {
-				return fmt.Errorf("experiments: wholeapp on %s: %w", spec.Name, err)
-			}
-		}
-		if cfg.RunCallGraph {
-			ar.CallGraph, err = runWholeApp(app, wholeapp.CallGraphOnly)
-			if err != nil {
-				return fmt.Errorf("experiments: callgraph on %s: %w", spec.Name, err)
-			}
-		}
-		apps[i] = ar
 		if cfg.Progress != nil {
-			mu.Lock()
-			done++
-			fmt.Fprintf(cfg.Progress, "  [%3d/%3d] %s done\n", done, len(specs), spec.Name)
-			mu.Unlock()
+			job.Done = func(res *service.JobResult, err error) {
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				done++
+				fmt.Fprintf(cfg.Progress, "  [%3d/%3d] %s done\n", done, len(specs), spec.Name)
+				mu.Unlock()
+			}
 		}
-		return nil
+		id, err := sched.Submit(job)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
 	}
 
-	// The error of the lowest corpus position is reported, so failures
-	// are deterministic regardless of worker scheduling.
-	if err := pool.First(pool.ForEach(len(specs), cfg.Workers, analyzeOne)); err != nil {
-		return nil, err
+	// Collect in submission order: the error of the lowest corpus
+	// position is reported, so failures are deterministic regardless of
+	// worker scheduling (jobs past a failure still drain on the pool).
+	for i, id := range ids {
+		res, err := sched.Wait(id)
+		if err != nil {
+			return nil, err
+		}
+		apps[i].BackDroid = res.BackDroid
+		apps[i].WholeApp = res.WholeApp
+		apps[i].CallGraph = res.CallGraph
 	}
 	return &CorpusRun{Apps: apps}, nil
-}
-
-func runBackDroid(app *apk.App, opts *core.Options, cacheDir string) (*core.Report, error) {
-	o := core.DefaultOptions()
-	if opts != nil {
-		o = *opts
-	}
-	if cacheDir != "" {
-		o.IndexCacheDir = cacheDir
-	}
-	e, err := core.New(app, o)
-	if err != nil {
-		return nil, err
-	}
-	return e.Analyze()
-}
-
-func runWholeApp(app *apk.App, mode wholeapp.Mode) (*wholeapp.Report, error) {
-	o := wholeapp.DefaultOptions()
-	o.Mode = mode
-	a, err := wholeapp.New(app, o)
-	if err != nil {
-		return nil, err
-	}
-	return a.Analyze()
 }
 
 // BackDroidSamples extracts the per-app timing samples of the BackDroid

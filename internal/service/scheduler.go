@@ -1,0 +1,425 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"backdroid/internal/apk"
+	"backdroid/internal/core"
+	"backdroid/internal/dexdump"
+	"backdroid/internal/wholeapp"
+)
+
+// Scheduler errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("service: scheduler closed")
+	// ErrCanceled is returned by Wait for a job canceled before it started.
+	ErrCanceled = errors.New("service: job canceled")
+	// ErrUnknownJob is returned by Wait for an ID this scheduler never
+	// issued.
+	ErrUnknownJob = errors.New("service: unknown job id")
+)
+
+// JobID identifies a submitted job; IDs are issued in submission order,
+// so iterating them replays the corpus deterministically.
+type JobID int64
+
+// Job is one unit of work: an app source plus the analyzers to run on it.
+type Job struct {
+	// Name labels the job in events and error messages (usually the app
+	// name).
+	Name string
+	// Source materializes the app when the job is scheduled — a generator
+	// closure, an APK loader, an in-memory handle. Running it lazily on
+	// the worker keeps memory bounded: apps exist only while analyzed,
+	// exactly as the one-shot corpus pipeline behaved.
+	Source func() (*apk.App, error)
+	// Options configures the BackDroid engine for this job; nil inherits
+	// the scheduler default (which defaults to core.DefaultOptions).
+	Options *core.Options
+	// IndexCacheDir overrides the scheduler's persistent bundle directory
+	// for this job ("" inherits).
+	IndexCacheDir string
+	// Analyzer selection; a job with none selected still runs Source
+	// (useful for validation probes).
+	RunBackDroid bool
+	RunWholeApp  bool
+	RunCallGraph bool
+	// Done, when non-nil, runs on the worker goroutine as soon as the job
+	// finishes, before the done/failed event is emitted — the progress
+	// seam of batch clients.
+	Done func(res *JobResult, err error)
+}
+
+// JobResult bundles one job's analysis outcomes.
+type JobResult struct {
+	ID        JobID
+	Name      string
+	BackDroid *core.Report
+	WholeApp  *wholeapp.Report
+	CallGraph *wholeapp.Report
+}
+
+// EventKind types the entries of the streamed result channel.
+type EventKind int
+
+// Event kinds, in the order one job emits them.
+const (
+	EventQueued EventKind = iota + 1
+	EventStarted
+	EventSink
+	EventDone
+	EventFailed
+	EventCanceled
+)
+
+// String names the event kind as the serve command prints it.
+func (k EventKind) String() string {
+	switch k {
+	case EventQueued:
+		return "queued"
+	case EventStarted:
+		return "started"
+	case EventSink:
+		return "sink"
+	case EventDone:
+		return "done"
+	case EventFailed:
+		return "failed"
+	case EventCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one streamed scheduler occurrence. Per job the order is fixed
+// — queued, started, one EventSink per resolved sink in report order,
+// then exactly one of done/failed/canceled — while events of different
+// jobs interleave with worker scheduling.
+type Event struct {
+	Kind EventKind
+	Job  JobID
+	Name string
+	// Sink is set on EventSink: the completed per-sink report, final
+	// verdict included.
+	Sink *core.SinkReport
+	// Result is set on EventDone.
+	Result *JobResult
+	// Err is set on EventFailed.
+	Err error
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Workers bounds concurrent job analyses; values <= 1 run one at a
+	// time.
+	Workers int
+	// QueueDepth bounds the submit queue; Submit blocks once this many
+	// jobs are waiting (backpressure toward the producer). 0 defaults to
+	// 2*Workers.
+	QueueDepth int
+	// Options is the default engine configuration for jobs that carry
+	// none; nil uses core.DefaultOptions.
+	Options *core.Options
+	// IndexCacheDir is the default persistent bundle directory ("" =
+	// disabled).
+	IndexCacheDir string
+	// Store is the shared in-memory content-addressed bundle store; nil
+	// disables in-memory reuse. With a store, re-submitting an app whose
+	// fingerprint is cached performs zero disassembly, zero index builds
+	// and zero bundle disk I/O, and concurrent submissions of one
+	// fingerprint serialize so the bundle is built exactly once.
+	Store *BundleStore
+	// Events, when non-nil, receives the streamed event channel. The
+	// consumer must drain it: emission blocks the emitting worker (and,
+	// because per-job event order is guaranteed, other emitters) until
+	// the event is received.
+	Events chan<- Event
+}
+
+// Scheduler runs analysis jobs over a bounded worker pool with a bounded
+// queue. It is the reusable session layer the one-shot corpus harness
+// lacked: engines are still per-job (analysis state never crosses
+// goroutines), but the bundle store, worker pool and event stream live
+// across submissions.
+type Scheduler struct {
+	cfg  Config
+	jobs chan *jobState
+
+	mu       sync.Mutex
+	states   map[JobID]*jobState
+	nextID   JobID
+	closed   bool
+	submitWG sync.WaitGroup // in-flight Submit sends
+
+	workerWG sync.WaitGroup
+	evMu     sync.Mutex
+}
+
+type jobState struct {
+	id       JobID
+	job      Job
+	done     chan struct{}
+	res      *JobResult
+	err      error
+	canceled bool
+	started  bool
+}
+
+// New builds and starts a scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		jobs:   make(chan *jobState, cfg.QueueDepth),
+		states: make(map[JobID]*jobState),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for st := range s.jobs {
+				s.runJob(st)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit enqueues a job, blocking while the queue is full, and returns
+// its ID. IDs are issued in call order, so a single-goroutine producer
+// can replay results deterministically by waiting on them in order.
+func (s *Scheduler) Submit(job Job) (JobID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.nextID++
+	id := s.nextID
+	st := &jobState{id: id, job: job, done: make(chan struct{})}
+	s.states[id] = st
+	s.submitWG.Add(1)
+	s.mu.Unlock()
+
+	s.emit(Event{Kind: EventQueued, Job: id, Name: job.Name})
+	s.jobs <- st
+	s.submitWG.Done()
+	return id, nil
+}
+
+// Cancel marks a still-queued job canceled. It returns false when the job
+// is unknown, already running or already finished — running jobs are not
+// interrupted.
+func (s *Scheduler) Cancel(id JobID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[id]
+	if !ok || st.started || st.canceled {
+		return false
+	}
+	select {
+	case <-st.done:
+		return false
+	default:
+	}
+	st.canceled = true
+	return true
+}
+
+// Wait blocks until the job finishes and returns its result. Canceled
+// jobs return ErrCanceled. Wait is a join: the first Wait for an ID
+// releases the scheduler's retained state, so a later Wait for the same
+// ID returns ErrUnknownJob — without this, a long-running service would
+// accumulate every finished job's full report forever. Clients that
+// consume results through the event stream instead should reap finished
+// jobs with Forget.
+func (s *Scheduler) Wait(id JobID) (*JobResult, error) {
+	s.mu.Lock()
+	st, ok := s.states[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	<-st.done
+	s.mu.Lock()
+	delete(s.states, id)
+	s.mu.Unlock()
+	return st.res, st.err
+}
+
+// Forget drops a finished job's retained state without reading its
+// result — the reaping path for event-stream consumers. It returns false
+// when the job is unknown or still pending/running.
+func (s *Scheduler) Forget(id JobID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[id]
+	if !ok {
+		return false
+	}
+	select {
+	case <-st.done:
+		delete(s.states, id)
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting submissions, drains the queue, waits for running
+// jobs and stops the workers. The events channel (if any) receives every
+// pending event before Close returns; Close does not close it — the
+// channel belongs to the caller.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workerWG.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.submitWG.Wait()
+	close(s.jobs)
+	s.workerWG.Wait()
+}
+
+// Store returns the scheduler's bundle store (nil when disabled).
+func (s *Scheduler) Store() *BundleStore { return s.cfg.Store }
+
+func (s *Scheduler) emit(ev Event) {
+	if s.cfg.Events == nil {
+		return
+	}
+	s.evMu.Lock()
+	s.cfg.Events <- ev
+	s.evMu.Unlock()
+}
+
+func (s *Scheduler) runJob(st *jobState) {
+	s.mu.Lock()
+	if st.canceled {
+		s.mu.Unlock()
+		st.err = ErrCanceled
+		if st.job.Done != nil {
+			st.job.Done(nil, st.err)
+		}
+		s.emit(Event{Kind: EventCanceled, Job: st.id, Name: st.job.Name})
+		close(st.done)
+		return
+	}
+	st.started = true
+	s.mu.Unlock()
+
+	s.emit(Event{Kind: EventStarted, Job: st.id, Name: st.job.Name})
+	res, err := s.analyze(st)
+	st.res, st.err = res, err
+	if st.job.Done != nil {
+		st.job.Done(res, err)
+	}
+	if err != nil {
+		s.emit(Event{Kind: EventFailed, Job: st.id, Name: st.job.Name, Err: err})
+	} else {
+		s.emit(Event{Kind: EventDone, Job: st.id, Name: st.job.Name, Result: res})
+	}
+	close(st.done)
+}
+
+// analyze materializes the job's app and runs the selected analyzers.
+// Every job builds its own engines — no analysis state crosses jobs; the
+// only shared object is the content-addressed bundle store, which is
+// concurrency-safe and append-only.
+func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
+	job := st.job
+	app, err := job.Source()
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{ID: st.id, Name: job.Name}
+	if res.Name == "" {
+		res.Name = app.Name
+	}
+
+	if job.RunBackDroid {
+		o := s.jobOptions(job)
+		release := func() {}
+		if s.cfg.Store != nil {
+			o.Bundles = s.cfg.Store
+			fp := dexdump.AppFingerprint(app.Dexes)
+			if !s.cfg.Store.Contains(fp) {
+				// Single-build guarantee: concurrent jobs for one
+				// fingerprint serialize here, so the first performs the
+				// only cold build and the rest run fully warm. The
+				// re-probe happens inside the engine; the lock is held
+				// only across the engine run (the bundle is published
+				// during it), never across the baseline legs below.
+				release = s.cfg.Store.LockFingerprint(fp)
+			}
+		}
+		if s.cfg.Events != nil {
+			id, name := st.id, res.Name
+			o.SinkObserver = func(sr *core.SinkReport) {
+				s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+			}
+		}
+		e, err := core.New(app, o)
+		if err != nil {
+			release()
+			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
+		}
+		res.BackDroid, err = e.Analyze()
+		release()
+		if err != nil {
+			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
+		}
+	}
+	if job.RunWholeApp {
+		res.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
+		if err != nil {
+			return nil, fmt.Errorf("service: wholeapp on %s: %w", res.Name, err)
+		}
+	}
+	if job.RunCallGraph {
+		res.CallGraph, err = runWholeApp(app, wholeapp.CallGraphOnly)
+		if err != nil {
+			return nil, fmt.Errorf("service: callgraph on %s: %w", res.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// jobOptions resolves the engine options of a job: its own, else the
+// scheduler default, else core.DefaultOptions — always a copy, never a
+// shared pointer — with the cache-directory override applied.
+func (s *Scheduler) jobOptions(job Job) core.Options {
+	o := core.DefaultOptions()
+	if job.Options != nil {
+		o = *job.Options
+	} else if s.cfg.Options != nil {
+		o = *s.cfg.Options
+	}
+	if job.IndexCacheDir != "" {
+		o.IndexCacheDir = job.IndexCacheDir
+	} else if s.cfg.IndexCacheDir != "" && o.IndexCacheDir == "" {
+		o.IndexCacheDir = s.cfg.IndexCacheDir
+	}
+	return o
+}
+
+func runWholeApp(app *apk.App, mode wholeapp.Mode) (*wholeapp.Report, error) {
+	o := wholeapp.DefaultOptions()
+	o.Mode = mode
+	a, err := wholeapp.New(app, o)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze()
+}

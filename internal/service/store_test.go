@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func entryOf(b byte, n int) []byte { return bytes.Repeat([]byte{b}, n) }
+
+func TestStoreGetPutAndCounters(t *testing.T) {
+	s := NewBundleStore(0)
+	if _, ok := s.GetBundle(1); ok {
+		t.Fatal("empty store must miss")
+	}
+	s.PutBundle(1, entryOf('a', 10))
+	data, ok := s.GetBundle(1)
+	if !ok || len(data) != 10 {
+		t.Fatalf("get after put = (%d bytes, %v), want 10 bytes", len(data), ok)
+	}
+	// Content-addressed refresh: a second put of the fingerprint must not
+	// duplicate bytes.
+	s.PutBundle(1, entryOf('a', 10))
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != 10 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Refreshes != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 10 bytes / 1 hit / 1 miss / 1 put / 1 refresh", st)
+	}
+}
+
+func TestStoreIgnoresEmptyAndOversized(t *testing.T) {
+	s := NewBundleStore(100)
+	s.PutBundle(1, nil)
+	s.PutBundle(2, entryOf('x', 101)) // larger than the whole budget
+	if st := s.Stats(); st.Entries != 0 || st.Puts != 0 {
+		t.Fatalf("stats = %+v, want nothing admitted", st)
+	}
+}
+
+// TestStoreLRUEvictionOrder pins the eviction policy: under a byte
+// budget, the least-recently-used fingerprints go first, and a Get
+// refreshes recency.
+func TestStoreLRUEvictionOrder(t *testing.T) {
+	s := NewBundleStore(30)
+	s.PutBundle(1, entryOf('a', 10))
+	s.PutBundle(2, entryOf('b', 10))
+	s.PutBundle(3, entryOf('c', 10))
+	// Touch 1 so 2 becomes the LRU entry.
+	if _, ok := s.GetBundle(1); !ok {
+		t.Fatal("entry 1 must be present")
+	}
+	s.PutBundle(4, entryOf('d', 10)) // over budget: evicts 2
+	if _, ok := s.GetBundle(2); ok {
+		t.Fatal("entry 2 must have been evicted (LRU)")
+	}
+	for _, fp := range []uint64{1, 3, 4} {
+		if _, ok := s.GetBundle(fp); !ok {
+			t.Fatalf("entry %d must have survived", fp)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 30 {
+		t.Fatalf("stats = %+v, want exactly one eviction and a full store", st)
+	}
+
+	// A big insert evicts as many entries as the budget demands.
+	s.PutBundle(5, entryOf('e', 25))
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 25 {
+		t.Fatalf("stats after big insert = %+v, want only the new entry", st)
+	}
+	if got := s.Fingerprints(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("fingerprints = %v, want [5]", got)
+	}
+}
+
+// TestStoreDropBundle pins the damaged-entry repair path: dropping a
+// fingerprint frees its bytes and lets a subsequent Put really replace
+// the entry (a Put for a present fingerprint is only a refresh).
+func TestStoreDropBundle(t *testing.T) {
+	s := NewBundleStore(0)
+	s.PutBundle(1, entryOf('a', 10))
+	s.PutBundle(1, entryOf('a', 10)) // refresh, not replace
+	s.DropBundle(1)
+	s.DropBundle(1) // idempotent
+	if _, ok := s.GetBundle(1); ok {
+		t.Fatal("dropped entry still served")
+	}
+	s.PutBundle(1, entryOf('b', 20))
+	data, ok := s.GetBundle(1)
+	if !ok || len(data) != 20 || data[0] != 'b' {
+		t.Fatalf("put after drop = (%d bytes, %v), want the new 20-byte entry", len(data), ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 20 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 20 bytes / 1 eviction", st)
+	}
+}
+
+func TestStoreConcurrentUse(t *testing.T) {
+	s := NewBundleStore(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fp := uint64(i % 17)
+				s.PutBundle(fp, entryOf(byte(fp), 64))
+				s.GetBundle(fp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries != 17 || st.Bytes != 17*64 {
+		t.Fatalf("stats = %+v, want 17 entries", st)
+	}
+}
+
+func TestLockFingerprintSerializes(t *testing.T) {
+	s := NewBundleStore(0)
+	release := s.LockFingerprint(7)
+	acquired := make(chan struct{})
+	go func() {
+		r := s.LockFingerprint(7)
+		close(acquired)
+		r()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second lock acquired while the first is held")
+	default:
+	}
+	release()
+	<-acquired
+	// The lock table must drain once all holders release.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.inflight) != 0 {
+		t.Fatalf("inflight table has %d entries after release", len(s.inflight))
+	}
+}

@@ -64,6 +64,14 @@ const (
 	// preprocessing.
 	DumpCacheLoadLinesPerUnit = 400
 
+	// BundleStoreLoadLinesPerUnit is how many dump text lines' worth of
+	// bundle one work unit materializes from the in-memory content-addressed
+	// store. A store hit skips the disk read that the persistent-cache path
+	// pays — only the section decode remains — so it is priced at ~2x the
+	// on-disk dump-cache load rate. The batch service charges this for every
+	// re-analysis of a known app fingerprint.
+	BundleStoreLoadLinesPerUnit = 800
+
 	// ParallelLookupOverheadUnits is the fixed fan-out coordination cost of
 	// one shard-parallel postings lookup: dispatching the per-shard fetches
 	// to the worker pool and collecting the lists back in shard order. Flat
@@ -172,6 +180,16 @@ func (m *Meter) ChargeDumpCacheLoad(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/DumpCacheLoadLinesPerUnit) + 1)
+}
+
+// ChargeBundleStoreLoad charges for materializing a bundle covering n dump
+// text lines from the in-memory content-addressed store — the batch-service
+// warm path that replaces both the disk read and the disassembly pass.
+func (m *Meter) ChargeBundleStoreLoad(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/BundleStoreLoadLinesPerUnit) + 1)
 }
 
 // ChargeParallelLookup charges for a shard-parallel postings lookup whose

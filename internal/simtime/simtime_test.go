@@ -235,6 +235,39 @@ func TestChargeDumpCacheLoad(t *testing.T) {
 	}
 }
 
+func TestChargeBundleStoreLoad(t *testing.T) {
+	lines := 100000
+	disk := NewMeter()
+	if err := disk.ChargeDumpCacheLoad(lines); err != nil {
+		t.Fatal(err)
+	}
+	store := NewMeter()
+	if err := store.ChargeBundleStoreLoad(lines); err != nil {
+		t.Fatal(err)
+	}
+	if store.Units() >= disk.Units() {
+		t.Errorf("store load charged %d units vs disk dump load %d — memory must be cheaper",
+			store.Units(), disk.Units())
+	}
+	m := NewMeter()
+	if err := m.ChargeBundleStoreLoad(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Units() != 1 {
+		t.Errorf("zero-line store load should still cost 1, got %d", m.Units())
+	}
+	// The in-memory rate must respect the overall cheapness ordering:
+	// disassembly > disk dump load > store load.
+	scan := NewMeter()
+	if err := scan.ChargeLines(lines); err != nil {
+		t.Fatal(err)
+	}
+	if store.Units()*10 >= scan.Units() {
+		t.Errorf("store load %d units vs disassembly %d — must be an order cheaper",
+			store.Units(), scan.Units())
+	}
+}
+
 func TestChargeParallelLookup(t *testing.T) {
 	// Fanning out must never charge more than visiting the same postings
 	// sequentially would, once the lists are big enough to matter.
