@@ -25,13 +25,21 @@
 // across submissions. -stats=false suppresses the cost/statistics lines,
 // leaving only the deterministic detection report (useful for diffing
 // backends against each other).
+//
+// An interrupt (Ctrl-C) cancels the in-flight analyses cooperatively:
+// every engine stops at its next meter checkpoint (within
+// simtime.CancelCheckpointUnits of charged work), apps not yet analyzed
+// print a CANCELED marker, and the command exits nonzero — the one-shot
+// CLI's version of the service's running-job cancellation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
 
 	"backdroid/internal/apk"
 	"backdroid/internal/bcsearch"
@@ -39,6 +47,7 @@ import (
 	"backdroid/internal/dexdump"
 	"backdroid/internal/pool"
 	"backdroid/internal/service"
+	"backdroid/internal/simtime"
 )
 
 // config carries the parsed CLI flags.
@@ -110,6 +119,22 @@ func run(paths []string, cfg config) error {
 		opts.Bundles = store
 	}
 
+	// Cooperative interrupt handling: the first Ctrl-C flips a flag every
+	// engine's meter polls at its checkpoints, so in-flight analyses stop
+	// within one checkpoint instead of dying mid-write; a second Ctrl-C
+	// falls through to the default hard kill.
+	var interrupted atomic.Bool
+	opts.Cancel = interrupted.Load
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; ok {
+			interrupted.Store(true)
+			signal.Stop(sigc)
+		}
+	}()
+
 	// Analyze concurrently, report in argument order. Every app gets its
 	// own engine; errors keep their argument position so the first failure
 	// reported is deterministic.
@@ -120,11 +145,20 @@ func run(paths []string, cfg config) error {
 		return err
 	})
 
+	canceled := 0
 	for i := range paths {
+		if errs[i] == simtime.ErrCanceled {
+			canceled++
+			fmt.Printf("== %s ==\n  CANCELED (stopped at a meter checkpoint)\n", paths[i])
+			continue
+		}
 		if errs[i] != nil {
 			return errs[i]
 		}
 		printReport(reports[i], cfg)
+	}
+	if canceled > 0 {
+		return fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths))
 	}
 	return nil
 }
@@ -207,6 +241,9 @@ func printReport(r *core.Report, cfg config) {
 	if st.Search.ParallelLookups > 0 {
 		fmt.Printf("  parallel lookups: %d hot tokens fanned out (gate %d)\n",
 			st.Search.ParallelLookups, st.Search.ParallelLookupMin)
+	}
+	if st.CancelPolls > 0 {
+		fmt.Printf("  cancellation: %d checkpoint polls\n", st.CancelPolls)
 	}
 }
 

@@ -1,28 +1,45 @@
-// Command backdroidd is the long-running batch analysis service: a job
-// queue over the BackDroid engine with an in-memory content-addressed
-// bundle store, so re-analyses of an app the service has already seen
-// perform zero disassembly, zero index builds and zero bundle disk I/O.
+// Command backdroidd is the long-running batch analysis service: a
+// multi-tenant job queue over the BackDroid engine with an in-memory
+// content-addressed bundle store, a durable job journal and cooperative
+// in-flight cancellation. Re-analyses of an app the service has already
+// seen perform zero disassembly, zero index builds and zero bundle disk
+// I/O; a restarted service replays its journal and finishes the queue it
+// died with.
 //
 // Usage:
 //
 //	backdroidd [-workers N] [-queue N] [-store-budget BYTES] [-backend B]
-//	           [-index-cache DIR] [-parallel-lookups] [-auto-parallel-lookups]
-//	           [-stats]
+//	           [-index-cache DIR] [-journal DIR] [-tenants SPEC]
+//	           [-parallel-lookups] [-auto-parallel-lookups] [-stats]
+//
+// -journal DIR makes the queue durable: submissions and outcomes are
+// appended to DIR/journal.bdj, and on startup every job that was still
+// pending when the previous process died is re-enqueued automatically
+// (a "recovered jobs=N" line reports the replay). -tenants preconfigures
+// tenant weights as comma-separated name=weight pairs (e.g.
+// "paid=3,free=1"); unknown tenants are admitted at weight 1. Dispatch
+// across tenants with queued work is deterministic weighted round-robin,
+// so one tenant's backlog cannot head-of-line-block another's submits.
 //
 // The service reads commands from stdin, one per line, and streams typed
 // events to stdout as jobs progress:
 //
-//	submit PATH   queue the app container at PATH (a bare PATH works too)
-//	cancel ID     cancel a still-queued job
-//	stats         print scheduler + bundle store counters
-//	quit          drain the queue and exit (EOF does the same)
+//	submit [tenant=NAME] PATH   queue the app container at PATH
+//	cancel ID                   cancel a queued or running job
+//	stats                       print store/tenant/journal counters
+//	recover                     re-enqueue journaled pending jobs (no-op
+//	                            after the automatic startup replay)
+//	die                         crash drill: stop dispatching and exit
+//	                            without draining the queue (journaled
+//	                            pending jobs replay on the next start)
+//	quit                        drain the queue and exit (EOF does the same)
 //
 // Events are printed as single lines: "queued"/"started"/"canceled" with
 // the job id and app, one "sink" line per resolved sink (final verdict
 // included — emitted while the job is still running), and a terminal
-// "done" or "failed" line. Submitting the same APK again hits the bundle
-// store: the "done" line's store=hit marker and zero disassembled lines
-// make the reuse visible.
+// "done" or "failed" line. Canceling a running job stops the engine at
+// its next meter checkpoint; the job's terminal line is its single
+// "canceled" event and no further sink lines follow it.
 package main
 
 import (
@@ -40,6 +57,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/service"
+	"backdroid/internal/service/journal"
 )
 
 // config carries the parsed CLI flags.
@@ -49,6 +67,8 @@ type config struct {
 	storeBudget  int64
 	backend      string
 	indexCache   string
+	journalDir   string
+	tenants      string
 	parallel     bool
 	autoParallel bool
 	stats        bool
@@ -57,12 +77,16 @@ type config struct {
 func main() {
 	var cfg config
 	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "concurrent job analyses")
-	flag.IntVar(&cfg.queue, "queue", 0, "bounded job queue depth (0 = 2x workers)")
+	flag.IntVar(&cfg.queue, "queue", 0, "per-tenant job queue depth (0 = 2x workers)")
 	flag.Int64Var(&cfg.storeBudget, "store-budget", 256<<20,
 		"in-memory bundle store byte budget (0 = unlimited, -1 = store disabled)")
 	flag.StringVar(&cfg.backend, "backend", "sharded", "search backend: indexed, sharded or linear")
 	flag.StringVar(&cfg.indexCache, "index-cache", "",
 		"directory for persistent dump+index bundles (empty = memory only)")
+	flag.StringVar(&cfg.journalDir, "journal", "",
+		"directory for the durable job journal (empty = in-memory queue only)")
+	flag.StringVar(&cfg.tenants, "tenants", "",
+		"tenant weights as comma-separated name=weight pairs (e.g. paid=3,free=1)")
 	flag.BoolVar(&cfg.parallel, "parallel-lookups", false,
 		"fan hot-token shard lookups out on the worker pool")
 	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
@@ -75,11 +99,39 @@ func main() {
 	}
 }
 
+// parseTenants parses the -tenants flag into tenant configs.
+func parseTenants(spec string) (map[string]service.TenantConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]service.TenantConfig)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants wants name=weight pairs, got %q", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-tenants weight for %q must be a positive integer, got %q", name, ws)
+		}
+		out[name] = service.TenantConfig{Weight: w}
+	}
+	return out, nil
+}
+
 // serve runs the command loop: it owns the scheduler, forwards stdin
 // commands to it, and prints the event stream. Split from main so tests
 // drive it with in-memory pipes.
 func serve(in io.Reader, out io.Writer, cfg config) error {
 	backend, err := bcsearch.ParseBackend(cfg.backend)
+	if err != nil {
+		return err
+	}
+	tenants, err := parseTenants(cfg.tenants)
 	if err != nil {
 		return err
 	}
@@ -92,13 +144,24 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 	if cfg.storeBudget >= 0 {
 		store = service.NewBundleStore(cfg.storeBudget)
 	}
+	var jnl *journal.Journal
+	if cfg.journalDir != "" {
+		j, _, err := journal.Open(cfg.journalDir)
+		if err != nil {
+			return err
+		}
+		jnl = j
+		defer jnl.Close()
+	}
 	events := make(chan service.Event, 64)
 	sched := service.New(service.Config{
 		Workers:       cfg.workers,
 		QueueDepth:    cfg.queue,
+		Tenants:       tenants,
 		Options:       &opts,
 		IndexCacheDir: cfg.indexCache,
 		Store:         store,
+		Journal:       jnl,
 		Events:        events,
 	})
 
@@ -126,6 +189,14 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 		}
 	}()
 
+	// Startup replay: re-enqueue the queue the previous process died
+	// with. The replayed jobs stream queued/started/... events exactly
+	// like fresh submits, under their original ids.
+	if jnl != nil {
+		printf("recovered jobs=%d\n", recoverJobs(sched))
+	}
+
+	abandon := false // die: exit without draining the queue
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 64*1024), 64*1024)
 	for sc.Scan() {
@@ -140,8 +211,17 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 		switch cmd {
 		case "quit", "exit":
 			goto shutdown
+		case "die":
+			abandon = true
+			goto shutdown
 		case "stats":
-			printf("%s", statsLine(sched))
+			printf("%s", statsLines(sched))
+		case "recover":
+			if jnl == nil {
+				printf("error: no journal configured (-journal DIR)\n")
+				continue
+			}
+			printf("recovered jobs=%d\n", recoverJobs(sched))
 		case "cancel":
 			id, err := strconv.ParseInt(arg, 10, 64)
 			if err != nil {
@@ -149,7 +229,7 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 				continue
 			}
 			if !sched.Cancel(service.JobID(id)) {
-				printf("error: job %d not cancelable (unknown, running or finished)\n", id)
+				printf("error: job %d not cancelable (unknown, finished or already canceled)\n", id)
 			}
 		case "submit":
 			submit(sched, printf, arg)
@@ -166,23 +246,63 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 	}
 
 shutdown:
+	if abandon {
+		// Crash drill: stop dispatching, finish only the running jobs,
+		// abandon the rest of the queue. With a journal the abandoned
+		// jobs stay pending on disk and replay on the next start.
+		sched.Halt()
+		close(events)
+		drain.Wait()
+		return nil
+	}
 	sched.Close()
 	close(events)
 	drain.Wait()
-	printf("%s", statsLine(sched))
+	printf("%s", statsLines(sched))
 	return nil
 }
 
-// submit queues one APK path; the file is opened lazily on the worker,
-// so a bad path surfaces as a failed event, not a submit error.
-func submit(sched *service.Scheduler, printf func(string, ...any), path string) {
-	if path == "" {
+// recoverJobs replays the journal's pending submits as runnable jobs;
+// each record's Spec is the APK path the original submit named.
+func recoverJobs(sched *service.Scheduler) int {
+	return sched.Recover(func(rec journal.Record) (service.Job, bool) {
+		path := rec.Spec
+		if path == "" {
+			return service.Job{}, false
+		}
+		return service.Job{
+			Name:         rec.Name,
+			Tenant:       rec.Tenant,
+			Spec:         path,
+			Source:       func() (*apk.App, error) { return apk.Load(path) },
+			RunBackDroid: true,
+		}, true
+	})
+}
+
+// submit queues one APK path, optionally under a tenant
+// ("tenant=NAME PATH"); the file is opened lazily on the worker, so a bad
+// path surfaces as a failed event, not a submit error.
+func submit(sched *service.Scheduler, printf func(string, ...any), arg string) {
+	tenant := ""
+	if rest, ok := strings.CutPrefix(arg, "tenant="); ok {
+		t, path, ok := strings.Cut(rest, " ")
+		if !ok {
+			printf("error: submit wants a path\n")
+			return
+		}
+		tenant, arg = t, strings.TrimSpace(path)
+	}
+	if arg == "" {
 		printf("error: submit wants a path\n")
 		return
 	}
+	path := arg
 	name := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".apk")
 	_, err := sched.Submit(service.Job{
 		Name:         name,
+		Tenant:       tenant,
+		Spec:         path,
 		Source:       func() (*apk.App, error) { return apk.Load(path) },
 		RunBackDroid: true,
 	})
@@ -226,13 +346,28 @@ func printEvent(printf func(string, ...any), ev service.Event, stats bool) {
 	}
 }
 
-// statsLine renders the scheduler and store counters.
-func statsLine(sched *service.Scheduler) string {
-	store := sched.Store()
-	if store == nil {
-		return "stats store=disabled\n"
+// statsLines renders the bundle-store, per-tenant dispatch, journal and
+// cancellation counters, one stable line each.
+func statsLines(sched *service.Scheduler) string {
+	var b strings.Builder
+	if store := sched.Store(); store == nil {
+		b.WriteString("stats store=disabled\n")
+	} else {
+		st := store.Stats()
+		fmt.Fprintf(&b, "stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d\n",
+			st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions)
 	}
-	st := store.Stats()
-	return fmt.Sprintf("stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d\n",
-		st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions)
+	ss := sched.Stats()
+	for _, t := range ss.Tenants {
+		fmt.Fprintf(&b, "stats tenant name=%s weight=%d queued=%d submitted=%d dispatched=%d canceled_queued=%d canceled_running=%d\n",
+			t.Name, t.Weight, t.Queued, t.Submitted, t.Dispatched,
+			t.CanceledQueued, t.CanceledRunning)
+	}
+	if jnl := sched.Journal(); jnl != nil {
+		js := jnl.Stats()
+		fmt.Fprintf(&b, "stats journal records=%d bytes=%d pending=%d appends=%d compactions=%d recovered=%d dropped=%d units=%d\n",
+			js.Records, js.Bytes, js.Pending, js.Appends, js.Compactions,
+			js.Recovered, js.Dropped, ss.JournalUnits)
+	}
+	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -130,5 +131,101 @@ func TestServeUnknownBackend(t *testing.T) {
 	var out bytes.Buffer
 	if err := serve(strings.NewReader("quit\n"), &out, config{backend: "bogus"}); err == nil {
 		t.Fatal("unknown backend must fail")
+	}
+}
+
+// resultLines filters the protocol's result delivery lines — per-sink
+// verdicts and terminal outcomes. Queueing lifecycle lines (queued/
+// started) are excluded: a replayed job legitimately re-announces itself
+// on the next life, while its results must be delivered exactly once
+// across lives.
+func resultLines(lines []string) []string {
+	return grepLines(lines, `^(sink|done|failed|canceled) `)
+}
+
+// TestServeTenantSubmitAndStats drives the multi-tenant protocol: jobs
+// submitted under tenants appear in per-tenant stats lines with dispatch
+// counters.
+func TestServeTenantSubmitAndStats(t *testing.T) {
+	path := fixturePath(t)
+	script := fmt.Sprintf("submit tenant=acme %s\nsubmit tenant=free %s\nsubmit %s\nquit\n", path, path, path)
+	lines := serveLines(t, script, config{workers: 1, storeBudget: 0, backend: "sharded", tenants: "acme=3", stats: true})
+	if got := len(grepLines(lines, `^done `)); got != 3 {
+		t.Fatalf("%d done lines, want 3:\n%s", got, strings.Join(lines, "\n"))
+	}
+	for _, want := range []string{
+		`^stats tenant name=acme weight=3 queued=0 submitted=1 dispatched=1 `,
+		`^stats tenant name=free weight=1 queued=0 submitted=1 dispatched=1 `,
+		`^stats tenant name=default weight=1 queued=0 submitted=1 dispatched=1 `,
+	} {
+		if got := grepLines(lines, want); len(got) != 1 {
+			t.Fatalf("missing %q:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+// TestServeBadTenantsFlag pins -tenants validation.
+func TestServeBadTenantsFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := serve(strings.NewReader("quit\n"), &out, config{backend: "indexed", tenants: "acme"}); err == nil {
+		t.Fatal("malformed -tenants must fail")
+	}
+	if err := serve(strings.NewReader("quit\n"), &out, config{backend: "indexed", tenants: "acme=0"}); err == nil {
+		t.Fatal("zero weight must fail")
+	}
+}
+
+// TestServeCrashRecoveryParity is the kill-and-recover drill in-process:
+// a journaled service dies mid-queue, a second service over the same
+// journal replays the abandoned jobs, and the union of the two lives'
+// event lines equals an uninterrupted run's — same ids, same sink
+// verdicts, same done lines.
+func TestServeCrashRecoveryParity(t *testing.T) {
+	path := fixturePath(t)
+	jdir := t.TempDir()
+	cfg := config{workers: 1, storeBudget: -1, backend: "sharded", stats: true}
+
+	// Reference: uninterrupted run over its own journal.
+	refCfg := cfg
+	refCfg.journalDir = t.TempDir()
+	script := fmt.Sprintf("submit %s\nsubmit tenant=acme %s\nsubmit %s\nquit\n", path, path, path)
+	want := resultLines(serveLines(t, script, refCfg))
+	sort.Strings(want)
+
+	// Life 1: same submissions, then die without draining.
+	crashCfg := cfg
+	crashCfg.journalDir = jdir
+	crashScript := fmt.Sprintf("submit %s\nsubmit tenant=acme %s\nsubmit %s\ndie\n", path, path, path)
+	life1 := serveLines(t, crashScript, crashCfg)
+
+	// Life 2: restart over the journal; the startup replay re-enqueues
+	// the abandoned jobs under their original ids.
+	life2 := serveLines(t, "quit\n", crashCfg)
+	if got := grepLines(life2, `^recovered jobs=`); len(got) != 1 {
+		t.Fatalf("no startup recovery line:\n%s", strings.Join(life2, "\n"))
+	}
+
+	got := append(resultLines(life1), resultLines(life2)...)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("crash+recover results diverge from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+
+	// Third life: nothing left to replay, and stats expose the journal.
+	life3 := serveLines(t, "recover\nstats\nquit\n", crashCfg)
+	if got := grepLines(life3, `^recovered jobs=0`); len(got) != 2 {
+		t.Fatalf("drained journal must recover 0 jobs (startup + explicit):\n%s", strings.Join(life3, "\n"))
+	}
+	if got := grepLines(life3, `^stats journal records=\d+ bytes=\d+ pending=0 `); len(got) == 0 {
+		t.Fatalf("missing journal stats line:\n%s", strings.Join(life3, "\n"))
+	}
+}
+
+// TestServeRecoverWithoutJournal pins the protocol error.
+func TestServeRecoverWithoutJournal(t *testing.T) {
+	lines := serveLines(t, "recover\nquit\n", config{workers: 1, storeBudget: -1, backend: "indexed"})
+	if got := grepLines(lines, `^error: no journal configured`); len(got) != 1 {
+		t.Fatalf("missing recover error:\n%s", strings.Join(lines, "\n"))
 	}
 }

@@ -39,12 +39,16 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 
+	"backdroid/internal/android"
+	"backdroid/internal/apk"
 	"backdroid/internal/appgen"
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/experiments"
 	"backdroid/internal/service"
+	"backdroid/internal/service/journal"
 )
 
 // BackendCost is the charged search work of one corpus run, summed over
@@ -105,6 +109,30 @@ type ServiceReport struct {
 	SpeedupBatchReuse float64     `json:"speedup_batch_reuse"`
 }
 
+// TenantReport is the BENCH_tenant.json schema: the fair-dispatch leg. A
+// heavy tenant floods the queue (its many-sink outlier first), a light
+// tenant submits a handful of small apps afterwards, and one worker
+// drains the whole thing under weighted round-robin — the worst case for
+// head-of-line blocking. The gate pins two invariants: the light tenant's
+// last job is dispatched within the fairness bound (for equal weights,
+// slot 2*L+1 for L light jobs — alternation, not FIFO), and the journal's
+// charged control-plane work stays under 5% of the analysis work.
+type TenantReport struct {
+	Seed            int64    `json:"seed"`
+	HeavyJobs       int      `json:"heavy_jobs"`
+	LightJobs       int      `json:"light_jobs"`
+	DispatchOrder   []string `json:"dispatch_order"`
+	LastLightSlot   int      `json:"last_light_slot"`
+	FairnessBound   int      `json:"fairness_bound"`
+	HeavyUnits      int64    `json:"heavy_units"`
+	LightUnits      int64    `json:"light_units"`
+	AnalysisUnits   int64    `json:"analysis_units"`
+	JournalRecords  int64    `json:"journal_records"`
+	JournalBytes    int64    `json:"journal_bytes"`
+	JournalUnits    int64    `json:"journal_units"`
+	JournalOverhead float64  `json:"journal_overhead"`
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -129,17 +157,18 @@ func main() {
 		out        = flag.String("out", "BENCH_search.json", "output JSON path")
 		warmOut    = flag.String("warm-out", "BENCH_warm.json", "warm-path trajectory JSON path (empty = skip)")
 		serviceOut = flag.String("service-out", "BENCH_service.json", "batch-reuse leg JSON path (empty = skip)")
+		tenantOut  = flag.String("tenant-out", "BENCH_tenant.json", "fair-dispatch leg JSON path (empty = skip)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -278,6 +307,35 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 		fmt.Fprintf(os.Stderr, "wrote %s (batch reuse %.2fx)\n", serviceOutPath, svc.SpeedupBatchReuse)
 	}
 
+	// Fair-dispatch leg: a heavy tenant's backlog vs a light tenant's
+	// trickle through one journaled scheduler. Enforces the fairness
+	// bound and the journal-overhead ceiling on every run.
+	if tenantOutPath != "" {
+		tr, err := measureFairDispatch(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-16s light done by slot %d/%d (bound %d), journal %.2f%% of %d units\n",
+			"fair-dispatch", tr.LastLightSlot, len(tr.DispatchOrder), tr.FairnessBound,
+			100*tr.JournalOverhead, tr.AnalysisUnits)
+		if tr.LastLightSlot > tr.FairnessBound {
+			return fmt.Errorf("light tenant's last job dispatched at slot %d, fairness bound is %d — heavy tenant head-of-line-blocks",
+				tr.LastLightSlot, tr.FairnessBound)
+		}
+		if tr.JournalOverhead >= 0.05 {
+			return fmt.Errorf("journal overhead %.2f%% of charged units, ceiling is 5%%", 100*tr.JournalOverhead)
+		}
+		tdata, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			return err
+		}
+		tdata = append(tdata, '\n')
+		if err := os.WriteFile(tenantOutPath, tdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", tenantOutPath)
+	}
+
 	// The warm-path trajectory artifact. The baseline's warm cost is read
 	// before any refresh, so the recorded speedup is against the previous
 	// PR's warm path.
@@ -406,6 +464,145 @@ func measureService(meta CorpusMeta) (ServiceReport, string, string, error) {
 		rep.SpeedupBatchReuse = float64(first.WorkUnits) / float64(second.WorkUnits)
 	}
 	return rep, firstDet, secondDet, nil
+}
+
+// measureFairDispatch runs the two-tenant interleave: tenant "heavy"
+// submits its full mixed workload (many-sink outlier first), tenant
+// "light" its small apps afterwards, one journaled single-worker
+// scheduler drains both. A gate job pins the worker until every submit
+// landed, so the dispatch sequence is the pure WRR order of the queue
+// contents — deterministic for a given seed.
+func measureFairDispatch(seed int64) (TenantReport, error) {
+	loads := appgen.TenantWorkloads(appgen.TenantWorkloadOptions{
+		Tenants: 2, SmallApps: 4, Seed: seed, HeavySinks: 40,
+	})
+	heavySpecs := loads[0].Specs     // outlier + small apps
+	lightSpecs := loads[1].Specs[1:] // small apps only
+
+	jdir, err := os.MkdirTemp("", "benchgate-journal-*")
+	if err != nil {
+		return TenantReport{}, err
+	}
+	defer os.RemoveAll(jdir)
+	jnl, _, err := journal.Open(jdir)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	defer jnl.Close()
+
+	events := make(chan service.Event, 64)
+	var order []string
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for ev := range events {
+			if ev.Kind == service.EventStarted && ev.Name != "gate" {
+				order = append(order, ev.Name)
+			}
+		}
+	}()
+
+	opts := core.DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	sched := service.New(service.Config{
+		Workers: 1, QueueDepth: 64,
+		Options: &opts,
+		Journal: jnl,
+		Events:  events,
+	})
+
+	gate := make(chan struct{})
+	gateID, err := sched.Submit(service.Job{
+		Name:   "gate",
+		Tenant: "zz-gate", // sorts last: never steals a WRR slot from real work
+		Source: func() (*apk.App, error) {
+			<-gate
+			app, _, err := appgen.Generate(appgen.Spec{
+				Name: "com.gate.noop", Seed: seed, SizeMB: 0.2,
+				Sinks: []appgen.SinkSpec{{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB}},
+			})
+			return app, err
+		},
+		RunBackDroid: true,
+	})
+	if err != nil {
+		return TenantReport{}, err
+	}
+	submit := func(tenant string, specs []appgen.Spec) ([]service.JobID, error) {
+		ids := make([]service.JobID, 0, len(specs))
+		for _, spec := range specs {
+			spec := spec
+			id, err := sched.Submit(service.Job{
+				Name: tenant + ":" + spec.Name, Tenant: tenant,
+				Source: func() (*apk.App, error) {
+					app, _, err := appgen.Generate(spec)
+					return app, err
+				},
+				RunBackDroid: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		return ids, nil
+	}
+	heavyIDs, err := submit("heavy", heavySpecs)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	lightIDs, err := submit("light", lightSpecs)
+	if err != nil {
+		return TenantReport{}, err
+	}
+	close(gate)
+
+	tr := TenantReport{
+		Seed:      seed,
+		HeavyJobs: len(heavyIDs),
+		LightJobs: len(lightIDs),
+	}
+	if _, err := sched.Wait(gateID); err != nil {
+		return TenantReport{}, err
+	}
+	for _, id := range heavyIDs {
+		res, err := sched.Wait(id)
+		if err != nil {
+			return TenantReport{}, err
+		}
+		tr.HeavyUnits += res.BackDroid.Stats.WorkUnits
+	}
+	for _, id := range lightIDs {
+		res, err := sched.Wait(id)
+		if err != nil {
+			return TenantReport{}, err
+		}
+		tr.LightUnits += res.BackDroid.Stats.WorkUnits
+	}
+	ss := sched.Stats()
+	sched.Close()
+	close(events)
+	drain.Wait()
+
+	tr.DispatchOrder = order
+	// Equal weights alternate once both tenants queue: light job i lands
+	// by slot 2i, +1 slack for the round the cursor starts in.
+	tr.FairnessBound = 2*len(lightIDs) + 1
+	for slot, name := range order {
+		if strings.HasPrefix(name, "light:") {
+			tr.LastLightSlot = slot + 1
+		}
+	}
+	tr.AnalysisUnits = tr.HeavyUnits + tr.LightUnits
+	tr.JournalUnits = ss.JournalUnits
+	js := jnl.Stats()
+	tr.JournalRecords = js.Records
+	tr.JournalBytes = js.Bytes
+	if tr.AnalysisUnits > 0 {
+		tr.JournalOverhead = float64(tr.JournalUnits) / float64(tr.AnalysisUnits)
+	}
+	return tr, nil
 }
 
 // readBaseline parses a baseline report file.

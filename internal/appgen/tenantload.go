@@ -1,0 +1,109 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"backdroid/internal/android"
+)
+
+// TenantWorkload is one tenant's generated submission stream for the
+// multi-tenant scenario benches: its name and the app specs in submission
+// order.
+type TenantWorkload struct {
+	Name  string
+	Specs []Spec
+}
+
+// TenantWorkloadOptions configures TenantWorkloads.
+type TenantWorkloadOptions struct {
+	// Tenants is how many independent streams to generate (default 2).
+	Tenants int
+	// SmallApps is how many small apps each tenant submits besides its
+	// heavy outlier (default 4).
+	SmallApps int
+	// Seed drives all sampling; each tenant derives its own stream from
+	// it, so workloads are deterministic and tenant-independent.
+	Seed int64
+	// HeavySinks is the sink count of each tenant's heavy app (default
+	// 40, a scaled-down ManySinkOutlierSpec so test runs stay fast; the
+	// shape — many sinks funneling through a shared config chain — is
+	// the same).
+	HeavySinks int
+}
+
+// TenantWorkloads generates the mixed per-tenant workload of the
+// fair-dispatch scenario: every tenant submits a stream of interleaved
+// small apps plus one ManySinkOutlierSpec-style heavy app (placed first,
+// the worst case for head-of-line blocking — a tenant that leads with its
+// 500-app corpus's biggest member). Small apps differ across tenants
+// (distinct seeds and names), so per-tenant detection reports are
+// distinguishable end to end; all sampling is deterministic in
+// opts.Seed.
+func TenantWorkloads(opts TenantWorkloadOptions) []TenantWorkload {
+	if opts.Tenants <= 0 {
+		opts.Tenants = 2
+	}
+	if opts.SmallApps <= 0 {
+		opts.SmallApps = 4
+	}
+	if opts.HeavySinks <= 0 {
+		opts.HeavySinks = 40
+	}
+	out := make([]TenantWorkload, opts.Tenants)
+	for ti := range out {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(ti)*104729))
+		w := TenantWorkload{Name: fmt.Sprintf("tenant%02d", ti)}
+		w.Specs = append(w.Specs, tenantHeavySpec(ti, opts.Seed, opts.HeavySinks))
+		for a := 0; a < opts.SmallApps; a++ {
+			w.Specs = append(w.Specs, tenantSmallSpec(ti, a, rng))
+		}
+		out[ti] = w
+	}
+	return out
+}
+
+// tenantHeavySpec is the per-tenant many-sink outlier: a large app whose
+// sinks all flow through the app-shared configuration chain, exactly the
+// ManySinkOutlierSpec shape at configurable sink count.
+func tenantHeavySpec(tenant int, seed int64, sinkCount int) Spec {
+	sinks := make([]SinkSpec, 0, sinkCount)
+	for s := 0; s < sinkCount; s++ {
+		sinks = append(sinks, SinkSpec{
+			Flow:     FlowSharedConfig,
+			Rule:     android.RuleCryptoECB,
+			Insecure: s%3 != 0,
+		})
+	}
+	return Spec{
+		Name:   fmt.Sprintf("com.tenant%02d.heavy", tenant),
+		Seed:   seed + int64(tenant)*7919 + 1,
+		SizeMB: 6,
+		Sinks:  sinks,
+	}
+}
+
+// tenantSmallSpec is one light interactive-style submission: a small app
+// with a couple of mixed-shape flows.
+func tenantSmallSpec(tenant, idx int, rng *rand.Rand) Spec {
+	flows := []Flow{FlowDirect, FlowThread, FlowClinit, FlowCallback, FlowDirectPair}
+	n := 1 + rng.Intn(3)
+	sinks := make([]SinkSpec, 0, n)
+	for s := 0; s < n; s++ {
+		rule := android.RuleCryptoECB
+		if rng.Float64() < 0.3 {
+			rule = android.RuleSSLAllowAll
+		}
+		sinks = append(sinks, SinkSpec{
+			Flow:     flows[rng.Intn(len(flows))],
+			Rule:     rule,
+			Insecure: rng.Float64() < 0.4,
+		})
+	}
+	return Spec{
+		Name:   fmt.Sprintf("com.tenant%02d.small%02d", tenant, idx),
+		Seed:   rng.Int63(),
+		SizeMB: 0.8 + rng.Float64()*1.5,
+		Sinks:  sinks,
+	}
+}

@@ -1,0 +1,77 @@
+package appgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTenantWorkloadsShape(t *testing.T) {
+	ws := TenantWorkloads(TenantWorkloadOptions{Tenants: 3, SmallApps: 4, Seed: 99})
+	if len(ws) != 3 {
+		t.Fatalf("tenants = %d", len(ws))
+	}
+	names := make(map[string]bool)
+	for ti, w := range ws {
+		if w.Name != fmt.Sprintf("tenant%02d", ti) {
+			t.Fatalf("tenant %d named %q", ti, w.Name)
+		}
+		if len(w.Specs) != 5 {
+			t.Fatalf("tenant %s has %d specs, want 1 heavy + 4 small", w.Name, len(w.Specs))
+		}
+		heavy := w.Specs[0]
+		if len(heavy.Sinks) < 20 {
+			t.Fatalf("tenant %s heavy app has only %d sinks", w.Name, len(heavy.Sinks))
+		}
+		for _, sk := range heavy.Sinks {
+			if sk.Flow != FlowSharedConfig {
+				t.Fatalf("heavy app sink flow = %v, want shared-config", sk.Flow)
+			}
+		}
+		for _, spec := range w.Specs {
+			if names[spec.Name] {
+				t.Fatalf("duplicate app name %q across tenants", spec.Name)
+			}
+			names[spec.Name] = true
+			if spec.SizeMB <= 0 || len(spec.Sinks) == 0 {
+				t.Fatalf("degenerate spec %+v", spec)
+			}
+		}
+		for _, small := range w.Specs[1:] {
+			if small.SizeMB >= heavy.SizeMB {
+				t.Fatalf("small app %s (%.1f MB) not smaller than heavy (%.1f MB)",
+					small.Name, small.SizeMB, heavy.SizeMB)
+			}
+		}
+	}
+}
+
+// TestTenantWorkloadsDeterministic pins that workloads are a pure
+// function of the options — the fair-dispatch bench depends on it.
+func TestTenantWorkloadsDeterministic(t *testing.T) {
+	opts := TenantWorkloadOptions{Tenants: 2, SmallApps: 3, Seed: 5}
+	a := TenantWorkloads(opts)
+	b := TenantWorkloads(opts)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatal("TenantWorkloads not deterministic")
+	}
+	c := TenantWorkloads(TenantWorkloadOptions{Tenants: 2, SmallApps: 3, Seed: 6})
+	if fmt.Sprintf("%+v", a) == fmt.Sprintf("%+v", c) {
+		t.Fatal("TenantWorkloads insensitive to the seed")
+	}
+}
+
+// TestTenantWorkloadAppsGenerate pins that every spec actually generates
+// and carries ground truth.
+func TestTenantWorkloadAppsGenerate(t *testing.T) {
+	for _, w := range TenantWorkloads(TenantWorkloadOptions{Tenants: 2, SmallApps: 2, Seed: 11, HeavySinks: 8}) {
+		for _, spec := range w.Specs {
+			app, truth, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if app == nil || len(truth.Sinks) == 0 {
+				t.Fatalf("%s generated no ground truth", spec.Name)
+			}
+		}
+	}
+}

@@ -192,6 +192,13 @@ func (e *Engine) Backend() BackendKind { return e.backend.Kind() }
 // (charging a single unit), otherwise delegated to the backend. The
 // command key string is the cache key (Sec. IV-F).
 func (e *Engine) Run(cmd Command) ([]Hit, error) {
+	// Cooperative cancellation: once the meter has latched a cancel, no
+	// further lookup starts — a canceled analysis must not keep resolving
+	// commands from the cache (cache hits charge a single unit, far below
+	// the checkpoint interval).
+	if e.meter.Canceled() {
+		return nil, simtime.ErrCanceled
+	}
 	e.stats.Commands++
 	key := cmd.Key()
 	if e.cacheEnabled {

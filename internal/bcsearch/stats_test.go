@@ -126,3 +126,29 @@ func TestIndexedTimeoutDuringBuild(t *testing.T) {
 		t.Errorf("err = %v, want ErrTimeout", err)
 	}
 }
+
+// TestCanceledMeterStopsLookups pins the cancellation hook: once the
+// meter latches a cancel, no further search command runs — not even a
+// cache hit, whose single-unit charge might never reach the next
+// checkpoint on its own.
+func TestCanceledMeterStopsLookups(t *testing.T) {
+	canceled := false
+	meter := simtime.NewMeter()
+	meter.SetCancel(func() bool { return canceled })
+	e := NewEngine(searchFixture(t), Config{Meter: meter, EnableCache: true})
+	ref := dex.NewMethodRef("com.connectsdk.service.netcast.NetcastHttpServer", "start", dex.Void)
+	if _, err := e.FindInvocations(ref); err != nil {
+		t.Fatal(err)
+	}
+	canceled = true
+	// Latch the meter (the poll only runs at a charge checkpoint).
+	for meter.Charge(1) == nil {
+	}
+	before := e.Stats().Commands
+	if _, err := e.FindInvocations(ref); err != simtime.ErrCanceled {
+		t.Fatalf("lookup on a canceled meter = %v, want ErrCanceled", err)
+	}
+	if e.Stats().Commands != before {
+		t.Error("a canceled engine must not count (or serve) further commands")
+	}
+}

@@ -277,6 +277,12 @@ func (a *analysis) runStaticTrack() error {
 // (callee, argument facts) and replayed for later call edges with the
 // same abstract inputs — the shared-callee fast path of deep chains.
 func (a *analysis) evalMethod(ref dex.MethodRef, env *env, stack []string) (*Fact, error) {
+	// Cooperative cancellation: a latched cancel aborts the forward pass
+	// at method granularity, even on paths (memo hits, empty unit lists)
+	// that charge too little to reach the meter's next checkpoint soon.
+	if a.meter.Canceled() {
+		return nil, simtime.ErrCanceled
+	}
 	sig := ref.SootSignature()
 	if len(stack) > a.opts.MaxDepth {
 		a.cutSeq++

@@ -266,3 +266,17 @@ func TestTimeoutPropagates(t *testing.T) {
 		t.Error("over-budget propagation must fail")
 	}
 }
+
+// TestCanceledMeterAbortsForwardPass pins the cancellation hook in the
+// forward pass: a latched meter aborts Run with simtime.ErrCanceled at
+// method granularity.
+func TestCanceledMeterAbortsForwardPass(t *testing.T) {
+	meter := simtime.NewMeter()
+	meter.SetCancel(func() bool { return true })
+	for meter.Charge(1) == nil {
+	}
+	_, err := Run(buildLinearSSG(), ir.NewProgram(dex.NewFile()), meter, Options{SinkParamIndex: 0})
+	if err != simtime.ErrCanceled {
+		t.Fatalf("Run on a canceled meter = %v, want ErrCanceled", err)
+	}
+}

@@ -137,6 +137,18 @@ type Options struct {
 	// 0 disables the budget (BackDroid needs no timeout in the paper).
 	TimeoutMinutes float64
 
+	// Cancel, when non-nil, is the cooperative kill switch of the batch
+	// control plane: the engine's meter polls it every
+	// simtime.CancelCheckpointUnits of charged work — which covers every
+	// constprop forward pass and every bcsearch lookup, since both charge
+	// the meter — and the analysis aborts with simtime.ErrCanceled within
+	// one checkpoint of the poll turning true. Unlike a timeout, a
+	// cancellation is an error out of Analyze, never a TimedOut report:
+	// the caller (Scheduler.Cancel) owns the terminal event. The poll
+	// must be cheap and goroutine-safe; the scheduler passes an
+	// atomic-flag read.
+	Cancel func() bool
+
 	// SinkObserver, when non-nil, receives every SinkReport as soon as its
 	// verdict is final — per sink call during the per-sink pipeline, after
 	// the shared forward pass in PerAppSSG mode. The callback runs
@@ -255,6 +267,10 @@ type Stats struct {
 	// ForwardMemoHits counts constprop method evaluations answered from
 	// the forward-pass memo cache (Options.MemoizeForwardPass).
 	ForwardMemoHits int64
+
+	// CancelPolls counts the cancellation checkpoints the meter hit
+	// (Options.Cancel); zero when no cancel poll is installed.
+	CancelPolls int64
 }
 
 // SinkCacheRate returns the fraction of sink calls answered from the
@@ -396,6 +412,9 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	if opts.TimeoutMinutes > 0 {
 		meter.SetBudget(simtime.MinutesToUnits(opts.TimeoutMinutes))
 	}
+	if opts.Cancel != nil {
+		meter.SetCancel(opts.Cancel)
+	}
 
 	// Warm-start probes, before any merge or disassembly work. The
 	// in-memory bundle store is asked first — a hit costs zero disk I/O —
@@ -472,6 +491,7 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 			e.bundleStoreMisses = 1
 		}
 	}
+	var preErr error
 	if dump != nil {
 		// Warm path: the cached dump replaces disassembly entirely;
 		// reading it back is charged at the flat cache-load rate — the
@@ -479,9 +499,9 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		e.dumpCacheHits = 1
 		before := meter.Units()
 		if storeHit {
-			e.preTimedOut = meter.ChargeBundleStoreLoad(dump.LineCount()) != nil
+			preErr = meter.ChargeBundleStoreLoad(dump.LineCount())
 		} else {
-			e.preTimedOut = meter.ChargeDumpCacheLoad(dump.LineCount()) != nil
+			preErr = meter.ChargeDumpCacheLoad(dump.LineCount())
 		}
 		e.dumpCacheUnits = meter.Units() - before
 	} else {
@@ -493,8 +513,14 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		// Disassembly cost: dexdump is a linear pass over the bytecode. A
 		// budget exhausted this early surfaces as a timed-out report from
 		// Analyze, not a construction error.
-		e.preTimedOut = meter.ChargeLines(dump.LineCount()) != nil
+		preErr = meter.ChargeLines(dump.LineCount())
 	}
+	if preErr == simtime.ErrCanceled {
+		// A cancellation is never a timed-out report: the caller owns the
+		// terminal outcome of a killed job.
+		return nil, preErr
+	}
+	e.preTimedOut = preErr != nil
 	e.dump = dump
 
 	searchCfg := bcsearch.Config{
@@ -628,6 +654,7 @@ func (e *Engine) fillStats(report *Report, start time.Time) {
 		BundleStoreHits:       e.bundleStoreHits,
 		BundleStoreMisses:     e.bundleStoreMisses,
 		ForwardMemoHits:       e.memoHits,
+		CancelPolls:           e.meter.CancelPolls(),
 	}
 }
 

@@ -42,6 +42,13 @@ type RunConfig struct {
 	// disassembly and zero index builds on the second pass. Reports stay
 	// bitwise identical to a private run.
 	Scheduler *service.Scheduler
+	// Tenant names the scheduler tenant the corpus is submitted under
+	// ("" = the default tenant). With a multi-tenant scheduler this lets
+	// several RunCorpus calls share one service as independent streams:
+	// each gets its own bounded queue and weighted dispatch share, and
+	// the per-corpus reports stay bitwise identical to a private run —
+	// fair dispatch reorders work, never results.
+	Tenant string
 }
 
 // AppRun bundles one app's artifacts and analysis outcomes.
@@ -86,7 +93,8 @@ func RunCorpus(opts appgen.CorpusOptions, cfg RunConfig) (*CorpusRun, error) {
 	for i := range specs {
 		i, spec := i, specs[i]
 		job := service.Job{
-			Name: spec.Name,
+			Name:   spec.Name,
+			Tenant: cfg.Tenant,
 			Source: func() (*apk.App, error) {
 				app, truth, err := appgen.Generate(spec)
 				if err != nil {

@@ -89,3 +89,48 @@ func TestRunCorpusWorkerIndependenceThroughScheduler(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCorpusTenantParity pins RunConfig.Tenant: two corpora submitted
+// as different tenants of one multi-tenant scheduler each reproduce
+// their private-run detection output bit for bit — fair dispatch
+// reorders work, never results — and the per-tenant counters attribute
+// every job to its stream.
+func TestRunCorpusTenantParity(t *testing.T) {
+	optsA := appgen.CorpusOptions{Apps: 4, Seed: 7, SizeScale: 0.08}
+	optsB := appgen.CorpusOptions{Apps: 3, Seed: 8, SizeScale: 0.08}
+	plainA, err := RunCorpus(optsA, RunConfig{RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainB, err := RunCorpus(optsB, RunConfig{RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := service.New(service.Config{
+		Workers: 2,
+		Tenants: map[string]service.TenantConfig{"a": {Weight: 2}, "b": {Weight: 1}},
+	})
+	defer sched.Close()
+	gotA, err := RunCorpus(optsA, RunConfig{RunBackDroid: true, Scheduler: sched, Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := RunCorpus(optsB, RunConfig{RunBackDroid: true, Scheduler: sched, Tenant: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detectionSummary(gotA) != detectionSummary(plainA) {
+		t.Fatal("tenant a's corpus diverged from its private run")
+	}
+	if detectionSummary(gotB) != detectionSummary(plainB) {
+		t.Fatal("tenant b's corpus diverged from its private run")
+	}
+	counts := map[string]int64{}
+	for _, ts := range sched.Stats().Tenants {
+		counts[ts.Name] = ts.Dispatched
+	}
+	if counts["a"] != int64(optsA.Apps) || counts["b"] != int64(optsB.Apps) {
+		t.Fatalf("per-tenant dispatch counts = %v", counts)
+	}
+}

@@ -1,0 +1,360 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLifecycle appends one job's full record sequence.
+func writeLifecycle(t *testing.T, j *Journal, id int64, terminal Kind) {
+	t.Helper()
+	recs := []Record{
+		{Kind: KindSubmit, Job: id, Tenant: "acme", Name: "app", Spec: "/apps/app.apk"},
+		{Kind: KindStart, Job: id},
+	}
+	if terminal != 0 {
+		r := Record{Kind: terminal, Job: id}
+		if terminal == KindFailed {
+			r.Err = "boom"
+		}
+		recs = append(recs, r)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRoundtripAndPending(t *testing.T) {
+	dir := t.TempDir()
+	j, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending records", len(pending))
+	}
+	writeLifecycle(t, j, 1, KindDone)
+	writeLifecycle(t, j, 2, KindFailed)
+	writeLifecycle(t, j, 3, KindCanceled)
+	writeLifecycle(t, j, 4, 0) // started, never finished (in-flight crash)
+	if err := j.Append(Record{Kind: KindSubmit, Job: 5, Tenant: "free", Name: "b", Spec: "/apps/b.apk"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %v, want jobs 4 and 5", pending)
+	}
+	if pending[0].Job != 4 || pending[1].Job != 5 {
+		t.Fatalf("pending order = %d,%d, want 4,5", pending[0].Job, pending[1].Job)
+	}
+	if pending[0].Tenant != "acme" || pending[0].Spec != "/apps/app.apk" {
+		t.Fatalf("pending[0] lost its payload: %+v", pending[0])
+	}
+	if pending[1].Tenant != "free" || pending[1].Name != "b" {
+		t.Fatalf("pending[1] lost its payload: %+v", pending[1])
+	}
+	if got := j2.MaxJobID(); got != 5 {
+		t.Fatalf("MaxJobID = %d, want 5", got)
+	}
+	st := j2.Stats()
+	if st.Pending != 2 || st.Recovered != 12 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 20; id++ {
+		term := KindDone
+		if id%5 == 0 {
+			term = 0 // every fifth job stays pending
+		}
+		writeLifecycle(t, j, id, Kind(term))
+	}
+	before := j.Stats()
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := j.Stats()
+	if after.Records != 4 || after.Pending != 4 {
+		t.Fatalf("after compaction: %+v", after)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("compaction did not shrink the file: %d -> %d bytes", before.Bytes, after.Bytes)
+	}
+	if after.Compactions != 1 {
+		t.Fatalf("compactions = %d", after.Compactions)
+	}
+	// The compacted file must append and replay cleanly.
+	writeLifecycle(t, j, 21, 0)
+	j.Close()
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	want := []int64{5, 10, 15, 20, 21}
+	if len(pending) != len(want) {
+		t.Fatalf("pending after compaction+reopen = %v", pending)
+	}
+	for i, id := range want {
+		if pending[i].Job != id {
+			t.Fatalf("pending[%d] = %d, want %d", i, pending[i].Job, id)
+		}
+	}
+}
+
+func TestJournalAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.limit = 512 // force the auto-compaction path quickly
+	for id := int64(1); id <= 200; id++ {
+		writeLifecycle(t, j, id, KindDone)
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no automatic compaction despite settled history past the limit")
+	}
+	if st.Bytes > 2048 {
+		t.Fatalf("live file still %d bytes after auto-compaction", st.Bytes)
+	}
+}
+
+// TestJournalCorruptionFuzz mirrors the .bdx codec fuzz: every single-byte
+// flip and a sweep of truncations over a populated journal must recover —
+// without panicking — to a consistent queue, i.e. a prefix of the original
+// record stream with every surviving record intact.
+func TestJournalCorruptionFuzz(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, j, 1, KindDone)
+	writeLifecycle(t, j, 2, 0)
+	writeLifecycle(t, j, 3, KindCanceled)
+	if err := j.Append(Record{Kind: KindSubmit, Job: 4, Tenant: "t", Name: "n", Spec: "/x.apk"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, FileName)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecs, _ := decodeFile(good)
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: replay panicked: %v", name, r)
+			}
+		}()
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, FileName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cj, pending, err := Open(cdir)
+		if err != nil {
+			t.Fatalf("%s: Open must recover, got %v", name, err)
+		}
+		defer cj.Close()
+		// Whatever survived must be a prefix of the original stream: no
+		// record may decode to different content, and the pending set must
+		// be exactly what that prefix implies.
+		recs, _ := decodeFile(readFileOrEmpty(filepath.Join(cdir, FileName)))
+		if len(recs) > len(wantRecs) {
+			t.Fatalf("%s: recovered %d records from a %d-record file", name, len(recs), len(wantRecs))
+		}
+		seen := make(map[int64]Record)
+		var order []int64
+		for i, r := range recs {
+			if r != wantRecs[i] {
+				t.Fatalf("%s: record %d decoded as %+v, want %+v", name, i, r, wantRecs[i])
+			}
+			switch {
+			case r.Kind == KindSubmit:
+				if _, ok := seen[r.Job]; !ok {
+					order = append(order, r.Job)
+				}
+				seen[r.Job] = r
+			case r.Kind.terminal():
+				delete(seen, r.Job)
+			}
+		}
+		var wantPending []Record
+		for _, id := range order {
+			if r, ok := seen[id]; ok {
+				wantPending = append(wantPending, r)
+			}
+		}
+		if len(pending) != len(wantPending) {
+			t.Fatalf("%s: pending = %+v, want %+v", name, pending, wantPending)
+		}
+		for i := range pending {
+			if pending[i] != wantPending[i] {
+				t.Fatalf("%s: pending[%d] = %+v, want %+v", name, i, pending[i], wantPending[i])
+			}
+		}
+		// The healed file must itself append and re-open cleanly.
+		if err := cj.Append(Record{Kind: KindSubmit, Job: 99, Tenant: "t", Name: "n", Spec: "/y.apk"}); err != nil {
+			t.Fatalf("%s: append after recovery: %v", name, err)
+		}
+	}
+
+	for off := 0; off < len(good); off++ {
+		data := append([]byte(nil), good...)
+		data[off] ^= 0xa5
+		check("flip", data)
+	}
+	for cut := 0; cut <= len(good); cut++ {
+		check("truncate", good[:cut])
+	}
+	check("trailing", append(append([]byte(nil), good...), 0xAB))
+	check("empty", nil)
+}
+
+// TestJournalHealsDamagedTail pins that Open truncates a torn append back
+// to the last whole record on disk, so the next process starts from a
+// whole file.
+func TestJournalHealsDamagedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, j, 1, 0)
+	j.Close()
+	path := filepath.Join(dir, FileName)
+	good, _ := os.ReadFile(path)
+	torn := append(append([]byte(nil), good...), 0x03, 0x44, 0x00) // half a record header
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != 1 {
+		t.Fatalf("pending after torn tail = %+v", pending)
+	}
+	if st := j2.Stats(); st.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", st.Dropped)
+	}
+	j2.Close()
+	healed, _ := os.ReadFile(path)
+	if !bytes.Equal(healed, good) {
+		t.Fatal("healed file differs from the pre-damage content")
+	}
+}
+
+// TestJournalRecordDeterministicBytes pins byte-stable encoding: the
+// crash-recovery diff depends on replayed submissions being identical.
+func TestJournalRecordDeterministicBytes(t *testing.T) {
+	r := Record{Kind: KindSubmit, Job: 7, Tenant: "acme", Name: "app", Spec: "/a.apk"}
+	a, b := encodeRecord(r), encodeRecord(r)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encodeRecord not deterministic")
+	}
+	dec, n, ok := decodeRecord(a)
+	if !ok || n != int64(len(a)) || dec != r {
+		t.Fatalf("roundtrip = %+v (%d bytes, ok=%v), want %+v", dec, n, ok, r)
+	}
+}
+
+// TestJournalOversizedFieldsTruncateNotCorrupt pins the encode/decode
+// limit contract: a record with an absurdly long string field is
+// truncated at write time, so replay never mistakes it for corruption
+// and never drops the records behind it.
+func TestJournalOversizedFieldsTruncateNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("x", 2<<20)
+	if err := j.Append(Record{Kind: KindSubmit, Job: 1, Tenant: "t", Name: "n", Spec: "/a.apk"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindFailed, Job: 1, Err: huge}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindSubmit, Job: 2, Tenant: huge, Name: "after", Spec: "/b.apk"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if st := j2.Stats(); st.Dropped != 0 || st.Recovered != 3 {
+		t.Fatalf("oversized fields treated as corruption: %+v", st)
+	}
+	// Job 1 settled (its failed record replayed, Err truncated); job 2,
+	// recorded after the oversized records, survives intact.
+	if len(pending) != 1 || pending[0].Job != 2 || pending[0].Name != "after" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if got := len(pending[0].Tenant); got != maxFieldSize {
+		t.Fatalf("tenant field truncated to %d bytes, want %d", got, maxFieldSize)
+	}
+}
+
+// TestJournalCompactFailureKeepsAppending pins that a failed rewrite
+// (here: the directory made read-only so the temp file cannot be
+// created) leaves the live handle working — the journal keeps its
+// uncompacted history rather than going silently dark.
+func TestJournalCompactFailureKeepsAppending(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	writeLifecycle(t, j, 1, KindDone)
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := j.Compact(); err == nil {
+		t.Skip("filesystem permits writes in a read-only dir (running as root?)")
+	}
+	// The handle survived: appends still land in the old file.
+	if err := j.Append(Record{Kind: KindSubmit, Job: 2, Tenant: "t", Name: "n", Spec: "/b.apk"}); err != nil {
+		t.Fatalf("append after failed compaction: %v", err)
+	}
+	os.Chmod(dir, 0o755)
+	j.Close()
+	_, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != 2 {
+		t.Fatalf("pending after failed compaction = %+v", pending)
+	}
+}

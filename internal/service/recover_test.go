@@ -1,0 +1,314 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"backdroid/internal/apk"
+	"backdroid/internal/service/journal"
+)
+
+// specFromJournal rebuilds the deterministic test job a journal record
+// describes: the Spec string carries the testSpec index.
+func specFromJournal(rec journal.Record) (Job, bool) {
+	i, err := strconv.Atoi(strings.TrimPrefix(rec.Spec, "spec:"))
+	if err != nil {
+		return Job{}, false
+	}
+	return Job{
+		Name: rec.Name, Tenant: rec.Tenant, Spec: rec.Spec,
+		Source: sourceFor(testSpec(i)), RunBackDroid: true,
+	}, true
+}
+
+// TestSchedulerJournalRecovery is the crash-recovery drill at the service
+// layer: submit a queue, halt mid-queue (the deterministic SIGKILL
+// stand-in — running jobs finish, queued jobs are abandoned), restart a
+// scheduler over the same journal, Recover, and require the union of
+// reports to be identical to an uninterrupted run — same jobs, same IDs,
+// same detection output.
+func TestSchedulerJournalRecovery(t *testing.T) {
+	const jobs = 5
+	// Reference: the uninterrupted run.
+	wantKeys := make(map[string]string)
+	ref := New(Config{Workers: 1})
+	for i := 0; i < jobs; i++ {
+		id, err := ref.Submit(Job{Name: testSpec(i).Name, Source: sourceFor(testSpec(i)), RunBackDroid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys[testSpec(i).Name] = detectionKey(res.BackDroid)
+	}
+	ref.Close()
+
+	dir := t.TempDir()
+	jnl, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal pending = %v", pending)
+	}
+
+	// First life: one worker pinned on job 0, jobs 1..4 queued, then Halt.
+	gotKeys := make(map[string]string)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s1 := New(Config{Workers: 1, QueueDepth: 16, Journal: jnl})
+	firstID, err := s1.Submit(Job{
+		Name: testSpec(0).Name, Spec: "spec:0",
+		Source: func() (*apk.App, error) {
+			close(started)
+			<-release
+			return appgenApp(t, testSpec(0))
+		},
+		RunBackDroid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only submit the rest once job 0 provably occupies the worker, so
+	// exactly the four later jobs are the abandoned queue.
+	<-started
+	for i := 1; i < jobs; i++ {
+		if _, err := s1.Submit(Job{
+			Name: testSpec(i).Name, Tenant: "acme", Spec: fmt.Sprintf("spec:%d", i),
+			Source: sourceFor(testSpec(i)), RunBackDroid: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	haltDone := make(chan struct{})
+	go func() {
+		defer close(haltDone)
+		s1.Halt() // stops dispatch; only the running job finishes
+	}()
+	// Release the pinned job only after the halt flag is down, so the
+	// worker cannot pick up a queued job in between.
+	for {
+		s1.mu.Lock()
+		halted := s1.halted
+		s1.mu.Unlock()
+		if halted {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	<-haltDone
+	res, err := s1.Wait(firstID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKeys[res.Name] = detectionKey(res.BackDroid)
+
+	st := jnl.Stats()
+	if st.Pending != jobs-1 {
+		t.Fatalf("journal pending after halt = %d, want %d", st.Pending, jobs-1)
+	}
+	jnl.Close()
+
+	// Second life: reopen the journal, recover, drain.
+	jnl2, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if len(pending) != jobs-1 {
+		t.Fatalf("reopened journal pending = %d, want %d", len(pending), jobs-1)
+	}
+	s2 := New(Config{Workers: 2, QueueDepth: 16, Journal: jnl2})
+	recovered := s2.Recover(specFromJournal)
+	if recovered != jobs-1 {
+		t.Fatalf("Recover = %d, want %d", recovered, jobs-1)
+	}
+	// Idempotent: already-tracked jobs are skipped.
+	if again := s2.Recover(specFromJournal); again != 0 {
+		t.Fatalf("second Recover = %d, want 0", again)
+	}
+	// Original IDs are preserved — Wait by the journal's ids works — and
+	// the original tenant assignment survives the restart.
+	for _, rec := range pending {
+		if rec.Tenant != "acme" {
+			t.Fatalf("record %d lost its tenant: %+v", rec.Job, rec)
+		}
+		res, err := s2.Wait(JobID(rec.Job))
+		if err != nil {
+			t.Fatalf("recovered job %d: %v", rec.Job, err)
+		}
+		gotKeys[res.Name] = detectionKey(res.BackDroid)
+	}
+	// New submissions never collide with recovered ids.
+	newID, err := s2.Submit(Job{Name: "fresh", Source: sourceFor(testSpec(9)), RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(newID) <= pending[len(pending)-1].Job {
+		t.Fatalf("fresh id %d not above recovered ids", newID)
+	}
+	if _, err := s2.Wait(newID); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Interrupted-then-recovered must equal uninterrupted, bit for bit.
+	if len(gotKeys) != jobs {
+		t.Fatalf("recovered run produced %d reports, want %d", len(gotKeys), jobs)
+	}
+	for name, want := range wantKeys {
+		if gotKeys[name] != want {
+			t.Fatalf("report for %s diverged after crash recovery:\n%s\nvs\n%s", name, gotKeys[name], want)
+		}
+	}
+	if st := jnl2.Stats(); st.Pending != 0 {
+		t.Fatalf("journal still pending %d after drain", st.Pending)
+	}
+}
+
+// TestRecoverSettlesUnrebuildableJobs pins the poison-pill path: a record
+// the rebuild function rejects is settled as failed in the journal so it
+// never replays again.
+func TestRecoverSettlesUnrebuildableJobs(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 1, Journal: jnl})
+	// Enqueue a job whose spec no rebuild function will accept, behind a
+	// halt so it stays pending.
+	s1.Halt()
+	if err := jnl.Append(journal.Record{Kind: journal.KindSubmit, Job: 77, Name: "ghost", Spec: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	jnl.Close()
+
+	jnl2, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %v", pending)
+	}
+	s2 := New(Config{Workers: 1, Journal: jnl2})
+	if n := s2.Recover(specFromJournal); n != 0 {
+		t.Fatalf("Recover of a bogus record = %d, want 0", n)
+	}
+	s2.Close()
+	if st := jnl2.Stats(); st.Pending != 0 {
+		t.Fatalf("bogus record still pending: %+v", st)
+	}
+}
+
+// TestJournaledIDsSurviveRestart pins that a restarted scheduler issues
+// fresh ids strictly above everything the journal ever saw, even when
+// all journaled jobs are settled.
+func TestJournaledIDsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 1, Journal: jnl})
+	var lastID JobID
+	for i := 0; i < 3; i++ {
+		id, err := s1.Submit(Job{Name: testSpec(i).Name, Spec: fmt.Sprintf("spec:%d", i), Source: sourceFor(testSpec(i)), RunBackDroid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		lastID = id
+	}
+	s1.Close()
+	jnl.Close()
+
+	jnl2, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("settled journal replays %v", pending)
+	}
+	s2 := New(Config{Workers: 1, Journal: jnl2})
+	defer s2.Close()
+	id, err := s2.Submit(Job{Name: "fresh", Source: sourceFor(testSpec(5)), RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= lastID {
+		t.Fatalf("restarted scheduler reissued id %d (last life reached %d)", id, lastID)
+	}
+	if _, err := s2.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueuedCancelIsDurable pins the cancel-vs-crash interaction: a
+// queued job canceled before dispatch is settled in the journal at
+// cancel time, so a crash (Halt) before any worker reaches it must not
+// resurrect it on replay.
+func TestQueuedCancelIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 1, QueueDepth: 8, Journal: jnl})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := s1.Submit(Job{Name: "pin", Spec: "spec:0", Source: func() (*apk.App, error) {
+		close(started)
+		<-release
+		return appgenApp(t, testSpec(0))
+	}, RunBackDroid: true}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	victim, err := s1.Submit(Job{Name: "victim", Spec: "spec:1", Source: sourceFor(testSpec(1)), RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Cancel(victim) {
+		t.Fatal("queued cancel must register")
+	}
+	// Crash before the canceled job is ever dispatched.
+	haltDone := make(chan struct{})
+	go func() { defer close(haltDone); s1.Halt() }()
+	for {
+		s1.mu.Lock()
+		halted := s1.halted
+		s1.mu.Unlock()
+		if halted {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	<-haltDone
+	jnl.Close()
+
+	jnl2, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	// Only the pinned job (which ran to completion under Halt) is
+	// settled by its own record; the canceled victim must be settled too
+	// — not pending — despite never reaching a worker.
+	for _, rec := range pending {
+		if JobID(rec.Job) == victim {
+			t.Fatalf("canceled job %d resurrected by replay: %+v", victim, rec)
+		}
+	}
+}

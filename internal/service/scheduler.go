@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"backdroid/internal/apk"
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
+	"backdroid/internal/service/journal"
+	"backdroid/internal/simtime"
 	"backdroid/internal/wholeapp"
 )
 
@@ -15,7 +18,9 @@ import (
 var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("service: scheduler closed")
-	// ErrCanceled is returned by Wait for a job canceled before it started.
+	// ErrCanceled is returned by Wait for a canceled job — removed from
+	// its queue before starting, or stopped at a meter checkpoint while
+	// running.
 	ErrCanceled = errors.New("service: job canceled")
 	// ErrUnknownJob is returned by Wait for an ID this scheduler never
 	// issued.
@@ -31,6 +36,16 @@ type Job struct {
 	// Name labels the job in events and error messages (usually the app
 	// name).
 	Name string
+	// Tenant names the analysis stream the job belongs to; "" lands in
+	// DefaultTenantName. Each tenant has its own bounded queue and
+	// weighted-round-robin dispatch share, so one tenant's backlog never
+	// head-of-line-blocks another's submissions.
+	Tenant string
+	// Spec is the opaque string a journaled job is rebuilt from after a
+	// restart (backdroidd stores the APK path). Jobs with an empty Spec
+	// are journaled too, but a recovery pass can only re-enqueue them if
+	// its rebuild function knows them by name.
+	Spec string
 	// Source materializes the app when the job is scheduled — a generator
 	// closure, an APK loader, an in-memory handle. Running it lazily on
 	// the worker keeps memory bounded: apps exist only while analyzed,
@@ -97,7 +112,8 @@ func (k EventKind) String() string {
 // Event is one streamed scheduler occurrence. Per job the order is fixed
 // — queued, started, one EventSink per resolved sink in report order,
 // then exactly one of done/failed/canceled — while events of different
-// jobs interleave with worker scheduling.
+// jobs interleave with worker scheduling. A job canceled while running
+// emits its single terminal EventCanceled and nothing after it.
 type Event struct {
 	Kind EventKind
 	Job  JobID
@@ -116,10 +132,18 @@ type Config struct {
 	// Workers bounds concurrent job analyses; values <= 1 run one at a
 	// time.
 	Workers int
-	// QueueDepth bounds the submit queue; Submit blocks once this many
-	// jobs are waiting (backpressure toward the producer). 0 defaults to
-	// 2*Workers.
+	// QueueDepth bounds each tenant's submit queue; Submit blocks once
+	// this many of that tenant's jobs are waiting (backpressure toward
+	// the producer). 0 defaults to 2*Workers. TenantConfig.MaxQueueDepth
+	// overrides it per tenant.
 	QueueDepth int
+	// Tenants preconfigures named tenants (weight, queue depth, store
+	// budget). Jobs for tenants absent here are admitted under
+	// DefaultTenant's policy.
+	Tenants map[string]TenantConfig
+	// DefaultTenant is the policy of tenants not listed in Tenants (the
+	// zero value means weight 1, inherited queue depth, shared store).
+	DefaultTenant TenantConfig
 	// Options is the default engine configuration for jobs that carry
 	// none; nil uses core.DefaultOptions.
 	Options *core.Options
@@ -131,7 +155,14 @@ type Config struct {
 	// fingerprint is cached performs zero disassembly, zero index builds
 	// and zero bundle disk I/O, and concurrent submissions of one
 	// fingerprint serialize so the bundle is built exactly once.
+	// TenantConfig.StoreBudget can give a tenant a private store instead.
 	Store *BundleStore
+	// Journal, when non-nil, makes the queue durable: every submit,
+	// start and terminal outcome is appended as a CRC'd record, so a
+	// restarted service can Recover the jobs that were pending when the
+	// previous process died. The journal belongs to the caller (it is
+	// not closed by Close).
+	Journal *journal.Journal
 	// Events, when non-nil, receives the streamed event channel. The
 	// consumer must drain it: emission blocks the emitting worker (and,
 	// because per-job event order is guaranteed, other emitters) until
@@ -139,36 +170,54 @@ type Config struct {
 	Events chan<- Event
 }
 
-// Scheduler runs analysis jobs over a bounded worker pool with a bounded
-// queue. It is the reusable session layer the one-shot corpus harness
-// lacked: engines are still per-job (analysis state never crosses
-// goroutines), but the bundle store, worker pool and event stream live
-// across submissions.
+// Scheduler runs analysis jobs over a bounded worker pool with per-tenant
+// bounded queues and deterministic weighted-round-robin dispatch. It is
+// the control plane the one-shot corpus harness lacked: engines are still
+// per-job (analysis state never crosses goroutines), but the bundle
+// store, worker pool, event stream, tenant queues and the durable job
+// journal live across submissions — and across process restarts when a
+// journal is configured.
 type Scheduler struct {
-	cfg  Config
-	jobs chan *jobState
+	cfg Config
 
-	mu       sync.Mutex
-	states   map[JobID]*jobState
-	nextID   JobID
-	closed   bool
-	submitWG sync.WaitGroup // in-flight Submit sends
+	mu      sync.Mutex
+	cond    *sync.Cond // queue space, queued work, close/halt — all one broadcast
+	tenants map[string]*tenant
+	order   []string // sorted tenant names, the WRR visit order
+	cursor  int      // WRR position in order
+
+	states      map[JobID]*jobState
+	nextID      JobID
+	closed      bool
+	halted      bool
+	inflight    int // submits between their closed-check and queue append
+	dispatchSeq int64
+
+	journalUnits atomic.Int64 // control-plane work charged for appends
 
 	workerWG sync.WaitGroup
 	evMu     sync.Mutex
 }
 
 type jobState struct {
-	id       JobID
-	job      Job
-	done     chan struct{}
-	res      *JobResult
-	err      error
-	canceled bool
-	started  bool
+	id              JobID
+	tenant          string
+	job             Job
+	store           *BundleStore // tenant-resolved bundle store (nil = none)
+	done            chan struct{}
+	res             *JobResult
+	err             error
+	canceled        bool        // canceled while queued (under mu)
+	cancelReq       bool        // cancel requested while running (under mu)
+	cancelFlag      atomic.Bool // polled lock-free by the engine's meter
+	cancelJournaled bool        // terminal canceled record already written
+	started         bool
+	dispatchSeq     int64
 }
 
-// New builds and starts a scheduler.
+// New builds and starts a scheduler. With a journal configured, new job
+// IDs are issued above every ID the journal has seen, so a recovered
+// queue and fresh submissions never collide.
 func New(cfg Config) *Scheduler {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -177,15 +226,23 @@ func New(cfg Config) *Scheduler {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
 	s := &Scheduler{
-		cfg:    cfg,
-		jobs:   make(chan *jobState, cfg.QueueDepth),
-		states: make(map[JobID]*jobState),
+		cfg:     cfg,
+		tenants: make(map[string]*tenant),
+		states:  make(map[JobID]*jobState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.Journal != nil {
+		s.nextID = JobID(cfg.Journal.MaxJobID())
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go func() {
 			defer s.workerWG.Done()
-			for st := range s.jobs {
+			for {
+				st := s.nextJob()
+				if st == nil {
+					return
+				}
 				s.runJob(st)
 			}
 		}()
@@ -193,36 +250,134 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
-// Submit enqueues a job, blocking while the queue is full, and returns
-// its ID. IDs are issued in call order, so a single-goroutine producer
-// can replay results deterministically by waiting on them in order.
+// Submit enqueues a job under its tenant, blocking while that tenant's
+// queue is full, and returns its ID. IDs are issued in call order, so a
+// single-goroutine producer can replay results deterministically by
+// waiting on them in order.
 func (s *Scheduler) Submit(job Job) (JobID, error) {
+	return s.enqueue(job, 0)
+}
+
+// Recover re-enqueues the journal's pending jobs — submits without a
+// terminal record, in their original submission order and under their
+// original IDs. rebuild turns a journal record back into a runnable Job
+// (typically from Record.Spec); returning ok=false settles the record as
+// failed in the journal so it does not replay forever. Recover is
+// idempotent: jobs the scheduler already tracks are skipped, so calling
+// it again (the serve protocol's `recover` command) is a no-op after a
+// startup replay. It returns the number of jobs re-enqueued.
+func (s *Scheduler) Recover(rebuild func(journal.Record) (Job, bool)) int {
+	if s.cfg.Journal == nil {
+		return 0
+	}
+	recovered := 0
+	for _, rec := range s.cfg.Journal.Pending() {
+		id := JobID(rec.Job)
+		s.mu.Lock()
+		_, tracked := s.states[id]
+		s.mu.Unlock()
+		if tracked {
+			continue
+		}
+		job, ok := rebuild(rec)
+		if !ok {
+			s.journalAppend(journal.Record{
+				Kind: journal.KindFailed, Job: rec.Job,
+				Err: "not recoverable: " + rec.Spec,
+			})
+			continue
+		}
+		if job.Tenant == "" {
+			job.Tenant = rec.Tenant
+		}
+		if job.Name == "" {
+			job.Name = rec.Name
+		}
+		if _, err := s.enqueue(job, id); err != nil {
+			break // closed mid-recovery; remaining records stay pending
+		}
+		recovered++
+	}
+	return recovered
+}
+
+// enqueue inserts the job under its tenant. forcedID 0 issues a fresh ID
+// and journals a submit record; a nonzero forcedID is a journal replay —
+// the submit record already exists, so none is written.
+func (s *Scheduler) enqueue(job Job, forcedID JobID) (JobID, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
-	s.nextID++
-	id := s.nextID
-	st := &jobState{id: id, job: job, done: make(chan struct{})}
+	t := s.tenantLocked(job.Tenant)
+	// Per-tenant backpressure: the reservation keeps the bound exact while
+	// this submitter is between its space check and its queue append.
+	for !s.closed && len(t.queue)+t.reserved >= t.depth {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	t.reserved++
+	// The inflight count keeps workers alive across the unlock window
+	// below: a Close racing with this submit must not let the last worker
+	// exit before the queue append lands, or the job would be stranded
+	// (Wait would hang) and its events could outlive the caller's channel.
+	s.inflight++
+	id := forcedID
+	if id == 0 {
+		s.nextID++
+		id = s.nextID
+	} else if id > s.nextID {
+		s.nextID = id
+	}
+	st := &jobState{
+		id:     id,
+		tenant: t.name,
+		job:    job,
+		store:  t.bundleStore(s.cfg.Store),
+		done:   make(chan struct{}),
+	}
 	s.states[id] = st
-	s.submitWG.Add(1)
+	t.submitted++
 	s.mu.Unlock()
 
+	if forcedID == 0 {
+		s.journalAppend(journal.Record{
+			Kind: journal.KindSubmit, Job: int64(id),
+			Tenant: t.name, Name: job.Name, Spec: job.Spec,
+		})
+	}
+	// Queued is emitted before the job becomes dispatchable, so per-job
+	// event order holds even when a worker grabs it immediately.
 	s.emit(Event{Kind: EventQueued, Job: id, Name: job.Name})
-	s.jobs <- st
-	s.submitWG.Done()
+
+	s.mu.Lock()
+	t.reserved--
+	s.inflight--
+	t.queue = append(t.queue, st)
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	return id, nil
 }
 
-// Cancel marks a still-queued job canceled. It returns false when the job
-// is unknown, already running or already finished — running jobs are not
-// interrupted.
+// Cancel cancels a job. A still-queued job is settled as canceled when a
+// worker reaches it (its terminal event is EventCanceled and Wait returns
+// ErrCanceled); a running job gets a cooperative stop request that the
+// engine's meter observes at its next cancellation checkpoint — within
+// simtime.CancelCheckpointUnits of charged work — after which the same
+// single terminal EventCanceled is emitted and no further sink events
+// stream. Cancel returns false when the job is unknown, already finished
+// or already canceled. A running job past its final checkpoint may still
+// complete; the cancel request stands but the terminal event reports the
+// outcome that actually happened.
 func (s *Scheduler) Cancel(id JobID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.states[id]
-	if !ok || st.started || st.canceled {
+	if !ok || st.canceled || st.cancelReq {
 		return false
 	}
 	select {
@@ -230,7 +385,22 @@ func (s *Scheduler) Cancel(id JobID) bool {
 		return false
 	default:
 	}
-	st.canceled = true
+	t := s.tenantLocked(st.tenant)
+	if !st.started {
+		st.canceled = true
+		st.cancelJournaled = true
+		t.canceledQueued++
+		// Journal the settlement now, not when a worker eventually pops
+		// the job: the caller was told the cancel took, so a crash (or
+		// Halt) before dispatch must not resurrect the job on replay.
+		s.mu.Unlock()
+		s.journalAppend(journal.Record{Kind: journal.KindCanceled, Job: int64(st.id)})
+		s.mu.Lock()
+		return true
+	}
+	st.cancelReq = true
+	st.cancelFlag.Store(true)
+	t.canceledRunning++
 	return true
 }
 
@@ -274,26 +444,57 @@ func (s *Scheduler) Forget(id JobID) bool {
 	}
 }
 
-// Close stops accepting submissions, drains the queue, waits for running
-// jobs and stops the workers. The events channel (if any) receives every
-// pending event before Close returns; Close does not close it — the
-// channel belongs to the caller.
+// Close stops accepting submissions, drains every tenant queue, waits for
+// running jobs and stops the workers. The events channel (if any)
+// receives every pending event before Close returns; Close does not close
+// it — the channel belongs to the caller. Submitters blocked on
+// backpressure return ErrClosed.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.workerWG.Wait()
-		return
-	}
 	s.closed = true
 	s.mu.Unlock()
-	s.submitWG.Wait()
-	close(s.jobs)
+	s.cond.Broadcast()
 	s.workerWG.Wait()
 }
 
-// Store returns the scheduler's bundle store (nil when disabled).
+// Halt is the crash drill: it stops accepting submissions and stops
+// dispatching — workers finish only the jobs already running — leaving
+// every queued job unprocessed. With a journal configured those jobs
+// remain pending on disk, exactly as if the process had been killed
+// between jobs, so a restarted scheduler Recovers them. The CI
+// crash-recovery leg uses it as a deterministic SIGKILL stand-in: unlike
+// a real kill it never tears a job in half, so the interrupted run's
+// output is exactly a prefix of the uninterrupted run's.
+func (s *Scheduler) Halt() {
+	s.mu.Lock()
+	s.closed = true
+	s.halted = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.workerWG.Wait()
+}
+
+// Store returns the scheduler's shared bundle store (nil when disabled).
+// Tenants with a private StoreBudget use their own stores instead.
 func (s *Scheduler) Store() *BundleStore { return s.cfg.Store }
+
+// Journal returns the configured journal (nil when the queue is not
+// durable).
+func (s *Scheduler) Journal() *journal.Journal { return s.cfg.Journal }
+
+// journalAppend writes one record (when a journal is configured) and
+// charges the flat control-plane append cost, kept separate from per-job
+// meters so journal overhead is measurable as a fraction of analysis
+// work. Append failures are swallowed: durability is best-effort, the
+// in-memory queue stays authoritative for this process's lifetime.
+func (s *Scheduler) journalAppend(r journal.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(r); err == nil {
+		s.journalUnits.Add(simtime.JournalAppendUnits)
+	}
+}
 
 func (s *Scheduler) emit(ev Event) {
 	if s.cfg.Events == nil {
@@ -304,38 +505,83 @@ func (s *Scheduler) emit(ev Event) {
 	s.evMu.Unlock()
 }
 
+// nextJob blocks until a job is dispatchable and pops it under the WRR
+// policy. It returns nil when the scheduler is halted, or closed with
+// every queue drained — the worker exit conditions.
+func (s *Scheduler) nextJob() *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.halted {
+			return nil
+		}
+		if st := s.popWRR(); st != nil {
+			// A queue slot freed: wake submitters blocked on backpressure.
+			s.cond.Broadcast()
+			return st
+		}
+		// Exit only once no submit is mid-append: one that already passed
+		// its closed-check is about to enqueue a job this worker must run.
+		if s.closed && s.inflight == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
 func (s *Scheduler) runJob(st *jobState) {
 	s.mu.Lock()
 	if st.canceled {
 		s.mu.Unlock()
-		st.err = ErrCanceled
-		if st.job.Done != nil {
-			st.job.Done(nil, st.err)
-		}
-		s.emit(Event{Kind: EventCanceled, Job: st.id, Name: st.job.Name})
-		close(st.done)
+		s.finish(st, nil, ErrCanceled)
 		return
 	}
 	st.started = true
 	s.mu.Unlock()
 
+	s.journalAppend(journal.Record{Kind: journal.KindStart, Job: int64(st.id)})
 	s.emit(Event{Kind: EventStarted, Job: st.id, Name: st.job.Name})
 	res, err := s.analyze(st)
+	s.finish(st, res, err)
+}
+
+// finish settles a job: journal terminal record first (so a crash after
+// the record never replays a delivered job), then the Done callback, then
+// the join release, then the single terminal event. The join closes
+// before the event so a consumer that reacts to the event with Forget —
+// cmd/backdroidd's reaping path — always finds the job joinable; emitting
+// first would make that Forget a silent no-op and leak the report.
+func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
+	kind := journal.KindDone
+	ev := Event{Kind: EventDone, Job: st.id, Name: st.job.Name, Result: res}
+	switch {
+	case errors.Is(err, ErrCanceled) || errors.Is(err, simtime.ErrCanceled):
+		err = ErrCanceled
+		res = nil
+		kind = journal.KindCanceled
+		ev = Event{Kind: EventCanceled, Job: st.id, Name: st.job.Name}
+	case err != nil:
+		kind = journal.KindFailed
+		ev = Event{Kind: EventFailed, Job: st.id, Name: st.job.Name, Err: err}
+	}
 	st.res, st.err = res, err
+	if kind != journal.KindCanceled || !st.cancelJournaled {
+		rec := journal.Record{Kind: kind, Job: int64(st.id)}
+		if kind == journal.KindFailed {
+			rec.Err = err.Error()
+		}
+		s.journalAppend(rec)
+	}
 	if st.job.Done != nil {
 		st.job.Done(res, err)
 	}
-	if err != nil {
-		s.emit(Event{Kind: EventFailed, Job: st.id, Name: st.job.Name, Err: err})
-	} else {
-		s.emit(Event{Kind: EventDone, Job: st.id, Name: st.job.Name, Result: res})
-	}
 	close(st.done)
+	s.emit(ev)
 }
 
 // analyze materializes the job's app and runs the selected analyzers.
 // Every job builds its own engines — no analysis state crosses jobs; the
-// only shared object is the content-addressed bundle store, which is
+// only shared objects are the content-addressed bundle stores, which are
 // concurrency-safe and append-only.
 func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 	job := st.job
@@ -350,18 +596,26 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 
 	if job.RunBackDroid {
 		o := s.jobOptions(job)
+		// Cooperative cancellation: the engine's meter polls this flag at
+		// every checkpoint; Scheduler.Cancel flips it. A job-supplied
+		// Cancel still applies — either source stops the run.
+		flag := &st.cancelFlag
+		user := o.Cancel
+		o.Cancel = func() bool {
+			return flag.Load() || (user != nil && user())
+		}
 		release := func() {}
-		if s.cfg.Store != nil {
-			o.Bundles = s.cfg.Store
+		if st.store != nil {
+			o.Bundles = st.store
 			fp := dexdump.AppFingerprint(app.Dexes)
-			if !s.cfg.Store.Contains(fp) {
+			if !st.store.Contains(fp) {
 				// Single-build guarantee: concurrent jobs for one
 				// fingerprint serialize here, so the first performs the
 				// only cold build and the rest run fully warm. The
 				// re-probe happens inside the engine; the lock is held
 				// only across the engine run (the bundle is published
 				// during it), never across the baseline legs below.
-				release = s.cfg.Store.LockFingerprint(fp)
+				release = st.store.LockFingerprint(fp)
 			}
 		}
 		if s.cfg.Events != nil {
@@ -373,11 +627,17 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		e, err := core.New(app, o)
 		if err != nil {
 			release()
+			if errors.Is(err, simtime.ErrCanceled) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 		}
 		res.BackDroid, err = e.Analyze()
 		release()
 		if err != nil {
+			if errors.Is(err, simtime.ErrCanceled) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 		}
 	}

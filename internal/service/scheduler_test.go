@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"backdroid/internal/android"
 	"backdroid/internal/apk"
@@ -467,5 +468,49 @@ func TestStoreSharesAcrossDifferentJobNames(t *testing.T) {
 	}
 	if res.BackDroid.Stats.BundleStoreHits != 1 {
 		t.Fatalf("renamed identical app stats = %+v, want a store hit (content addressing)", res.BackDroid.Stats)
+	}
+}
+
+// TestSubmitCloseRaceNeverStrandsJobs hammers the Submit/Close window: a
+// submit that returns an ID must always produce a joinable job, even
+// when Close lands between the submit's admission check and its queue
+// append — the last worker may not exit while a submit is mid-flight.
+func TestSubmitCloseRaceNeverStrandsJobs(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		s := New(Config{Workers: 1, QueueDepth: 4})
+		type accepted struct {
+			id  JobID
+			err error
+		}
+		results := make(chan accepted, 4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				id, err := s.Submit(Job{Name: "r", Source: sourceFor(testSpec(g)), RunBackDroid: true})
+				results <- accepted{id, err}
+			}(g)
+		}
+		s.Close()
+		wg.Wait()
+		close(results)
+		for r := range results {
+			if r.err != nil {
+				continue // rejected by Close: fine
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if _, err := s.Wait(r.id); err != nil {
+					t.Errorf("accepted job %d: %v", r.id, err)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("round %d: accepted job %d stranded — Wait hangs", round, r.id)
+			}
+		}
 	}
 }

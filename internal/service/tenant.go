@@ -1,0 +1,178 @@
+package service
+
+import "sort"
+
+// DefaultTenantName is the tenant jobs land under when they name none.
+const DefaultTenantName = "default"
+
+// TenantConfig is the dispatch policy of one tenant — one independent
+// analysis stream multiplexed onto the scheduler's shared worker pool.
+type TenantConfig struct {
+	// Weight is the tenant's dispatch credit per weighted-round-robin
+	// round: a weight-3 tenant gets up to three jobs dispatched for every
+	// one of a weight-1 tenant while both have work queued. Values < 1
+	// count as 1. Idle tenants forfeit their credits — weights shape the
+	// ratio under contention, they never hold capacity idle.
+	Weight int
+	// MaxQueueDepth bounds this tenant's pending queue; Submit blocks once
+	// this many of its jobs are waiting, so one tenant's backpressure
+	// never stalls another's submissions. 0 inherits Config.QueueDepth.
+	MaxQueueDepth int
+	// StoreBudget selects the tenant's bundle-store policy: 0 shares the
+	// scheduler's Config.Store, > 0 gives the tenant a private
+	// content-addressed store with that byte budget (its bundles never
+	// evict another tenant's working set), < 0 disables the store for
+	// this tenant entirely.
+	StoreBudget int64
+}
+
+// TenantStats is the per-tenant counter block of SchedulerStats.
+type TenantStats struct {
+	Name            string
+	Weight          int
+	Queued          int   // jobs currently waiting in this tenant's queue
+	Submitted       int64 // jobs ever accepted for this tenant
+	Dispatched      int64 // jobs handed to a worker
+	CanceledQueued  int64 // cancels that removed a still-queued job
+	CanceledRunning int64 // cancels requested against a running job
+	StoreBudget     int64 // the TenantConfig.StoreBudget in effect
+}
+
+// SchedulerStats aggregates the control-plane counters: per-tenant queue
+// and dispatch state, journal accounting and the charged control-plane
+// work (journal appends at simtime.JournalAppendUnits each).
+type SchedulerStats struct {
+	Tenants      []TenantStats // sorted by tenant name
+	Dispatched   int64         // total jobs handed to workers
+	JournalUnits int64         // control-plane work charged for journaling
+}
+
+// tenant is the scheduler-internal queue state of one tenant.
+type tenant struct {
+	name     string
+	cfg      TenantConfig
+	depth    int         // resolved MaxQueueDepth
+	queue    []*jobState // pending jobs, FIFO
+	reserved int         // submitters between space-wait and append
+	credits  int         // remaining dispatch credits this WRR round
+
+	submitted       int64
+	dispatched      int64
+	canceledQueued  int64
+	canceledRunning int64
+
+	store *BundleStore // private store when cfg.StoreBudget > 0
+}
+
+// weight resolves the tenant's WRR credit per round.
+func (t *tenant) weight() int {
+	if t.cfg.Weight < 1 {
+		return 1
+	}
+	return t.cfg.Weight
+}
+
+// tenantLocked finds or creates the tenant record for the (normalized)
+// name. Unknown tenants are admitted under Config.DefaultTenant — the
+// open-enrollment policy a service fronting many independent submitters
+// needs — while names present in Config.Tenants use their configured
+// policy. Caller holds s.mu.
+func (s *Scheduler) tenantLocked(name string) *tenant {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	cfg, ok := s.cfg.Tenants[name]
+	if !ok {
+		cfg = s.cfg.DefaultTenant
+	}
+	t := &tenant{name: name, cfg: cfg, depth: cfg.MaxQueueDepth}
+	if t.depth <= 0 {
+		t.depth = s.cfg.QueueDepth
+	}
+	t.credits = t.weight()
+	if cfg.StoreBudget > 0 {
+		t.store = NewBundleStore(cfg.StoreBudget)
+	}
+	s.tenants[name] = t
+	s.order = append(s.order, name)
+	sort.Strings(s.order)
+	return t
+}
+
+// bundleStore resolves the store jobs of this tenant analyze against.
+func (t *tenant) bundleStore(shared *BundleStore) *BundleStore {
+	switch {
+	case t.cfg.StoreBudget > 0:
+		return t.store
+	case t.cfg.StoreBudget < 0:
+		return nil
+	}
+	return shared
+}
+
+// popWRR dispatches the next job under deterministic weighted round-robin
+// and returns nil when no tenant has work queued. Tenants are visited in
+// sorted-name order from a persistent cursor; a tenant with queued work
+// is served while it has credits, then the cursor moves on. When a full
+// cycle finds queued work only at credit-exhausted tenants, every
+// tenant's credits refill and a new round begins — so the dispatch
+// sequence is a pure function of the queue contents, never of timing or
+// worker count. Caller holds s.mu.
+func (s *Scheduler) popWRR() *jobState {
+	n := len(s.order)
+	if n == 0 {
+		return nil
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < n; i++ {
+			t := s.tenants[s.order[s.cursor%n]]
+			if len(t.queue) > 0 && t.credits > 0 {
+				t.credits--
+				st := t.queue[0]
+				t.queue = t.queue[1:]
+				if t.credits == 0 {
+					s.cursor = (s.cursor + 1) % n
+				}
+				t.dispatched++
+				s.dispatchSeq++
+				st.dispatchSeq = s.dispatchSeq
+				return st
+			}
+			s.cursor = (s.cursor + 1) % n
+		}
+		// Every queued tenant is out of credits: start a new WRR round.
+		for _, name := range s.order {
+			t := s.tenants[name]
+			t.credits = t.weight()
+		}
+	}
+	return nil
+}
+
+// Stats returns the control-plane counters. Journal file counters live on
+// the journal itself (Config.Journal.Stats()).
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedulerStats{
+		Dispatched:   s.dispatchSeq,
+		JournalUnits: s.journalUnits.Load(),
+	}
+	for _, name := range s.order {
+		t := s.tenants[name]
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:            t.name,
+			Weight:          t.weight(),
+			Queued:          len(t.queue),
+			Submitted:       t.submitted,
+			Dispatched:      t.dispatched,
+			CanceledQueued:  t.canceledQueued,
+			CanceledRunning: t.canceledRunning,
+			StoreBudget:     t.cfg.StoreBudget,
+		})
+	}
+	return st
+}

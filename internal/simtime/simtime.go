@@ -79,6 +79,23 @@ const (
 	// that only hot tokens fan out keeps the overhead amortized.
 	ParallelLookupOverheadUnits = 1
 
+	// CancelCheckpointUnits is how often a meter with a cancellation poll
+	// installed re-checks it: at most this many units of work are charged
+	// between two polls, so a cooperatively canceled analysis stops within
+	// one checkpoint of the cancel request. Small enough that even cheap
+	// passes (constprop charges one unit per SSG statement) notice a
+	// cancel promptly; large enough that the poll itself — one atomic
+	// load in the scheduler's closure — never shows up in profiles.
+	CancelCheckpointUnits = 32
+
+	// JournalAppendUnits is the charged cost of appending one record to
+	// the control plane's job journal: an in-memory encode plus a
+	// buffered sequential write, tiny next to any analysis pass. The
+	// scheduler charges it on a control meter separate from the per-job
+	// meters, so the benchgate fair-dispatch leg can pin journal overhead
+	// as a fraction of analysis work.
+	JournalAppendUnits = 1
+
 	// TimeoutMinutes is the per-app analysis timeout of the paper's
 	// evaluation (Sec. VI-A: 300 minutes).
 	TimeoutMinutes = 300
@@ -88,10 +105,26 @@ const (
 // analogue of Amandroid's 300-minute timeout kills.
 var ErrTimeout = errors.New("simtime: analysis budget exhausted (timeout)")
 
+// ErrCanceled is returned by Charge once the meter's cancellation poll
+// reports true: the analysis was killed from outside (Scheduler.Cancel of
+// a running job), not by its own budget. Distinct from ErrTimeout so
+// engine paths that convert budget exhaustion into a timed-out report
+// never swallow a cancellation — it propagates out of Analyze as an
+// error.
+var ErrCanceled = errors.New("simtime: analysis canceled")
+
 // Meter accumulates work units, optionally against a budget.
 type Meter struct {
 	units  int64
 	budget int64 // 0 means unlimited
+
+	// Cooperative cancellation (SetCancel). lastPoll is the unit count at
+	// the previous poll; canceled latches the first true poll so every
+	// later Charge keeps failing without re-polling.
+	cancel   func() bool
+	lastPoll int64
+	polls    int64
+	canceled bool
 }
 
 // NewMeter returns an unlimited meter.
@@ -106,14 +139,48 @@ func NewMeterWithTimeout(minutes float64) *Meter {
 // SetBudget sets the unit budget; zero disables the budget.
 func (m *Meter) SetBudget(units int64) { m.budget = units }
 
+// SetCancel installs a cooperative cancellation poll: Charge re-checks it
+// every CancelCheckpointUnits of work and returns ErrCanceled once it
+// reports true. The poll must be cheap and safe to call from the analysis
+// goroutine (the scheduler passes an atomic-flag read); nil removes it.
+// Cancellation latches — after the first true poll every later Charge
+// fails — so analysis layers that absorb one error cannot resume work.
+func (m *Meter) SetCancel(poll func() bool) {
+	m.cancel = poll
+	m.lastPoll = m.units
+}
+
+// Canceled reports whether a cancellation poll has latched. Layers with
+// natural abort points (bcsearch before a command, constprop at method
+// entry) check it directly so they stop even between charge checkpoints.
+func (m *Meter) Canceled() bool { return m.canceled }
+
+// CancelPolls returns how many times the cancellation poll ran — the
+// checkpoint counter surfaced by the service stats.
+func (m *Meter) CancelPolls() int64 { return m.polls }
+
 // Charge adds n work units. It returns ErrTimeout once the cumulative work
-// exceeds the budget. The overage is still recorded so reports can show how
-// far past the deadline the analysis was killed.
+// exceeds the budget, and ErrCanceled once the cancellation poll (if any)
+// reports true at a checkpoint. The overage is still recorded so reports
+// can show how far past the deadline the analysis was killed; a canceled
+// analysis likewise keeps the units of the work it did before the
+// checkpoint — cancellation charges only work actually performed.
 func (m *Meter) Charge(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("simtime: negative charge %d", n)
 	}
 	m.units += n
+	if m.canceled {
+		return ErrCanceled
+	}
+	if m.cancel != nil && m.units-m.lastPoll >= CancelCheckpointUnits {
+		m.lastPoll = m.units
+		m.polls++
+		if m.cancel() {
+			m.canceled = true
+			return ErrCanceled
+		}
+	}
 	if m.budget > 0 && m.units > m.budget {
 		return ErrTimeout
 	}

@@ -291,3 +291,79 @@ func TestChargeParallelLookup(t *testing.T) {
 		t.Errorf("exhausted budget should abort the parallel lookup, got %v", err)
 	}
 }
+
+// TestCancelCheckpoint pins the cooperative-cancellation contract: once
+// the poll turns true, Charge fails within one checkpoint
+// (CancelCheckpointUnits of additional work), the cancellation latches,
+// and the units charged up to the checkpoint are kept.
+func TestCancelCheckpoint(t *testing.T) {
+	canceled := false
+	m := NewMeter()
+	m.SetCancel(func() bool { return canceled })
+
+	// Before the flag flips the meter charges freely and polls on the
+	// checkpoint cadence.
+	for i := 0; i < 100; i++ {
+		if err := m.Charge(1); err != nil {
+			t.Fatalf("charge %d with cancel=false: %v", i, err)
+		}
+	}
+	if m.CancelPolls() == 0 {
+		t.Fatal("no cancellation polls over 100 units")
+	}
+	if m.Canceled() {
+		t.Fatal("meter latched canceled before the poll turned true")
+	}
+
+	canceled = true
+	flipAt := m.Units()
+	var err error
+	charges := 0
+	for err == nil {
+		err = m.Charge(1)
+		charges++
+		if charges > CancelCheckpointUnits+1 {
+			break
+		}
+	}
+	if err != ErrCanceled {
+		t.Fatalf("meter did not cancel within one checkpoint (%d charges): %v", charges, err)
+	}
+	if got := m.Units() - flipAt; got > CancelCheckpointUnits {
+		t.Fatalf("charged %d units past the cancel request, checkpoint is %d", got, CancelCheckpointUnits)
+	}
+	// Latched: every later charge keeps failing, without re-polling.
+	polls := m.CancelPolls()
+	if err := m.Charge(1); err != ErrCanceled {
+		t.Fatalf("charge after latch = %v, want ErrCanceled", err)
+	}
+	if m.CancelPolls() != polls {
+		t.Fatal("latched meter re-polled the cancel function")
+	}
+	if !m.Canceled() {
+		t.Fatal("Canceled() must report the latch")
+	}
+}
+
+// TestCancelBigChargeCrossesCheckpoint pins that one oversized charge (a
+// whole disassembly pass) still observes the cancel at its end: the
+// checkpoint bounds polling frequency, not charge granularity.
+func TestCancelBigChargeCrossesCheckpoint(t *testing.T) {
+	m := NewMeter()
+	m.SetCancel(func() bool { return true })
+	if err := m.Charge(10 * CancelCheckpointUnits); err != ErrCanceled {
+		t.Fatalf("big charge = %v, want ErrCanceled", err)
+	}
+}
+
+// TestCancelDoesNotMaskTimeout pins that a meter without a cancel poll
+// behaves exactly as before, and that cancellation takes priority over
+// the budget only when the poll is actually true.
+func TestCancelDoesNotMaskTimeout(t *testing.T) {
+	m := NewMeter()
+	m.SetBudget(10)
+	m.SetCancel(func() bool { return false })
+	if err := m.Charge(100); err != ErrTimeout {
+		t.Fatalf("budget with false cancel poll = %v, want ErrTimeout", err)
+	}
+}
