@@ -4,6 +4,14 @@
 // Usage:
 //
 //	appgen -out DIR [-corpus] [-apps N] [-size MB] [-seed N]
+//	       [-update KIND] [-update-seed N] [-target N]
+//
+// With -update, every generated app additionally gets a version N+1
+// container written next to it as <name>.v2.apk, mutated per KIND:
+// change-literal (flip one sink's parameter security), new-flow (append
+// an exported service with a fresh sink) or add-class (append an inert
+// class). The pairs feed the delta-analysis bench and CI legs:
+// `backdroid -delta name.apk name.v2.apk`.
 package main
 
 import (
@@ -18,20 +26,41 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", ".", "output directory")
-		corpus = flag.Bool("corpus", false, "generate the 144-app evaluation corpus")
-		apps   = flag.Int("apps", 144, "corpus size (with -corpus)")
-		sizeMB = flag.Float64("size", 10, "app size in MB (single-app mode)")
-		seed   = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("out", ".", "output directory")
+		corpus  = flag.Bool("corpus", false, "generate the 144-app evaluation corpus")
+		apps    = flag.Int("apps", 144, "corpus size (with -corpus)")
+		sizeMB  = flag.Float64("size", 10, "app size in MB (single-app mode)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		update  = flag.String("update", "", "also write <name>.v2.apk updates: change-literal, new-flow or add-class")
+		updSeed = flag.Int64("update-seed", 2, "seed of the update mutation")
+		target  = flag.Int("target", 0, "sink index mutated by change-literal")
 	)
 	flag.Parse()
-	if err := run(*out, *corpus, *apps, *sizeMB, *seed); err != nil {
+	var mutation appgen.Mutation
+	if *update != "" {
+		m, err := parseMutation(*update)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "appgen:", err)
+			os.Exit(2)
+		}
+		mutation = m
+	}
+	if err := run(*out, *corpus, *apps, *sizeMB, *seed, mutation, *updSeed, *target); err != nil {
 		fmt.Fprintln(os.Stderr, "appgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, corpus bool, apps int, sizeMB float64, seed int64) error {
+func parseMutation(s string) (appgen.Mutation, error) {
+	for _, m := range appgen.Mutations() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown update kind %q (change-literal, new-flow or add-class)", s)
+}
+
+func run(out string, corpus bool, apps int, sizeMB float64, seed int64, mutation appgen.Mutation, updSeed int64, target int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -64,6 +93,23 @@ func run(out string, corpus bool, apps int, sizeMB float64, seed int64) error {
 		}
 		fmt.Printf("wrote %s (%.1f MB nominal, %d instructions, %d sinks)\n",
 			path, spec.SizeMB, app.InstructionCount(), len(truth.Sinks))
+		if mutation != 0 {
+			tgt := target
+			if tgt >= len(spec.Sinks) {
+				tgt = 0
+			}
+			upd, updTruth, err := appgen.GenerateUpdate(appgen.AppUpdateSpec{
+				Base: spec, Mutation: mutation, TargetSink: tgt, Seed: updSeed,
+			})
+			if err != nil {
+				return err
+			}
+			vpath := filepath.Join(out, spec.Name+".v2.apk")
+			if err := upd.Save(vpath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%s update, %d sinks)\n", vpath, mutation, len(updTruth.Sinks))
+		}
 	}
 	return nil
 }

@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"backdroid/internal/apk"
+	"backdroid/internal/appgen"
 )
 
 func TestRunSingleApp(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, false, 0, 3, 7); err != nil {
+	if err := run(dir, false, 0, 3, 7, 0, 0, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	path := filepath.Join(dir, "com.example.generated.apk")
@@ -25,7 +26,7 @@ func TestRunSingleApp(t *testing.T) {
 
 func TestRunSmallCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, true, 3, 1, 11); err != nil {
+	if err := run(dir, true, 3, 1, 11, 0, 0, 0); err != nil {
 		t.Fatalf("run -corpus: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -37,8 +38,39 @@ func TestRunSmallCorpus(t *testing.T) {
 	}
 }
 
+func TestRunWithUpdate(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, false, 0, 2, 7, appgen.MutateNewFlow, 5, 0); err != nil {
+		t.Fatalf("run -update: %v", err)
+	}
+	base, err := apk.Load(filepath.Join(dir, "com.example.generated.apk"))
+	if err != nil {
+		t.Fatalf("base container unreadable: %v", err)
+	}
+	upd, err := apk.Load(filepath.Join(dir, "com.example.generated.v2.apk"))
+	if err != nil {
+		t.Fatalf("update container unreadable: %v", err)
+	}
+	if upd.InstructionCount() <= base.InstructionCount() {
+		t.Errorf("new-flow update has %d instructions, base %d — update must grow",
+			upd.InstructionCount(), base.InstructionCount())
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	for _, m := range appgen.Mutations() {
+		got, err := parseMutation(m.String())
+		if err != nil || got != m {
+			t.Errorf("parseMutation(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := parseMutation("bogus"); err == nil {
+		t.Error("bogus mutation accepted")
+	}
+}
+
 func TestRunBadOutputDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", false, 0, 1, 1); err == nil {
+	if err := run("/proc/definitely/not/writable", false, 0, 1, 1, 0, 0, 0); err == nil {
 		t.Error("unwritable output dir must fail")
 	}
 }

@@ -6,7 +6,7 @@
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
 //	          [-shards N] [-index-cache DIR] [-parallel-lookups]
 //	          [-auto-parallel-lookups] [-store-budget BYTES] [-stats=false]
-//	          app.apk...
+//	          [-delta] app.apk...
 //
 // B selects the bytecode search backend: indexed (default, inverted-index
 // lookups), sharded (per-classesN.dex index shards, built concurrently) or
@@ -25,6 +25,15 @@
 // across submissions. -stats=false suppresses the cost/statistics lines,
 // leaving only the deterministic detection report (useful for diffing
 // backends against each other).
+//
+// -delta treats the listed containers as successive versions of one app
+// (base first) and analyzes each update incrementally against its
+// predecessor's bundle: the engine diffs the per-class shard manifests,
+// carries over every settled sink verdict whose recorded footprint
+// cannot observe the update, and re-analyzes only the sinks the changed
+// classes can affect. Verdicts are identical to a cold analysis of each
+// version; only the charged cost shrinks. Apps are analyzed sequentially
+// in argument order (the chain is inherently ordered).
 //
 // An interrupt (Ctrl-C) cancels the in-flight analyses cooperatively:
 // every engine stops at its next meter checkpoint (within
@@ -63,6 +72,7 @@ type config struct {
 	autoParallel    bool
 	storeBudget     int64
 	stats           bool
+	delta           bool
 }
 
 func main() {
@@ -86,6 +96,8 @@ func main() {
 		"share an in-memory content-addressed bundle store across the listed apps,\nwith this byte budget (0 = unlimited, -1 = disabled)")
 	flag.BoolVar(&cfg.stats, "stats", true,
 		"print cost/statistics lines (disable for deterministic backend diffs)")
+	flag.BoolVar(&cfg.delta, "delta", false,
+		"treat the listed apps as successive versions of one app and analyze\neach update incrementally against its predecessor")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: backdroid [flags] app.apk...")
@@ -118,6 +130,12 @@ func run(paths []string, cfg config) error {
 		store = service.NewBundleStore(cfg.storeBudget)
 		opts.Bundles = store
 	}
+	if cfg.delta && store == nil {
+		// The delta chain needs each predecessor's bundle; a private
+		// unlimited store holds them for the invocation.
+		store = service.NewBundleStore(0)
+		opts.Bundles = store
+	}
 
 	// Cooperative interrupt handling: the first Ctrl-C flips a flag every
 	// engine's meter polls at its checkpoints, so in-flight analyses stop
@@ -134,6 +152,10 @@ func run(paths []string, cfg config) error {
 			signal.Stop(sigc)
 		}
 	}()
+
+	if cfg.delta {
+		return runDelta(paths, cfg, opts, store)
+	}
 
 	// Analyze concurrently, report in argument order. Every app gets its
 	// own engine; errors keep their argument position so the first failure
@@ -159,6 +181,44 @@ func run(paths []string, cfg config) error {
 	}
 	if canceled > 0 {
 		return fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths))
+	}
+	return nil
+}
+
+// runDelta analyzes the listed containers as one app's version chain:
+// the first runs cold, every later one incrementally against its
+// predecessor's bundle and report. A version whose base proves unusable
+// (timed out, evicted, legacy bundle) silently runs full — never wrong,
+// at worst cold.
+func runDelta(paths []string, cfg config, opts core.Options, store *service.BundleStore) error {
+	var prev *core.DeltaBase
+	for i, path := range paths {
+		app, err := apk.Load(path)
+		if err != nil {
+			return err
+		}
+		fp := dexdump.AppFingerprint(app.Dexes)
+		o := opts
+		if prev != nil && prev.Fingerprint != fp {
+			o.DeltaFrom = prev
+		}
+		engine, err := core.New(app, o)
+		if err == nil {
+			var rep *core.Report
+			rep, err = engine.Analyze()
+			if err == nil {
+				printReport(rep, cfg)
+				if data, ok := store.GetBundle(fp); ok && !rep.TimedOut {
+					prev = &core.DeltaBase{Fingerprint: fp, Bundle: data, Report: rep}
+				}
+				continue
+			}
+		}
+		if err == simtime.ErrCanceled {
+			fmt.Printf("== %s ==\n  CANCELED (stopped at a meter checkpoint)\n", path)
+			return fmt.Errorf("interrupted: %d of %d analyses canceled", len(paths)-i, len(paths))
+		}
+		return err
 	}
 	return nil
 }
@@ -237,6 +297,11 @@ func printReport(r *core.Report, cfg config) {
 	}
 	if st.ForwardMemoHits > 0 {
 		fmt.Printf("  forward memo: %d evaluations reused\n", st.ForwardMemoHits)
+	}
+	if st.ShardsUnchanged+st.ShardsChanged > 0 {
+		fmt.Printf("  delta: %d/%d shards unchanged; %d sinks reused, %d re-run; %d dump lines at reuse rate\n",
+			st.ShardsUnchanged, st.ShardsUnchanged+st.ShardsChanged,
+			st.SinksReused, st.SinksRerun, st.DeltaReusedLines)
 	}
 	if st.Search.ParallelLookups > 0 {
 		fmt.Printf("  parallel lookups: %d hot tokens fanned out (gate %d)\n",

@@ -143,6 +143,10 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 	var store *service.BundleStore
 	if cfg.storeBudget >= 0 {
 		store = service.NewBundleStore(cfg.storeBudget)
+		// The corpus-wide shard-level dedup layer: bundles of successive
+		// app versions (and of apps sharing SDK dexes) share postings
+		// payloads instead of duplicating them per fingerprint.
+		store.AttachShardStore(service.NewShardStore())
 	}
 	var jnl *journal.Journal
 	if cfg.journalDir != "" {
@@ -337,6 +341,11 @@ func printEvent(printf func(string, ...any), ev service.Event, stats bool) {
 			line += fmt.Sprintf(" units=%d store=%s disassembled=%d builds=%d memo=%d",
 				st.WorkUnits, storeState, st.DumpLinesDisassembled,
 				st.Search.IndexBuilds, st.ForwardMemoHits)
+			if st.ShardsUnchanged+st.ShardsChanged > 0 {
+				line += fmt.Sprintf(" delta_shards=%d/%d reused=%d rerun=%d",
+					st.ShardsUnchanged, st.ShardsUnchanged+st.ShardsChanged,
+					st.SinksReused, st.SinksRerun)
+			}
 		}
 		printf("%s\n", line)
 	case service.EventFailed:
@@ -354,8 +363,11 @@ func statsLines(sched *service.Scheduler) string {
 		b.WriteString("stats store=disabled\n")
 	} else {
 		st := store.Stats()
-		fmt.Fprintf(&b, "stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d\n",
-			st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions)
+		fmt.Fprintf(&b, "stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d drops=%d\n",
+			st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions, st.Drops)
+		sh := store.ShardStoreStats()
+		fmt.Fprintf(&b, "stats shardstore entries=%d bytes=%d puts=%d hits=%d deduped=%d\n",
+			sh.Entries, sh.Bytes, sh.Puts, sh.Hits, sh.BytesDeduped)
 	}
 	ss := sched.Stats()
 	for _, t := range ss.Tenants {

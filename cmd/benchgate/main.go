@@ -16,13 +16,18 @@
 //   - the batch-reuse second pass must charge zero index builds and zero
 //     disassembly (every app a bundle-store hit), beat the first pass,
 //     and both scheduler passes must reproduce the plain RunCorpus
-//     detection output bit for bit.
+//     detection output bit for bit;
+//   - the delta-update leg (BENCH_delta.json) must reproduce the cold
+//     detection output for every mutation kind, a one-class update
+//     (change-literal, add-class) must charge under 10% of its cold
+//     re-analysis, and the shard store must dedup postings bytes across
+//     the two versions.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
-//	          [-warm-out FILE] [-service-out FILE] [-tolerance F]
-//	          [-write-baseline]
+//	          [-warm-out FILE] [-service-out FILE] [-delta-out FILE]
+//	          [-tolerance F] [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -46,6 +51,7 @@ import (
 	"backdroid/internal/appgen"
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
+	"backdroid/internal/dexdump"
 	"backdroid/internal/experiments"
 	"backdroid/internal/service"
 	"backdroid/internal/service/journal"
@@ -94,6 +100,7 @@ type StoreStats struct {
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
+	Drops     int64 `json:"drops"`
 }
 
 // ServiceReport is the BENCH_service.json schema: the batch-reuse leg —
@@ -133,6 +140,51 @@ type TenantReport struct {
 	JournalOverhead float64  `json:"journal_overhead"`
 }
 
+// DeltaLeg is one mutation kind's cold-vs-incremental measurement: the
+// updated app analyzed from scratch versus re-analyzed against the base
+// version's bundle and report.
+type DeltaLeg struct {
+	Mutation        string  `json:"mutation"`
+	ColdUnits       int64   `json:"cold_work_units"`
+	DeltaUnits      int64   `json:"delta_work_units"`
+	CostRatio       float64 `json:"cost_ratio"` // delta / cold
+	SinksReused     int     `json:"sinks_reused"`
+	SinksRerun      int     `json:"sinks_rerun"`
+	ShardsUnchanged int     `json:"shards_unchanged"`
+	ShardsChanged   int     `json:"shards_changed"`
+	ReusedLines     int64   `json:"delta_reused_lines"`
+}
+
+// ShardDedup is the cross-version postings-dedup counter block of
+// BENCH_delta.json, accumulated over every base/update bundle pair the
+// leg stored.
+type ShardDedup struct {
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	Puts         int64 `json:"puts"`
+	Hits         int64 `json:"hits"`
+	BytesDeduped int64 `json:"bytes_deduped"`
+}
+
+// DeltaApp identifies the app pair the delta leg measures.
+type DeltaApp struct {
+	Name   string  `json:"name"`
+	SizeMB float64 `json:"size_mb"`
+	Seed   int64   `json:"seed"`
+	Sinks  int     `json:"sinks"`
+}
+
+// DeltaReport is the BENCH_delta.json schema: the app-update leg. For
+// each mutation kind the updated app is analyzed cold and incrementally
+// (base bundle + base report as the delta base); verdicts must match bit
+// for bit, one-class updates must charge under 10% of cold, and the
+// shard store must share unchanged postings shards across the versions.
+type DeltaReport struct {
+	App        DeltaApp   `json:"app"`
+	Legs       []DeltaLeg `json:"legs"`
+	ShardStore ShardDedup `json:"shard_store"`
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -158,17 +210,18 @@ func main() {
 		warmOut    = flag.String("warm-out", "BENCH_warm.json", "warm-path trajectory JSON path (empty = skip)")
 		serviceOut = flag.String("service-out", "BENCH_service.json", "batch-reuse leg JSON path (empty = skip)")
 		tenantOut  = flag.String("tenant-out", "BENCH_tenant.json", "fair-dispatch leg JSON path (empty = skip)")
+		deltaOut   = flag.String("delta-out", "BENCH_delta.json", "delta-update leg JSON path (empty = skip)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -336,6 +389,48 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 		fmt.Fprintf(os.Stderr, "wrote %s\n", tenantOutPath)
 	}
 
+	// Delta-update leg: each mutation kind's updated app analyzed cold
+	// and incrementally against the base version's bundle + report. The
+	// gate pins verdict parity for every kind, the <10% charge ceiling
+	// for one-class updates, and cross-version shard dedup.
+	if deltaOutPath != "" {
+		dr, err := measureDelta(seed)
+		if err != nil {
+			return err
+		}
+		for _, leg := range dr.Legs {
+			fmt.Fprintf(os.Stderr, "%-16s %10d units cold, %10d units delta (%.1f%%), %d/%d sinks reused, %d/%d shards unchanged\n",
+				"delta:"+leg.Mutation, leg.ColdUnits, leg.DeltaUnits, 100*leg.CostRatio,
+				leg.SinksReused, leg.SinksReused+leg.SinksRerun,
+				leg.ShardsUnchanged, leg.ShardsUnchanged+leg.ShardsChanged)
+			if leg.SinksReused == 0 {
+				return fmt.Errorf("delta leg %q reused no sinks — incremental path not engaging", leg.Mutation)
+			}
+			if leg.DeltaUnits >= leg.ColdUnits {
+				return fmt.Errorf("delta leg %q charged %d units, cold %d — incremental run costs more than cold",
+					leg.Mutation, leg.DeltaUnits, leg.ColdUnits)
+			}
+			oneClass := leg.Mutation != appgen.MutateNewFlow.String()
+			if oneClass && 10*leg.DeltaUnits >= leg.ColdUnits {
+				return fmt.Errorf("delta leg %q charged %d units, over 10%% of the %d-unit cold run",
+					leg.Mutation, leg.DeltaUnits, leg.ColdUnits)
+			}
+		}
+		if dr.ShardStore.BytesDeduped == 0 {
+			return fmt.Errorf("delta leg deduped no postings bytes across versions — shard store not sharing")
+		}
+		ddata, err := json.MarshalIndent(dr, "", "  ")
+		if err != nil {
+			return err
+		}
+		ddata = append(ddata, '\n')
+		if err := os.WriteFile(deltaOutPath, ddata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes postings deduped across versions)\n",
+			deltaOutPath, dr.ShardStore.BytesDeduped)
+	}
+
 	// The warm-path trajectory artifact. The baseline's warm cost is read
 	// before any refresh, so the recorded speedup is against the previous
 	// PR's warm path.
@@ -459,6 +554,7 @@ func measureService(meta CorpusMeta) (ServiceReport, string, string, error) {
 	rep.Store = StoreStats{
 		Entries: st.Entries, Bytes: st.Bytes, Hits: st.Hits,
 		Misses: st.Misses, Puts: st.Puts, Evictions: st.Evictions,
+		Drops: st.Drops,
 	}
 	if second.WorkUnits > 0 {
 		rep.SpeedupBatchReuse = float64(first.WorkUnits) / float64(second.WorkUnits)
@@ -603,6 +699,113 @@ func measureFairDispatch(seed int64) (TenantReport, error) {
 		tr.JournalOverhead = float64(tr.JournalUnits) / float64(tr.AnalysisUnits)
 	}
 	return tr, nil
+}
+
+// measureDelta is the delta-update leg: one moderately sized app and its
+// three mutation kinds. Per kind, the updated app is analyzed cold in a
+// fresh store (the reference) and incrementally in the base version's
+// store with the base bundle + report as the delta base. The chain store
+// carries a shared shard store, so every base/update pair also exercises
+// the cross-version postings dedup. Fails when any incremental run's
+// detection output diverges from its cold reference.
+func measureDelta(seed int64) (DeltaReport, error) {
+	spec := appgen.Spec{
+		Name:   "com.bench.delta",
+		Seed:   seed,
+		SizeMB: 4,
+		Sinks: []appgen.SinkSpec{
+			{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowThread, Rule: android.RuleSSLAllowAll, Insecure: true},
+			{Flow: appgen.FlowICC, Rule: android.RuleCryptoECB},
+			{Flow: appgen.FlowClinit, Rule: android.RuleCryptoECB, Insecure: true},
+			{Flow: appgen.FlowCallback, Rule: android.RuleSSLAllowAll},
+		},
+	}
+	rep := DeltaReport{App: DeltaApp{Name: spec.Name, SizeMB: spec.SizeMB, Seed: seed, Sinks: len(spec.Sinks)}}
+
+	analyze := func(app *apk.App, store *service.BundleStore, from *core.DeltaBase) (*core.Report, error) {
+		opts := core.DefaultOptions()
+		opts.SearchBackend = bcsearch.BackendSharded
+		opts.Bundles = store
+		opts.DeltaFrom = from
+		e, err := core.New(app, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e.Analyze()
+	}
+	detOf := func(r *core.Report) string {
+		var b strings.Builder
+		for _, sk := range r.Sinks {
+			fmt.Fprintf(&b, "%s r=%v i=%v %v\n", sk.Call, sk.Reachable, sk.Insecure, sk.Values)
+		}
+		return b.String()
+	}
+
+	shards := service.NewShardStore()
+	for _, m := range appgen.Mutations() {
+		upd, _, err := appgen.GenerateUpdate(appgen.AppUpdateSpec{
+			Base: spec, Mutation: m, TargetSink: 0, Seed: seed + 1,
+		})
+		if err != nil {
+			return rep, err
+		}
+
+		// Cold reference: the update analyzed from scratch, own store so
+		// nothing warms it.
+		cold, err := analyze(upd, service.NewBundleStore(0), nil)
+		if err != nil {
+			return rep, err
+		}
+
+		// Incremental chain: base populates the store, then the update
+		// re-analyzes against the base bundle + report.
+		base, _, err := appgen.Generate(spec)
+		if err != nil {
+			return rep, err
+		}
+		store := service.NewBundleStore(0)
+		store.AttachShardStore(shards)
+		baseRep, err := analyze(base, store, nil)
+		if err != nil {
+			return rep, err
+		}
+		fp := dexdump.AppFingerprint(base.Dexes)
+		bundle, ok := store.GetBundle(fp)
+		if !ok {
+			return rep, fmt.Errorf("delta leg %q: base bundle missing from store", m)
+		}
+		delta, err := analyze(upd, store, &core.DeltaBase{Fingerprint: fp, Bundle: bundle, Report: baseRep})
+		if err != nil {
+			return rep, err
+		}
+		if detOf(delta) != detOf(cold) {
+			return rep, fmt.Errorf("delta leg %q: incremental detection output diverges from cold:\n%svs\n%s",
+				m, detOf(delta), detOf(cold))
+		}
+
+		ds, cs := delta.Stats, cold.Stats
+		leg := DeltaLeg{
+			Mutation:        m.String(),
+			ColdUnits:       cs.WorkUnits,
+			DeltaUnits:      ds.WorkUnits,
+			SinksReused:     ds.SinksReused,
+			SinksRerun:      ds.SinksRerun,
+			ShardsUnchanged: ds.ShardsUnchanged,
+			ShardsChanged:   ds.ShardsChanged,
+			ReusedLines:     ds.DeltaReusedLines,
+		}
+		if cs.WorkUnits > 0 {
+			leg.CostRatio = float64(ds.WorkUnits) / float64(cs.WorkUnits)
+		}
+		rep.Legs = append(rep.Legs, leg)
+	}
+	ss := shards.Stats()
+	rep.ShardStore = ShardDedup{
+		Entries: ss.Entries, Bytes: ss.Bytes, Puts: ss.Puts,
+		Hits: ss.Hits, BytesDeduped: ss.BytesDeduped,
+	}
+	return rep, nil
 }
 
 // readBaseline parses a baseline report file.

@@ -87,6 +87,9 @@ func NewSearcher(text *dexdump.Text, cfg Config) Searcher {
 	s.parallelMin = cfg.ParallelLookupMin
 	s.autoParallelMin = cfg.AutoParallelLookupMin
 	s.storeBundle = cfg.StoreBundle
+	s.deltaBuild = cfg.DeltaBuild
+	s.deltaLines = cfg.DeltaIndexLines
+	s.deltaReuseLines = cfg.DeltaReuseIndexLines
 	if s.parallelMin <= 0 {
 		s.parallelMin = DefaultParallelLookupMin
 	}
@@ -191,6 +194,9 @@ type IndexedSearcher struct {
 	parallelMin     int                // postings threshold for fanning out
 	autoParallelMin bool               // derive parallelMin from the postings distribution
 	storeBundle     func(data []byte)  // in-memory bundle store capture seam
+	deltaBuild      bool               // charge index builds at the delta model
+	deltaLines      int                // dump lines of changed+added classes
+	deltaReuseLines int                // dump lines of unchanged classes
 }
 
 // DefaultShards is the package-prefix shard count used when the sharded
@@ -321,19 +327,12 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 		}
 		cost.IndexCacheMiss = true
 	}
+	if err := s.chargeBuild(); err != nil {
+		return err
+	}
 	if s.plan != nil {
-		// Shards tokenize in parallel: the charge is the critical path
-		// (largest shard) plus per-shard coordination overhead.
-		if err := s.meter.ChargeShardedIndexBuild(s.plan.MaxShardLines(), s.plan.Shards()); err != nil {
-			return err
-		}
 		s.src = dexdump.BuildShardedIndex(s.text, s.plan, s.buildWorkers)
 	} else {
-		// One-time tokenization pass, charged like the linear scan it is
-		// (plus a tokenization factor — see simtime.IndexBuildLinesPerUnit).
-		if err := s.meter.ChargeIndexBuild(s.text.LineCount()); err != nil {
-			return err
-		}
 		s.src = dexdump.BuildIndex(s.text)
 	}
 	cost.IndexBuilt = true
@@ -341,6 +340,38 @@ func (s *IndexedSearcher) acquire(cost *Cost) error {
 	s.publishBundle()
 	s.deriveParallelMin()
 	return nil
+}
+
+// chargeBuild charges the meter for the one-time index build. Three
+// models share this seam, all charging the same real work differently:
+// the plain build tokenizes every dump line; the sharded build charges
+// its critical path (largest shard) plus per-shard coordination overhead;
+// the delta build (Config.DeltaBuild) tokenizes only the changed and
+// added classes' lines at the build rate and carries the unchanged
+// classes over at the delta-reuse rate — the previous version's bundle
+// already tokenized them, and the manifest diff proved them identical.
+// The built index is bitwise identical under every model; only the
+// charged cost differs.
+func (s *IndexedSearcher) chargeBuild() error {
+	if s.deltaBuild {
+		if err := s.meter.ChargeIndexBuild(s.deltaLines); err != nil {
+			return err
+		}
+		if s.plan != nil {
+			if err := s.meter.Charge(int64(simtime.ShardOverheadUnits * s.plan.Shards())); err != nil {
+				return err
+			}
+		}
+		return s.meter.ChargeDeltaReuse(s.deltaReuseLines)
+	}
+	if s.plan != nil {
+		// Shards tokenize in parallel: the charge is the critical path
+		// (largest shard) plus per-shard coordination overhead.
+		return s.meter.ChargeShardedIndexBuild(s.plan.MaxShardLines(), s.plan.Shards())
+	}
+	// One-time tokenization pass, charged like the linear scan it is
+	// (plus a tokenization factor — see simtime.IndexBuildLinesPerUnit).
+	return s.meter.ChargeIndexBuild(s.text.LineCount())
 }
 
 // publishBundle encodes the current dump and index once and hands the
@@ -351,7 +382,7 @@ func (s *IndexedSearcher) publishBundle() {
 	if s.cachePath == "" && s.storeBundle == nil {
 		return
 	}
-	data, err := dexdump.EncodeBundle(s.text, s.src, s.fingerprint)
+	data, err := dexdump.EncodeBundle(s.text, s.src, s.fingerprint, s.plan)
 	if err != nil {
 		return
 	}
@@ -408,25 +439,35 @@ func (s *IndexedSearcher) wantShards() int {
 
 // lookup maps the command to its postings list.
 func (s *IndexedSearcher) lookup(cmd Command) []int32 {
+	return LookupCandidates(s.src, cmd)
+}
+
+// LookupCandidates maps a command to its candidate postings in the given
+// source — the single lookup shared by the indexed backend and the core
+// engine's delta replay probe (which resolves a prior run's recorded
+// commands against a partial index over just the changed classes).
+// Candidates over-approximate; callers verify each line against
+// cmd.Match. CmdRaw has no postings and returns nil.
+func LookupCandidates(src dexdump.Source, cmd Command) []int32 {
 	switch cmd.Kind {
 	case CmdInvoke:
-		return s.src.InvokeBySig(cmd.Arg)
+		return src.InvokeBySig(cmd.Arg)
 	case CmdCtor:
-		return s.src.CtorByPrefix(cmd.Arg)
+		return src.CtorByPrefix(cmd.Arg)
 	case CmdNewInstance:
-		return s.src.NewInstance(cmd.Arg)
+		return src.NewInstance(cmd.Arg)
 	case CmdConstClass:
-		return s.src.ConstClass(cmd.Arg)
+		return src.ConstClass(cmd.Arg)
 	case CmdConstString:
-		return s.src.ConstString(cmd.Arg)
+		return src.ConstString(cmd.Arg)
 	case CmdFieldAccess:
-		return s.src.FieldBySig(cmd.Arg)
+		return src.FieldBySig(cmd.Arg)
 	case CmdClassUse:
-		return s.src.ClassUse(cmd.Arg)
+		return src.ClassUse(cmd.Arg)
 	case CmdInvokeName:
-		return s.src.InvokeByName(cmd.Arg)
+		return src.InvokeByName(cmd.Arg)
 	case CmdInvokeNamePrefix:
-		return s.src.InvokeByNamePrefix(cmd.Arg)
+		return src.InvokeByNamePrefix(cmd.Arg)
 	}
 	return nil
 }

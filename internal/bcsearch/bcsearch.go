@@ -138,6 +138,20 @@ type Config struct {
 	// cache hit. The batch service's in-memory bundle store captures
 	// entries through this seam without a second encode.
 	StoreBundle func(data []byte)
+
+	// DeltaBuild switches the index-build charge to the delta model: the
+	// engine proved (by shard-manifest diff against the previous version's
+	// bundle) that only DeltaIndexLines dump lines belong to changed or
+	// added classes, so a build tokenizes those at the full index-build
+	// rate and carries the remaining DeltaReuseIndexLines over at the
+	// cheap delta-reuse rate. The real build still tokenizes everything —
+	// the resulting index is bitwise identical to a cold build — only the
+	// charged cost models the reuse, exactly like the sharded build
+	// charging its critical path. Ignored on index-cache hits (those are
+	// already cheaper than a delta build).
+	DeltaBuild           bool
+	DeltaIndexLines      int
+	DeltaReuseIndexLines int
 }
 
 // Engine searches one app's dump text: it owns the command cache and
@@ -152,7 +166,15 @@ type Engine struct {
 	cacheEnabled bool
 	cache        map[string][]Hit
 	stats        Stats
+	observer     func(cmd Command, hits []Hit)
 }
+
+// SetObserver installs a hook that sees every successfully resolved
+// command with its hits — cache hits included, so an observer recording
+// which searches an analysis issued misses nothing. The core engine's
+// delta path uses it to record each sink's search-command footprint; nil
+// removes it.
+func (e *Engine) SetObserver(fn func(cmd Command, hits []Hit)) { e.observer = fn }
 
 // NewEngine builds a search engine over the dump with the given
 // configuration.
@@ -207,6 +229,9 @@ func (e *Engine) Run(cmd Command) ([]Hit, error) {
 			if err := e.meter.Charge(1); err != nil {
 				return nil, err
 			}
+			if e.observer != nil {
+				e.observer(cmd, hits)
+			}
 			return hits, nil
 		}
 	}
@@ -235,6 +260,9 @@ func (e *Engine) Run(cmd Command) ([]Hit, error) {
 	}
 	if e.cacheEnabled {
 		e.cache[key] = hits
+	}
+	if e.observer != nil {
+		e.observer(cmd, hits)
 	}
 	return hits, nil
 }

@@ -140,7 +140,7 @@ func TestBackendParityOnGeneratedCorpus(t *testing.T) {
 			for _, shards := range []int{2, 7} {
 				plan := dexdump.PackagePrefixPlan(text, shards)
 				path := dexdump.CachePath(t.TempDir(), fmt.Sprintf("bundle-%d", shards))
-				if err := dexdump.WriteBundle(path, text, dexdump.BuildShardedIndex(text, plan, 2), 0); err != nil {
+				if err := dexdump.WriteBundle(path, text, dexdump.BuildShardedIndex(text, plan, 2), 0, plan); err != nil {
 					t.Fatal(err)
 				}
 				variants[fmt.Sprintf("bundle-par-%d", shards)] = NewEngine(text, Config{

@@ -40,6 +40,13 @@ type Options struct {
 	// global or field write, so results are identical with the cache on
 	// or off.
 	Memoize bool
+	// OnMethod, when non-nil, sees every method the traversal evaluates
+	// (normal and static track, memo hits included). The delta engine
+	// records the per-sink class footprint through it. The forward pass
+	// only ever reads units recorded in the SSG, so this is redundant
+	// with the slicer's own recording — kept as an explicit seam so the
+	// footprint's completeness does not rest on that invariant.
+	OnMethod func(dex.MethodRef)
 }
 
 // Result is the outcome of a propagation run.
@@ -263,6 +270,9 @@ func (a *analysis) runStaticTrack() error {
 		if err != nil {
 			continue
 		}
+		if a.opts.OnMethod != nil {
+			a.opts.OnMethod(ref)
+		}
 		env := newEnv()
 		if _, err := a.evalUnits(ref, a.g.UnitsOf(ref), env, nil, 0); err != nil {
 			return err
@@ -282,6 +292,9 @@ func (a *analysis) evalMethod(ref dex.MethodRef, env *env, stack []string) (*Fac
 	// that charge too little to reach the meter's next checkpoint soon.
 	if a.meter.Canceled() {
 		return nil, simtime.ErrCanceled
+	}
+	if a.opts.OnMethod != nil {
+		a.opts.OnMethod(ref)
 	}
 	sig := ref.SootSignature()
 	if len(stack) > a.opts.MaxDepth {

@@ -249,7 +249,7 @@ func (ft *forwardTaint) invoke(method dex.MethodRef, body *ir.Body, idx int, inv
 // current method returns the tainted object.
 func (ft *forwardTaint) returnFlow(method dex.MethodRef, chain []chainLink) [][]chainLink {
 	e := ft.engine
-	m := e.dexf.Method(method)
+	m := e.lookupMethod(method)
 	if m == nil || !m.IsDirect() {
 		// Virtual methods would recurse into another advanced search;
 		// bound the analysis as the prototype does.

@@ -328,7 +328,7 @@ func (s *slicer) taintRHS(method dex.MethodRef, body *ir.Body, idx int, rhs ir.V
 // tainting their receiver and arguments.
 func (s *slicer) taintInvokeResult(method dex.MethodRef, body *ir.Body, idx int, inv *ir.InvokeExpr, ts *ssg.TaintSet, path []string, depth int, staticTrack bool) error {
 	e := s.engine
-	if android.IsSystemClass(inv.Method.Class) || e.dexf.Method(inv.Method) == nil {
+	if android.IsSystemClass(inv.Method.Class) || e.lookupMethod(inv.Method) == nil {
 		if inv.Base != nil {
 			ts.AddLocal(inv.Base.Name)
 		}
@@ -395,7 +395,7 @@ func (s *slicer) handleInvoke(method dex.MethodRef, body *ir.Body, idx int, inv 
 
 	objRelevant := inv.Base != nil && (ts.HasAnyFieldOf(inv.Base.Name) || (inv.Method.IsConstructor() && ts.HasLocal(inv.Base.Name)))
 	staticRelevant := false
-	if !s.g.GlobalTaint.Empty() && e.dexf.Method(inv.Method) != nil {
+	if !s.g.GlobalTaint.Empty() && e.lookupMethod(inv.Method) != nil {
 		// Normally only methods matched by the static-field write search
 		// are analyzed (Sec. V-A); the ablation analyzes every contained
 		// method, which is what the paper calls "certainly slows down the
@@ -407,7 +407,7 @@ func (s *slicer) handleInvoke(method dex.MethodRef, body *ir.Body, idx int, inv 
 	}
 	record(idx)
 
-	if android.IsSystemClass(inv.Method.Class) || e.dexf.Method(inv.Method) == nil {
+	if android.IsSystemClass(inv.Method.Class) || e.lookupMethod(inv.Method) == nil {
 		return nil // e.g. Object.<init>: no app code to descend into
 	}
 	if e.opts.EnableLoopDetection {
@@ -491,9 +491,12 @@ func (s *slicer) traceStaticFieldWriters(field dex.FieldRef, path []string, dept
 	e := s.engine
 	sig := field.SootSignature()
 	if _, ok := e.writerCache[sig]; ok {
+		e.rec.merge(e.writerFrag[sig])
 		return nil
 	}
+	frame := e.rec.push()
 	hits, err := e.search.FindFieldAccesses(field, bcsearch.FieldWrites)
+	e.rec.pop()
 	if err != nil {
 		return err
 	}
@@ -504,6 +507,9 @@ func (s *slicer) traceStaticFieldWriters(field dex.FieldRef, path []string, dept
 		}
 	}
 	e.writerCache[sig] = writers
+	if frame != nil {
+		e.writerFrag[sig] = frame
+	}
 	return nil
 }
 
@@ -521,7 +527,7 @@ func (s *slicer) slicePredecessorHandlers(method dex.MethodRef, path []string, d
 	if !isComp || !android.IsLifecycleMethod(kind, method.Name) {
 		return nil
 	}
-	cls := e.dexf.Class(method.Class)
+	cls := e.lookupClass(method.Class)
 	if cls == nil {
 		return nil
 	}
@@ -654,7 +660,7 @@ func (s *slicer) addOffPathClinits() error {
 		if err != nil {
 			continue
 		}
-		cls := e.dexf.Class(ref.Class)
+		cls := e.lookupClass(ref.Class)
 		if cls == nil {
 			continue
 		}

@@ -51,15 +51,24 @@ type callerSite struct {
 func (e *Engine) findCallers(callee dex.MethodRef) (sites []callerSite, isEntry bool, err error) {
 	sig := callee.SootSignature()
 	if cached, ok := e.callerCache[sig]; ok {
+		e.rec.merge(e.callerFrag[sig])
 		return cached, e.entryCache[sig], nil
 	}
 
+	frame := e.rec.push()
+	// The callee class itself steers the search dispatch (component
+	// kind, registration, direct vs. virtual) before any body lookup.
+	e.rec.class(callee.Class)
 	sites, isEntry, err = e.findCallersUncached(callee)
+	e.rec.pop()
 	if err != nil {
 		return nil, false, err
 	}
 	e.callerCache[sig] = sites
 	e.entryCache[sig] = isEntry
+	if frame != nil {
+		e.callerFrag[sig] = frame
+	}
 	return sites, isEntry, nil
 }
 
@@ -99,7 +108,7 @@ func (e *Engine) findCallersUncached(callee dex.MethodRef) ([]callerSite, bool, 
 		return sites, isEntry, nil
 	}
 
-	m := e.dexf.Method(callee)
+	m := e.lookupMethod(callee)
 	if m == nil {
 		return nil, false, nil // framework or missing method: nothing to search
 	}

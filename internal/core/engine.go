@@ -155,6 +155,17 @@ type Options struct {
 	// synchronously on the analysis goroutine, in report order; the batch
 	// service streams these as events while the job is still running.
 	SinkObserver func(*SinkReport)
+
+	// DeltaFrom, when non-nil, supplies the prior version of the app for
+	// incremental re-analysis (DESIGN.md Sec. 10): the engine diffs the
+	// two shard manifests and carries over every settled sink verdict
+	// whose recorded footprint provably cannot observe the update,
+	// charging the cheap ChargeShardDiff/ChargeDeltaReuse rates for the
+	// unchanged mass. The report is identical to a full re-analysis; only
+	// the charged cost shrinks. Ignored (silent full run) when the base
+	// is unusable — timed out, undecodable manifest — or when PerAppSSG
+	// is set, whose shared-graph slices have no per-sink footprint.
+	DeltaFrom *DeltaBase
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation:
@@ -205,6 +216,16 @@ type SinkReport struct {
 	Values    []string        // dataflow representations of the tracked parameter
 	Insecure  bool            // vulnerability rule verdict
 	SSG       *ssg.Graph
+
+	// Reused marks a verdict carried over from the prior version by the
+	// delta path (Options.DeltaFrom); the detection outcome is identical
+	// to what a fresh analysis would compute.
+	Reused bool
+	// Footprint records what this sink's analysis observed; a later
+	// delta run consults it to decide whether the verdict survives an
+	// update. Nil in PerAppSSG mode and on carried-over base reports
+	// that never recorded one.
+	Footprint *Footprint
 }
 
 // LoopKind names the four dead-loop types of Sec. IV-F.
@@ -271,6 +292,18 @@ type Stats struct {
 	// CancelPolls counts the cancellation checkpoints the meter hit
 	// (Options.Cancel); zero when no cancel poll is installed.
 	CancelPolls int64
+
+	// Delta accounting (Options.DeltaFrom); all zero on non-delta runs.
+	// ShardsUnchanged/ShardsChanged compare the two bundles' shard
+	// fingerprints; SinksReused counts verdicts carried over from the
+	// base report, SinksRerun the located sinks that went through the
+	// full pipeline on a delta run; DeltaReusedLines is the unchanged
+	// footprint mass charged at the cheap delta-reuse rate.
+	ShardsUnchanged  int
+	ShardsChanged    int
+	SinksReused      int
+	SinksRerun       int
+	DeltaReusedLines int64
 }
 
 // SinkCacheRate returns the fraction of sink calls answered from the
@@ -298,6 +331,11 @@ type Report struct {
 	Sinks    []*SinkReport
 	Stats    Stats
 	TimedOut bool
+
+	// Registered is the manifest registration surface the analysis ran
+	// under (see registeredComponents); a delta run compares it against
+	// the new version's to prove entry-point decisions still hold.
+	Registered []string
 }
 
 // InsecureSinks returns the reachable sinks judged insecure.
@@ -312,10 +350,12 @@ func (r *Report) InsecureSinks() []*SinkReport {
 }
 
 // reachState caches per-method reachability (the sink API call caching of
-// Sec. IV-F).
+// Sec. IV-F). frag is the footprint fragment of the computation that
+// produced the entry, replayed into the active frames on every hit.
 type reachState struct {
 	reachable bool
 	entries   []dex.MethodRef
+	frag      *fpFrame
 }
 
 // Engine analyzes one app.
@@ -363,6 +403,22 @@ type Engine struct {
 
 	// Forward-pass memoization accounting (see Stats).
 	memoHits int64
+
+	// Delta analysis state (Options.DeltaFrom; see delta.go). rec is the
+	// footprint recorder, non-nil whenever footprints are collected (all
+	// non-PerAppSSG runs, so any run can later serve as a delta base);
+	// callerFrag/writerFrag hold the footprint fragments of the caller
+	// and static-writer caches.
+	rec              *fpRecorder
+	callerFrag       map[string]*fpFrame
+	writerFrag       map[string]*fpFrame
+	deltaOldReport   *Report
+	deltaOldMan      *dexdump.Manifest
+	deltaNewMan      *dexdump.Manifest
+	deltaDiff        *dexdump.ManifestDiff
+	sinksReused      int
+	sinksRerun       int
+	deltaReusedLines int64
 }
 
 // DumpProvider is the warm-start seam of the engine: it may supply a
@@ -491,7 +547,28 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 			e.bundleStoreMisses = 1
 		}
 	}
+	if !opts.PerAppSSG {
+		// Footprint recording (delta.go): every run that can serve as a
+		// delta base records, per sink, the classes and search commands
+		// its analysis consulted. The per-app shared graph has no
+		// per-sink attribution, so PerAppSSG runs record nothing.
+		e.rec = &fpRecorder{}
+		e.callerFrag = make(map[string]*fpFrame)
+		e.writerFrag = make(map[string]*fpFrame)
+		e.prog.SetObserver(func(ref dex.MethodRef) { e.rec.class(ref.Class) })
+	}
+	if d := opts.DeltaFrom; d != nil && !opts.PerAppSSG && d.Report != nil && !d.Report.TimedOut {
+		// A base bundle without a decodable manifest (legacy version,
+		// damaged section) silently disables the delta path; the run is
+		// then an ordinary full analysis.
+		if om, ok := dexdump.DecodeManifest(d.Bundle); ok {
+			e.deltaOldMan = om
+			e.deltaOldReport = d.Report
+		}
+	}
+
 	var preErr error
+	coldLines := 0
 	if dump != nil {
 		// Warm path: the cached dump replaces disassembly entirely;
 		// reading it back is charged at the flat cache-load rate — the
@@ -509,11 +586,46 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 			e.dumpCacheMisses = 1
 		}
 		dump = dexdump.Disassemble(merged)
-		e.dumpLinesCold = int64(dump.LineCount())
-		// Disassembly cost: dexdump is a linear pass over the bytecode. A
-		// budget exhausted this early surfaces as a timed-out report from
-		// Analyze, not a construction error.
-		preErr = meter.ChargeLines(dump.LineCount())
+		coldLines = dump.LineCount()
+	}
+	e.dump = dump
+
+	var plan *dexdump.ShardPlan
+	if opts.SearchBackend == bcsearch.BackendSharded {
+		plan = shardPlan(app, dump, opts.IndexShards)
+	}
+
+	deltaDumpLines := 0 // changed+added span lines, valid when deltaDiff != nil
+	if e.deltaOldMan != nil {
+		// The manifest diff is the delta run's first charged step: one
+		// fingerprint-map probe per class of both versions' union.
+		e.deltaNewMan = dexdump.BuildManifest(dump, plan)
+		e.deltaDiff = dexdump.DiffManifests(e.deltaOldMan, e.deltaNewMan)
+		deltaDumpLines = e.deltaNewMan.LinesOf(e.deltaDiff.Touched())
+		if preErr == nil {
+			preErr = meter.ChargeShardDiff(e.deltaDiff.TotalClasses())
+		}
+	}
+	if coldLines > 0 && preErr == nil {
+		if e.deltaDiff != nil {
+			// Delta disassembly model: only the changed and added spans
+			// are rendered at the full line rate; the unchanged mass is
+			// carried over from the base dump at the cheap reuse rate.
+			// (The substrate still disassembled everything above, so the
+			// dump is bitwise identical to a cold run's — the charge is
+			// what models the delta.)
+			e.dumpLinesCold = int64(deltaDumpLines)
+			preErr = meter.ChargeLines(deltaDumpLines)
+			if preErr == nil {
+				preErr = meter.ChargeDeltaReuse(coldLines - deltaDumpLines)
+			}
+		} else {
+			// Disassembly cost: dexdump is a linear pass over the
+			// bytecode. A budget exhausted this early surfaces as a
+			// timed-out report from Analyze, not a construction error.
+			e.dumpLinesCold = int64(coldLines)
+			preErr = meter.ChargeLines(coldLines)
+		}
 	}
 	if preErr == simtime.ErrCanceled {
 		// A cancellation is never a timed-out report: the caller owns the
@@ -521,7 +633,6 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		return nil, preErr
 	}
 	e.preTimedOut = preErr != nil
-	e.dump = dump
 
 	searchCfg := bcsearch.Config{
 		Meter:                 meter,
@@ -544,11 +655,31 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		store, fp := opts.Bundles, fingerprint
 		searchCfg.StoreBundle = func(data []byte) { store.PutBundle(fp, data) }
 	}
-	if opts.SearchBackend == bcsearch.BackendSharded {
-		searchCfg.Plan = shardPlan(app, dump, opts.IndexShards)
+	if plan != nil {
+		searchCfg.Plan = plan
 		searchCfg.BuildWorkers = runtime.NumCPU()
 	}
+	if e.deltaDiff != nil {
+		// Index-build charge follows the same delta model as the dump:
+		// only dirty span lines tokenize at the full build rate (ignored
+		// when the index itself loads from a cache or bundle).
+		searchCfg.DeltaBuild = true
+		searchCfg.DeltaIndexLines = deltaDumpLines
+		searchCfg.DeltaReuseIndexLines = dump.LineCount() - deltaDumpLines
+	}
 	e.search = bcsearch.NewEngine(dump, searchCfg)
+	if e.rec != nil {
+		e.search.SetObserver(func(cmd bcsearch.Command, hits []bcsearch.Hit) {
+			e.rec.command(cmd)
+			for _, h := range hits {
+				if h.Method.Class != "" {
+					e.rec.class(h.Method.Class)
+				} else if cls, ok := classOfLine(dump, h.Line); ok {
+					e.rec.class(cls)
+				}
+			}
+		})
+	}
 	return e, nil
 }
 
@@ -582,7 +713,7 @@ func (e *Engine) Hierarchy() *cha.Hierarchy { return e.hier }
 // completed.
 func (e *Engine) Analyze() (*Report, error) {
 	start := time.Now()
-	report := &Report{App: e.app.Name}
+	report := &Report{App: e.app.Name, Registered: registeredComponents(e.app.Manifest)}
 	if e.preTimedOut {
 		report.TimedOut = true
 		e.fillStats(report, start)
@@ -613,14 +744,44 @@ func (e *Engine) Analyze() (*Report, error) {
 			}
 		}
 	} else {
-		for _, call := range calls {
+		reuse, err := e.planDeltaReuse(calls)
+		if err != nil {
+			if err == simtime.ErrTimeout {
+				report.TimedOut = true
+				e.fillStats(report, start)
+				return report, nil
+			}
+			return nil, err
+		}
+		for i, call := range calls {
+			if sr := reuse[i]; sr != nil {
+				e.sinksReused++
+				report.Sinks = append(report.Sinks, sr)
+				if e.opts.SinkObserver != nil {
+					e.opts.SinkObserver(sr)
+				}
+				continue
+			}
+			if e.deltaDiff != nil {
+				e.sinksRerun++
+			}
+			// The sink's footprint frame captures every class and search
+			// command its analysis consults (delta.go); the caller class
+			// is seeded explicitly for the early-unreachable paths that
+			// never look its body up.
+			frame := e.rec.push()
+			e.rec.class(call.Caller.Class)
 			sr, err := e.analyzeSinkCall(call)
+			e.rec.pop()
 			if err != nil {
 				if err == simtime.ErrTimeout {
 					report.TimedOut = true
 					break
 				}
 				return nil, err
+			}
+			if frame != nil {
+				sr.Footprint = frame.footprint()
 			}
 			report.Sinks = append(report.Sinks, sr)
 			if e.opts.SinkObserver != nil {
@@ -655,6 +816,13 @@ func (e *Engine) fillStats(report *Report, start time.Time) {
 		BundleStoreMisses:     e.bundleStoreMisses,
 		ForwardMemoHits:       e.memoHits,
 		CancelPolls:           e.meter.CancelPolls(),
+		SinksReused:           e.sinksReused,
+		SinksRerun:            e.sinksRerun,
+		DeltaReusedLines:      e.deltaReusedLines,
+	}
+	if e.deltaDiff != nil {
+		report.Stats.ShardsUnchanged = e.deltaDiff.ShardsUnchanged
+		report.Stats.ShardsChanged = e.deltaDiff.ShardsChanged
 	}
 }
 
@@ -671,6 +839,9 @@ func (e *Engine) prepareSinkCall(call SinkCall) (*SinkReport, *ssg.Unit, error) 
 		if st, ok := e.reachCache[sig]; ok {
 			e.sinkCached++
 			sr.Cached = true
+			// The cached computation's footprint fragment belongs to this
+			// sink too — it answers (part of) its reachability.
+			e.rec.merge(st.frag)
 			if !st.reachable {
 				sr.Reachable = false
 				return sr, nil, nil
@@ -679,12 +850,14 @@ func (e *Engine) prepareSinkCall(call SinkCall) (*SinkReport, *ssg.Unit, error) 
 		}
 	}
 
+	frame := e.rec.push()
 	reachable, entries, err := e.reachable(call.Caller, nil, 0)
+	e.rec.pop()
 	if err != nil {
 		return nil, nil, err
 	}
 	if e.opts.EnableSinkCache {
-		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries}
+		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries, frag: frame}
 	}
 	sr.Reachable = reachable
 	sr.Entries = entries

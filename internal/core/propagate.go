@@ -3,6 +3,7 @@ package core
 import (
 	"backdroid/internal/android"
 	"backdroid/internal/constprop"
+	"backdroid/internal/dex"
 	"backdroid/internal/ssg"
 	"backdroid/internal/vuln"
 )
@@ -12,12 +13,20 @@ import (
 // of the tracked sink parameter. The vulnerability verdict is computed on
 // the typed values.
 func (e *Engine) propagate(g *ssg.Graph, sinkUnit *ssg.Unit, call SinkCall) ([]string, error) {
-	res, err := constprop.Run(g, e.prog, e.meter, constprop.Options{
+	opts := constprop.Options{
 		SinkParamIndex: call.Sink.ParamIndex,
 		MaxDepth:       e.opts.MaxDepth,
 		SinkUnit:       sinkUnit,
 		Memoize:        e.opts.MemoizeForwardPass,
-	})
+	}
+	if e.rec != nil {
+		// Belt and braces for the delta footprint: the forward pass only
+		// walks SSG-recorded units and prog bodies (both already
+		// observed), but the explicit seam keeps the recording honest if
+		// constprop ever grows a direct bytecode dependency.
+		opts.OnMethod = func(ref dex.MethodRef) { e.rec.class(ref.Class) }
+	}
+	res, err := constprop.Run(g, e.prog, e.meter, opts)
 	if err != nil {
 		return nil, err
 	}

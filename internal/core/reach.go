@@ -19,6 +19,7 @@ func (e *Engine) reachable(method dex.MethodRef, path []string, depth int) (bool
 func (e *Engine) reachableInner(method dex.MethodRef, path []string, depth int) (reachable bool, entries []dex.MethodRef, pure bool, err error) {
 	sig := method.SootSignature()
 	if st, ok := e.reachCache[sig]; ok {
+		e.rec.merge(st.frag)
 		return st.reachable, st.entries, true, nil
 	}
 	for _, p := range path {
@@ -35,6 +36,10 @@ func (e *Engine) reachableInner(method dex.MethodRef, path []string, depth int) 
 		return false, nil, false, nil
 	}
 	e.analyzed[sig] = true
+	// Collect this computation's footprint fragment so cache hits can
+	// replay it into later sinks' footprints.
+	frame := e.rec.push()
+	defer e.rec.pop()
 
 	sites, isEntry, err := e.findCallers(method)
 	if err != nil {
@@ -66,7 +71,7 @@ func (e *Engine) reachableInner(method dex.MethodRef, path []string, depth int) 
 	}
 	reachable = len(entries) > 0
 	if reachable || pure {
-		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries}
+		e.reachCache[sig] = &reachState{reachable: reachable, entries: entries, frag: frame}
 	}
 	return reachable, entries, pure, nil
 }

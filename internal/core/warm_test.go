@@ -82,7 +82,9 @@ func TestWarmEngineSelfHealsDamagedDumpSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-1] ^= 0x01 // dump payload damage; index section intact
+	// Truncate the trailing section: the dump probe rejects the broken
+	// framing while the index section stays intact.
+	data = data[:len(data)-1]
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

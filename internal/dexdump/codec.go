@@ -31,35 +31,49 @@ import (
 //	...     4     IEEE CRC-32 of the dump payload
 //	...     4     dump payload length
 //	...     ...   dump payload: the serialized dexdump.Text
+//	...     4     IEEE CRC-32 of the manifest payload (version >= 3 only)
+//	...     4     manifest payload length
+//	...     ...   manifest payload: the serialized shard Manifest
 //
 // Version 1 files (PR 2) end after the index payload, which then runs to
 // EOF; the decoder still reads their index section, so upgrading the
 // binary never invalidates existing caches — it only leaves the dump
-// section absent until the next rewrite.
+// section absent until the next rewrite. Version 2 files end after the
+// dump payload: their index and dump sections remain fully readable, only
+// the shard manifest is absent, which disables delta analysis until the
+// next rewrite, never correctness.
 //
 // Postings maps are encoded with sorted keys and delta-varint line lists,
 // so files are deterministic for a given index. Every validation failure —
 // wrong magic, unknown version, stale content hash or fingerprint,
 // line-count mismatch, CRC mismatch, truncation — is an error the caller
 // treats as a cache miss: rebuild from the app and overwrite the file,
-// never fail the analysis.
+// never fail the analysis. A damaged manifest section alone decodes as
+// "no manifest" (DecodeManifest reports ok=false), which callers treat as
+// "run the full analysis" — the manifest can only ever save work.
 
 // CodecVersion is the on-disk format version. Bump it whenever the
 // payload layout or the token families change; old files then decode as
 // stale and are rebuilt silently. Version 2 added the dump section (and
-// the index payload length that delimits it); version-1 index sections
+// the index payload length that delimits it); version 3 added the shard
+// manifest section. Version-1 index sections and version-2 dump sections
 // remain readable.
-const CodecVersion = 2
+const CodecVersion = 3
+
+// codecVersionNoManifest is the PR 3 layout: index + dump sections, no
+// shard manifest; the dump payload runs to EOF.
+const codecVersionNoManifest = 2
 
 // codecVersionIndexOnly is the PR 2 layout: no index-length field, no dump
 // section, index payload running to EOF.
 const codecVersionIndexOnly = 1
 
 const (
-	codecMagic            = "BDIX"
-	codecHeaderSizeV1     = 24
-	codecHeaderSize       = 28
-	dumpSectionHeaderSize = 16 // fingerprint u64 + CRC u32 + length u32
+	codecMagic                = "BDIX"
+	codecHeaderSizeV1         = 24
+	codecHeaderSize           = 28
+	dumpSectionHeaderSize     = 16 // fingerprint u64 + CRC u32 + length u32
+	manifestSectionHeaderSize = 8  // CRC u32 + length u32
 )
 
 // CacheFileExt is the filename extension of persistent cache bundles.
@@ -109,11 +123,14 @@ func shardsOf(src Source) ([]*Index, error) {
 	return nil, fmt.Errorf("dexdump: cannot encode index source %T", src)
 }
 
-// EncodeBundle serializes the dump text and its index (single or sharded)
-// into the bundle format. fingerprint identifies the app the dump was
-// rendered from (see AppFingerprint); 0 marks it unknown, in which case
-// the dump section is written but will never validate on probe.
-func EncodeBundle(t *Text, src Source, fingerprint uint64) ([]byte, error) {
+// EncodeBundle serializes the dump text, its index (single or sharded)
+// and its shard manifest into the bundle format. fingerprint identifies
+// the app the dump was rendered from (see AppFingerprint); 0 marks it
+// unknown, in which case the dump section is written but will never
+// validate on probe. plan is the shard plan the index was built with and
+// determines the manifest's span-to-shard assignment; nil (or a plan for
+// a different dump) records a single-shard manifest.
+func EncodeBundle(t *Text, src Source, fingerprint uint64, plan *ShardPlan) ([]byte, error) {
 	shards, err := shardsOf(src)
 	if err != nil {
 		return nil, err
@@ -126,8 +143,10 @@ func EncodeBundle(t *Text, src Source, fingerprint uint64) ([]byte, error) {
 		indexPayload = appendShard(indexPayload, sh)
 	}
 	dumpPayload := appendDump(nil, t)
+	manifestPayload := appendManifest(nil, BuildManifest(t, plan))
 
-	buf := make([]byte, codecHeaderSize, codecHeaderSize+len(indexPayload)+dumpSectionHeaderSize+len(dumpPayload))
+	buf := make([]byte, codecHeaderSize, codecHeaderSize+len(indexPayload)+
+		dumpSectionHeaderSize+len(dumpPayload)+manifestSectionHeaderSize+len(manifestPayload))
 	copy(buf[0:4], codecMagic)
 	binary.LittleEndian.PutUint16(buf[4:6], CodecVersion)
 	binary.LittleEndian.PutUint16(buf[6:8], uint16(len(shards)))
@@ -142,11 +161,17 @@ func EncodeBundle(t *Text, src Source, fingerprint uint64) ([]byte, error) {
 	binary.LittleEndian.PutUint32(dh[8:12], crc32.ChecksumIEEE(dumpPayload))
 	binary.LittleEndian.PutUint32(dh[12:16], uint32(len(dumpPayload)))
 	buf = append(buf, dh[:]...)
-	return append(buf, dumpPayload...), nil
+	buf = append(buf, dumpPayload...)
+
+	var mh [manifestSectionHeaderSize]byte
+	binary.LittleEndian.PutUint32(mh[0:4], crc32.ChecksumIEEE(manifestPayload))
+	binary.LittleEndian.PutUint32(mh[4:8], uint32(len(manifestPayload)))
+	buf = append(buf, mh[:]...)
+	return append(buf, manifestPayload...), nil
 }
 
 // indexSection validates the common header fields and returns the index
-// payload of a v1 or v2 file, without touching the dump section.
+// payload of a v1, v2 or v3 file, without touching the later sections.
 func indexSection(data []byte) ([]byte, error) {
 	if len(data) < codecHeaderSizeV1 {
 		return nil, fmt.Errorf("dexdump: bundle truncated: %d bytes", len(data))
@@ -157,7 +182,7 @@ func indexSection(data []byte) ([]byte, error) {
 	switch v := binary.LittleEndian.Uint16(data[4:6]); v {
 	case codecVersionIndexOnly:
 		return data[codecHeaderSizeV1:], nil
-	case CodecVersion:
+	case codecVersionNoManifest, CodecVersion:
 		if len(data) < codecHeaderSize {
 			return nil, fmt.Errorf("dexdump: bundle header truncated: %d bytes", len(data))
 		}
@@ -167,8 +192,8 @@ func indexSection(data []byte) ([]byte, error) {
 		}
 		return data[codecHeaderSize : codecHeaderSize+n], nil
 	default:
-		return nil, fmt.Errorf("dexdump: bundle version %d, want %d (or legacy %d)",
-			v, CodecVersion, codecVersionIndexOnly)
+		return nil, fmt.Errorf("dexdump: bundle version %d, want %d (or legacy %d/%d)",
+			v, CodecVersion, codecVersionIndexOnly, codecVersionNoManifest)
 	}
 }
 
@@ -230,7 +255,8 @@ func DecodeBundleDump(data []byte, fingerprint uint64) (*Text, error) {
 	if string(data[0:4]) != codecMagic {
 		return nil, fmt.Errorf("dexdump: bundle bad magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != CodecVersion {
+	v := binary.LittleEndian.Uint16(data[4:6])
+	if v != CodecVersion && v != codecVersionNoManifest {
 		return nil, fmt.Errorf("dexdump: bundle version %d has no dump section", v)
 	}
 	indexLen := int(binary.LittleEndian.Uint32(data[24:28]))
@@ -249,8 +275,19 @@ func DecodeBundleDump(data []byte, fingerprint uint64) (*Text, error) {
 		return nil, fmt.Errorf("dexdump: dump payload claims %d bytes, %d remain", n, len(sec)-dumpSectionHeaderSize)
 	}
 	payload := sec[dumpSectionHeaderSize : dumpSectionHeaderSize+n]
-	if len(sec) != dumpSectionHeaderSize+n {
-		return nil, fmt.Errorf("dexdump: bundle has %d trailing bytes", len(sec)-dumpSectionHeaderSize-n)
+	switch trailing := sec[dumpSectionHeaderSize+n:]; {
+	case v == codecVersionNoManifest && len(trailing) != 0:
+		return nil, fmt.Errorf("dexdump: bundle has %d trailing bytes", len(trailing))
+	case v == CodecVersion && len(trailing) < manifestSectionHeaderSize:
+		return nil, fmt.Errorf("dexdump: bundle has no room for a manifest section")
+	case v == CodecVersion:
+		// Frame the manifest section so appended garbage still decodes as
+		// an error; its payload integrity is DecodeManifest's concern.
+		mlen := int(binary.LittleEndian.Uint32(trailing[4:8]))
+		if len(trailing) != manifestSectionHeaderSize+mlen {
+			return nil, fmt.Errorf("dexdump: manifest section claims %d bytes, %d remain",
+				mlen, len(trailing)-manifestSectionHeaderSize)
+		}
 	}
 	if crc := binary.LittleEndian.Uint32(sec[8:12]); crc != crc32.ChecksumIEEE(payload) {
 		return nil, fmt.Errorf("dexdump: dump payload CRC mismatch")
@@ -273,10 +310,11 @@ func CachePath(dir, appName string) string {
 	return filepath.Join(dir, appName+CacheFileExt)
 }
 
-// WriteBundle atomically persists the dump and its index next to path
-// (temp file + rename), creating the directory if needed.
-func WriteBundle(path string, t *Text, src Source, fingerprint uint64) error {
-	data, err := EncodeBundle(t, src, fingerprint)
+// WriteBundle atomically persists the dump, its index and its shard
+// manifest next to path (temp file + rename), creating the directory if
+// needed.
+func WriteBundle(path string, t *Text, src Source, fingerprint uint64, plan *ShardPlan) error {
+	data, err := EncodeBundle(t, src, fingerprint, plan)
 	if err != nil {
 		return err
 	}
@@ -324,6 +362,153 @@ func LoadBundleDump(path string, fingerprint uint64) (*Text, error) {
 		return nil, err
 	}
 	return DecodeBundleDump(data, fingerprint)
+}
+
+// DecodeManifest parses and validates the shard-manifest section of a
+// bundle. Unlike every other decoder in this file it reports failure as
+// ok=false instead of an error: a missing or damaged manifest never
+// invalidates the bundle's index or dump — it only disables the delta
+// fast path, so callers fall back to a silent full analysis. Validation
+// covers the section CRC, the payload bounds, the shard assignment range
+// and the total line count against the bundle header, so a manifest that
+// decodes ok is internally consistent with its bundle.
+func DecodeManifest(data []byte) (*Manifest, bool) {
+	if len(data) < codecHeaderSize || string(data[0:4]) != codecMagic {
+		return nil, false
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != CodecVersion {
+		return nil, false
+	}
+	indexLen := int(binary.LittleEndian.Uint32(data[24:28]))
+	if indexLen < 0 || indexLen > len(data)-codecHeaderSize-dumpSectionHeaderSize {
+		return nil, false
+	}
+	sec := data[codecHeaderSize+indexLen:]
+	dumpLen := int(binary.LittleEndian.Uint32(sec[12:16]))
+	if dumpLen < 0 || dumpLen > len(sec)-dumpSectionHeaderSize-manifestSectionHeaderSize {
+		return nil, false
+	}
+	msec := sec[dumpSectionHeaderSize+dumpLen:]
+	mlen := int(binary.LittleEndian.Uint32(msec[4:8]))
+	if mlen < 0 || len(msec) != manifestSectionHeaderSize+mlen {
+		return nil, false
+	}
+	payload := msec[manifestSectionHeaderSize:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(msec[0:4]) {
+		return nil, false
+	}
+	m, err := decodeManifestPayload(payload)
+	if err != nil {
+		return nil, false
+	}
+	if m.TotalLines() != int(binary.LittleEndian.Uint32(data[16:20])) {
+		return nil, false
+	}
+	return m, true
+}
+
+// appendManifest serializes a Manifest: shard count, entry count, then
+// per entry name, fingerprint, line count and shard assignment.
+func appendManifest(buf []byte, m *Manifest) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Shards))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Entries)))
+	var fp [8]byte
+	for _, e := range m.Entries {
+		buf = appendString(buf, e.Name)
+		binary.LittleEndian.PutUint64(fp[:], e.Fingerprint)
+		buf = append(buf, fp[:]...)
+		buf = binary.AppendUvarint(buf, uint64(e.Lines))
+		buf = binary.AppendUvarint(buf, uint64(e.Shard))
+	}
+	return buf
+}
+
+// decodeManifestPayload reconstructs a Manifest, bounds-checking every
+// count so a corrupt payload decodes as an error, never a panic.
+func decodeManifestPayload(buf []byte) (*Manifest, error) {
+	shards, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if shards == 0 || shards > 0xffff {
+		return nil, fmt.Errorf("manifest claims %d shards", shards)
+	}
+	count, buf, err := readUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(buf)) {
+		return nil, fmt.Errorf("manifest claims %d entries, %d bytes remain", count, len(buf))
+	}
+	m := &Manifest{Entries: make([]ManifestEntry, count), Shards: int(shards)}
+	for i := range m.Entries {
+		var e ManifestEntry
+		if e.Name, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("manifest entry %d truncated", i)
+		}
+		e.Fingerprint = binary.LittleEndian.Uint64(buf[:8])
+		buf = buf[8:]
+		var lines, shard uint64
+		if lines, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if shard, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if lines > 1<<32 {
+			return nil, fmt.Errorf("manifest entry %d claims %d lines", i, lines)
+		}
+		if shard >= shards {
+			return nil, fmt.Errorf("manifest entry %d assigned to shard %d of %d", i, shard, shards)
+		}
+		e.Lines = int(lines)
+		e.Shard = int(shard)
+		m.Entries[i] = e
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after the manifest payload", len(buf))
+	}
+	return m, nil
+}
+
+// ShardPayloads splits a v3 bundle's index section into its per-shard
+// encoded payloads, paired with the manifest's shard fingerprints — the
+// feed of the service's cross-app shard store, which shares one postings
+// blob between every bundle whose shard has identical class contents.
+// ok=false on any inconsistency (no manifest, damaged index section,
+// shard-count mismatch); the store then simply learns nothing.
+func ShardPayloads(data []byte) (fps []uint64, payloads [][]byte, ok bool) {
+	m, mok := DecodeManifest(data)
+	if !mok {
+		return nil, nil, false
+	}
+	payload, err := indexSection(data)
+	if err != nil {
+		return nil, nil, false
+	}
+	// The payload split below trusts the index section's framing, so the
+	// section CRC must hold — the store must never learn a damaged blob.
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[20:24]) {
+		return nil, nil, false
+	}
+	shardCount := int(binary.LittleEndian.Uint16(data[6:8]))
+	if shardCount != m.Shards {
+		return nil, nil, false
+	}
+	lineCount := int(binary.LittleEndian.Uint32(data[16:20]))
+	payloads = make([][]byte, shardCount)
+	rest := payload
+	for i := 0; i < shardCount; i++ {
+		before := len(rest)
+		if _, rest, err = decodeShard(rest, lineCount); err != nil {
+			return nil, nil, false
+		}
+		payloads[i] = payload[len(payload)-before : len(payload)-len(rest)]
+	}
+	return m.ShardFingerprints(), payloads, true
 }
 
 // appendDump serializes a Text: the full rendered dump (lines are

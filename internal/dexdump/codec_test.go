@@ -1,6 +1,7 @@
 package dexdump
 
 import (
+	"bytes"
 	"encoding/binary"
 	"hash/crc32"
 	"os"
@@ -16,7 +17,7 @@ const testFingerprint uint64 = 0xfeedface
 
 func roundtrip(t *testing.T, text *Text, src Source) Source {
 	t.Helper()
-	data, err := EncodeBundle(text, src, testFingerprint)
+	data, err := EncodeBundle(text, src, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestCodecRoundtripShardedIndex(t *testing.T) {
 
 func TestCodecRoundtripDumpSection(t *testing.T) {
 	_, text := shardFixture(t)
-	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint)
+	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCodecRoundtripDumpSection(t *testing.T) {
 
 func TestCodecDumpSectionFingerprint(t *testing.T) {
 	_, text := shardFixture(t)
-	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint)
+	data, err := EncodeBundle(text, BuildIndex(text), testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestCodecDumpSectionFingerprint(t *testing.T) {
 		t.Error("dump section decoded without a fingerprint to validate against")
 	}
 	// A bundle written without a fingerprint can never validate its dump.
-	anon, err := EncodeBundle(text, BuildIndex(text), 0)
+	anon, err := EncodeBundle(text, BuildIndex(text), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestCodecDumpSectionFingerprint(t *testing.T) {
 func TestCodecDeterministicBytes(t *testing.T) {
 	_, text := shardFixture(t)
 	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 3), 2)
-	a, err := EncodeBundle(text, sharded, testFingerprint)
+	a, err := EncodeBundle(text, sharded, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EncodeBundle(text, sharded, testFingerprint)
+	b, err := EncodeBundle(text, sharded, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func indexPayloadBounds(data []byte) (int, int) {
 func TestCodecRejectsInvalidIndexSections(t *testing.T) {
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
-	good, err := EncodeBundle(text, idx, testFingerprint)
+	good, err := EncodeBundle(text, idx, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +224,14 @@ func TestCodecDumpCorruptionIsolatedFromIndex(t *testing.T) {
 	// dump probe.
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
-	good, err := EncodeBundle(text, idx, testFingerprint)
+	good, err := EncodeBundle(text, idx, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, ipEnd := indexPayloadBounds(good)
 
 	dumpFlip := append([]byte(nil), good...)
-	dumpFlip[len(dumpFlip)-1] ^= 0x01 // inside the dump payload
+	dumpFlip[ipEnd+dumpSectionHeaderSize] ^= 0x01 // first dump payload byte
 	if _, err := DecodeBundleDump(dumpFlip, testFingerprint); err == nil {
 		t.Error("corrupt dump payload validated")
 	}
@@ -260,12 +261,21 @@ func TestCodecDumpCorruptionIsolatedFromIndex(t *testing.T) {
 // section legitimately ignores, so equality on success is the invariant.
 func TestCodecBundleCorruptionFuzz(t *testing.T) {
 	_, text := shardFixture(t)
-	idx := BuildShardedIndex(text, PackagePrefixPlan(text, 2), 1)
-	good, err := EncodeBundle(text, idx, testFingerprint)
+	plan := PackagePrefixPlan(text, 2)
+	idx := BuildShardedIndex(text, plan, 1)
+	good, err := EncodeBundle(text, idx, testFingerprint, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantIdx := lookups(idx)
+	wantMan, ok := DecodeManifest(good)
+	if !ok {
+		t.Fatal("pristine bundle has no decodable manifest")
+	}
+	wantFPs, wantPayloads, ok := ShardPayloads(good)
+	if !ok {
+		t.Fatal("pristine bundle yields no shard payloads")
+	}
 
 	check := func(name string, data []byte) {
 		t.Helper()
@@ -285,6 +295,28 @@ func TestCodecBundleCorruptionFuzz(t *testing.T) {
 		if dump, err := DecodeBundleDump(data, testFingerprint); err == nil {
 			if dump.String() != text.String() {
 				t.Fatalf("%s: dump decoded successfully but text differs", name)
+			}
+		}
+		// The manifest section obeys the same discipline: decode fails
+		// (the delta engine then silently runs full) or is identical.
+		if m, mok := DecodeManifest(data); mok {
+			if len(m.Entries) != len(wantMan.Entries) || m.Shards != wantMan.Shards {
+				t.Fatalf("%s: manifest decoded successfully but shape differs", name)
+			}
+			for i := range m.Entries {
+				if m.Entries[i] != wantMan.Entries[i] {
+					t.Fatalf("%s: manifest entry %d differs: %+v vs %+v", name, i, m.Entries[i], wantMan.Entries[i])
+				}
+			}
+		}
+		if fps, payloads, pok := ShardPayloads(data); pok {
+			if len(fps) != len(wantFPs) {
+				t.Fatalf("%s: shard payload count differs", name)
+			}
+			for i := range fps {
+				if fps[i] != wantFPs[i] || !bytes.Equal(payloads[i], wantPayloads[i]) {
+					t.Fatalf("%s: shard payload %d differs", name, i)
+				}
 			}
 		}
 	}
@@ -361,7 +393,7 @@ func TestCodecMixedVersion(t *testing.T) {
 func TestCodecStaleAgainstDifferentDump(t *testing.T) {
 	_, text := shardFixture(t)
 	idx := BuildIndex(text)
-	data, err := EncodeBundle(text, idx, testFingerprint)
+	data, err := EncodeBundle(text, idx, testFingerprint, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +407,7 @@ func TestWriteLoadBundle(t *testing.T) {
 	_, text := shardFixture(t)
 	sharded := BuildShardedIndex(text, PackagePrefixPlan(text, 2), 1)
 	path := CachePath(filepath.Join(t.TempDir(), "nested"), "com.example.app")
-	if err := WriteBundle(path, text, sharded, testFingerprint); err != nil {
+	if err := WriteBundle(path, text, sharded, testFingerprint, nil); err != nil {
 		t.Fatal(err)
 	}
 	dec, err := LoadIndexCache(path, text)

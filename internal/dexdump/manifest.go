@@ -1,0 +1,258 @@
+package dexdump
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Shard manifest: the content-addressing layer below the whole-app
+// fingerprint. Every class span of a dump gets a stable FNV-64a
+// fingerprint of its name and body text, and every shard of the plan gets
+// a fingerprint folded from its spans' fingerprints in span order. Two
+// versions of an app (or two apps embedding the same SDK dex) produce
+// identical span fingerprints for identical class bodies, which is what
+// the delta engine's manifest diff and the service's cross-app shard
+// store key on. See DESIGN.md Sec. 10.
+
+// ManifestEntry describes one class span of the dump.
+type ManifestEntry struct {
+	Name        string // dotted class name, as in ClassSpan
+	Fingerprint uint64 // SpanFingerprint of the class body
+	Lines       int    // dump lines of the span
+	Shard       int    // shard the plan assigned the span to
+}
+
+// Manifest is the per-class content map of one bundle: every class span
+// in dump order, plus the shard count of the plan the bundle's index was
+// built with.
+type Manifest struct {
+	Entries []ManifestEntry
+	Shards  int
+}
+
+// SpanFingerprint hashes one class span: FNV-64a over the class name and
+// the span's dump lines, skipping the first line of the block (the
+// "Class #N" header embeds the class's position in the dump, which would
+// make the hash depend on where the class sits rather than what it
+// contains). Identical class bodies therefore fingerprint identically
+// across versions, positions and apps.
+func SpanFingerprint(t *Text, sp ClassSpan) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sp.Name))
+	h.Write([]byte{0})
+	for i := sp.Start + 1; i < sp.End; i++ {
+		h.Write([]byte(t.lines[i]))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// BuildManifest computes the manifest of a dump under a shard plan. A nil
+// plan (or one that does not tile this dump) assigns every span to shard
+// 0 of a single-shard layout.
+func BuildManifest(t *Text, plan *ShardPlan) *Manifest {
+	m := &Manifest{Entries: make([]ManifestEntry, len(t.spans)), Shards: 1}
+	assign := func(int) int { return 0 }
+	if plan != nil && len(plan.assign) == len(t.spans) && plan.shards >= 1 {
+		m.Shards = plan.shards
+		assign = func(i int) int { return plan.assign[i] }
+	}
+	for i, sp := range t.spans {
+		m.Entries[i] = ManifestEntry{
+			Name:        sp.Name,
+			Fingerprint: SpanFingerprint(t, sp),
+			Lines:       sp.End - sp.Start,
+			Shard:       assign(i),
+		}
+	}
+	return m
+}
+
+// ShardFingerprints folds the per-class fingerprints into one fingerprint
+// per shard (FNV-64a over the shard's entries in span order). Shards with
+// identical class contents — the same SDK dex embedded by two apps, or an
+// untouched shard across two versions — fingerprint identically, which is
+// the key of the service's cross-app shard store.
+func (m *Manifest) ShardFingerprints() []uint64 {
+	if m.Shards < 1 {
+		return nil
+	}
+	sums := make([]uint64, m.Shards)
+	var buf [8]byte
+	hashes := make([][]byte, m.Shards)
+	for _, e := range m.Entries {
+		if e.Shard < 0 || e.Shard >= m.Shards {
+			continue
+		}
+		b := hashes[e.Shard]
+		b = append(b, e.Name...)
+		b = append(b, 0)
+		binary.LittleEndian.PutUint64(buf[:], e.Fingerprint)
+		b = append(b, buf[:]...)
+		hashes[e.Shard] = b
+	}
+	for s := range sums {
+		h := fnv.New64a()
+		h.Write(hashes[s])
+		sums[s] = h.Sum64()
+	}
+	return sums
+}
+
+// ManifestDiff is the result of diffing two manifests, expressed as class
+// names: a class is Changed when both versions contain it with different
+// fingerprints, Added when only the new version does, Removed when only
+// the old one does. Shard counters compare shard fingerprints: a shard of
+// the new manifest whose fingerprint appears among the old manifest's
+// shard fingerprints is unchanged.
+type ManifestDiff struct {
+	Changed   []string
+	Added     []string
+	Removed   []string
+	Unchanged int // classes present in both versions with equal fingerprints
+
+	ShardsUnchanged int
+	ShardsChanged   int
+}
+
+// Touched returns the set of class names a delta run must treat as dirty:
+// changed, added and removed classes.
+func (d *ManifestDiff) Touched() map[string]bool {
+	set := make(map[string]bool, len(d.Changed)+len(d.Added)+len(d.Removed))
+	for _, n := range d.Changed {
+		set[n] = true
+	}
+	for _, n := range d.Added {
+		set[n] = true
+	}
+	for _, n := range d.Removed {
+		set[n] = true
+	}
+	return set
+}
+
+// classFold maps class name -> folded fingerprint, combining duplicate
+// names (which a merged multidex dump can in principle contain) in span
+// order so the fold stays deterministic.
+func classFold(m *Manifest) map[string]uint64 {
+	out := make(map[string]uint64, len(m.Entries))
+	for _, e := range m.Entries {
+		if prev, ok := out[e.Name]; ok {
+			h := fnv.New64a()
+			var buf [16]byte
+			binary.LittleEndian.PutUint64(buf[0:8], prev)
+			binary.LittleEndian.PutUint64(buf[8:16], e.Fingerprint)
+			h.Write(buf[:])
+			out[e.Name] = h.Sum64()
+			continue
+		}
+		out[e.Name] = e.Fingerprint
+	}
+	return out
+}
+
+// DiffManifests compares the old and new manifests class-by-class and
+// shard-by-shard. Class lists come back sorted by first appearance in the
+// new manifest (Removed: in the old), so the diff is deterministic.
+func DiffManifests(old, new *Manifest) *ManifestDiff {
+	d := &ManifestDiff{}
+	oldFold := classFold(old)
+	newFold := classFold(new)
+	seen := make(map[string]bool, len(new.Entries))
+	for _, e := range new.Entries {
+		if seen[e.Name] {
+			continue
+		}
+		seen[e.Name] = true
+		oldFp, ok := oldFold[e.Name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, e.Name)
+		case oldFp != newFold[e.Name]:
+			d.Changed = append(d.Changed, e.Name)
+		default:
+			d.Unchanged++
+		}
+	}
+	seenOld := make(map[string]bool, len(old.Entries))
+	for _, e := range old.Entries {
+		if seenOld[e.Name] {
+			continue
+		}
+		seenOld[e.Name] = true
+		if _, ok := newFold[e.Name]; !ok {
+			d.Removed = append(d.Removed, e.Name)
+		}
+	}
+	oldShards := make(map[uint64]bool)
+	for _, fp := range old.ShardFingerprints() {
+		oldShards[fp] = true
+	}
+	for _, fp := range new.ShardFingerprints() {
+		if oldShards[fp] {
+			d.ShardsUnchanged++
+		} else {
+			d.ShardsChanged++
+		}
+	}
+	return d
+}
+
+// TotalClasses returns the distinct class count of both manifests' union
+// — the size the shard-diff charge scales with.
+func (d *ManifestDiff) TotalClasses() int {
+	return d.Unchanged + len(d.Changed) + len(d.Added) + len(d.Removed)
+}
+
+// LinesOf sums the dump lines of the named classes in this manifest
+// (duplicate names count every occurrence).
+func (m *Manifest) LinesOf(classes map[string]bool) int {
+	n := 0
+	for _, e := range m.Entries {
+		if classes[e.Name] {
+			n += e.Lines
+		}
+	}
+	return n
+}
+
+// TotalLines sums every entry's dump lines.
+func (m *Manifest) TotalLines() int {
+	n := 0
+	for _, e := range m.Entries {
+		n += e.Lines
+	}
+	return n
+}
+
+// BuildPartialIndex tokenizes only the spans of the named classes into a
+// fresh single index. Postings keep global dump line numbers, so lookups
+// against the partial index return lines of the full dump — exactly what
+// the delta engine's replay probe needs: it re-runs a prior sink's
+// recorded search commands against just the dirty spans to prove none of
+// them gained a hit. The caller charges the meter for the tokenized
+// lines.
+func BuildPartialIndex(t *Text, classes map[string]bool) *Index {
+	idx := newIndex(0)
+	for _, sp := range t.spans {
+		if !classes[sp.Name] {
+			continue
+		}
+		for i := sp.Start; i < sp.End; i++ {
+			idx.addLine(int32(i), t.lines[i])
+		}
+		idx.lines += sp.End - sp.Start
+	}
+	return idx
+}
+
+// SpanOf returns the span of the named class (the first occurrence, for
+// the degenerate duplicate case) and whether it exists.
+func (t *Text) SpanOf(name string) (ClassSpan, bool) {
+	for _, sp := range t.spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return ClassSpan{}, false
+}

@@ -17,7 +17,14 @@ type Program struct {
 	mu       sync.Mutex
 	bodies   map[string]*Body
 	failures map[string]error
+	observer func(dex.MethodRef)
 }
+
+// SetObserver installs a hook that sees every Body lookup — cached or not
+// — before translation. The delta engine records which classes an
+// analysis touched through it; nil removes it. Not safe to change while
+// other goroutines use the program.
+func (p *Program) SetObserver(fn func(dex.MethodRef)) { p.observer = fn }
 
 // NewProgram wraps a dex file.
 func NewProgram(f *dex.File) *Program {
@@ -37,6 +44,9 @@ func (p *Program) Body(ref dex.MethodRef) (*Body, error) {
 	key := ref.SootSignature()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.observer != nil {
+		p.observer(ref)
+	}
 	if b, ok := p.bodies[key]; ok {
 		return b, nil
 	}

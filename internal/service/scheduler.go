@@ -195,9 +195,25 @@ type Scheduler struct {
 
 	journalUnits atomic.Int64 // control-plane work charged for appends
 
+	// prev remembers, per tenant+job name, the last successfully analyzed
+	// version: its content fingerprint and settled report. A resubmission
+	// of the same name with a different fingerprint is an app update; when
+	// the prior bundle is still in the store, the job runs the engine's
+	// incremental delta path against it (core.Options.DeltaFrom).
+	prevMu sync.Mutex
+	prev   map[string]prevRun
+
 	workerWG sync.WaitGroup
 	evMu     sync.Mutex
 }
+
+// prevRun is one remembered prior analysis of a job name.
+type prevRun struct {
+	fp     uint64
+	report *core.Report
+}
+
+func prevKey(tenant, name string) string { return tenant + "\x00" + name }
 
 type jobState struct {
 	id              JobID
@@ -229,6 +245,7 @@ func New(cfg Config) *Scheduler {
 		cfg:     cfg,
 		tenants: make(map[string]*tenant),
 		states:  make(map[JobID]*jobState),
+		prev:    make(map[string]prevRun),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.Journal != nil {
@@ -605,9 +622,19 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 			return flag.Load() || (user != nil && user())
 		}
 		release := func() {}
+		var fp uint64
 		if st.store != nil {
 			o.Bundles = st.store
-			fp := dexdump.AppFingerprint(app.Dexes)
+			fp = dexdump.AppFingerprint(app.Dexes)
+			if prev, ok := s.lastRun(st.tenant, res.Name); ok && prev.fp != fp && !o.PerAppSSG {
+				// Same job name, different content: an app update. When
+				// the prior version's bundle is still cached, hand it to
+				// the engine as the delta base; the engine itself falls
+				// back to a full run if the base proves unusable.
+				if data, ok := st.store.GetBundle(prev.fp); ok {
+					o.DeltaFrom = &core.DeltaBase{Fingerprint: prev.fp, Bundle: data, Report: prev.report}
+				}
+			}
 			if !st.store.Contains(fp) {
 				// Single-build guarantee: concurrent jobs for one
 				// fingerprint serialize here, so the first performs the
@@ -640,6 +667,9 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 			}
 			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 		}
+		if st.store != nil && !res.BackDroid.TimedOut {
+			s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
+		}
 	}
 	if job.RunWholeApp {
 		res.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
@@ -654,6 +684,23 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// lastRun returns the remembered prior analysis of a tenant's job name.
+func (s *Scheduler) lastRun(tenant, name string) (prevRun, bool) {
+	s.prevMu.Lock()
+	defer s.prevMu.Unlock()
+	p, ok := s.prev[prevKey(tenant, name)]
+	return p, ok
+}
+
+// rememberRun records a settled analysis as the delta base for the next
+// submission of the same name. Timed-out reports are not remembered —
+// their sink list is incomplete, so they cannot seed a reuse decision.
+func (s *Scheduler) rememberRun(tenant, name string, fp uint64, report *core.Report) {
+	s.prevMu.Lock()
+	defer s.prevMu.Unlock()
+	s.prev[prevKey(tenant, name)] = prevRun{fp: fp, report: report}
 }
 
 // jobOptions resolves the engine options of a job: its own, else the

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"sync"
+
+	"backdroid/internal/dexdump"
+)
+
+// ShardStats are the counters of a ShardStore, taken atomically.
+type ShardStats struct {
+	Entries      int   // distinct shard payloads held
+	Bytes        int64 // unique bytes held
+	Puts         int64 // new shard payloads learned
+	Hits         int64 // observed shards already present (dedup hits)
+	Misses       int64 // Get probes that found nothing
+	BytesDeduped int64 // bytes not re-stored because an identical payload existed
+}
+
+// ShardStore is the corpus-wide shard-level content store below the
+// BundleStore: encoded per-shard postings payloads keyed by shard
+// fingerprint (dexdump.Manifest.ShardFingerprints). Two bundles whose
+// shards have identical class contents — two versions of an app that
+// changed one class, or two apps embedding the same SDK dex — share one
+// stored payload, so the marginal index bytes of an app update are only
+// its changed shards.
+//
+// Unlike the BundleStore, the shard store never evicts: it is the
+// cross-app dedup layer, and its value is exactly that it outlives any
+// single bundle's LRU lifetime. Its memory is bounded by the unique
+// shard contents of the corpus, which dedup keeps far below the sum of
+// bundle sizes.
+//
+// A ShardStore is safe for concurrent use. Attach one to a BundleStore
+// with AttachShardStore; every admitted bundle then feeds it.
+type ShardStore struct {
+	mu    sync.Mutex
+	blobs map[uint64][]byte
+	stats ShardStats
+}
+
+// NewShardStore builds an empty shard store.
+func NewShardStore() *ShardStore {
+	return &ShardStore{blobs: make(map[uint64][]byte)}
+}
+
+// AttachShardStore connects the shard store to this bundle store: every
+// subsequently admitted bundle's shard payloads are observed. Attach
+// before the first Put; attaching is not retroactive.
+func (s *BundleStore) AttachShardStore(ss *ShardStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = ss
+}
+
+// ShardStoreStats returns the attached shard store's counters (zero
+// stats when none is attached).
+func (s *BundleStore) ShardStoreStats() ShardStats {
+	s.mu.Lock()
+	ss := s.shards
+	s.mu.Unlock()
+	if ss == nil {
+		return ShardStats{}
+	}
+	return ss.Stats()
+}
+
+// Observe splits a v3 bundle into per-shard payloads and stores each
+// payload under its shard fingerprint. Payloads already present count as
+// dedup hits and their bytes as deduped. Bundles without a readable
+// manifest (v2, damaged) teach the store nothing.
+func (s *ShardStore) Observe(bundle []byte) {
+	fps, payloads, ok := dexdump.ShardPayloads(bundle)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, fp := range fps {
+		p := payloads[i]
+		if _, present := s.blobs[fp]; present {
+			s.stats.Hits++
+			s.stats.BytesDeduped += int64(len(p))
+			continue
+		}
+		// The subslice shares the bundle's backing array; bundle bytes
+		// are immutable once stored, so no copy is needed.
+		s.blobs[fp] = p
+		s.stats.Puts++
+		s.stats.Bytes += int64(len(p))
+	}
+}
+
+// Get returns the stored payload for a shard fingerprint.
+func (s *ShardStore) Get(fingerprint uint64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.blobs[fingerprint]
+	if !ok {
+		s.stats.Misses++
+	}
+	return p, ok
+}
+
+// Stats returns the current counters.
+func (s *ShardStore) Stats() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.blobs)
+	return st
+}

@@ -20,6 +20,7 @@ type StoreStats struct {
 	Puts      int64 // PutBundle calls that inserted a new entry
 	Refreshes int64 // PutBundle calls for an already-present fingerprint
 	Evictions int64 // entries dropped to satisfy the byte budget
+	Drops     int64 // entries removed by DropBundle (failed validation)
 }
 
 // BundleStore is an in-memory content-addressed cache of encoded .bdx
@@ -44,6 +45,10 @@ type BundleStore struct {
 	// inflight serializes bundle construction per fingerprint (see
 	// LockFingerprint).
 	inflight map[uint64]*fpLock
+
+	// shards, when attached, learns the per-shard postings payloads of
+	// every admitted bundle (see ShardStore).
+	shards *ShardStore
 }
 
 type storeEntry struct {
@@ -105,6 +110,10 @@ func (s *BundleStore) PutBundle(fingerprint uint64, data []byte) {
 	s.entries[fingerprint] = s.lru.PushFront(&storeEntry{fingerprint: fingerprint, data: data})
 	s.bytes += int64(len(data))
 	s.stats.Puts++
+	if s.shards != nil {
+		// The shard store has its own lock and never calls back here.
+		s.shards.Observe(data)
+	}
 	for s.budget > 0 && s.bytes > s.budget {
 		back := s.lru.Back()
 		if back == nil {
@@ -134,7 +143,7 @@ func (s *BundleStore) DropBundle(fingerprint uint64) {
 	s.lru.Remove(el)
 	delete(s.entries, fingerprint)
 	s.bytes -= int64(len(ent.data))
-	s.stats.Evictions++
+	s.stats.Drops++
 }
 
 // Contains reports whether the fingerprint is cached, without touching

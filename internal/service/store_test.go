@@ -89,8 +89,8 @@ func TestStoreDropBundle(t *testing.T) {
 	if !ok || len(data) != 20 || data[0] != 'b' {
 		t.Fatalf("put after drop = (%d bytes, %v), want the new 20-byte entry", len(data), ok)
 	}
-	if st := s.Stats(); st.Entries != 1 || st.Bytes != 20 || st.Evictions != 1 {
-		t.Fatalf("stats = %+v, want 1 entry / 20 bytes / 1 eviction", st)
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 20 || st.Drops != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 entry / 20 bytes / 1 drop / 0 evictions", st)
 	}
 }
 

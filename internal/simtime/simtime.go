@@ -88,6 +88,23 @@ const (
 	// load in the scheduler's closure — never shows up in profiles.
 	CancelCheckpointUnits = 32
 
+	// ShardDiffClassesPerUnit is how many class-span fingerprints one work
+	// unit compares when diffing the shard manifests of two app versions.
+	// A manifest entry is a precomputed 64-bit hash plus a name, so the
+	// diff is a map probe per class — far cheaper than touching any dump
+	// line. Charged once per delta run over the union of both versions'
+	// class counts.
+	ShardDiffClassesPerUnit = 128
+
+	// DeltaReuseLinesPerUnit is how many dump text lines' worth of settled
+	// analysis one work unit carries over from the previous version's
+	// report during a delta run. Reuse copies a finished sink verdict and
+	// revalidates its footprint against the manifest diff — no search, no
+	// slicing, no propagation — so it is priced at ~2x the bundle-store
+	// load rate: cheaper than re-reading the dump, because only the
+	// footprint's classes are touched.
+	DeltaReuseLinesPerUnit = 1600
+
 	// JournalAppendUnits is the charged cost of appending one record to
 	// the control plane's job journal: an in-memory encode plus a
 	// buffered sequential write, tiny next to any analysis pass. The
@@ -257,6 +274,27 @@ func (m *Meter) ChargeBundleStoreLoad(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/BundleStoreLoadLinesPerUnit) + 1)
+}
+
+// ChargeShardDiff charges for diffing two shard manifests covering n class
+// spans in total (union of both versions). The diff compares precomputed
+// per-class fingerprints, so the cost scales with class count, not lines.
+func (m *Meter) ChargeShardDiff(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/ShardDiffClassesPerUnit) + 1)
+}
+
+// ChargeDeltaReuse charges for carrying over settled analysis covering n
+// dump text lines from a prior version's report — the delta path that
+// replaces search, slicing and propagation for sinks whose footprint
+// touches only unchanged classes.
+func (m *Meter) ChargeDeltaReuse(n int) error {
+	if n <= 0 {
+		return m.Charge(1)
+	}
+	return m.Charge(int64(n/DeltaReuseLinesPerUnit) + 1)
 }
 
 // ChargeParallelLookup charges for a shard-parallel postings lookup whose
