@@ -1,15 +1,20 @@
 // Command backdroidd is the long-running batch analysis service: a
 // multi-tenant job queue over the BackDroid engine with an in-memory
-// content-addressed bundle store, a durable job journal and cooperative
-// in-flight cancellation. Re-analyses of an app the service has already
-// seen perform zero disassembly, zero index builds and zero bundle disk
-// I/O; a restarted service replays its journal and finishes the queue it
-// died with.
+// content-addressed bundle store, a settled-result report store, a
+// durable job journal and cooperative in-flight cancellation.
+// Re-analyses of an app the service has already seen perform zero
+// disassembly, zero index builds and zero bundle disk I/O; resubmitting
+// a settled (app, options) pair performs zero engine work at all — the
+// report is served from the content-addressed settled tier in O(1). A
+// restarted service replays its journal, finishes the queue it died
+// with and repopulates the settled tier from the journal's persistent
+// report section.
 //
 // Usage:
 //
 //	backdroidd [-workers N] [-queue N] [-store-budget BYTES] [-backend B]
 //	           [-index-cache DIR] [-journal DIR] [-tenants SPEC]
+//	           [-report-budget BYTES] [-http ADDR]
 //	           [-parallel-lookups] [-auto-parallel-lookups] [-stats]
 //
 // -journal DIR makes the queue durable: submissions and outcomes are
@@ -20,6 +25,13 @@
 // "paid=3,free=1"); unknown tenants are admitted at weight 1. Dispatch
 // across tenants with queued work is deterministic weighted round-robin,
 // so one tenant's backlog cannot head-of-line-block another's submits.
+//
+// -http ADDR additionally serves the typed HTTP/JSON gateway
+// (internal/service/api): POST /v1/jobs, GET /v1/jobs/{id}, DELETE
+// /v1/jobs/{id}, GET /v1/reports/{app}/{options}, GET /v1/stats and an
+// SSE stream at GET /v1/events. Both front ends drive one shared
+// dispatcher, so a job submitted over HTTP streams its events to stdin
+// subscribers and vice versa.
 //
 // The service reads commands from stdin, one per line, and streams typed
 // events to stdout as jobs progress:
@@ -47,16 +59,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 
-	"backdroid/internal/apk"
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/service"
+	"backdroid/internal/service/api"
 	"backdroid/internal/service/journal"
 )
 
@@ -65,10 +79,12 @@ type config struct {
 	workers      int
 	queue        int
 	storeBudget  int64
+	reportBudget int64
 	backend      string
 	indexCache   string
 	journalDir   string
 	tenants      string
+	httpAddr     string
 	parallel     bool
 	autoParallel bool
 	stats        bool
@@ -80,6 +96,8 @@ func main() {
 	flag.IntVar(&cfg.queue, "queue", 0, "per-tenant job queue depth (0 = 2x workers)")
 	flag.Int64Var(&cfg.storeBudget, "store-budget", 256<<20,
 		"in-memory bundle store byte budget (0 = unlimited, -1 = store disabled)")
+	flag.Int64Var(&cfg.reportBudget, "report-budget", 64<<20,
+		"settled-report store byte budget (0 = unlimited, -1 = settled tier disabled)")
 	flag.StringVar(&cfg.backend, "backend", "sharded", "search backend: indexed, sharded or linear")
 	flag.StringVar(&cfg.indexCache, "index-cache", "",
 		"directory for persistent dump+index bundles (empty = memory only)")
@@ -87,6 +105,8 @@ func main() {
 		"directory for the durable job journal (empty = in-memory queue only)")
 	flag.StringVar(&cfg.tenants, "tenants", "",
 		"tenant weights as comma-separated name=weight pairs (e.g. paid=3,free=1)")
+	flag.StringVar(&cfg.httpAddr, "http", "",
+		"serve the HTTP/JSON gateway on this address (empty = stdin only)")
 	flag.BoolVar(&cfg.parallel, "parallel-lookups", false,
 		"fan hot-token shard lookups out on the worker pool")
 	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
@@ -123,9 +143,10 @@ func parseTenants(spec string) (map[string]service.TenantConfig, error) {
 	return out, nil
 }
 
-// serve runs the command loop: it owns the scheduler, forwards stdin
-// commands to it, and prints the event stream. Split from main so tests
-// drive it with in-memory pipes.
+// serve runs the command loop: it builds the shared dispatcher, forwards
+// stdin commands to it (and, with -http, serves the gateway over the
+// same dispatcher), and prints the event stream. Split from main so
+// tests drive it with in-memory pipes.
 func serve(in io.Reader, out io.Writer, cfg config) error {
 	backend, err := bcsearch.ParseBackend(cfg.backend)
 	if err != nil {
@@ -157,16 +178,28 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 		jnl = j
 		defer jnl.Close()
 	}
-	events := make(chan service.Event, 64)
-	sched := service.New(service.Config{
-		Workers:       cfg.workers,
-		QueueDepth:    cfg.queue,
-		Tenants:       tenants,
-		Options:       &opts,
-		IndexCacheDir: cfg.indexCache,
-		Store:         store,
-		Journal:       jnl,
-		Events:        events,
+	var reports *service.ReportStore
+	if cfg.reportBudget >= 0 {
+		reports = service.NewReportStore(cfg.reportBudget)
+		if jnl != nil {
+			// The journal's persistent report section: settled reports
+			// survive restarts, so a resubmission of yesterday's corpus
+			// is answered without touching the engine.
+			reports.AttachJournal(jnl)
+			reports.Recover()
+		}
+	}
+	d := api.NewDispatcher(api.DispatcherConfig{
+		Scheduler: service.Config{
+			Workers:       cfg.workers,
+			QueueDepth:    cfg.queue,
+			Tenants:       tenants,
+			Options:       &opts,
+			IndexCacheDir: cfg.indexCache,
+			Store:         store,
+			Journal:       jnl,
+			Reports:       reports,
+		},
 	})
 
 	// One writer goroutine serializes event lines against command
@@ -177,74 +210,79 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 		fmt.Fprintf(out, format, args...)
 		mu.Unlock()
 	}
+	sub := d.Subscribe()
 	var drain sync.WaitGroup
 	drain.Add(1)
 	go func() {
 		defer drain.Done()
-		for ev := range events {
-			printEvent(printf, ev, cfg.stats)
-			// Terminal events reap the scheduler's retained job state —
-			// the event line is this protocol's result delivery, so a
-			// long-running service must not accumulate finished reports.
-			switch ev.Kind {
-			case service.EventDone, service.EventFailed, service.EventCanceled:
-				sched.Forget(ev.Job)
+		for {
+			ev, ok := sub.Next()
+			if !ok {
+				return
 			}
+			printf("%s", api.EventLine(ev, cfg.stats))
 		}
 	}()
+
+	if cfg.httpAddr != "" {
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			d.Close()
+			drain.Wait()
+			return err
+		}
+		srv := &http.Server{Handler: api.NewHandler(d)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		printf("http addr=%s\n", ln.Addr())
+	}
 
 	// Startup replay: re-enqueue the queue the previous process died
 	// with. The replayed jobs stream queued/started/... events exactly
 	// like fresh submits, under their original ids.
 	if jnl != nil {
-		printf("recovered jobs=%d\n", recoverJobs(sched))
+		rec, _ := d.Recover()
+		printf("recovered jobs=%d\n", rec.Jobs)
 	}
 
 	abandon := false // die: exit without draining the queue
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 64*1024), 64*1024)
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		cmd, err := api.ParseLine(sc.Text())
+		if err != nil {
+			printf("error: %v\n", err)
 			continue
 		}
-		cmd, arg := line, ""
-		if i := strings.IndexByte(line, ' '); i >= 0 {
-			cmd, arg = line[:i], strings.TrimSpace(line[i+1:])
-		}
-		switch cmd {
-		case "quit", "exit":
+		switch cmd.Kind {
+		case api.CmdNone:
+			continue
+		case api.CmdQuit:
 			goto shutdown
-		case "die":
+		case api.CmdDie:
 			abandon = true
 			goto shutdown
-		case "stats":
-			printf("%s", statsLines(sched))
-		case "recover":
-			if jnl == nil {
-				printf("error: no journal configured (-journal DIR)\n")
-				continue
-			}
-			printf("recovered jobs=%d\n", recoverJobs(sched))
-		case "cancel":
-			id, err := strconv.ParseInt(arg, 10, 64)
+		case api.CmdStats:
+			printf("%s", api.StatsLines(d.Stats(api.StatsRequest{})))
+		case api.CmdRecover:
+			rec, err := d.Recover()
 			if err != nil {
-				printf("error: cancel wants a job id, got %q\n", arg)
+				printf("error: %v\n", err)
 				continue
 			}
-			if !sched.Cancel(service.JobID(id)) {
-				printf("error: job %d not cancelable (unknown, finished or already canceled)\n", id)
+			printf("recovered jobs=%d\n", rec.Jobs)
+		case api.CmdCancel:
+			if _, err := d.Cancel(cmd.Cancel); err != nil {
+				printf("error: %v\n", err)
 			}
-		case "submit":
-			submit(sched, printf, arg)
-		default:
-			// A bare path is a submit.
-			submit(sched, printf, line)
+		case api.CmdSubmit:
+			if _, err := d.Submit(cmd.Submit); err != nil {
+				printf("error: submit %s: %v\n", cmd.Submit.Path, err)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		sched.Close()
-		close(events)
+		d.Close()
 		drain.Wait()
 		return err
 	}
@@ -254,132 +292,12 @@ shutdown:
 		// Crash drill: stop dispatching, finish only the running jobs,
 		// abandon the rest of the queue. With a journal the abandoned
 		// jobs stay pending on disk and replay on the next start.
-		sched.Halt()
-		close(events)
+		d.Halt()
 		drain.Wait()
 		return nil
 	}
-	sched.Close()
-	close(events)
+	d.Close()
 	drain.Wait()
-	printf("%s", statsLines(sched))
+	printf("%s", api.StatsLines(d.Stats(api.StatsRequest{})))
 	return nil
-}
-
-// recoverJobs replays the journal's pending submits as runnable jobs;
-// each record's Spec is the APK path the original submit named.
-func recoverJobs(sched *service.Scheduler) int {
-	return sched.Recover(func(rec journal.Record) (service.Job, bool) {
-		path := rec.Spec
-		if path == "" {
-			return service.Job{}, false
-		}
-		return service.Job{
-			Name:         rec.Name,
-			Tenant:       rec.Tenant,
-			Spec:         path,
-			Source:       func() (*apk.App, error) { return apk.Load(path) },
-			RunBackDroid: true,
-		}, true
-	})
-}
-
-// submit queues one APK path, optionally under a tenant
-// ("tenant=NAME PATH"); the file is opened lazily on the worker, so a bad
-// path surfaces as a failed event, not a submit error.
-func submit(sched *service.Scheduler, printf func(string, ...any), arg string) {
-	tenant := ""
-	if rest, ok := strings.CutPrefix(arg, "tenant="); ok {
-		t, path, ok := strings.Cut(rest, " ")
-		if !ok {
-			printf("error: submit wants a path\n")
-			return
-		}
-		tenant, arg = t, strings.TrimSpace(path)
-	}
-	if arg == "" {
-		printf("error: submit wants a path\n")
-		return
-	}
-	path := arg
-	name := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".apk")
-	_, err := sched.Submit(service.Job{
-		Name:         name,
-		Tenant:       tenant,
-		Spec:         path,
-		Source:       func() (*apk.App, error) { return apk.Load(path) },
-		RunBackDroid: true,
-	})
-	if err != nil {
-		printf("error: submit %s: %v\n", path, err)
-	}
-}
-
-// printEvent renders one scheduler event as a stable single line. Sink
-// and done lines carry the deterministic detection fields first, so
-// diffing two submissions of the same app checks reuse end to end.
-func printEvent(printf func(string, ...any), ev service.Event, stats bool) {
-	switch ev.Kind {
-	case service.EventSink:
-		s := ev.Sink
-		printf("sink id=%d app=%s sink=%s caller=%s reachable=%v insecure=%v values=%v\n",
-			ev.Job, ev.Name, s.Call.Sink.Method.SootSignature(),
-			s.Call.Caller.SootSignature(), s.Reachable, s.Insecure, s.Values)
-	case service.EventDone:
-		r := ev.Result.BackDroid
-		line := fmt.Sprintf("done id=%d app=%s sinks=%d insecure=%d",
-			ev.Job, ev.Name, len(r.Sinks), len(r.InsecureSinks()))
-		if stats {
-			st := r.Stats
-			storeState := "off"
-			switch {
-			case st.BundleStoreHits > 0:
-				storeState = "hit"
-			case st.BundleStoreMisses > 0:
-				storeState = "miss"
-			}
-			line += fmt.Sprintf(" units=%d store=%s disassembled=%d builds=%d memo=%d",
-				st.WorkUnits, storeState, st.DumpLinesDisassembled,
-				st.Search.IndexBuilds, st.ForwardMemoHits)
-			if st.ShardsUnchanged+st.ShardsChanged > 0 {
-				line += fmt.Sprintf(" delta_shards=%d/%d reused=%d rerun=%d",
-					st.ShardsUnchanged, st.ShardsUnchanged+st.ShardsChanged,
-					st.SinksReused, st.SinksRerun)
-			}
-		}
-		printf("%s\n", line)
-	case service.EventFailed:
-		printf("failed id=%d app=%s err=%v\n", ev.Job, ev.Name, ev.Err)
-	default:
-		printf("%s id=%d app=%s\n", ev.Kind, ev.Job, ev.Name)
-	}
-}
-
-// statsLines renders the bundle-store, per-tenant dispatch, journal and
-// cancellation counters, one stable line each.
-func statsLines(sched *service.Scheduler) string {
-	var b strings.Builder
-	if store := sched.Store(); store == nil {
-		b.WriteString("stats store=disabled\n")
-	} else {
-		st := store.Stats()
-		fmt.Fprintf(&b, "stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d drops=%d\n",
-			st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions, st.Drops)
-		sh := store.ShardStoreStats()
-		fmt.Fprintf(&b, "stats shardstore entries=%d bytes=%d puts=%d hits=%d deduped=%d\n",
-			sh.Entries, sh.Bytes, sh.Puts, sh.Hits, sh.BytesDeduped)
-	}
-	ss := sched.Stats()
-	for _, t := range ss.Tenants {
-		fmt.Fprintf(&b, "stats tenant name=%s weight=%d queued=%d submitted=%d dispatched=%d canceled_queued=%d canceled_running=%d\n",
-			t.Name, t.Weight, t.Queued, t.Submitted, t.Dispatched,
-			t.CanceledQueued, t.CanceledRunning)
-	}
-	if jnl := sched.Journal(); jnl != nil {
-		js := jnl.Stats()
-		fmt.Fprintf(&b, "stats journal records=%d bytes=%d pending=%d appends=%d compactions=%d recovered=%d dropped=%d units=%d\n",
-			js.Records, js.Bytes, js.Pending, js.Appends, js.Compactions,
-			js.Recovered, js.Dropped, ss.JournalUnits)
-	}
-	return b.String()
 }

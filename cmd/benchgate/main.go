@@ -21,13 +21,20 @@
 //     detection output for every mutation kind, a one-class update
 //     (change-literal, add-class) must charge under 10% of its cold
 //     re-analysis, and the shard store must dedup postings bytes across
-//     the two versions.
+//     the two versions;
+//   - the settled-storm leg (BENCH_settled.json): the corpus is analyzed
+//     cold once through a scheduler with a report store, then resubmitted
+//     ten more times. Every storm pass must be served entirely from the
+//     settled tier — zero disassembly, zero index builds, one settled
+//     lookup per app — with canonical report encodings bitwise identical
+//     to the cold pass, and the whole storm must charge under 1% of the
+//     cold pass.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
 //	          [-warm-out FILE] [-service-out FILE] [-delta-out FILE]
-//	          [-tolerance F] [-write-baseline]
+//	          [-settled-out FILE] [-tolerance F] [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -38,6 +45,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -185,6 +193,35 @@ type DeltaReport struct {
 	ShardStore ShardDedup `json:"shard_store"`
 }
 
+// SettledStoreStats is the report-store counter block of
+// BENCH_settled.json.
+type SettledStoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// SettledReport is the BENCH_settled.json schema: the resubmission-storm
+// leg. One scheduler with a report store analyzes the corpus cold, then
+// the same corpus is resubmitted StormPasses more times. The storm must
+// be served entirely from the settled tier: every resubmission one O(1)
+// settled lookup, zero disassembly, zero index builds, canonical report
+// encodings bitwise identical to the cold pass — and the whole storm
+// charging under 1% of the cold pass.
+type SettledReport struct {
+	Corpus         CorpusMeta        `json:"corpus"`
+	StormPasses    int               `json:"storm_passes"`
+	ColdPass       BackendCost       `json:"cold_pass"`
+	Storm          BackendCost       `json:"storm_total"` // all resubmissions summed
+	SettledLookups int64             `json:"settled_lookups"`
+	Store          SettledStoreStats `json:"report_store"`
+	ChargeRatio    float64           `json:"charge_ratio"`    // storm total / cold
+	SpeedupSettled float64           `json:"speedup_settled"` // cold / mean storm pass
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -211,17 +248,18 @@ func main() {
 		serviceOut = flag.String("service-out", "BENCH_service.json", "batch-reuse leg JSON path (empty = skip)")
 		tenantOut  = flag.String("tenant-out", "BENCH_tenant.json", "fair-dispatch leg JSON path (empty = skip)")
 		deltaOut   = flag.String("delta-out", "BENCH_delta.json", "delta-update leg JSON path (empty = skip)")
+		settledOut = flag.String("settled-out", "BENCH_settled.json", "settled-storm leg JSON path (empty = skip)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *settledOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath, settledOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -431,6 +469,48 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 			deltaOutPath, dr.ShardStore.BytesDeduped)
 	}
 
+	// Settled-storm leg: the corpus analyzed cold through a scheduler with
+	// a report store, then resubmitted ten more times. The storm must ride
+	// the settled tier end to end — O(1) lookups, bitwise-identical
+	// canonical reports — and charge under 1% of the cold pass.
+	if settledOutPath != "" {
+		const stormPasses = 10
+		sr, coldDet, stormDet, err := measureSettledStorm(meta, stormPasses)
+		if err != nil {
+			return err
+		}
+		if coldDet != detections["sharded"] || stormDet != detections["sharded"] {
+			return fmt.Errorf("settled-storm leg changed the detection output vs RunCorpus")
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %10d units cold, %10d units for %d storm passes (%.3f%%), %d settled lookups\n",
+			"settled-storm", sr.ColdPass.WorkUnits, sr.Storm.WorkUnits, sr.StormPasses,
+			100*sr.ChargeRatio, sr.SettledLookups)
+		if sr.Storm.IndexBuilds != 0 {
+			return fmt.Errorf("settled storm built %d indexes, want 0 (report store not serving)", sr.Storm.IndexBuilds)
+		}
+		if sr.Storm.DumpLinesCold != 0 {
+			return fmt.Errorf("settled storm disassembled %d dump lines, want 0", sr.Storm.DumpLinesCold)
+		}
+		if want := int64(apps) * int64(stormPasses); sr.SettledLookups != want {
+			return fmt.Errorf("settled storm charged %d settled lookups, want %d (one per resubmission)",
+				sr.SettledLookups, want)
+		}
+		if 100*sr.Storm.WorkUnits >= sr.ColdPass.WorkUnits {
+			return fmt.Errorf("settled storm charged %d units, over 1%% of the %d-unit cold pass",
+				sr.Storm.WorkUnits, sr.ColdPass.WorkUnits)
+		}
+		sdata, err := json.MarshalIndent(sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		sdata = append(sdata, '\n')
+		if err := os.WriteFile(settledOutPath, sdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (settled serving %.0fx cheaper per pass)\n",
+			settledOutPath, sr.SpeedupSettled)
+	}
+
 	// The warm-path trajectory artifact. The baseline's warm cost is read
 	// before any refresh, so the recorded speedup is against the previous
 	// PR's warm path.
@@ -560,6 +640,100 @@ func measureService(meta CorpusMeta) (ServiceReport, string, string, error) {
 		rep.SpeedupBatchReuse = float64(first.WorkUnits) / float64(second.WorkUnits)
 	}
 	return rep, firstDet, secondDet, nil
+}
+
+// measureSettledStorm is the resubmission-storm leg: one scheduler with
+// an unbounded report store, the corpus analyzed cold once and then
+// resubmitted passes more times. Every storm serving must carry the
+// bitwise-identical canonical encoding of the cold pass's report (the
+// content-address contract), and the only charged work in the storm is
+// the O(1) settled lookup per resubmission. The returned strings are the
+// cold pass's detection summary and the last storm pass's, for the
+// RunCorpus parity diff in run().
+func measureSettledStorm(meta CorpusMeta, passes int) (SettledReport, string, string, error) {
+	opts := core.DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	reports := service.NewReportStore(0)
+	sched := service.New(service.Config{
+		Workers: runtime.NumCPU(),
+		Options: &opts,
+		Reports: reports,
+	})
+	defer sched.Close()
+
+	// onePass runs the corpus through the shared scheduler and returns the
+	// summed cost, the detection summary, the settled-lookup count and the
+	// canonical encoding of every app's report.
+	onePass := func() (BackendCost, string, int64, map[string][]byte, error) {
+		run, err := experiments.RunCorpus(
+			appgen.CorpusOptions{Apps: meta.Apps, Seed: meta.Seed, SizeScale: meta.Scale},
+			experiments.RunConfig{RunBackDroid: true, Scheduler: sched})
+		if err != nil {
+			return BackendCost{}, "", 0, nil, err
+		}
+		var c BackendCost
+		var lookups int64
+		var det strings.Builder
+		enc := make(map[string][]byte, len(run.Apps))
+		for _, a := range run.Apps {
+			s := a.BackDroid.Stats
+			c.LinesScanned += s.Search.LinesScanned
+			c.PostingsScanned += s.Search.PostingsScanned
+			c.IndexBuilds += s.Search.IndexBuilds
+			c.DumpLinesCold += s.DumpLinesDisassembled
+			c.WorkUnits += s.WorkUnits
+			c.SimMinutes += s.SimMinutes
+			lookups += int64(s.SettledLookups)
+			enc[a.BackDroid.App] = service.EncodeReport(a.BackDroid)
+			fmt.Fprintf(&det, "== %s ==\n", a.BackDroid.App)
+			for _, sk := range a.BackDroid.Sinks {
+				fmt.Fprintf(&det, "%s r=%v i=%v %v\n", sk.Call, sk.Reachable, sk.Insecure, sk.Values)
+			}
+		}
+		return c, det.String(), lookups, enc, nil
+	}
+
+	cold, coldDet, coldLookups, coldEnc, err := onePass()
+	if err != nil {
+		return SettledReport{}, "", "", err
+	}
+	if coldLookups != 0 {
+		return SettledReport{}, "", "", fmt.Errorf("cold pass charged %d settled lookups, want 0", coldLookups)
+	}
+	rep := SettledReport{Corpus: meta, StormPasses: passes, ColdPass: cold}
+	var stormDet string
+	for p := 0; p < passes; p++ {
+		cost, det, lookups, enc, err := onePass()
+		if err != nil {
+			return SettledReport{}, "", "", err
+		}
+		for app, want := range coldEnc {
+			if !bytes.Equal(enc[app], want) {
+				return SettledReport{}, "", "", fmt.Errorf(
+					"storm pass %d: canonical encoding of %s diverges from the cold pass", p+1, app)
+			}
+		}
+		rep.Storm.LinesScanned += cost.LinesScanned
+		rep.Storm.PostingsScanned += cost.PostingsScanned
+		rep.Storm.IndexBuilds += cost.IndexBuilds
+		rep.Storm.DumpLinesCold += cost.DumpLinesCold
+		rep.Storm.WorkUnits += cost.WorkUnits
+		rep.Storm.SimMinutes += cost.SimMinutes
+		rep.SettledLookups += lookups
+		stormDet = det
+	}
+	st := reports.Stats()
+	rep.Store = SettledStoreStats{
+		Entries: st.Entries, Bytes: st.Bytes, Hits: st.Hits,
+		Misses: st.Misses, Puts: st.Puts, Evictions: st.Evictions,
+	}
+	if cold.WorkUnits > 0 {
+		rep.ChargeRatio = float64(rep.Storm.WorkUnits) / float64(cold.WorkUnits)
+	}
+	if rep.Storm.WorkUnits > 0 {
+		rep.SpeedupSettled = float64(cold.WorkUnits) * float64(passes) / float64(rep.Storm.WorkUnits)
+	}
+	return rep, coldDet, stormDet, nil
 }
 
 // measureFairDispatch runs the two-tenant interleave: tenant "heavy"

@@ -289,6 +289,14 @@ type Stats struct {
 	// the forward-pass memo cache (Options.MemoizeForwardPass).
 	ForwardMemoHits int64
 
+	// SettledLookups counts reports served whole from the settled-result
+	// tier (service.ReportStore): the job charged one O(1) lookup and ran
+	// no engine at all — zero disassembly, zero index builds, zero
+	// analysis. Set by the batch service, never by the engine itself; a
+	// report with SettledLookups > 0 carries the charged lookup cost in
+	// WorkUnits and the settled verdicts in Sinks.
+	SettledLookups int
+
 	// CancelPolls counts the cancellation checkpoints the meter hit
 	// (Options.Cancel); zero when no cancel poll is installed.
 	CancelPolls int64

@@ -1,0 +1,158 @@
+// The stdin wire protocol: line parsing and event/stats rendering.
+// These are the exact bytes cmd/backdroidd has always printed — the CI
+// resubmission-parity and crash-recovery legs diff this output across
+// runs, so any change here is a protocol change, not a refactor.
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"backdroid/internal/service"
+)
+
+// CommandKind types a parsed stdin protocol line.
+type CommandKind int
+
+// Stdin protocol commands.
+const (
+	// CmdNone is a blank or comment line: nothing to do.
+	CmdNone CommandKind = iota
+	CmdSubmit
+	CmdCancel
+	CmdStats
+	CmdRecover
+	CmdDie
+	CmdQuit
+)
+
+// Command is one parsed stdin protocol line, carrying the typed request
+// of its verb.
+type Command struct {
+	Kind   CommandKind
+	Submit SubmitRequest // Kind == CmdSubmit
+	Cancel CancelRequest // Kind == CmdCancel
+}
+
+// ParseLine parses one stdin protocol line into a typed command. Parse
+// errors carry the exact diagnostic the protocol prints after its
+// "error: " prefix.
+func ParseLine(line string) (Command, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Command{Kind: CmdNone}, nil
+	}
+	cmd, arg := line, ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		cmd, arg = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	switch cmd {
+	case "quit", "exit":
+		return Command{Kind: CmdQuit}, nil
+	case "die":
+		return Command{Kind: CmdDie}, nil
+	case "stats":
+		return Command{Kind: CmdStats}, nil
+	case "recover":
+		return Command{Kind: CmdRecover}, nil
+	case "cancel":
+		id, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return Command{}, fmt.Errorf("cancel wants a job id, got %q", arg)
+		}
+		return Command{Kind: CmdCancel, Cancel: CancelRequest{ID: id}}, nil
+	case "submit":
+		return parseSubmit(arg)
+	default:
+		// A bare path is a submit.
+		return parseSubmit(line)
+	}
+}
+
+// parseSubmit parses the submit argument form, optionally prefixed with
+// "tenant=NAME ".
+func parseSubmit(arg string) (Command, error) {
+	tenant := ""
+	if rest, ok := strings.CutPrefix(arg, "tenant="); ok {
+		t, path, ok := strings.Cut(rest, " ")
+		if !ok {
+			return Command{}, fmt.Errorf("submit wants a path")
+		}
+		tenant, arg = t, strings.TrimSpace(path)
+	}
+	if arg == "" {
+		return Command{}, fmt.Errorf("submit wants a path")
+	}
+	return Command{Kind: CmdSubmit, Submit: SubmitRequest{Tenant: tenant, Path: arg}}, nil
+}
+
+// EventLine renders one scheduler event as the stdin protocol's stable
+// single line (trailing newline included). Sink and done lines carry
+// the deterministic detection fields first, so diffing two submissions
+// of the same app checks reuse end to end; withStats appends the cost
+// counters to done lines.
+func EventLine(ev service.Event, withStats bool) string {
+	switch ev.Kind {
+	case service.EventSink:
+		s := ev.Sink
+		return fmt.Sprintf("sink id=%d app=%s sink=%s caller=%s reachable=%v insecure=%v values=%v\n",
+			ev.Job, ev.Name, s.Call.Sink.Method.SootSignature(),
+			s.Call.Caller.SootSignature(), s.Reachable, s.Insecure, s.Values)
+	case service.EventDone:
+		r := ev.Result.BackDroid
+		line := fmt.Sprintf("done id=%d app=%s sinks=%d insecure=%d",
+			ev.Job, ev.Name, len(r.Sinks), len(r.InsecureSinks()))
+		if withStats {
+			st := r.Stats
+			line += fmt.Sprintf(" units=%d store=%s disassembled=%d builds=%d memo=%d",
+				st.WorkUnits, storeState(st), st.DumpLinesDisassembled,
+				st.Search.IndexBuilds, st.ForwardMemoHits)
+			if st.ShardsUnchanged+st.ShardsChanged > 0 {
+				line += fmt.Sprintf(" delta_shards=%d/%d reused=%d rerun=%d",
+					st.ShardsUnchanged, st.ShardsUnchanged+st.ShardsChanged,
+					st.SinksReused, st.SinksRerun)
+			}
+		}
+		return line + "\n"
+	case service.EventFailed:
+		return fmt.Sprintf("failed id=%d app=%s err=%v\n", ev.Job, ev.Name, ev.Err)
+	default:
+		return fmt.Sprintf("%s id=%d app=%s\n", ev.Kind, ev.Job, ev.Name)
+	}
+}
+
+// StatsLines renders the stats response as the protocol's stable lines:
+// bundle store, shard store, settled-report store, per-tenant dispatch
+// and journal counters, one line each. The settled-report line is the
+// only addition since the serving tier landed; every pre-existing line
+// is byte-identical to what the daemon always printed.
+func StatsLines(resp StatsResponse) string {
+	var b strings.Builder
+	if resp.Store == nil {
+		b.WriteString("stats store=disabled\n")
+	} else {
+		st := resp.Store
+		fmt.Fprintf(&b, "stats store entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d drops=%d\n",
+			st.Entries, st.Bytes, st.Hits, st.Misses, st.Puts, st.Evictions, st.Drops)
+		sh := resp.ShardStore
+		fmt.Fprintf(&b, "stats shardstore entries=%d bytes=%d puts=%d hits=%d deduped=%d\n",
+			sh.Entries, sh.Bytes, sh.Puts, sh.Hits, sh.BytesDeduped)
+	}
+	if rs := resp.Reports; rs != nil {
+		fmt.Fprintf(&b, "stats reports entries=%d bytes=%d hits=%d misses=%d puts=%d evictions=%d journaled=%d recovered=%d\n",
+			rs.Entries, rs.Bytes, rs.Hits, rs.Misses, rs.Puts, rs.Evictions,
+			rs.Journaled, rs.Recovered)
+	}
+	for _, t := range resp.Tenants {
+		fmt.Fprintf(&b, "stats tenant name=%s weight=%d queued=%d submitted=%d dispatched=%d canceled_queued=%d canceled_running=%d\n",
+			t.Name, t.Weight, t.Queued, t.Submitted, t.Dispatched,
+			t.CanceledQueued, t.CanceledRunning)
+	}
+	if js := resp.Journal; js != nil {
+		fmt.Fprintf(&b, "stats journal records=%d bytes=%d pending=%d appends=%d compactions=%d recovered=%d dropped=%d units=%d\n",
+			js.Records, js.Bytes, js.Pending, js.Appends, js.Compactions,
+			js.Recovered, js.Dropped, resp.JournalUnits)
+	}
+	return b.String()
+}

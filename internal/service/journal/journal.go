@@ -16,14 +16,16 @@
 // and each record is:
 //
 //	offset  size  field
-//	0       1     kind (KindSubmit..KindCanceled)
+//	0       1     kind (KindSubmit..KindReport)
 //	1       4     payload length (little endian)
 //	5       4     IEEE CRC-32 of kind byte + payload
 //	9       ...   payload
 //
 // Payloads hold the job id and, for submits, the tenant, display name and
 // an opaque spec string the service uses to rebuild the job (backdroidd
-// stores the APK path). Strings are u32-length-prefixed.
+// stores the APK path); settled-report records instead carry the
+// (app, options) fingerprint pair and the canonical encoded report.
+// Strings and byte blobs are u32-length-prefixed.
 //
 // The codec follows the .bdx discipline (internal/dexdump): every
 // validation failure — wrong magic, unknown version, bad CRC, truncation
@@ -31,9 +33,10 @@
 // failure. A torn tail (the crash happened mid-append) is truncated back
 // to the last whole record; anything after the first damaged record is
 // dropped, because without its length the stream cannot be resynchronized.
-// Compaction rewrites the file to hold only the still-pending submits and
-// replaces it atomically (write temp + rename), so a crash during
-// compaction leaves either the old file or the new one, never a mix.
+// Compaction rewrites the file to hold only the still-pending submits
+// plus the live settled-report records and replaces it atomically (write
+// temp + rename), so a crash during compaction leaves either the old
+// file or the new one, never a mix.
 package journal
 
 import (
@@ -70,7 +73,10 @@ const FileName = "journal.bdj"
 // Kind types a journal record. Per job the well-formed sequence is one
 // KindSubmit, at most one KindStart, then exactly one of
 // KindDone/KindFailed/KindCanceled; replay treats any submit without a
-// terminal record — started or not — as pending.
+// terminal record — started or not — as pending. KindReport records are
+// the journal's persistent settled-report section: independent of any
+// job's lifecycle, content-addressed by (app fingerprint, options
+// fingerprint), latest record per key wins.
 type Kind uint8
 
 // Record kinds.
@@ -80,6 +86,7 @@ const (
 	KindDone
 	KindFailed
 	KindCanceled
+	KindReport
 )
 
 // String names the record kind.
@@ -95,6 +102,8 @@ func (k Kind) String() string {
 		return "failed"
 	case KindCanceled:
 		return "canceled"
+	case KindReport:
+		return "report"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -106,7 +115,8 @@ func (k Kind) terminal() bool {
 
 // Record is one journal entry. Tenant, Name and Spec are set on submits
 // (Spec is the opaque string the service rebuilds the job from); Err is
-// set on failures.
+// set on failures; App/Opt/Data are set on settled-report records (the
+// content-address pair and the canonical encoded report).
 type Record struct {
 	Kind   Kind
 	Job    int64
@@ -114,13 +124,26 @@ type Record struct {
 	Name   string
 	Spec   string
 	Err    string
+	App    uint64 // KindReport: dexdump.AppFingerprint
+	Opt    uint64 // KindReport: service.OptionsFingerprint
+	Data   []byte // KindReport: canonical encoded report
 }
+
+// reportKey addresses one settled-report record.
+type reportKey struct{ app, opt uint64 }
+
+// MaxReportData caps the encoded-report payload of one KindReport
+// record. Append rejects larger reports (the store simply skips
+// persisting them — a truncated report would be useless), keeping every
+// accepted record within maxPayloadSize for the reader.
+const MaxReportData = 512 << 10
 
 // Stats are the counters of a Journal, taken atomically.
 type Stats struct {
 	Records     int64 // records in the live file
 	Bytes       int64 // live file size, header included
 	Pending     int   // submits without a terminal record
+	Reports     int   // live settled-report records (latest per key)
 	Appends     int64 // records appended by this process
 	Compactions int64 // atomic rewrites performed
 	Recovered   int64 // records replayed from disk at Open
@@ -139,6 +162,14 @@ type Journal struct {
 	order   []int64          // submission order of pending jobs
 	maxID   int64            // highest job id seen in any record
 	limit   int64            // auto-compaction threshold in bytes
+
+	// The persistent settled-report section: latest record per
+	// (app, options) key, in first-insertion order. Compaction retains
+	// these alongside the pending submits — a settled report is exactly
+	// the record whose whole point is surviving settled history getting
+	// compacted away.
+	reports     map[reportKey]Record
+	reportOrder []reportKey
 }
 
 // DefaultCompactLimit is the live-file size above which Append compacts
@@ -158,6 +189,7 @@ func Open(dir string) (*Journal, []Record, error) {
 	j := &Journal{
 		path:    filepath.Join(dir, FileName),
 		pending: make(map[int64]Record),
+		reports: make(map[reportKey]Record),
 		limit:   DefaultCompactLimit,
 	}
 	recs, keep := decodeFile(readFileOrEmpty(j.path))
@@ -232,7 +264,7 @@ func decodeRecord(data []byte) (Record, int64, bool) {
 		return Record{}, 0, false
 	}
 	kind := Kind(data[0])
-	if kind < KindSubmit || kind > KindCanceled {
+	if kind < KindSubmit || kind > KindReport {
 		return Record{}, 0, false
 	}
 	plen := binary.LittleEndian.Uint32(data[1:5])
@@ -276,6 +308,16 @@ func decodePayload(kind Kind, p []byte) (Record, bool) {
 		if r.Err, p, ok = getString(p); !ok {
 			return Record{}, false
 		}
+	case KindReport:
+		if r.App, p, ok = getU64(p); !ok {
+			return Record{}, false
+		}
+		if r.Opt, p, ok = getU64(p); !ok {
+			return Record{}, false
+		}
+		if r.Data, p, ok = getBytes(p); !ok {
+			return Record{}, false
+		}
 	}
 	return r, len(p) == 0
 }
@@ -298,6 +340,19 @@ func getString(p []byte) (string, []byte, bool) {
 	return string(p[4 : 4+n]), p[4+n:], true
 }
 
+func getBytes(p []byte) ([]byte, []byte, bool) {
+	if len(p) < 4 {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if int64(n) > int64(len(p))-4 {
+		return nil, nil, false
+	}
+	out := make([]byte, n)
+	copy(out, p[4:4+n])
+	return out, p[4+n:], true
+}
+
 // encodeRecord renders one record in the on-disk format.
 func encodeRecord(r Record) []byte {
 	var payload []byte
@@ -309,6 +364,10 @@ func encodeRecord(r Record) []byte {
 		payload = putString(payload, r.Spec)
 	case KindFailed:
 		payload = putString(payload, r.Err)
+	case KindReport:
+		payload = putU64(payload, r.App)
+		payload = putU64(payload, r.Opt)
+		payload = putBytes(payload, r.Data)
 	}
 	buf := make([]byte, recHeaderSize, recHeaderSize+len(payload))
 	buf[0] = byte(r.Kind)
@@ -335,6 +394,15 @@ func putString(b []byte, s string) []byte {
 	return append(append(b, n[:]...), s...)
 }
 
+// putBytes length-prefixes raw bytes. Unlike strings these are never
+// truncated — a truncated report would decode as garbage — so Append
+// bounds them with MaxReportData up front instead.
+func putBytes(b, data []byte) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(data)))
+	return append(append(b, n[:]...), data...)
+}
+
 func fileHeader() []byte {
 	buf := make([]byte, headerSize)
 	copy(buf[0:4], journalMagic)
@@ -342,7 +410,8 @@ func fileHeader() []byte {
 	return buf
 }
 
-// apply folds one record into the pending set.
+// apply folds one record into the pending set (or the settled-report
+// section, for KindReport).
 func (j *Journal) apply(r Record) {
 	if r.Job > j.maxID {
 		j.maxID = r.Job
@@ -355,6 +424,12 @@ func (j *Journal) apply(r Record) {
 		j.pending[r.Job] = r
 	case r.Kind.terminal():
 		delete(j.pending, r.Job)
+	case r.Kind == KindReport:
+		k := reportKey{r.App, r.Opt}
+		if _, ok := j.reports[k]; !ok {
+			j.reportOrder = append(j.reportOrder, k)
+		}
+		j.reports[k] = r
 	}
 }
 
@@ -363,6 +438,18 @@ func (j *Journal) pendingRecords() []Record {
 	out := make([]Record, 0, len(j.pending))
 	for _, id := range j.order {
 		if r, ok := j.pending[id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// reportRecords returns the live settled-report records (latest per key)
+// in first-insertion order.
+func (j *Journal) reportRecords() []Record {
+	out := make([]Record, 0, len(j.reports))
+	for _, k := range j.reportOrder {
+		if r, ok := j.reports[k]; ok {
 			out = append(out, r)
 		}
 	}
@@ -378,7 +465,11 @@ func (j *Journal) Append(r Record) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: closed")
 	}
-	if j.stats.Bytes > j.limit && j.stats.Records > 2*int64(len(j.pending)) {
+	if r.Kind == KindReport && len(r.Data) > MaxReportData {
+		return fmt.Errorf("journal: report record of %d bytes exceeds %d", len(r.Data), MaxReportData)
+	}
+	live := int64(len(j.pending) + len(j.reports))
+	if j.stats.Bytes > j.limit && j.stats.Records > 2*live {
 		// Auto-compaction is an optimization: if it fails the record is
 		// still appended to the (intact) uncompacted file — unless the
 		// failure lost the live handle, which compactLocked reports by
@@ -399,7 +490,7 @@ func (j *Journal) Append(r Record) error {
 }
 
 // Compact rewrites the live file to hold only the still-pending submits
-// and replaces it atomically.
+// plus the live settled-report section and replaces it atomically.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -411,10 +502,14 @@ func (j *Journal) Compact() error {
 
 func (j *Journal) compactLocked() error {
 	pend := j.pendingRecords()
+	reps := j.reportRecords()
+	keep := make([]Record, 0, len(pend)+len(reps))
+	keep = append(keep, pend...)
+	keep = append(keep, reps...)
 	// Replace the file first, while the live handle still points at the
 	// old inode: a failed rewrite leaves the journal exactly as it was,
 	// appends included.
-	size, err := j.rewrite(pend)
+	size, err := j.rewrite(keep)
 	if err != nil {
 		return err
 	}
@@ -430,14 +525,16 @@ func (j *Journal) compactLocked() error {
 	}
 	j.f.Close()
 	j.f = f
-	// Rebuild the pending bookkeeping from the compacted content so the
-	// order slice stops carrying settled ids.
+	// Rebuild the bookkeeping from the compacted content so the order
+	// slices stop carrying settled ids and superseded report keys.
 	j.pending = make(map[int64]Record, len(pend))
 	j.order = j.order[:0]
-	for _, r := range pend {
+	j.reports = make(map[reportKey]Record, len(reps))
+	j.reportOrder = j.reportOrder[:0]
+	for _, r := range keep {
 		j.apply(r)
 	}
-	j.stats.Records = int64(len(pend))
+	j.stats.Records = int64(len(keep))
 	j.stats.Bytes = size
 	j.stats.Compactions++
 	return nil
@@ -469,6 +566,15 @@ func (j *Journal) Pending() []Record {
 	return j.pendingRecords()
 }
 
+// Reports returns the live settled-report records (latest per key) in
+// first-insertion order — the persistent section a restarted report
+// store recovers from.
+func (j *Journal) Reports() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reportRecords()
+}
+
 // MaxJobID returns the highest job id the journal has seen in any record
 // — the floor a recovering scheduler must issue new ids above, so a
 // restarted service never reuses the id of a settled job.
@@ -484,6 +590,7 @@ func (j *Journal) Stats() Stats {
 	defer j.mu.Unlock()
 	st := j.stats
 	st.Pending = len(j.pending)
+	st.Reports = len(j.reports)
 	return st
 }
 

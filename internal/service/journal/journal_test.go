@@ -8,6 +8,14 @@ import (
 	"testing"
 )
 
+// recordsEqual compares two records field by field (Record holds a
+// []byte, so == does not compile).
+func recordsEqual(a, b Record) bool {
+	return a.Kind == b.Kind && a.Job == b.Job && a.Tenant == b.Tenant &&
+		a.Name == b.Name && a.Spec == b.Spec && a.Err == b.Err &&
+		a.App == b.App && a.Opt == b.Opt && bytes.Equal(a.Data, b.Data)
+}
+
 // writeLifecycle appends one job's full record sequence.
 func writeLifecycle(t *testing.T, j *Journal, id int64, terminal Kind) {
 	t.Helper()
@@ -157,6 +165,9 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 	if err := j.Append(Record{Kind: KindSubmit, Job: 4, Tenant: "t", Name: "n", Spec: "/x.apk"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := j.Append(Record{Kind: KindReport, App: 0xabc, Opt: 0xdef, Data: []byte("settled-report-bytes")}); err != nil {
+		t.Fatal(err)
+	}
 	j.Close()
 	path := filepath.Join(dir, FileName)
 	good, err := os.ReadFile(path)
@@ -191,7 +202,7 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 		seen := make(map[int64]Record)
 		var order []int64
 		for i, r := range recs {
-			if r != wantRecs[i] {
+			if !recordsEqual(r, wantRecs[i]) {
 				t.Fatalf("%s: record %d decoded as %+v, want %+v", name, i, r, wantRecs[i])
 			}
 			switch {
@@ -214,8 +225,26 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 			t.Fatalf("%s: pending = %+v, want %+v", name, pending, wantPending)
 		}
 		for i := range pending {
-			if pending[i] != wantPending[i] {
+			if !recordsEqual(pending[i], wantPending[i]) {
 				t.Fatalf("%s: pending[%d] = %+v, want %+v", name, i, pending[i], wantPending[i])
+			}
+		}
+		// The settled-report section must likewise be exactly what the
+		// surviving prefix implies — a damaged report record disappears,
+		// it never resurfaces with different bytes.
+		var wantReports []Record
+		for _, r := range recs {
+			if r.Kind == KindReport {
+				wantReports = append(wantReports, r)
+			}
+		}
+		gotReports := cj.Reports()
+		if len(gotReports) != len(wantReports) {
+			t.Fatalf("%s: reports = %+v, want %+v", name, gotReports, wantReports)
+		}
+		for i := range gotReports {
+			if !recordsEqual(gotReports[i], wantReports[i]) {
+				t.Fatalf("%s: report[%d] = %+v, want %+v", name, i, gotReports[i], wantReports[i])
 			}
 		}
 		// The healed file must itself append and re-open cleanly.
@@ -234,6 +263,117 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 	}
 	check("trailing", append(append([]byte(nil), good...), 0xAB))
 	check("empty", nil)
+}
+
+// TestJournalReportRecordsSurviveCompaction pins the settled-report
+// section's durability across compaction: settled job history is
+// dropped, live report records are retained (latest per key), and a
+// reopen replays them — the fix for compaction discarding the very
+// records whose point is surviving it.
+func TestJournalReportRecordsSurviveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 10; id++ {
+		writeLifecycle(t, j, id, KindDone)
+	}
+	writeLifecycle(t, j, 11, 0) // one pending job
+	reps := []Record{
+		{Kind: KindReport, App: 1, Opt: 10, Data: []byte("stale-one")},
+		{Kind: KindReport, App: 2, Opt: 20, Data: []byte("two")},
+		{Kind: KindReport, App: 1, Opt: 10, Data: []byte("one")}, // supersedes stale-one
+	}
+	for _, r := range reps {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Reports != 2 || st.Pending != 1 || st.Records != 3 {
+		t.Fatalf("after compaction: %+v, want 1 pending + 2 live reports", st)
+	}
+	checkReports := func(jj *Journal) {
+		t.Helper()
+		got := jj.Reports()
+		if len(got) != 2 {
+			t.Fatalf("reports = %+v, want 2", got)
+		}
+		// First-insertion order, latest data per key.
+		if got[0].App != 1 || string(got[0].Data) != "one" {
+			t.Fatalf("report[0] = %+v, want the superseding (1,10) record", got[0])
+		}
+		if got[1].App != 2 || string(got[1].Data) != "two" {
+			t.Fatalf("report[1] = %+v", got[1])
+		}
+	}
+	checkReports(j)
+	j.Close()
+
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 1 || pending[0].Job != 11 {
+		t.Fatalf("pending after compaction+reopen = %+v", pending)
+	}
+	checkReports(j2)
+}
+
+// TestJournalAutoCompactionKeepsReports pins that the automatic
+// compaction triggered mid-Append also retains the report section.
+func TestJournalAutoCompactionKeepsReports(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.limit = 512
+	if err := j.Append(Record{Kind: KindReport, App: 7, Opt: 8, Data: []byte("keep-me")}); err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 200; id++ {
+		writeLifecycle(t, j, id, KindDone)
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no automatic compaction despite settled history past the limit")
+	}
+	if st.Reports != 1 {
+		t.Fatalf("auto-compaction lost the report section: %+v", st)
+	}
+	got := j.Reports()
+	if len(got) != 1 || got[0].App != 7 || string(got[0].Data) != "keep-me" {
+		t.Fatalf("reports after auto-compaction = %+v", got)
+	}
+}
+
+// TestJournalReportOversizeRejected pins the append bound: a report
+// payload past MaxReportData is refused outright (the store skips
+// persisting it) — unlike strings, report bytes are never truncated,
+// because a truncated encoding would replay as damage.
+func TestJournalReportOversizeRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{Kind: KindReport, App: 1, Opt: 1, Data: make([]byte, MaxReportData+1)}); err == nil {
+		t.Fatal("oversized report record accepted")
+	}
+	if err := j.Append(Record{Kind: KindReport, App: 1, Opt: 1, Data: make([]byte, MaxReportData)}); err != nil {
+		t.Fatalf("boundary-sized report record rejected: %v", err)
+	}
+	if st := j.Stats(); st.Reports != 1 || st.Appends != 1 {
+		t.Fatalf("stats = %+v, want exactly the boundary record", st)
+	}
 }
 
 // TestJournalHealsDamagedTail pins that Open truncates a torn append back
@@ -280,7 +420,7 @@ func TestJournalRecordDeterministicBytes(t *testing.T) {
 		t.Fatal("encodeRecord not deterministic")
 	}
 	dec, n, ok := decodeRecord(a)
-	if !ok || n != int64(len(a)) || dec != r {
+	if !ok || n != int64(len(a)) || !recordsEqual(dec, r) {
 		t.Fatalf("roundtrip = %+v (%d bytes, ok=%v), want %+v", dec, n, ok, r)
 	}
 }

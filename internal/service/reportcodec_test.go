@@ -1,0 +1,175 @@
+package service
+
+import (
+	"bytes"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"backdroid/internal/android"
+	"backdroid/internal/core"
+	"backdroid/internal/dex"
+)
+
+// codecTestReport hand-builds a report exercising every encoded field:
+// multiple sinks, method refs with parameters, entries, values and every
+// flag combination the codec packs.
+func codecTestReport() *core.Report {
+	caller := dex.NewMethodRef("com.example.Main", "onCreate", dex.Void, dex.T("android.os.Bundle"))
+	entry := dex.NewMethodRef("com.example.Main", "main", dex.Void)
+	return &core.Report{
+		App:        "com.example.codec",
+		TimedOut:   false,
+		Registered: []string{"Lcom/example/Main;", "Lcom/example/Recv;"},
+		Sinks: []*core.SinkReport{
+			{
+				Call: core.SinkCall{
+					Sink: android.Sink{
+						Method:     android.CipherGetInstance,
+						ParamIndex: 0,
+						Rule:       android.RuleCryptoECB,
+					},
+					Caller:    caller,
+					UnitIndex: 12,
+					Line:      340,
+				},
+				Reachable: true,
+				Insecure:  true,
+				Entries:   []dex.MethodRef{entry, caller},
+				Values:    []string{`"AES/ECB/PKCS5Padding"`, "<unknown>"},
+			},
+			{
+				Call: core.SinkCall{
+					Sink: android.Sink{
+						Method:     android.CipherGetInstance,
+						ParamIndex: 0,
+						Rule:       android.RuleCryptoECB,
+					},
+					Caller:    entry,
+					UnitIndex: 3,
+					Line:      17,
+				},
+				Reachable: false,
+				Cached:    true,
+				Reused:    true,
+				Values:    nil,
+			},
+		},
+	}
+}
+
+// TestReportCodecRoundTrip pins the canonical encoding: decode inverts
+// encode on the detection surface, and re-encoding the decoded report
+// reproduces the exact bytes (the bitwise-identity property the settled
+// tier is built on).
+func TestReportCodecRoundTrip(t *testing.T) {
+	r := codecTestReport()
+	enc := EncodeReport(r)
+	if !bytes.Equal(enc, EncodeReport(r)) {
+		t.Fatal("EncodeReport not deterministic")
+	}
+	dec, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if !bytes.Equal(EncodeReport(dec), enc) {
+		t.Fatal("re-encoding the decoded report changed the bytes")
+	}
+	if dec.App != r.App || dec.TimedOut != r.TimedOut ||
+		!reflect.DeepEqual(dec.Registered, r.Registered) {
+		t.Fatalf("decoded header = %q/%v/%v", dec.App, dec.TimedOut, dec.Registered)
+	}
+	if len(dec.Sinks) != len(r.Sinks) {
+		t.Fatalf("decoded %d sinks, want %d", len(dec.Sinks), len(r.Sinks))
+	}
+	for i := range r.Sinks {
+		want, got := r.Sinks[i], dec.Sinks[i]
+		if got.Call.String() != want.Call.String() || got.Call.Line != want.Call.Line {
+			t.Fatalf("sink %d call = %v line=%d, want %v line=%d",
+				i, got.Call, got.Call.Line, want.Call, want.Call.Line)
+		}
+		if got.Reachable != want.Reachable || got.Insecure != want.Insecure ||
+			got.Cached != want.Cached || got.Reused != want.Reused {
+			t.Fatalf("sink %d flags = %+v, want %+v", i, got, want)
+		}
+		if !reflect.DeepEqual(got.Entries, want.Entries) {
+			t.Fatalf("sink %d entries = %v, want %v", i, got.Entries, want.Entries)
+		}
+		if len(got.Values) != len(want.Values) || !reflect.DeepEqual(append([]string{}, got.Values...), append([]string{}, want.Values...)) {
+			t.Fatalf("sink %d values = %v, want %v", i, got.Values, want.Values)
+		}
+	}
+}
+
+// TestReportCodecExcludesStats pins the identity property directly: two
+// reports equal on the detection surface but with wildly different Stats
+// encode to the same bytes — a cold run and its settled replay are
+// indistinguishable in canonical form.
+func TestReportCodecExcludesStats(t *testing.T) {
+	a := codecTestReport()
+	b := codecTestReport()
+	b.Stats = core.Stats{WorkUnits: 123456, SettledLookups: 1, MethodsAnalyzed: 42}
+	if !bytes.Equal(EncodeReport(a), EncodeReport(b)) {
+		t.Fatal("Stats leaked into the canonical encoding")
+	}
+}
+
+// TestReportCodecTimedOutDistinct pins that the timeout verdict is part
+// of the surface: a truncated run must not alias a complete one.
+func TestReportCodecTimedOutDistinct(t *testing.T) {
+	a := codecTestReport()
+	b := codecTestReport()
+	b.TimedOut = true
+	if bytes.Equal(EncodeReport(a), EncodeReport(b)) {
+		t.Fatal("TimedOut not encoded")
+	}
+	dec, err := DecodeReport(EncodeReport(b))
+	if err != nil || !dec.TimedOut {
+		t.Fatalf("decoded TimedOut = %v (err %v), want true", dec != nil && dec.TimedOut, err)
+	}
+}
+
+// TestReportCodecCorruptionFuzz mirrors the journal fuzz: every
+// single-byte flip and every truncation of a valid encoding must decode
+// as an error — a damaged settled entry degrades to a store miss, never
+// to a wrong report or a panic.
+func TestReportCodecCorruptionFuzz(t *testing.T) {
+	good := EncodeReport(codecTestReport())
+	check := func(name string, data []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: DecodeReport panicked: %v", name, r)
+			}
+		}()
+		if _, err := DecodeReport(data); err == nil {
+			t.Fatalf("%s: damaged encoding decoded cleanly", name)
+		}
+	}
+	for off := 0; off < len(good); off++ {
+		data := append([]byte(nil), good...)
+		data[off] ^= 0xa5
+		check("flip", data)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		check("truncate", good[:cut])
+	}
+	check("trailing", append(append([]byte(nil), good...), 0x00))
+	check("empty", nil)
+}
+
+// TestReportCodecVersionGate pins that a future layout bump reads as a
+// miss, not as garbage: flipping the version field must fail the decode
+// even with a fixed-up CRC.
+func TestReportCodecVersionGate(t *testing.T) {
+	r := &core.Report{App: "v"}
+	enc := EncodeReport(r)
+	// Rebuild with a bumped version and a valid CRC over the new body.
+	body := append([]byte(nil), enc[4:len(enc)-4]...)
+	body[0]++ // version low byte
+	forged := append([]byte(reportMagic), body...)
+	forged = putU32(forged, crc32.ChecksumIEEE(body))
+	if _, err := DecodeReport(forged); err == nil {
+		t.Fatal("unknown codec version decoded cleanly")
+	}
+}

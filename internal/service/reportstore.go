@@ -1,0 +1,221 @@
+// The settled-result tier: a content-addressed store of terminal
+// reports. A report is addressed by (dexdump.AppFingerprint,
+// OptionsFingerprint) — what was analyzed and how — so resubmitting a
+// settled pair is answered from the store in O(1) with zero disassembly,
+// zero index builds and zero engine runs, charged one flat
+// simtime.ChargeSettledLookup. The in-memory section is LRU-bounded by a
+// byte budget over canonical encodings; an attached journal persists
+// every admitted report as a KindReport record, so Recover repopulates
+// the store after a restart.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"backdroid/internal/core"
+	"backdroid/internal/service/journal"
+)
+
+// ReportKey is the content address of one settled report: the app
+// fingerprint (a hash of the input bytecode) paired with the options
+// fingerprint (a hash of every verdict-relevant engine setting). Two
+// submissions sharing a key are guaranteed — by the fingerprint
+// soundness argument in fingerprint.go — to produce bitwise-identical
+// reports, which is what makes serving the stored one correct.
+type ReportKey struct {
+	App     uint64 // dexdump.AppFingerprint of the job's dex files
+	Options uint64 // OptionsFingerprint of the job's core.Options
+}
+
+// ReportStoreStats are the counters of a ReportStore, taken atomically.
+type ReportStoreStats struct {
+	Entries   int   // live in-memory entries
+	Bytes     int64 // bytes held by live encodings
+	Hits      int64 // Get probes that found an entry
+	Misses    int64 // Get probes that did not
+	Puts      int64 // Put calls that inserted a new entry
+	Refreshes int64 // Put calls for an already-present key
+	Evictions int64 // entries dropped to satisfy the byte budget
+	Journaled int64 // reports appended to the journal
+	Skipped   int64 // reports not journaled (oversized or append failed)
+	Recovered int64 // entries repopulated from the journal
+	Damaged   int64 // journal report records that failed to decode
+}
+
+// ReportStore is the in-memory settled-report cache. Entries are
+// content-addressed and therefore immutable: a Put for a present key is
+// a refresh, never a replacement. Eviction is LRU under a byte budget
+// measured over canonical encodings; an evicted entry survives in the
+// journal (when one is attached) and comes back on the next restart's
+// Recover — the memory budget bounds the working set, not durability.
+//
+// A ReportStore is safe for concurrent use.
+type ReportStore struct {
+	mu      sync.Mutex
+	budget  int64 // bytes; <= 0 means unlimited
+	bytes   int64
+	lru     *list.List // front = most recently used; values are *reportEntry
+	entries map[ReportKey]*list.Element
+	stats   ReportStoreStats
+	j       *journal.Journal
+}
+
+type reportEntry struct {
+	key    ReportKey
+	report *core.Report
+	data   []byte // canonical encoding (EncodeReport)
+}
+
+// NewReportStore builds a store with the given byte budget; budgetBytes
+// <= 0 means unlimited.
+func NewReportStore(budgetBytes int64) *ReportStore {
+	return &ReportStore{
+		budget:  budgetBytes,
+		lru:     list.New(),
+		entries: make(map[ReportKey]*list.Element),
+	}
+}
+
+// AttachJournal gives the store a persistent section: every subsequent
+// Put also appends a KindReport record, and Recover repopulates from the
+// journal's live report records. Attach before Recover and before any
+// Put that should persist.
+func (s *ReportStore) AttachJournal(j *journal.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.j = j
+}
+
+// Get returns the settled report for the key and marks the entry most
+// recently used. The returned report is shared and must be treated as
+// read-only — callers replaying it copy the Report shell and keep the
+// sink pointers, exactly like the engine's own result path.
+func (s *ReportStore) Get(key ReportKey) (*core.Report, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*reportEntry).report, true
+}
+
+// Encoded returns the canonical encoding of the settled report for the
+// key, without touching recency or the hit/miss counters — the byte form
+// the HTTP report endpoint serves and the benchgate compares bitwise.
+func (s *ReportStore) Encoded(key ReportKey) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*reportEntry).data, true
+}
+
+// Put inserts the terminal report under its content address, evicting
+// least-recently-used entries until the byte budget holds, and appends
+// it to the attached journal. A Put for a present key only refreshes its
+// recency — the key is a content hash of inputs and configuration, so
+// the report is identical. Reports larger than the whole budget are not
+// admitted; reports larger than journal.MaxReportData stay in memory but
+// are not journaled (Skipped counts them).
+func (s *ReportStore) Put(key ReportKey, r *core.Report) {
+	if r == nil {
+		return
+	}
+	data := EncodeReport(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.stats.Refreshes++
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.budget > 0 && int64(len(data)) > s.budget {
+		return
+	}
+	s.insertLocked(key, r, data)
+	s.stats.Puts++
+	if s.j != nil {
+		if len(data) > journal.MaxReportData {
+			s.stats.Skipped++
+		} else if err := s.j.Append(journal.Record{
+			Kind: journal.KindReport,
+			App:  key.App,
+			Opt:  key.Options,
+			Data: data,
+		}); err != nil {
+			// Journaling is durability, not correctness: the entry still
+			// serves from memory; it just won't survive a restart.
+			s.stats.Skipped++
+		} else {
+			s.stats.Journaled++
+		}
+	}
+}
+
+// insertLocked adds the entry at the LRU front and evicts from the back
+// until the byte budget holds.
+func (s *ReportStore) insertLocked(key ReportKey, r *core.Report, data []byte) {
+	s.entries[key] = s.lru.PushFront(&reportEntry{key: key, report: r, data: data})
+	s.bytes += int64(len(data))
+	for s.budget > 0 && s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*reportEntry)
+		s.lru.Remove(back)
+		delete(s.entries, ent.key)
+		s.bytes -= int64(len(ent.data))
+		s.stats.Evictions++
+	}
+}
+
+// Recover repopulates the store from the attached journal's live report
+// records, oldest first, without re-journaling them. Records that fail
+// to decode are skipped (and counted in Damaged) — a damaged persistent
+// entry degrades to a cold re-analysis, never to a wrong answer. It
+// returns the number of reports recovered into memory.
+func (s *ReportStore) Recover() int {
+	s.mu.Lock()
+	j := s.j
+	s.mu.Unlock()
+	if j == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range j.Reports() {
+		r, err := DecodeReport(rec.Data)
+		s.mu.Lock()
+		if err != nil {
+			s.stats.Damaged++
+			s.mu.Unlock()
+			continue
+		}
+		key := ReportKey{App: rec.App, Options: rec.Opt}
+		if _, ok := s.entries[key]; !ok &&
+			(s.budget <= 0 || int64(len(rec.Data)) <= s.budget) {
+			s.insertLocked(key, r, rec.Data)
+			s.stats.Recovered++
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the current counters.
+func (s *ReportStore) Stats() ReportStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
+}

@@ -163,6 +163,15 @@ type Config struct {
 	// previous process died. The journal belongs to the caller (it is
 	// not closed by Close).
 	Journal *journal.Journal
+	// Reports, when non-nil, is the settled-result tier: terminal
+	// BackDroid reports content-addressed by (app fingerprint, options
+	// fingerprint). Resubmitting a settled pair is answered from the
+	// store in O(1) — zero disassembly, zero index builds, zero engine
+	// runs — with per-sink events replayed and a report bitwise-identical
+	// (in canonical encoding) to the original run's. Attach the store to
+	// the Journal and Recover it before New to make the tier survive
+	// restarts.
+	Reports *ReportStore
 	// Events, when non-nil, receives the streamed event channel. The
 	// consumer must drain it: emission blocks the emitting worker (and,
 	// because per-job event order is guaranteed, other emitters) until
@@ -499,6 +508,10 @@ func (s *Scheduler) Store() *BundleStore { return s.cfg.Store }
 // durable).
 func (s *Scheduler) Journal() *journal.Journal { return s.cfg.Journal }
 
+// Reports returns the settled-result store (nil when the tier is
+// disabled).
+func (s *Scheduler) Reports() *ReportStore { return s.cfg.Reports }
+
 // journalAppend writes one record (when a journal is configured) and
 // charges the flat control-plane append cost, kept separate from per-job
 // meters so journal overhead is measurable as a fraction of analysis
@@ -621,54 +634,92 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		o.Cancel = func() bool {
 			return flag.Load() || (user != nil && user())
 		}
-		release := func() {}
 		var fp uint64
-		if st.store != nil {
-			o.Bundles = st.store
+		if st.store != nil || s.cfg.Reports != nil {
 			fp = dexdump.AppFingerprint(app.Dexes)
-			if prev, ok := s.lastRun(st.tenant, res.Name); ok && prev.fp != fp && !o.PerAppSSG {
-				// Same job name, different content: an app update. When
-				// the prior version's bundle is still cached, hand it to
-				// the engine as the delta base; the engine itself falls
-				// back to a full run if the base proves unusable.
-				if data, ok := st.store.GetBundle(prev.fp); ok {
-					o.DeltaFrom = &core.DeltaBase{Fingerprint: prev.fp, Bundle: data, Report: prev.report}
+		}
+		// Settled-result fast path. The key is taken before the delta
+		// base, bundle cache or observer wiring is injected — all
+		// fingerprint-neutral — so a delta run, a warm run and a cold run
+		// of one (app, options) pair share one address, and a hit skips
+		// the engine entirely.
+		var settledKey ReportKey
+		if s.cfg.Reports != nil {
+			settledKey = ReportKey{App: fp, Options: OptionsFingerprint(&o)}
+			if stored, ok := s.cfg.Reports.Get(settledKey); ok {
+				rep, err := s.serveSettled(st, res.Name, stored, o.TimeoutMinutes)
+				if err != nil {
+					return nil, err
+				}
+				res.BackDroid = rep
+				if st.store != nil && !stored.TimedOut {
+					// Seed the delta path only when nothing better is
+					// known: an engine-produced prev carries the sink
+					// footprints the settled copy may lack
+					// (journal-recovered entries never have them), and
+					// clobbering it would degrade the next update's
+					// reuse.
+					if _, known := s.lastRun(st.tenant, res.Name); !known {
+						s.rememberRun(st.tenant, res.Name, fp, stored)
+					}
 				}
 			}
-			if !st.store.Contains(fp) {
-				// Single-build guarantee: concurrent jobs for one
-				// fingerprint serialize here, so the first performs the
-				// only cold build and the rest run fully warm. The
-				// re-probe happens inside the engine; the lock is held
-				// only across the engine run (the bundle is published
-				// during it), never across the baseline legs below.
-				release = st.store.LockFingerprint(fp)
-			}
 		}
-		if s.cfg.Events != nil {
-			id, name := st.id, res.Name
-			o.SinkObserver = func(sr *core.SinkReport) {
-				s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+		if res.BackDroid == nil {
+			release := func() {}
+			if st.store != nil {
+				o.Bundles = st.store
+				if prev, ok := s.lastRun(st.tenant, res.Name); ok && prev.fp != fp && !o.PerAppSSG {
+					// Same job name, different content: an app update. When
+					// the prior version's bundle is still cached, hand it to
+					// the engine as the delta base; the engine itself falls
+					// back to a full run if the base proves unusable.
+					if data, ok := st.store.GetBundle(prev.fp); ok {
+						o.DeltaFrom = &core.DeltaBase{Fingerprint: prev.fp, Bundle: data, Report: prev.report}
+					}
+				}
+				if !st.store.Contains(fp) {
+					// Single-build guarantee: concurrent jobs for one
+					// fingerprint serialize here, so the first performs the
+					// only cold build and the rest run fully warm. The
+					// re-probe happens inside the engine; the lock is held
+					// only across the engine run (the bundle is published
+					// during it), never across the baseline legs below.
+					release = st.store.LockFingerprint(fp)
+				}
 			}
-		}
-		e, err := core.New(app, o)
-		if err != nil {
+			if s.cfg.Events != nil {
+				id, name := st.id, res.Name
+				o.SinkObserver = func(sr *core.SinkReport) {
+					s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+				}
+			}
+			e, err := core.New(app, o)
+			if err != nil {
+				release()
+				if errors.Is(err, simtime.ErrCanceled) {
+					return nil, err
+				}
+				return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
+			}
+			res.BackDroid, err = e.Analyze()
 			release()
-			if errors.Is(err, simtime.ErrCanceled) {
-				return nil, err
+			if err != nil {
+				if errors.Is(err, simtime.ErrCanceled) {
+					return nil, err
+				}
+				return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 			}
-			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
-		}
-		res.BackDroid, err = e.Analyze()
-		release()
-		if err != nil {
-			if errors.Is(err, simtime.ErrCanceled) {
-				return nil, err
+			if st.store != nil && !res.BackDroid.TimedOut {
+				s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
 			}
-			return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
-		}
-		if st.store != nil && !res.BackDroid.TimedOut {
-			s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
+			if s.cfg.Reports != nil {
+				// Settle the report under its content address. Timed-out
+				// reports settle too: the timeout is simulated-time
+				// deterministic and TimeoutMinutes is hashed, so a
+				// resubmission would reproduce the same truncated report.
+				s.cfg.Reports.Put(settledKey, res.BackDroid)
+			}
 		}
 	}
 	if job.RunWholeApp {
@@ -684,6 +735,34 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// serveSettled answers a job from the settled-result tier: one flat
+// O(1) lookup charge, a replayed EventSink per stored sink and a shallow
+// copy of the stored report whose Stats describe this serving (one
+// settled lookup) rather than the original run. The copy shares the
+// stored report's sink pointers, so streamed events and the batch result
+// reference the same objects — exactly the engine's own contract.
+func (s *Scheduler) serveSettled(st *jobState, name string, stored *core.Report, timeoutMinutes float64) (*core.Report, error) {
+	if st.cancelFlag.Load() {
+		return nil, simtime.ErrCanceled
+	}
+	m := simtime.NewMeterWithTimeout(timeoutMinutes)
+	if err := m.ChargeSettledLookup(); err != nil {
+		return nil, err
+	}
+	replay := *stored
+	replay.Stats = core.Stats{
+		WorkUnits:      m.Units(),
+		SimMinutes:     m.Minutes(),
+		SettledLookups: 1,
+	}
+	if s.cfg.Events != nil {
+		for _, sr := range replay.Sinks {
+			s.emit(Event{Kind: EventSink, Job: st.id, Name: name, Sink: sr})
+		}
+	}
+	return &replay, nil
 }
 
 // lastRun returns the remembered prior analysis of a tenant's job name.

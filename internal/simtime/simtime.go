@@ -105,6 +105,16 @@ const (
 	// footprint's classes are touched.
 	DeltaReuseLinesPerUnit = 1600
 
+	// SettledLookupUnits is the flat charged cost of serving an already-
+	// settled (app fingerprint, options fingerprint) pair from the report
+	// store: two hash computations and one map probe — O(1), independent
+	// of app size, sink count or report length. This is the read path of
+	// the whole-app study's write-once/read-many deployment: every
+	// resubmission of a settled job charges this instead of an engine
+	// run, so a 10x resubmission storm costs well under 1% of the cold
+	// corpus (the benchgate settled-storm leg gates the ceiling).
+	SettledLookupUnits = 1
+
 	// JournalAppendUnits is the charged cost of appending one record to
 	// the control plane's job journal: an in-memory encode plus a
 	// buffered sequential write, tiny next to any analysis pass. The
@@ -295,6 +305,14 @@ func (m *Meter) ChargeDeltaReuse(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/DeltaReuseLinesPerUnit) + 1)
+}
+
+// ChargeSettledLookup charges for answering a resubmission of a settled
+// (app, options) pair from the content-addressed report store — the O(1)
+// read path that replaces disassembly, index builds and the engine run
+// entirely.
+func (m *Meter) ChargeSettledLookup() error {
+	return m.Charge(SettledLookupUnits)
 }
 
 // ChargeParallelLookup charges for a shard-parallel postings lookup whose
