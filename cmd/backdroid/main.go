@@ -6,7 +6,17 @@
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
 //	          [-shards N] [-index-cache DIR] [-parallel-lookups]
 //	          [-auto-parallel-lookups] [-store-budget BYTES] [-stats=false]
-//	          [-delta] app.apk...
+//	          [-delta] [-nodes N] [-faults SPEC] app.apk...
+//
+// -nodes N analyzes the corpus on a fault-tolerant fleet of N worker
+// nodes (the service scheduler's coordinator path): dispatches are
+// leased, bundles are consistent-hashed across per-node partitions
+// (budgeted by -store-budget; -1 runs storeless), and nodes killed by a
+// -faults plan hand their jobs off to survivors — reports stay
+// byte-identical to a fault-free run, in argument order. -faults SPEC is
+// a deterministic fault plan (see internal/faultinject), e.g.
+//
+//	backdroid -nodes 4 -store-budget 0 -faults 'kill:node=2@50000' apps/*.apk
 //
 // B selects the bytecode search backend: indexed (default, inverted-index
 // lookups), sharded (per-classesN.dex index shards, built concurrently) or
@@ -54,6 +64,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
+	"backdroid/internal/faultinject"
 	"backdroid/internal/pool"
 	"backdroid/internal/service"
 	"backdroid/internal/simtime"
@@ -73,6 +84,8 @@ type config struct {
 	storeBudget     int64
 	stats           bool
 	delta           bool
+	nodes           int
+	faults          string
 }
 
 func main() {
@@ -98,6 +111,10 @@ func main() {
 		"print cost/statistics lines (disable for deterministic backend diffs)")
 	flag.BoolVar(&cfg.delta, "delta", false,
 		"treat the listed apps as successive versions of one app and analyze\neach update incrementally against its predecessor")
+	flag.IntVar(&cfg.nodes, "nodes", 0,
+		"analyze on a fault-tolerant worker fleet of N nodes (0 = plain pool)")
+	flag.StringVar(&cfg.faults, "faults", "",
+		"deterministic fault plan for -nodes, e.g. 'kill:node=2@50000'")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: backdroid [flags] app.apk...")
@@ -124,7 +141,7 @@ func run(paths []string, cfg config) error {
 	opts.ParallelLookups = cfg.parallelLookups
 	opts.AutoParallelLookups = cfg.autoParallel
 	var store *service.BundleStore
-	if cfg.storeBudget >= 0 {
+	if cfg.storeBudget >= 0 && cfg.nodes == 0 {
 		// One content-addressed store for the whole invocation: listing
 		// the same app twice makes the second analysis fully warm.
 		store = service.NewBundleStore(cfg.storeBudget)
@@ -153,6 +170,12 @@ func run(paths []string, cfg config) error {
 		}
 	}()
 
+	if cfg.nodes > 0 {
+		if cfg.delta {
+			return fmt.Errorf("-delta and -nodes are mutually exclusive (the version chain is inherently sequential)")
+		}
+		return runFleet(paths, cfg, opts)
+	}
 	if cfg.delta {
 		return runDelta(paths, cfg, opts, store)
 	}
@@ -178,6 +201,75 @@ func run(paths []string, cfg config) error {
 			return errs[i]
 		}
 		printReport(reports[i], cfg)
+	}
+	if canceled > 0 {
+		return fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths))
+	}
+	return nil
+}
+
+// runFleet analyzes the corpus on a fault-tolerant worker fleet — the
+// service scheduler's coordinator path, driven one-shot. Each app is a
+// job; a node killed by the -faults plan has its jobs handed off to
+// surviving nodes, and reports print in argument order regardless of
+// which node (or which attempt) produced them.
+func runFleet(paths []string, cfg config, opts core.Options) error {
+	var plan *faultinject.Plan
+	if cfg.faults != "" {
+		var err error
+		plan, err = faultinject.Parse(cfg.faults)
+		if err != nil {
+			return err
+		}
+	}
+	sched := service.New(service.Config{
+		Nodes:           cfg.nodes,
+		NodeStoreBudget: cfg.storeBudget,
+		Faults:          plan,
+		Options:         &opts,
+		IndexCacheDir:   cfg.indexCache,
+	})
+	ids := make([]service.JobID, len(paths))
+	for i, path := range paths {
+		p := path
+		id, err := sched.Submit(service.Job{
+			Name:         p,
+			Spec:         p,
+			Source:       func() (*apk.App, error) { return apk.Load(p) },
+			RunBackDroid: true,
+		})
+		if err != nil {
+			sched.Close()
+			return err
+		}
+		ids[i] = id
+	}
+	canceled := 0
+	var firstErr error
+	for i, id := range ids {
+		res, err := sched.Wait(id)
+		switch {
+		case err == nil:
+			printReport(res.BackDroid, cfg)
+		case err == service.ErrCanceled:
+			canceled++
+			fmt.Printf("== %s ==\n  CANCELED (stopped at a meter checkpoint)\n", paths[i])
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	sched.Close()
+	if cfg.stats {
+		if fs := sched.FleetStats(); fs != nil {
+			fmt.Printf("fleet: %d nodes (%d live, %d killed); %d handoffs, %d expired leases; %d units lost, %d overhead; bundle gets %d local / %d remote; %d fetch faults\n",
+				fs.Nodes, fs.Live, fs.Killed, fs.Handoffs, fs.ExpiredLeases,
+				fs.LostUnits, fs.OverheadUnits, fs.LocalGets, fs.RemoteGets, fs.FetchFaults)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	if canceled > 0 {
 		return fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths))

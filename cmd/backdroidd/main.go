@@ -14,8 +14,22 @@
 //
 //	backdroidd [-workers N] [-queue N] [-store-budget BYTES] [-backend B]
 //	           [-index-cache DIR] [-journal DIR] [-tenants SPEC]
-//	           [-report-budget BYTES] [-http ADDR]
+//	           [-report-budget BYTES] [-http ADDR] [-nodes N] [-faults SPEC]
 //	           [-parallel-lookups] [-auto-parallel-lookups] [-stats]
+//
+// -nodes N runs the scheduler as a coordinator over a fault-tolerant
+// fleet of N worker nodes: every dispatch takes a lease, bundles are
+// consistent-hashed across per-node store partitions (each budgeted by
+// -store-budget), and a node that dies has its jobs handed off to
+// surviving nodes with at-most-once terminal events. -faults SPEC arms a
+// deterministic fault plan (see internal/faultinject):
+//
+//	backdroidd -nodes 4 -faults 'kill:node=2@50000,beat-drop:node=3@8000'
+//
+// The process exits gracefully on SIGTERM: in-flight jobs drain, the
+// event stream and SSE subscribers receive their final events, the
+// journal is flushed, and journaled queued jobs replay on the next
+// start.
 //
 // -journal DIR makes the queue durable: submissions and outcomes are
 // appended to DIR/journal.bdj, and on startup every job that was still
@@ -44,6 +58,9 @@
 //	die                         crash drill: stop dispatching and exit
 //	                            without draining the queue (journaled
 //	                            pending jobs replay on the next start)
+//	die node=N                  fence fleet node N (with -nodes): the
+//	                            daemon keeps serving, the node's job is
+//	                            handed off to a surviving node
 //	quit                        drain the queue and exit (EOF does the same)
 //
 // Events are printed as single lines: "queued"/"started"/"canceled" with
@@ -62,13 +79,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
+	"backdroid/internal/faultinject"
 	"backdroid/internal/service"
 	"backdroid/internal/service/api"
 	"backdroid/internal/service/journal"
@@ -85,6 +105,8 @@ type config struct {
 	journalDir   string
 	tenants      string
 	httpAddr     string
+	nodes        int
+	faults       string
 	parallel     bool
 	autoParallel bool
 	stats        bool
@@ -107,6 +129,10 @@ func main() {
 		"tenant weights as comma-separated name=weight pairs (e.g. paid=3,free=1)")
 	flag.StringVar(&cfg.httpAddr, "http", "",
 		"serve the HTTP/JSON gateway on this address (empty = stdin only)")
+	flag.IntVar(&cfg.nodes, "nodes", 0,
+		"run a fault-tolerant worker fleet of N nodes (0 = plain worker pool; overrides -workers)")
+	flag.StringVar(&cfg.faults, "faults", "",
+		"deterministic fault plan, e.g. 'kill:node=2@50000,beat-drop:node=3@8000'")
 	flag.BoolVar(&cfg.parallel, "parallel-lookups", false,
 		"fan hot-token shard lookups out on the worker pool")
 	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
@@ -161,8 +187,15 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 	opts.ParallelLookups = cfg.parallel
 	opts.AutoParallelLookups = cfg.autoParallel
 
+	var faults *faultinject.Plan
+	if cfg.faults != "" {
+		faults, err = faultinject.Parse(cfg.faults)
+		if err != nil {
+			return err
+		}
+	}
 	var store *service.BundleStore
-	if cfg.storeBudget >= 0 {
+	if cfg.storeBudget >= 0 && cfg.nodes == 0 {
 		store = service.NewBundleStore(cfg.storeBudget)
 		// The corpus-wide shard-level dedup layer: bundles of successive
 		// app versions (and of apps sharing SDK dexes) share postings
@@ -199,6 +232,11 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 			Store:         store,
 			Journal:       jnl,
 			Reports:       reports,
+			// Fleet mode: -store-budget becomes each node's partition
+			// budget (the shared store above is not built).
+			Nodes:           cfg.nodes,
+			NodeStoreBudget: cfg.storeBudget,
+			Faults:          faults,
 		},
 	})
 
@@ -245,23 +283,73 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 		printf("recovered jobs=%d\n", rec.Jobs)
 	}
 
-	abandon := false // die: exit without draining the queue
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
-	for sc.Scan() {
-		cmd, err := api.ParseLine(sc.Text())
-		if err != nil {
-			printf("error: %v\n", err)
-			continue
+	// Graceful shutdown on SIGTERM: in-flight jobs drain, the event
+	// stream (stdout printer and SSE subscribers) receives its final
+	// events, the journal is flushed on the deferred Close, and journaled
+	// queued jobs replay on the next start. Commands are read on their
+	// own goroutine so the loop can select between stdin and the signal.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	type input struct {
+		cmd api.Command
+		err error // scanner error; delivered with the channel close
+		eof bool
+	}
+	cmds := make(chan input, 1)
+	go func() {
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 64*1024), 64*1024)
+		for sc.Scan() {
+			cmd, err := api.ParseLine(sc.Text())
+			if err != nil {
+				printf("error: %v\n", err)
+				continue
+			}
+			if cmd.Kind == api.CmdNone {
+				continue
+			}
+			cmds <- input{cmd: cmd}
+		}
+		cmds <- input{err: sc.Err(), eof: true}
+	}()
+
+	abandon := false // die (and SIGTERM): exit without draining the queue
+loop:
+	for {
+		var cmd api.Command
+		select {
+		case sig := <-sigc:
+			printf("signal %v: draining in-flight jobs\n", sig)
+			abandon = true
+			break loop
+		case in := <-cmds:
+			if in.eof {
+				if in.err != nil {
+					d.Close()
+					drain.Wait()
+					return in.err
+				}
+				break loop
+			}
+			cmd = in.cmd
 		}
 		switch cmd.Kind {
-		case api.CmdNone:
-			continue
 		case api.CmdQuit:
-			goto shutdown
+			break loop
 		case api.CmdDie:
+			if cmd.Node > 0 {
+				// Fence one fleet node; the daemon keeps serving.
+				if err := d.KillNode(cmd.Node); err != nil {
+					printf("error: %v\n", err)
+					continue
+				}
+				printf("node killed node=%d\n", cmd.Node)
+				continue
+			}
 			abandon = true
-			goto shutdown
+			break loop
 		case api.CmdStats:
 			printf("%s", api.StatsLines(d.Stats(api.StatsRequest{})))
 		case api.CmdRecover:
@@ -281,17 +369,12 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		d.Close()
-		drain.Wait()
-		return err
-	}
 
-shutdown:
 	if abandon {
-		// Crash drill: stop dispatching, finish only the running jobs,
-		// abandon the rest of the queue. With a journal the abandoned
-		// jobs stay pending on disk and replay on the next start.
+		// Crash drill (die) and SIGTERM: stop dispatching, finish only
+		// the running jobs, abandon the rest of the queue. With a journal
+		// the abandoned jobs stay pending on disk and replay on the next
+		// start.
 		d.Halt()
 		drain.Wait()
 		return nil

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 
 	"backdroid/internal/testapps"
@@ -227,5 +231,128 @@ func TestServeRecoverWithoutJournal(t *testing.T) {
 	lines := serveLines(t, "recover\nquit\n", config{workers: 1, storeBudget: -1, backend: "indexed"})
 	if got := grepLines(lines, `^error: no journal configured`); len(got) != 1 {
 		t.Fatalf("missing recover error:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// notifyWriter collects serve output and closes signal the first time
+// the pattern appears in it — the test's way to order an external event
+// (a SIGTERM) after an observable point in the stream.
+type notifyWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	pattern *regexp.Regexp
+	signal  chan struct{}
+	fired   bool
+}
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.buf.Write(p)
+	if !w.fired && w.pattern.MatchString(w.buf.String()) {
+		w.fired = true
+		close(w.signal)
+	}
+	return n, err
+}
+
+func (w *notifyWriter) lines() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return strings.Split(strings.TrimRight(w.buf.String(), "\n"), "\n")
+}
+
+// TestServeSIGTERMDrainsInFlight pins the graceful-shutdown contract: on
+// SIGTERM the daemon announces the drain, finishes the jobs already
+// running (their result lines still stream), abandons the rest of the
+// queue to the journal, and exits cleanly; a restart over the same
+// journal replays the abandoned jobs so the union of both lives equals
+// an uninterrupted run.
+func TestServeSIGTERMDrainsInFlight(t *testing.T) {
+	path := fixturePath(t)
+	cfg := config{workers: 1, storeBudget: -1, backend: "sharded", stats: true}
+
+	// Reference: the same three submissions, uninterrupted.
+	refCfg := cfg
+	refCfg.journalDir = t.TempDir()
+	script := fmt.Sprintf("submit %s\nsubmit %s\nsubmit %s\nquit\n", path, path, path)
+	want := resultLines(serveLines(t, script, refCfg))
+	sort.Strings(want)
+
+	// Life 1: submit three jobs on one worker, then SIGTERM once the
+	// first done line proves the queue is mid-corpus. The signal handler
+	// inside serve catches the signal, so the test process survives.
+	sigCfg := cfg
+	sigCfg.journalDir = t.TempDir()
+	w := &notifyWriter{pattern: regexp.MustCompile(`(?m)^done id=1 `), signal: make(chan struct{})}
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- serve(pr, w, sigCfg) }()
+	if _, err := fmt.Fprintf(pw, "submit %s\nsubmit %s\nsubmit %s\n", path, path, path); err != nil {
+		t.Fatal(err)
+	}
+	<-w.signal
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("serve after SIGTERM: %v", err)
+	}
+	pw.Close()
+	life1 := w.lines()
+	if got := grepLines(life1, `^signal terminated: draining in-flight jobs$`); len(got) != 1 {
+		t.Fatalf("missing drain announcement:\n%s", strings.Join(life1, "\n"))
+	}
+
+	// Life 2: the abandoned jobs replay; the union across lives matches
+	// the uninterrupted reference.
+	life2 := serveLines(t, "quit\n", sigCfg)
+	if got := grepLines(life2, `^recovered jobs=`); len(got) != 1 {
+		t.Fatalf("no startup recovery line:\n%s", strings.Join(life2, "\n"))
+	}
+	got := append(resultLines(life1), resultLines(life2)...)
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("SIGTERM+restart results diverge from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestServeDieNode drives the per-node crash drill over the stdin
+// protocol: with -nodes, `die node=N` fences one node and the daemon
+// keeps serving — the submitted job lands on the survivor, whose id the
+// started line carries, and the fleet stats lines expose the kill.
+func TestServeDieNode(t *testing.T) {
+	path := fixturePath(t)
+	script := fmt.Sprintf("die node=1\ndie node=1\ndie node=9\nsubmit %s\nstats\nquit\n", path)
+	lines := serveLines(t, script, config{workers: 1, nodes: 2, storeBudget: 0, backend: "sharded", stats: true})
+	if got := grepLines(lines, `^node killed node=1$`); len(got) != 1 {
+		t.Fatalf("missing kill confirmation:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^error: service: node 1 already dead$`); len(got) != 1 {
+		t.Fatalf("double kill must error:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^error: service: node 9 out of range `); len(got) != 1 {
+		t.Fatalf("out-of-range kill must error:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^started id=1 app=\S+ node=2 attempt=1$`); len(got) != 1 {
+		t.Fatalf("job must start on the surviving node:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^done id=1 `); len(got) != 1 {
+		t.Fatalf("job must finish on the survivor:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^stats fleet nodes=2 live=1 killed=1 `); len(got) != 2 {
+		t.Fatalf("fleet stats must show the kill (stats command + exit stats):\n%s", strings.Join(lines, "\n"))
+	}
+	if got := grepLines(lines, `^stats node id=1 state=dead `); len(got) != 2 {
+		t.Fatalf("per-node stats must show node 1 dead:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestServeDieNodeWithoutFleet pins the protocol error.
+func TestServeDieNodeWithoutFleet(t *testing.T) {
+	lines := serveLines(t, "die node=1\nquit\n", config{workers: 1, storeBudget: -1, backend: "indexed"})
+	if got := grepLines(lines, `^error: service: no fleet configured `); len(got) != 1 {
+		t.Fatalf("missing no-fleet error:\n%s", strings.Join(lines, "\n"))
 	}
 }

@@ -28,13 +28,22 @@
 //     settled tier — zero disassembly, zero index builds, one settled
 //     lookup per app — with canonical report encodings bitwise identical
 //     to the cold pass, and the whole storm must charge under 1% of the
-//     cold pass.
+//     cold pass;
+//   - the fleet-chaos leg (BENCH_fleet.json): the tenant corpus runs
+//     twice through a 4-node worker fleet — uninterrupted, and under a
+//     deterministic fault plan that kills two nodes mid-corpus. The
+//     chaos run's canonical per-job report union must be byte-identical
+//     to the uninterrupted run's, the light tenant must still dispatch
+//     inside the WRR fairness bound while handoff re-dispatches compete
+//     for slots, and the failure-detection + handoff + backoff overhead
+//     must stay under 10% of the charged analysis work.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
 //	          [-warm-out FILE] [-service-out FILE] [-delta-out FILE]
-//	          [-settled-out FILE] [-tolerance F] [-write-baseline]
+//	          [-settled-out FILE] [-fleet-out FILE] [-tolerance F]
+//	          [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -61,6 +70,7 @@ import (
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
 	"backdroid/internal/experiments"
+	"backdroid/internal/faultinject"
 	"backdroid/internal/service"
 	"backdroid/internal/service/journal"
 )
@@ -222,6 +232,37 @@ type SettledReport struct {
 	SpeedupSettled float64           `json:"speedup_settled"` // cold / mean storm pass
 }
 
+// FleetReport is the BENCH_fleet.json schema: the fleet-chaos leg. The
+// tenant corpus runs twice through a four-node worker fleet — once
+// uninterrupted (the reference) and once under a deterministic fault
+// plan that kills two nodes mid-corpus, each while running a targeted
+// heavy-tenant job. The gate pins three invariants: the chaos run's
+// canonical per-job report union (service.EncodeReport bytes) is
+// identical to the reference's, the light tenant's last first-attempt
+// dispatch stays inside the 2L+1 WRR bound even while handoff
+// re-dispatches compete for heavy slots, and the fleet's overhead
+// account (lease-expiry detection latency + handoff + backoff) stays
+// under 10% of the charged analysis work.
+type FleetReport struct {
+	Seed           int64   `json:"seed"`
+	Nodes          int     `json:"nodes"`
+	HeavyJobs      int     `json:"heavy_jobs"`
+	LightJobs      int     `json:"light_jobs"`
+	Plan           string  `json:"plan"`
+	Killed         int     `json:"killed"`
+	Survivors      int     `json:"survivors"`
+	Handoffs       int64   `json:"handoffs"`
+	ExpiredLeases  int64   `json:"expired_leases"`
+	LostUnits      int64   `json:"lost_units"`
+	OverheadUnits  int64   `json:"overhead_units"`
+	AnalysisUnits  int64   `json:"analysis_units"`
+	OverheadRatio  float64 `json:"overhead_ratio"`
+	UnionIdentical bool    `json:"union_identical"`
+	LastLightSlot  int     `json:"last_light_slot"`
+	FairnessBound  int     `json:"fairness_bound"`
+	JournalUnits   int64   `json:"journal_units"`
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -249,17 +290,18 @@ func main() {
 		tenantOut  = flag.String("tenant-out", "BENCH_tenant.json", "fair-dispatch leg JSON path (empty = skip)")
 		deltaOut   = flag.String("delta-out", "BENCH_delta.json", "delta-update leg JSON path (empty = skip)")
 		settledOut = flag.String("settled-out", "BENCH_settled.json", "settled-storm leg JSON path (empty = skip)")
+		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "fleet-chaos leg JSON path (empty = skip)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *settledOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *settledOut, *fleetOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath, settledOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath, settledOutPath, fleetOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -425,6 +467,45 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", tenantOutPath)
+	}
+
+	// Fleet-chaos leg: the tenant corpus through a 4-node fleet, with and
+	// without a deterministic fault plan killing two nodes mid-corpus.
+	// Enforces report-union byte parity, the fairness bound under
+	// re-dispatch pressure and the 10% overhead ceiling on every run.
+	if fleetOutPath != "" {
+		fr, err := measureFleetChaos(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %d/%d nodes killed, %d handoffs, overhead %.2f%% of %d units, light slot %d/%d\n",
+			"fleet-chaos", fr.Killed, fr.Nodes, fr.Handoffs,
+			100*fr.OverheadRatio, fr.AnalysisUnits, fr.LastLightSlot, fr.FairnessBound)
+		if !fr.UnionIdentical {
+			return fmt.Errorf("fleet chaos run's report union diverges from the uninterrupted run")
+		}
+		if fr.Killed != 2 {
+			return fmt.Errorf("fault plan %q killed %d nodes, want 2", fr.Plan, fr.Killed)
+		}
+		if fr.Handoffs != 2 {
+			return fmt.Errorf("fleet chaos run handed off %d jobs, want 2 (one per killed node)", fr.Handoffs)
+		}
+		if fr.LastLightSlot > fr.FairnessBound {
+			return fmt.Errorf("light tenant's last job dispatched at fleet slot %d, fairness bound is %d — handoffs starve the light tenant",
+				fr.LastLightSlot, fr.FairnessBound)
+		}
+		if fr.OverheadRatio >= 0.10 {
+			return fmt.Errorf("fleet fault overhead %.2f%% of charged analysis units, ceiling is 10%%", 100*fr.OverheadRatio)
+		}
+		fdata, err := json.MarshalIndent(fr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fdata = append(fdata, '\n')
+		if err := os.WriteFile(fleetOutPath, fdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", fleetOutPath)
 	}
 
 	// Delta-update leg: each mutation kind's updated app analyzed cold
@@ -873,6 +954,211 @@ func measureFairDispatch(seed int64) (TenantReport, error) {
 		tr.JournalOverhead = float64(tr.JournalUnits) / float64(tr.AnalysisUnits)
 	}
 	return tr, nil
+}
+
+// fleetRunOutcome is one fleet corpus pass: the canonical per-job report
+// encodings, the charged analysis work and the fleet's resilience
+// counters.
+type fleetRunOutcome struct {
+	union         map[string][]byte // job name -> service.EncodeReport bytes
+	analysisUnits int64
+	lastLightSlot int
+	stats         *service.FleetStats
+	journalUnits  int64
+}
+
+// fleetCorpusRun drives the heavy+light tenant corpus through a fleet of
+// nodes under the given fault plan (nil = uninterrupted reference). Every
+// node is first parked on a blocking gate job so the whole corpus queues
+// before the first real WRR pop — the dispatch sequence numbers are then
+// a pure function of the queue contents, exactly like the single-worker
+// fair-dispatch leg, and the light tenant's slots are comparable across
+// runs even though four nodes pull concurrently.
+func fleetCorpusRun(seed int64, nodes int, heavy, light []appgen.Spec, plan *faultinject.Plan) (fleetRunOutcome, error) {
+	out := fleetRunOutcome{union: make(map[string][]byte, len(heavy)+len(light))}
+	jdir, err := os.MkdirTemp("", "benchgate-fleet-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(jdir)
+	jnl, _, err := journal.Open(jdir)
+	if err != nil {
+		return out, err
+	}
+	defer jnl.Close()
+
+	events := make(chan service.Event, 256)
+	var maxLightSeq int64
+	var drain sync.WaitGroup
+	drain.Add(1)
+	go func() {
+		defer drain.Done()
+		for ev := range events {
+			// First-attempt dispatches only: a handoff re-dispatch is
+			// recovery, not a fresh slot the light tenant competes for.
+			if ev.Kind == service.EventStarted && ev.Attempt == 1 &&
+				strings.HasPrefix(ev.Name, "light:") && ev.Seq > maxLightSeq {
+				maxLightSeq = ev.Seq
+			}
+		}
+	}()
+
+	opts := core.DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	sched := service.New(service.Config{
+		Nodes: nodes, NodeStoreBudget: 0, Faults: plan,
+		QueueDepth: 64,
+		Options:    &opts,
+		Journal:    jnl,
+		Events:     events,
+	})
+
+	// Park every node on a gate job (gates take dispatch slots 1..nodes).
+	parked := make(chan struct{}, nodes)
+	gate := make(chan struct{})
+	gateIDs := make([]service.JobID, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		id, err := sched.Submit(service.Job{
+			Name: fmt.Sprintf("gate%d", i), Tenant: "zz-gate",
+			Source: func() (*apk.App, error) {
+				parked <- struct{}{}
+				<-gate
+				app, _, err := appgen.Generate(appgen.Spec{
+					Name: fmt.Sprintf("com.gate.noop%d", i), Seed: seed + int64(i), SizeMB: 0.2,
+					Sinks: []appgen.SinkSpec{{Flow: appgen.FlowDirect, Rule: android.RuleCryptoECB}},
+				})
+				return app, err
+			},
+			RunBackDroid: true,
+		})
+		if err != nil {
+			return out, err
+		}
+		gateIDs = append(gateIDs, id)
+	}
+	for i := 0; i < nodes; i++ {
+		<-parked
+	}
+
+	submit := func(tenant string, specs []appgen.Spec) ([]service.JobID, []string, error) {
+		ids := make([]service.JobID, 0, len(specs))
+		names := make([]string, 0, len(specs))
+		for _, spec := range specs {
+			spec := spec
+			name := tenant + ":" + spec.Name
+			id, err := sched.Submit(service.Job{
+				Name: name, Tenant: tenant,
+				Source: func() (*apk.App, error) {
+					app, _, err := appgen.Generate(spec)
+					return app, err
+				},
+				RunBackDroid: true,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			ids = append(ids, id)
+			names = append(names, name)
+		}
+		return ids, names, nil
+	}
+	heavyIDs, heavyNames, err := submit("heavy", heavy)
+	if err != nil {
+		return out, err
+	}
+	lightIDs, lightNames, err := submit("light", light)
+	if err != nil {
+		return out, err
+	}
+	close(gate)
+
+	wait := func(ids []service.JobID, names []string) error {
+		for i, id := range ids {
+			res, err := sched.Wait(id)
+			if err != nil {
+				return fmt.Errorf("fleet job %s: %w", names[i], err)
+			}
+			out.analysisUnits += res.BackDroid.Stats.WorkUnits
+			out.union[names[i]] = service.EncodeReport(res.BackDroid)
+		}
+		return nil
+	}
+	if err := wait(heavyIDs, heavyNames); err != nil {
+		return out, err
+	}
+	if err := wait(lightIDs, lightNames); err != nil {
+		return out, err
+	}
+	for _, id := range gateIDs {
+		if _, err := sched.Wait(id); err != nil {
+			return out, err
+		}
+	}
+	ss := sched.Stats()
+	out.stats = sched.FleetStats()
+	sched.Close()
+	close(events)
+	drain.Wait()
+	out.journalUnits = ss.JournalUnits
+	out.lastLightSlot = int(maxLightSeq) - nodes
+	return out, nil
+}
+
+// measureFleetChaos is the fleet-chaos leg: the tenant corpus through a
+// four-node fleet, uninterrupted and under a fault plan that kills the
+// node running the heavy tenant's outlier and the node running one of
+// its small apps, each 64 charged units into the attempt. Both kills
+// expire a lease, journal a handoff and re-dispatch onto a surviving
+// node; the leg then compares the two runs' canonical report unions
+// byte for byte.
+func measureFleetChaos(seed int64) (FleetReport, error) {
+	const nodes = 4
+	loads := appgen.TenantWorkloads(appgen.TenantWorkloadOptions{
+		Tenants: 2, SmallApps: 4, Seed: seed, HeavySinks: 40,
+	})
+	heavySpecs := loads[0].Specs     // outlier + small apps
+	lightSpecs := loads[1].Specs[1:] // small apps only
+
+	plan := faultinject.New(
+		faultinject.Fault{Kind: faultinject.KillJob, Job: "heavy:" + heavySpecs[0].Name, AtUnit: 64},
+		faultinject.Fault{Kind: faultinject.KillJob, Job: "heavy:" + heavySpecs[2].Name, AtUnit: 64},
+	)
+	fr := FleetReport{
+		Seed: seed, Nodes: nodes, Plan: plan.String(),
+		HeavyJobs: len(heavySpecs), LightJobs: len(lightSpecs),
+		FairnessBound: 2*len(lightSpecs) + 1,
+	}
+
+	ref, err := fleetCorpusRun(seed, nodes, heavySpecs, lightSpecs, nil)
+	if err != nil {
+		return fr, err
+	}
+	chaos, err := fleetCorpusRun(seed, nodes, heavySpecs, lightSpecs, plan)
+	if err != nil {
+		return fr, err
+	}
+
+	fr.UnionIdentical = len(chaos.union) == len(ref.union)
+	for name, enc := range ref.union {
+		if !bytes.Equal(chaos.union[name], enc) {
+			fr.UnionIdentical = false
+		}
+	}
+	fs := chaos.stats
+	fr.Killed = fs.Killed
+	fr.Survivors = fs.Live
+	fr.Handoffs = fs.Handoffs
+	fr.ExpiredLeases = fs.ExpiredLeases
+	fr.LostUnits = fs.LostUnits
+	fr.OverheadUnits = fs.OverheadUnits
+	fr.AnalysisUnits = chaos.analysisUnits
+	if fr.AnalysisUnits > 0 {
+		fr.OverheadRatio = float64(fr.OverheadUnits) / float64(fr.AnalysisUnits)
+	}
+	fr.LastLightSlot = chaos.lastLightSlot
+	fr.JournalUnits = chaos.journalUnits
+	return fr, nil
 }
 
 // measureDelta is the delta-update leg: one moderately sized app and its

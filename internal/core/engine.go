@@ -149,6 +149,17 @@ type Options struct {
 	// atomic-flag read.
 	Cancel func() bool
 
+	// Heartbeat, when non-nil, is the fleet control plane's liveness
+	// hook: the meter calls it at every cancellation checkpoint with the
+	// units charged since the previous one, so the scheduler can advance
+	// the executing node's odometer and the fleet-global clock by the
+	// work actually performed, renew (or drop) the job's lease and
+	// consult the fault plan. Returning true aborts the analysis with
+	// simtime.ErrCanceled at that checkpoint — the path by which a
+	// fenced node's running attempt observes its own death. Like Cancel,
+	// it runs on the analysis goroutine and must be cheap.
+	Heartbeat func(delta int64) bool
+
 	// SinkObserver, when non-nil, receives every SinkReport as soon as its
 	// verdict is final — per sink call during the per-sink pipeline, after
 	// the shared forward pass in PerAppSSG mode. The callback runs
@@ -478,6 +489,9 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	}
 	if opts.Cancel != nil {
 		meter.SetCancel(opts.Cancel)
+	}
+	if opts.Heartbeat != nil {
+		meter.SetHeartbeat(opts.Heartbeat)
 	}
 
 	// Warm-start probes, before any merge or disassembly work. The

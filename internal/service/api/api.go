@@ -114,6 +114,7 @@ type StatsResponse struct {
 	Dispatched   int64                     `json:"dispatched"`
 	Journal      *journal.Stats            `json:"journal,omitempty"`
 	JournalUnits int64                     `json:"journal_units,omitempty"`
+	Fleet        *service.FleetStats       `json:"fleet,omitempty"`
 }
 
 // ReportResponse serves one settled report from the content-addressed
@@ -435,6 +436,7 @@ func (d *Dispatcher) Stats(StatsRequest) StatsResponse {
 	resp.Tenants = ss.Tenants
 	resp.Dispatched = ss.Dispatched
 	resp.JournalUnits = ss.JournalUnits
+	resp.Fleet = ss.Fleet
 	if jnl := d.sched.Journal(); jnl != nil {
 		js := jnl.Stats()
 		resp.Journal = &js
@@ -461,6 +463,13 @@ func (d *Dispatcher) Report(req ReportRequest) (ReportResponse, error) {
 		Report:     *reportJSON(r, false),
 		Encoded:    enc,
 	}, nil
+}
+
+// KillNode fences one fleet node — the `die node=N` chaos drill. The
+// daemon keeps serving; the node's running job is handed off to a
+// surviving node after its lease expires.
+func (d *Dispatcher) KillNode(node int) error {
+	return d.sched.KillNode(node)
 }
 
 // Recover re-enqueues the journal's pending jobs, rebuilding each from

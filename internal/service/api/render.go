@@ -33,6 +33,9 @@ type Command struct {
 	Kind   CommandKind
 	Submit SubmitRequest // Kind == CmdSubmit
 	Cancel CancelRequest // Kind == CmdCancel
+	// Node carries the `die node=N` form: 0 kills the whole process (the
+	// classic crash drill), N > 0 fences one fleet node and keeps serving.
+	Node int
 }
 
 // ParseLine parses one stdin protocol line into a typed command. Parse
@@ -51,7 +54,18 @@ func ParseLine(line string) (Command, error) {
 	case "quit", "exit":
 		return Command{Kind: CmdQuit}, nil
 	case "die":
-		return Command{Kind: CmdDie}, nil
+		if arg == "" {
+			return Command{Kind: CmdDie}, nil
+		}
+		rest, ok := strings.CutPrefix(arg, "node=")
+		if !ok {
+			return Command{}, fmt.Errorf("die wants no argument or node=N, got %q", arg)
+		}
+		node, err := strconv.Atoi(rest)
+		if err != nil || node < 1 {
+			return Command{}, fmt.Errorf("die node wants a positive node id, got %q", rest)
+		}
+		return Command{Kind: CmdDie, Node: node}, nil
 	case "stats":
 		return Command{Kind: CmdStats}, nil
 	case "recover":
@@ -117,6 +131,14 @@ func EventLine(ev service.Event, withStats bool) string {
 		return line + "\n"
 	case service.EventFailed:
 		return fmt.Sprintf("failed id=%d app=%s err=%v\n", ev.Job, ev.Name, ev.Err)
+	case service.EventStarted:
+		if ev.Node > 0 {
+			// Fleet deployments label the dispatch; without a fleet the
+			// line keeps its historical bytes.
+			return fmt.Sprintf("started id=%d app=%s node=%d attempt=%d\n",
+				ev.Job, ev.Name, ev.Node, ev.Attempt)
+		}
+		return fmt.Sprintf("started id=%d app=%s\n", ev.Job, ev.Name)
 	default:
 		return fmt.Sprintf("%s id=%d app=%s\n", ev.Kind, ev.Job, ev.Name)
 	}
@@ -153,6 +175,15 @@ func StatsLines(resp StatsResponse) string {
 		fmt.Fprintf(&b, "stats journal records=%d bytes=%d pending=%d appends=%d compactions=%d recovered=%d dropped=%d units=%d\n",
 			js.Records, js.Bytes, js.Pending, js.Appends, js.Compactions,
 			js.Recovered, js.Dropped, resp.JournalUnits)
+	}
+	if fs := resp.Fleet; fs != nil {
+		fmt.Fprintf(&b, "stats fleet nodes=%d live=%d killed=%d handoffs=%d expired_leases=%d lost_units=%d overhead_units=%d remote_gets=%d fetch_faults=%d\n",
+			fs.Nodes, fs.Live, fs.Killed, fs.Handoffs, fs.ExpiredLeases,
+			fs.LostUnits, fs.OverheadUnits, fs.RemoteGets, fs.FetchFaults)
+		for _, n := range fs.PerNode {
+			fmt.Fprintf(&b, "stats node id=%d state=%s units=%d jobs=%d beats=%d dropped=%d\n",
+				n.ID, n.State, n.Units, n.Jobs, n.Beats, n.Dropped)
+		}
 	}
 	return b.String()
 }

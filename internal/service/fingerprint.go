@@ -22,7 +22,8 @@
 //     control-plane callbacks and provably cannot change the report:
 //     warm-start seams (IndexCacheDir, DumpProvider, Bundles) and
 //     shard-parallel lookups are pinned bitwise-identical by the CI
-//     parity matrix; Cancel/SinkObserver only abort or observe;
+//     parity matrix; Cancel/Heartbeat/SinkObserver only abort or
+//     observe;
 //     DeltaFrom's incremental reuse is pinned bitwise-identical to a
 //     cold run by the five delta guards and the BENCH_delta gate, and
 //     the scheduler keys settled lookups before injecting a delta base,
@@ -78,6 +79,7 @@ var OptionsFingerprintFields = map[string]FingerprintClass{
 	"ParallelLookups":     ClassNeutral,
 	"AutoParallelLookups": ClassNeutral,
 	"Cancel":              ClassNeutral,
+	"Heartbeat":           ClassNeutral,
 	"SinkObserver":        ClassNeutral,
 	"DeltaFrom":           ClassNeutral,
 }

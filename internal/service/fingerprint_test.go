@@ -43,6 +43,7 @@ var fingerprintMutators = map[string]func(o *core.Options){
 	"ParallelLookups":     func(o *core.Options) { o.ParallelLookups = !o.ParallelLookups },
 	"AutoParallelLookups": func(o *core.Options) { o.AutoParallelLookups = !o.AutoParallelLookups },
 	"Cancel":              func(o *core.Options) { o.Cancel = func() bool { return false } },
+	"Heartbeat":           func(o *core.Options) { o.Heartbeat = func(int64) bool { return false } },
 	"SinkObserver":        func(o *core.Options) { o.SinkObserver = func(*core.SinkReport) {} },
 	"DeltaFrom":           func(o *core.Options) { o.DeltaFrom = &core.DeltaBase{Fingerprint: 1} },
 }

@@ -1,0 +1,491 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"backdroid/internal/faultinject"
+	"backdroid/internal/simtime"
+)
+
+// This file is the scheduler's fleet layer: with Config.Nodes > 0 the
+// worker goroutines become process-shaped nodes — each with its own
+// work-unit odometer, heartbeat stream and consistent-hashed bundle
+// store partition — and the scheduler becomes their coordinator. Every
+// dispatch takes a per-job lease on the fleet-global simtime clock; a
+// node renews its lease at each meter checkpoint. A node that dies (by
+// fault plan, `die node=N`, or KillNode) or goes mute stops renewing;
+// once the clock passes the lease TTL the coordinator fences the node,
+// journals a handoff record and re-dispatches the job to a surviving
+// node with retry backoff. Terminals stay at-most-once (Scheduler
+// .finish settles exactly one attempt); sink events are at-least-once
+// but byte-identical across attempts, so report unions dedup cleanly.
+// See DESIGN.md Sec. 12.
+
+// NodeStats is one fleet node's counter block.
+type NodeStats struct {
+	ID      int
+	State   string // "live", "muted" (working but heartbeats dropped) or "dead"
+	Units   int64  // work-unit odometer: units charged on this node
+	Jobs    int64  // attempts finished on this node
+	Beats   int64  // heartbeats delivered
+	Dropped int64  // heartbeats dropped by fault injection
+	Store   StoreStats
+}
+
+// FleetStats aggregates the fleet's resilience counters.
+type FleetStats struct {
+	Nodes         int
+	Live          int
+	Killed        int
+	Clock         int64 // fleet-global simtime clock, in work units
+	Handoffs      int64 // jobs re-dispatched after a lease expiry
+	ExpiredLeases int64
+	LostUnits     int64 // attempt units abandoned on dead/fenced nodes
+	OverheadUnits int64 // detection latency + handoff + backoff charges
+	LocalGets     int64 // bundle fetches answered by the job's own node
+	RemoteGets    int64 // bundle fetches routed to another node's partition
+	RemoteUnits   int64 // charged placement detours (simtime.RemoteFetchUnits each)
+	FetchFaults   int64 // fetches failed by the fault plan
+	PerNode       []NodeStats
+	Store         *StoreStats // aggregate over the node partitions; nil when disabled
+}
+
+// fleetNode is one goroutine-backed worker node.
+type fleetNode struct {
+	id       int // 1-based; 0 in events means "no fleet"
+	dead     atomic.Bool
+	muted    atomic.Bool // heartbeats dropped (gray failure)
+	odometer atomic.Int64
+	beats    atomic.Int64
+	dropped  atomic.Int64
+	jobs     atomic.Int64
+	store    *BundleStore // this node's bundle partition; nil when disabled
+}
+
+// lease is one job attempt's liveness contract.
+type lease struct {
+	job     JobID
+	name    string
+	node    int
+	attempt int
+	expires int64 // fleet clock deadline; renewed on every heartbeat
+	units   int64 // units metered against this attempt (checkpoint-granular)
+}
+
+// fleet is the coordinator-side state of the worker fleet.
+type fleet struct {
+	nodes   []*fleetNode
+	plan    *faultinject.Plan
+	requeue func(id JobID, from, attempt int) // Scheduler.requeueJob
+	wake    func()                            // Scheduler cond broadcast
+	allDead func()                            // fail the still-queued jobs
+	clock   atomic.Int64
+
+	mu     sync.Mutex
+	leases map[JobID]*lease
+
+	handoffs    atomic.Int64
+	expired     atomic.Int64
+	lostUnits   atomic.Int64
+	overhead    atomic.Int64
+	localGets   atomic.Int64
+	remoteGets  atomic.Int64
+	remoteUnits atomic.Int64
+	fetchFaults atomic.Int64
+}
+
+// newFleet builds the node set. storeBudget >= 0 gives every node a
+// bundle partition with that byte budget (sharing one shard-dedup
+// layer, like the single shared store does); < 0 disables partitions.
+func newFleet(nodes int, storeBudget int64, plan *faultinject.Plan) *fleet {
+	f := &fleet{
+		plan:   plan,
+		leases: make(map[JobID]*lease),
+	}
+	var shards *ShardStore
+	if storeBudget >= 0 {
+		shards = NewShardStore()
+	}
+	for i := 1; i <= nodes; i++ {
+		n := &fleetNode{id: i}
+		if storeBudget >= 0 {
+			n.store = NewBundleStore(storeBudget)
+			n.store.AttachShardStore(shards)
+		}
+		f.nodes = append(f.nodes, n)
+	}
+	return f
+}
+
+func (f *fleet) nodeDead(node int) bool { return f.nodes[node-1].dead.Load() }
+
+func (f *fleet) partitioned() bool { return f.nodes[0].store != nil }
+
+func (f *fleet) liveCount() int {
+	live := 0
+	for _, n := range f.nodes {
+		if !n.dead.Load() {
+			live++
+		}
+	}
+	return live
+}
+
+// maxAttempts bounds re-dispatches per job: past it the job fails
+// terminally instead of bouncing forever between dying nodes.
+func (f *fleet) maxAttempts() int { return 2*len(f.nodes) + 1 }
+
+// fence marks a node dead and wakes the dispatcher: a fenced node
+// pulls no more work and its running attempt aborts at its next meter
+// checkpoint. When the last live node is fenced, the still-queued jobs
+// are failed instead of waiting for workers that no longer exist.
+func (f *fleet) fence(node int) {
+	n := f.nodes[node-1]
+	if n.dead.Swap(true) {
+		return
+	}
+	if f.wake != nil {
+		f.wake()
+	}
+	if f.liveCount() == 0 && f.allDead != nil {
+		f.allDead()
+	}
+}
+
+// kill is the `die node=N` entry point.
+func (f *fleet) kill(node int) error {
+	if node < 1 || node > len(f.nodes) {
+		return fmt.Errorf("service: node %d out of range (fleet of %d)", node, len(f.nodes))
+	}
+	if f.nodes[node-1].dead.Load() {
+		return fmt.Errorf("service: node %d already dead", node)
+	}
+	f.fence(node)
+	return nil
+}
+
+// killSweep fires the plan's node kills whose fleet-clock instant has
+// passed — over every node, not just the polling one, so a kill aimed
+// at a node that happens to be idle still fires at its simulated time
+// instead of waiting for work that may never arrive.
+func (f *fleet) killSweep(now int64) {
+	for _, n := range f.nodes {
+		if !n.dead.Load() && f.plan.KillNode(n.id, now) {
+			f.fence(n.id)
+		}
+	}
+}
+
+// pullKill is polled by a node before it pulls a job: a clock-keyed
+// kill whose instant has passed fires here — the node died between
+// jobs (the mid-queue scenario). It reports whether the polling node
+// is dead.
+func (f *fleet) pullKill(node int) bool {
+	n := f.nodes[node-1]
+	if n.dead.Load() {
+		return true
+	}
+	f.killSweep(f.clock.Load())
+	return n.dead.Load()
+}
+
+// grant registers the lease of a freshly dispatched attempt.
+func (f *fleet) grant(id JobID, name string, node, attempt int) {
+	now := f.clock.Load()
+	f.mu.Lock()
+	f.leases[id] = &lease{
+		job: id, name: name, node: node, attempt: attempt,
+		expires: now + simtime.LeaseTTLUnits,
+	}
+	f.mu.Unlock()
+}
+
+// release retires an attempt's lease when the attempt settles the job.
+// A stale release (the lease expired and was handed off) is a no-op.
+func (f *fleet) release(id JobID, node, attempt int) {
+	f.mu.Lock()
+	if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
+		delete(f.leases, id)
+	}
+	f.mu.Unlock()
+	f.nodes[node-1].jobs.Add(1)
+}
+
+// tick is the heartbeat: the engine's meter calls it (through the
+// Heartbeat hook) at every cancellation checkpoint with the units the
+// attempt charged since the previous one. It advances the node
+// odometer and the fleet clock by that delta, meters the attempt's
+// lease, consults the fault plan, renews (or drops) the heartbeat and
+// sweeps expired leases. It returns true when the node executing the
+// attempt is dead — the engine then aborts the run at this checkpoint.
+func (f *fleet) tick(node int, id JobID, name string, attempt int, delta int64) bool {
+	n := f.nodes[node-1]
+	if n.dead.Load() {
+		return true
+	}
+	odom := n.odometer.Add(delta)
+	now := f.clock.Add(delta)
+
+	var units int64
+	f.mu.Lock()
+	if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
+		l.units += delta
+		units = l.units
+	}
+	f.mu.Unlock()
+
+	f.killSweep(now)
+	if n.dead.Load() {
+		return true
+	}
+	if f.plan.KillJob(node, name, attempt, units) {
+		f.fence(node)
+		return true
+	}
+	if f.plan.DropHeartbeat(node, odom) {
+		n.muted.Store(true)
+		n.dropped.Add(1)
+	} else {
+		n.beats.Add(1)
+		f.mu.Lock()
+		if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
+			l.expires = now + simtime.LeaseTTLUnits
+		}
+		f.mu.Unlock()
+	}
+	f.sweep(now)
+	return n.dead.Load()
+}
+
+// abandon is the death certificate of a killed node's running attempt.
+// The worker goroutine survives (only the modeled node died); it
+// advances the fleet clock by the lease TTL — the coordinator noticing
+// the silent node — charges that detection latency as overhead and
+// sweeps, which expires this attempt's lease and requeues the job on a
+// surviving node. If a concurrent sweep already handed the job off,
+// nothing is charged twice.
+func (f *fleet) abandon(id JobID, node, attempt int) {
+	f.mu.Lock()
+	l := f.leases[id]
+	mine := l != nil && l.node == node && l.attempt == attempt
+	f.mu.Unlock()
+	if !mine {
+		return
+	}
+	now := f.clock.Add(simtime.LeaseTTLUnits)
+	f.overhead.Add(simtime.LeaseTTLUnits)
+	f.sweep(now)
+}
+
+// sweep expires the leases of dead and muted nodes once the fleet
+// clock passes their TTL. The holder is fenced — a node that lost a
+// lease is dead to the fleet even if it is still secretly working (the
+// gray-failure rule; its late terminal is suppressed by the at-most-
+// once settle in Scheduler.finish) — and each lost job is handed back
+// to the scheduler. Victims are processed in job order so multi-expiry
+// handoffs are deterministic. Leases of live, heartbeating nodes never
+// expire here: expiry requires the holder to be dead or mute, so real
+// goroutine-scheduling jitter can not fence a healthy node.
+func (f *fleet) sweep(now int64) {
+	var victims []*lease
+	f.mu.Lock()
+	for id, l := range f.leases {
+		n := f.nodes[l.node-1]
+		if now >= l.expires && (n.dead.Load() || n.muted.Load()) {
+			delete(f.leases, id)
+			victims = append(victims, l)
+		}
+	}
+	f.mu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].job < victims[j].job })
+	for _, l := range victims {
+		f.expired.Add(1)
+		f.lostUnits.Add(l.units)
+		f.fence(l.node)
+		if f.requeue != nil {
+			f.requeue(l.job, l.node, l.attempt)
+		}
+	}
+}
+
+// chargeHandoff prices one re-dispatch: the flat handoff plus an
+// exponential per-attempt backoff, advancing the fleet clock and the
+// overhead account.
+func (f *fleet) chargeHandoff(attempt int) {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	units := int64(simtime.HandoffUnits) + int64(simtime.RetryBackoffUnits)<<shift
+	f.clock.Add(units)
+	f.overhead.Add(units)
+	f.handoffs.Add(1)
+}
+
+// owner returns the node owning fp's bundle under rendezvous
+// (highest-random-weight) hashing over the live nodes, or 0 when every
+// node is dead. Dead nodes drop out of the ring, so only the keys they
+// owned move — their bundles rebuild cold on the surviving owners,
+// which can never change a report, only re-pay a build.
+func (f *fleet) owner(fp uint64) int {
+	best, bestScore := 0, uint64(0)
+	for _, n := range f.nodes {
+		if n.dead.Load() {
+			continue
+		}
+		score := mix64(fp ^ uint64(n.id)*0x9e3779b97f4a7c15)
+		if best == 0 || score > bestScore {
+			best, bestScore = n.id, score
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer — the avalanche step that makes
+// per-node rendezvous scores independent.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// view returns the node's window onto the partitioned bundle store,
+// or nil when partitions are disabled.
+func (f *fleet) view(node int) *fleetView {
+	if !f.partitioned() {
+		return nil
+	}
+	return &fleetView{f: f, node: node}
+}
+
+// stats snapshots the fleet counters.
+func (f *fleet) stats() *FleetStats {
+	fs := &FleetStats{
+		Nodes:         len(f.nodes),
+		Clock:         f.clock.Load(),
+		Handoffs:      f.handoffs.Load(),
+		ExpiredLeases: f.expired.Load(),
+		LostUnits:     f.lostUnits.Load(),
+		OverheadUnits: f.overhead.Load(),
+		LocalGets:     f.localGets.Load(),
+		RemoteGets:    f.remoteGets.Load(),
+		RemoteUnits:   f.remoteUnits.Load(),
+		FetchFaults:   f.fetchFaults.Load(),
+	}
+	var agg StoreStats
+	for _, n := range f.nodes {
+		ns := NodeStats{
+			ID:      n.id,
+			State:   "live",
+			Units:   n.odometer.Load(),
+			Jobs:    n.jobs.Load(),
+			Beats:   n.beats.Load(),
+			Dropped: n.dropped.Load(),
+		}
+		switch {
+		case n.dead.Load():
+			ns.State = "dead"
+			fs.Killed++
+		case n.muted.Load():
+			ns.State = "muted"
+			fs.Live++
+		default:
+			fs.Live++
+		}
+		if n.store != nil {
+			ns.Store = n.store.Stats()
+			agg.Entries += ns.Store.Entries
+			agg.Bytes += ns.Store.Bytes
+			agg.Hits += ns.Store.Hits
+			agg.Misses += ns.Store.Misses
+			agg.Puts += ns.Store.Puts
+			agg.Refreshes += ns.Store.Refreshes
+			agg.Evictions += ns.Store.Evictions
+			agg.Drops += ns.Store.Drops
+		}
+		fs.PerNode = append(fs.PerNode, ns)
+	}
+	if f.partitioned() {
+		fs.Store = &agg
+	}
+	return fs
+}
+
+// fleetView is one node's window onto the fleet's consistent-hashed
+// bundle placement: every operation routes to the fingerprint's owner
+// partition, counting local vs remote traffic and charging the remote
+// placement detour. It satisfies the scheduler's jobStore surface and
+// core.BundleCache (plus the optional DropBundle seam).
+type fleetView struct {
+	f    *fleet
+	node int
+}
+
+func (v *fleetView) route(fp uint64) *BundleStore {
+	owner := v.f.owner(fp)
+	if owner == 0 {
+		return nil
+	}
+	return v.f.nodes[owner-1].store
+}
+
+// GetBundle fetches from the owner partition. A plan-injected fetch
+// fault turns the probe into a miss — the engine rebuilds cold, which
+// can never change the report.
+func (v *fleetView) GetBundle(fp uint64) ([]byte, bool) {
+	if v.f.plan.FailFetch(fp) {
+		v.f.fetchFaults.Add(1)
+		return nil, false
+	}
+	owner := v.f.owner(fp)
+	if owner == 0 {
+		return nil, false
+	}
+	if owner == v.node {
+		v.f.localGets.Add(1)
+	} else {
+		v.f.remoteGets.Add(1)
+		v.f.remoteUnits.Add(simtime.RemoteFetchUnits)
+		v.f.clock.Add(simtime.RemoteFetchUnits)
+	}
+	return v.f.nodes[owner-1].store.GetBundle(fp)
+}
+
+// PutBundle publishes to the owner partition under the current live
+// set. If the owner died since a sibling's Get, the bundle simply
+// lands on the new owner — content addressing makes any copy valid.
+func (v *fleetView) PutBundle(fp uint64, data []byte) {
+	if s := v.route(fp); s != nil {
+		s.PutBundle(fp, data)
+	}
+}
+
+// DropBundle evicts a failed-validation bundle from its owner
+// partition (the engine's optional drop seam).
+func (v *fleetView) DropBundle(fp uint64) {
+	if s := v.route(fp); s != nil {
+		s.DropBundle(fp)
+	}
+}
+
+// Contains probes the owner partition without touching counters.
+func (v *fleetView) Contains(fp uint64) bool {
+	s := v.route(fp)
+	return s != nil && s.Contains(fp)
+}
+
+// LockFingerprint serializes construction on the owner partition, so
+// the single-build guarantee holds fleet-wide, not just per node.
+func (v *fleetView) LockFingerprint(fp uint64) func() {
+	s := v.route(fp)
+	if s == nil {
+		return func() {}
+	}
+	return s.LockFingerprint(fp)
+}

@@ -16,7 +16,7 @@
 // and each record is:
 //
 //	offset  size  field
-//	0       1     kind (KindSubmit..KindReport)
+//	0       1     kind (KindSubmit..KindHandoff)
 //	1       4     payload length (little endian)
 //	5       4     IEEE CRC-32 of kind byte + payload
 //	9       ...   payload
@@ -24,7 +24,8 @@
 // Payloads hold the job id and, for submits, the tenant, display name and
 // an opaque spec string the service uses to rebuild the job (backdroidd
 // stores the APK path); settled-report records instead carry the
-// (app, options) fingerprint pair and the canonical encoded report.
+// (app, options) fingerprint pair and the canonical encoded report;
+// fleet lease and handoff records carry the node id and attempt number.
 // Strings and byte blobs are u32-length-prefixed.
 //
 // The codec follows the .bdx discipline (internal/dexdump): every
@@ -76,7 +77,13 @@ const FileName = "journal.bdj"
 // terminal record — started or not — as pending. KindReport records are
 // the journal's persistent settled-report section: independent of any
 // job's lifecycle, content-addressed by (app fingerprint, options
-// fingerprint), latest record per key wins.
+// fingerprint), latest record per key wins. KindLease and KindHandoff
+// are the fleet coordinator's dispatch trail — which node held a job,
+// and which handoffs a lease expiry forced. They are transient
+// bookkeeping: replay folds nothing from them (a job's pendingness is
+// still decided solely by submit vs terminal), and compaction drops
+// them, so damage to one can never lose or duplicate a report — at
+// worst the replay truncates there and the affected jobs re-pend.
 type Kind uint8
 
 // Record kinds.
@@ -87,6 +94,8 @@ const (
 	KindFailed
 	KindCanceled
 	KindReport
+	KindLease
+	KindHandoff
 )
 
 // String names the record kind.
@@ -104,6 +113,10 @@ func (k Kind) String() string {
 		return "canceled"
 	case KindReport:
 		return "report"
+	case KindLease:
+		return "lease"
+	case KindHandoff:
+		return "handoff"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -116,17 +129,21 @@ func (k Kind) terminal() bool {
 // Record is one journal entry. Tenant, Name and Spec are set on submits
 // (Spec is the opaque string the service rebuilds the job from); Err is
 // set on failures; App/Opt/Data are set on settled-report records (the
-// content-address pair and the canonical encoded report).
+// content-address pair and the canonical encoded report); Node and
+// Attempt are set on fleet lease and handoff records (for handoffs,
+// Node is the node the job was taken away from).
 type Record struct {
-	Kind   Kind
-	Job    int64
-	Tenant string
-	Name   string
-	Spec   string
-	Err    string
-	App    uint64 // KindReport: dexdump.AppFingerprint
-	Opt    uint64 // KindReport: service.OptionsFingerprint
-	Data   []byte // KindReport: canonical encoded report
+	Kind    Kind
+	Job     int64
+	Tenant  string
+	Name    string
+	Spec    string
+	Err     string
+	App     uint64 // KindReport: dexdump.AppFingerprint
+	Opt     uint64 // KindReport: service.OptionsFingerprint
+	Data    []byte // KindReport: canonical encoded report
+	Node    int64  // KindLease: holder; KindHandoff: the fenced node
+	Attempt int64  // KindLease/KindHandoff: 1-based dispatch attempt
 }
 
 // reportKey addresses one settled-report record.
@@ -170,6 +187,10 @@ type Journal struct {
 	// compacted away.
 	reports     map[reportKey]Record
 	reportOrder []reportKey
+
+	// corrupt, when set, may damage a record's on-disk bytes at append
+	// time — the fault-injection seam for chaos drills. See SetCorrupt.
+	corrupt func(kind string, encoded []byte) []byte
 }
 
 // DefaultCompactLimit is the live-file size above which Append compacts
@@ -264,7 +285,7 @@ func decodeRecord(data []byte) (Record, int64, bool) {
 		return Record{}, 0, false
 	}
 	kind := Kind(data[0])
-	if kind < KindSubmit || kind > KindReport {
+	if kind < KindSubmit || kind > KindHandoff {
 		return Record{}, 0, false
 	}
 	plen := binary.LittleEndian.Uint32(data[1:5])
@@ -318,6 +339,15 @@ func decodePayload(kind Kind, p []byte) (Record, bool) {
 		if r.Data, p, ok = getBytes(p); !ok {
 			return Record{}, false
 		}
+	case KindLease, KindHandoff:
+		var node, attempt uint64
+		if node, p, ok = getU64(p); !ok {
+			return Record{}, false
+		}
+		if attempt, p, ok = getU64(p); !ok {
+			return Record{}, false
+		}
+		r.Node, r.Attempt = int64(node), int64(attempt)
 	}
 	return r, len(p) == 0
 }
@@ -368,6 +398,9 @@ func encodeRecord(r Record) []byte {
 		payload = putU64(payload, r.App)
 		payload = putU64(payload, r.Opt)
 		payload = putBytes(payload, r.Data)
+	case KindLease, KindHandoff:
+		payload = putU64(payload, uint64(r.Node))
+		payload = putU64(payload, uint64(r.Attempt))
 	}
 	buf := make([]byte, recHeaderSize, recHeaderSize+len(payload))
 	buf[0] = byte(r.Kind)
@@ -479,6 +512,11 @@ func (j *Journal) Append(r Record) error {
 		}
 	}
 	buf := encodeRecord(r)
+	if j.corrupt != nil {
+		if damaged := j.corrupt(r.Kind.String(), buf); damaged != nil {
+			buf = damaged
+		}
+	}
 	if _, err := j.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
@@ -557,6 +595,19 @@ func (j *Journal) rewrite(recs []Record) (int64, error) {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
 	return int64(len(buf)), nil
+}
+
+// SetCorrupt installs a fault-injection hook called on every Append
+// with the record's kind name and encoded bytes. A non-nil return
+// value is written to disk in place of the intact encoding; the
+// in-memory state still folds the intact record, so the damage
+// surfaces exactly where real bit rot would — on the next replay,
+// which recovers by truncating at the damaged record. Chaos drills
+// only; nil removes the hook.
+func (j *Journal) SetCorrupt(f func(kind string, encoded []byte) []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.corrupt = f
 }
 
 // Pending returns the current pending submits in submission order.

@@ -13,7 +13,8 @@ import (
 func recordsEqual(a, b Record) bool {
 	return a.Kind == b.Kind && a.Job == b.Job && a.Tenant == b.Tenant &&
 		a.Name == b.Name && a.Spec == b.Spec && a.Err == b.Err &&
-		a.App == b.App && a.Opt == b.Opt && bytes.Equal(a.Data, b.Data)
+		a.App == b.App && a.Opt == b.Opt && bytes.Equal(a.Data, b.Data) &&
+		a.Node == b.Node && a.Attempt == b.Attempt
 }
 
 // writeLifecycle appends one job's full record sequence.
@@ -168,6 +169,19 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 	if err := j.Append(Record{Kind: KindReport, App: 0xabc, Opt: 0xdef, Data: []byte("settled-report-bytes")}); err != nil {
 		t.Fatal(err)
 	}
+	// The fleet's dispatch trail: a lease, an expiry-forced handoff, a
+	// re-dispatch lease. Transient records — flips inside them must
+	// degrade exactly like any other damage, and the surviving prefix's
+	// pending/report reconstruction must ignore them.
+	for _, r := range []Record{
+		{Kind: KindLease, Job: 2, Node: 1, Attempt: 1},
+		{Kind: KindHandoff, Job: 2, Node: 1, Attempt: 1},
+		{Kind: KindLease, Job: 2, Node: 3, Attempt: 2},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
 	j.Close()
 	path := filepath.Join(dir, FileName)
 	good, err := os.ReadFile(path)
@@ -263,6 +277,108 @@ func TestJournalCorruptionFuzz(t *testing.T) {
 	}
 	check("trailing", append(append([]byte(nil), good...), 0xAB))
 	check("empty", nil)
+}
+
+// TestJournalLeaseHandoffRoundtrip pins the fleet record kinds: node
+// and attempt survive the codec, the records are transient (never
+// pending, dropped by compaction) yet still advance MaxJobID so a
+// recovering scheduler cannot reuse an id seen only in a lease.
+func TestJournalLeaseHandoffRoundtrip(t *testing.T) {
+	for _, kind := range []Kind{KindLease, KindHandoff} {
+		r := Record{Kind: kind, Job: 42, Node: 3, Attempt: 2}
+		enc := encodeRecord(r)
+		dec, n, ok := decodeRecord(enc)
+		if !ok || n != int64(len(enc)) || !recordsEqual(dec, r) {
+			t.Fatalf("%v roundtrip = %+v (ok=%v), want %+v", kind, dec, ok, r)
+		}
+	}
+
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLifecycle(t, j, 1, 0)
+	for _, r := range []Record{
+		{Kind: KindLease, Job: 1, Node: 2, Attempt: 1},
+		{Kind: KindHandoff, Job: 1, Node: 2, Attempt: 1},
+		{Kind: KindLease, Job: 7, Node: 1, Attempt: 2}, // orphaned: no submit in this log
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Job != 1 {
+		t.Fatalf("lease/handoff records changed the pending set: %+v", pending)
+	}
+	if got := j2.MaxJobID(); got != 7 {
+		t.Fatalf("MaxJobID = %d, want 7 (seen only in an orphaned lease)", got)
+	}
+	if err := j2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.Records != 1 || st.Pending != 1 {
+		t.Fatalf("compaction must drop the dispatch trail: %+v", st)
+	}
+	j2.Close()
+}
+
+// TestJournalCorruptHookDamagesDiskOnly pins the fault-injection seam:
+// a hook that damages a handoff record's on-disk bytes leaves the live
+// process's state intact, and the next replay degrades to re-dispatch
+// — the terminal record behind the damage is dropped, so the job
+// re-pends; it is never duplicated or resurrected with wrong content.
+func TestJournalCorruptHookDamagesDiskOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	j.SetCorrupt(func(kind string, encoded []byte) []byte {
+		if kind != "handoff" || corrupted > 0 {
+			return nil
+		}
+		corrupted++
+		damaged := append([]byte(nil), encoded...)
+		damaged[len(damaged)-1] ^= 0xa5
+		return damaged
+	})
+	writeLifecycle(t, j, 1, 0)
+	if err := j.Append(Record{Kind: KindHandoff, Job: 1, Node: 2, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindDone, Job: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if corrupted != 1 {
+		t.Fatalf("hook fired %d times, want 1", corrupted)
+	}
+	// The live process is oblivious: job 1 settled in memory.
+	if st := j.Stats(); st.Pending != 0 {
+		t.Fatalf("in-memory state saw the damage: %+v", st)
+	}
+	j.Close()
+
+	// The replay hits the damaged handoff record, truncates there and
+	// loses the done record behind it: job 1 degrades to pending.
+	j2, pending, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 1 || pending[0].Job != 1 {
+		t.Fatalf("pending after corrupt handoff = %+v, want job 1 re-pended", pending)
+	}
+	if st := j2.Stats(); st.Dropped == 0 {
+		t.Fatalf("no bytes dropped despite the damaged record: %+v", st)
+	}
 }
 
 // TestJournalReportRecordsSurviveCompaction pins the settled-report

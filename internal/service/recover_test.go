@@ -1,10 +1,13 @@
 package service
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"backdroid/internal/apk"
@@ -310,5 +313,140 @@ func TestQueuedCancelIsDurable(t *testing.T) {
 		if JobID(rec.Job) == victim {
 			t.Fatalf("canceled job %d resurrected by replay: %+v", victim, rec)
 		}
+	}
+}
+
+// TestRecoverMixedJournal replays one journal holding every record
+// population at once — a settled job, a never-dispatched pending job,
+// a job with an orphaned lease (its holder died without a handoff), a
+// job with a full handoff trail (two leases bridged by a handoff
+// record, still unterminated), and a job canceled while queued. Only
+// the three unterminated jobs may replay, in submission order, each to
+// exactly one terminal event; the lease and handoff records are
+// transient and must neither resurrect settled work nor block
+// recovery.
+func TestRecoverMixedJournal(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	append_ := func(r journal.Record) {
+		t.Helper()
+		if err := jnl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit := func(id int64) {
+		append_(journal.Record{
+			Kind: journal.KindSubmit, Job: id,
+			Name: testSpec(int(id)).Name, Spec: fmt.Sprintf("spec:%d", id),
+		})
+	}
+	// Job 1: dispatched and settled.
+	submit(1)
+	append_(journal.Record{Kind: journal.KindStart, Job: 1})
+	append_(journal.Record{Kind: journal.KindLease, Job: 1, Node: 1, Attempt: 1})
+	append_(journal.Record{Kind: journal.KindDone, Job: 1})
+	// Job 2: submitted, never dispatched.
+	submit(2)
+	// Job 3: dispatched, lease granted, holder died — no handoff, no
+	// terminal (the process crashed before the sweep).
+	submit(3)
+	append_(journal.Record{Kind: journal.KindStart, Job: 3})
+	append_(journal.Record{Kind: journal.KindLease, Job: 3, Node: 2, Attempt: 1})
+	// Job 4: full handoff trail, still unterminated at the crash.
+	submit(4)
+	append_(journal.Record{Kind: journal.KindStart, Job: 4})
+	append_(journal.Record{Kind: journal.KindLease, Job: 4, Node: 1, Attempt: 1})
+	append_(journal.Record{Kind: journal.KindHandoff, Job: 4, Node: 1, Attempt: 1})
+	append_(journal.Record{Kind: journal.KindLease, Job: 4, Node: 2, Attempt: 2})
+	// Job 5: canceled while queued.
+	submit(5)
+	append_(journal.Record{Kind: journal.KindCanceled, Job: 5})
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jnl2, pending, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	var pendingIDs []int64
+	for _, rec := range pending {
+		pendingIDs = append(pendingIDs, rec.Job)
+	}
+	if want := []int64{2, 3, 4}; !reflect.DeepEqual(pendingIDs, want) {
+		t.Fatalf("pending = %v, want %v", pendingIDs, want)
+	}
+
+	events := make(chan Event, 8)
+	var startOrder []JobID
+	terminals := make(map[JobID]int)
+	var evWG sync.WaitGroup
+	evWG.Add(1)
+	go func() {
+		defer evWG.Done()
+		for ev := range events {
+			switch ev.Kind {
+			case EventStarted:
+				startOrder = append(startOrder, ev.Job)
+			case EventDone, EventFailed, EventCanceled:
+				terminals[ev.Job]++
+			}
+		}
+	}()
+	// A single-node fleet makes the replay order observable (one worker)
+	// while still exercising the lease-journaling dispatch path.
+	s := New(Config{Nodes: 1, Journal: jnl2, Events: events})
+	if n := s.Recover(specFromJournal); n != 3 {
+		t.Fatalf("Recover = %d, want 3", n)
+	}
+	if n := s.Recover(specFromJournal); n != 0 {
+		t.Fatalf("second Recover = %d, want 0 (must be idempotent)", n)
+	}
+	// The settled and canceled jobs were not resurrected.
+	for _, id := range []JobID{1, 5} {
+		if _, err := s.Wait(id); !errors.Is(err, ErrUnknownJob) {
+			t.Fatalf("job %d resurrected: %v", id, err)
+		}
+	}
+	for _, id := range []JobID{2, 3, 4} {
+		res, err := s.Wait(id)
+		if err != nil {
+			t.Fatalf("recovered job %d: %v", id, err)
+		}
+		if want := testSpec(int(id)).Name; res.Name != want {
+			t.Fatalf("job %d recovered as %q, want %q", id, res.Name, want)
+		}
+		if len(res.BackDroid.Sinks) == 0 {
+			t.Fatalf("job %d replayed with an empty report", id)
+		}
+	}
+	// Fresh IDs issue above everything the journal has seen.
+	id, err := s.Submit(Job{Name: testSpec(9).Name, Source: sourceFor(testSpec(9)), RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 5 {
+		t.Fatalf("fresh ID %d collides with journaled range", id)
+	}
+	if _, err := s.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	close(events)
+	evWG.Wait()
+	if want := []JobID{2, 3, 4, id}; !reflect.DeepEqual(startOrder, want) {
+		t.Fatalf("replay order = %v, want %v", startOrder, want)
+	}
+	for _, jid := range []JobID{2, 3, 4, id} {
+		if terminals[jid] != 1 {
+			t.Fatalf("job %d emitted %d terminal events, want exactly 1", jid, terminals[jid])
+		}
+	}
+	if len(terminals) != 4 {
+		t.Fatalf("terminal events for unexpected jobs: %v", terminals)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"backdroid/internal/apk"
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
+	"backdroid/internal/faultinject"
 	"backdroid/internal/service/journal"
 	"backdroid/internal/simtime"
 	"backdroid/internal/wholeapp"
@@ -125,6 +126,16 @@ type Event struct {
 	Result *JobResult
 	// Err is set on EventFailed.
 	Err error
+	// Node is the fleet node executing the job (EventStarted and later);
+	// 0 when the scheduler runs without a fleet.
+	Node int
+	// Attempt counts dispatches of this job (EventStarted and later): 1
+	// on the first dispatch, higher after a lease-expiry handoff
+	// re-dispatched it. A handed-off job emits one EventStarted per
+	// attempt but still exactly one terminal event.
+	Attempt int
+	// Seq is the job's WRR dispatch sequence number (EventStarted).
+	Seq int64
 }
 
 // Config configures a Scheduler.
@@ -177,6 +188,23 @@ type Config struct {
 	// because per-job event order is guaranteed, other emitters) until
 	// the event is received.
 	Events chan<- Event
+	// Nodes, when > 0, runs the scheduler as a coordinator over a fleet
+	// of goroutine-backed worker nodes (Workers is overridden to Nodes).
+	// Every dispatch takes a simtime-metered lease; a node that dies or
+	// goes mute has its jobs handed off to surviving nodes, and shared-
+	// policy tenants analyze against consistent-hashed per-node bundle
+	// partitions instead of Config.Store. See DESIGN.md Sec. 12.
+	Nodes int
+	// NodeStoreBudget is each fleet node's bundle partition budget in
+	// bytes: 0 = unbounded partitions, < 0 = partitions disabled (jobs
+	// run storeless unless their tenant has a private store). Only
+	// meaningful with Nodes > 0.
+	NodeStoreBudget int64
+	// Faults is the deterministic chaos plan threaded through the
+	// dispatch loop (node/job kills, heartbeat drops), the journal append
+	// path (record corruption) and the fleet bundle partitions (fetch
+	// failures); nil injects nothing. See internal/faultinject.
+	Faults *faultinject.Plan
 }
 
 // Scheduler runs analysis jobs over a bounded worker pool with per-tenant
@@ -214,6 +242,11 @@ type Scheduler struct {
 
 	workerWG sync.WaitGroup
 	evMu     sync.Mutex
+
+	// fleet is the multi-node layer (nil when Config.Nodes == 0): node
+	// liveness, per-job leases, handoff accounting and the partitioned
+	// bundle placement.
+	fleet *fleet
 }
 
 // prevRun is one remembered prior analysis of a job name.
@@ -229,6 +262,7 @@ type jobState struct {
 	tenant          string
 	job             Job
 	store           *BundleStore // tenant-resolved bundle store (nil = none)
+	fleetStore      bool         // analyze against the fleet's partitioned placement
 	done            chan struct{}
 	res             *JobResult
 	err             error
@@ -237,6 +271,9 @@ type jobState struct {
 	cancelFlag      atomic.Bool // polled lock-free by the engine's meter
 	cancelJournaled bool        // terminal canceled record already written
 	started         bool
+	settled         bool // terminal outcome delivered (under mu) — at-most-once guard
+	node            int  // fleet node of the current/last attempt (under mu)
+	attempt         int  // dispatch count (under mu)
 	dispatchSeq     int64
 }
 
@@ -244,6 +281,11 @@ type jobState struct {
 // IDs are issued above every ID the journal has seen, so a recovered
 // queue and fresh submissions never collide.
 func New(cfg Config) *Scheduler {
+	if cfg.Nodes > 0 {
+		// Fleet mode: one worker goroutine per node — the goroutine is the
+		// node's execution substrate, the node is the failure domain.
+		cfg.Workers = cfg.Nodes
+	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -259,17 +301,33 @@ func New(cfg Config) *Scheduler {
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.Journal != nil {
 		s.nextID = JobID(cfg.Journal.MaxJobID())
+		if cfg.Faults != nil {
+			cfg.Journal.SetCorrupt(faultinject.JournalCorrupter(cfg.Faults))
+		}
+	}
+	if cfg.Nodes > 0 {
+		s.fleet = newFleet(cfg.Nodes, cfg.NodeStoreBudget, cfg.Faults)
+		s.fleet.requeue = s.requeueJob
+		s.fleet.wake = s.cond.Broadcast
+		s.fleet.allDead = s.failQueued
 	}
 	for i := 0; i < cfg.Workers; i++ {
+		node := 0
+		if s.fleet != nil {
+			node = i + 1
+		}
 		s.workerWG.Add(1)
 		go func() {
 			defer s.workerWG.Done()
 			for {
-				st := s.nextJob()
+				if node > 0 && s.fleet.pullKill(node) {
+					return
+				}
+				st := s.nextJob(node)
 				if st == nil {
 					return
 				}
-				s.runJob(st)
+				s.runJob(st, node)
 			}
 		}()
 	}
@@ -363,8 +421,16 @@ func (s *Scheduler) enqueue(job Job, forcedID JobID) (JobID, error) {
 		id:     id,
 		tenant: t.name,
 		job:    job,
-		store:  t.bundleStore(s.cfg.Store),
 		done:   make(chan struct{}),
+	}
+	if s.fleet != nil && s.fleet.partitioned() && t.cfg.StoreBudget == 0 {
+		// Shared-policy tenants analyze against the fleet's consistent-
+		// hashed placement; the node view is resolved at dispatch time,
+		// since the executing node is not known yet. Private and storeless
+		// tenants keep their configured policy.
+		st.fleetStore = true
+	} else {
+		st.store = t.bundleStore(s.cfg.Store)
 	}
 	s.states[id] = st
 	t.submitted++
@@ -386,6 +452,12 @@ func (s *Scheduler) enqueue(job Job, forcedID JobID) (JobID, error) {
 	t.queue = append(t.queue, st)
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.fleet != nil && s.fleet.liveCount() == 0 {
+		// A submit that lands after the last node died: no worker remains
+		// to ever pop it, so settle it as failed instead of letting Wait
+		// hang. (The fence itself fails the jobs queued at that moment.)
+		s.failQueued()
+	}
 	return id, nil
 }
 
@@ -536,13 +608,17 @@ func (s *Scheduler) emit(ev Event) {
 }
 
 // nextJob blocks until a job is dispatchable and pops it under the WRR
-// policy. It returns nil when the scheduler is halted, or closed with
-// every queue drained — the worker exit conditions.
-func (s *Scheduler) nextJob() *jobState {
+// policy. It returns nil when the scheduler is halted, closed with
+// every queue drained, or the pulling fleet node is dead — the worker
+// exit conditions.
+func (s *Scheduler) nextJob(node int) *jobState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.halted {
+			return nil
+		}
+		if node > 0 && s.fleet.nodeDead(node) {
 			return nil
 		}
 		if st := s.popWRR(); st != nil {
@@ -559,7 +635,7 @@ func (s *Scheduler) nextJob() *jobState {
 	}
 }
 
-func (s *Scheduler) runJob(st *jobState) {
+func (s *Scheduler) runJob(st *jobState, node int) {
 	s.mu.Lock()
 	if st.canceled {
 		s.mu.Unlock()
@@ -567,11 +643,35 @@ func (s *Scheduler) runJob(st *jobState) {
 		return
 	}
 	st.started = true
+	st.attempt++
+	st.node = node
+	attempt := st.attempt
+	seq := st.dispatchSeq
 	s.mu.Unlock()
 
-	s.journalAppend(journal.Record{Kind: journal.KindStart, Job: int64(st.id)})
-	s.emit(Event{Kind: EventStarted, Job: st.id, Name: st.job.Name})
-	res, err := s.analyze(st)
+	if s.fleet != nil {
+		s.fleet.grant(st.id, st.job.Name, node, attempt)
+		s.journalAppend(journal.Record{
+			Kind: journal.KindLease, Job: int64(st.id),
+			Node: int64(node), Attempt: int64(attempt),
+		})
+	}
+	if attempt == 1 {
+		s.journalAppend(journal.Record{Kind: journal.KindStart, Job: int64(st.id)})
+	}
+	s.emit(Event{Kind: EventStarted, Job: st.id, Name: st.job.Name, Node: node, Attempt: attempt, Seq: seq})
+	res, err := s.analyze(st, node, attempt)
+	if s.fleet != nil {
+		if s.fleet.nodeDead(node) && errors.Is(err, simtime.ErrCanceled) && !st.cancelFlag.Load() {
+			// The node died under this attempt (the engine aborted at the
+			// checkpoint that observed the fencing, not by user cancel): no
+			// terminal — abandon charges the detection latency, expires the
+			// lease and hands the job to a surviving node.
+			s.fleet.abandon(st.id, node, attempt)
+			return
+		}
+		s.fleet.release(st.id, node, attempt)
+	}
 	s.finish(st, res, err)
 }
 
@@ -581,7 +681,19 @@ func (s *Scheduler) runJob(st *jobState) {
 // before the event so a consumer that reacts to the event with Forget —
 // cmd/backdroidd's reaping path — always finds the job joinable; emitting
 // first would make that Forget a silent no-op and leak the report.
+//
+// The settled guard makes termination at-most-once under fleet handoffs:
+// when a fenced-but-still-working node (the gray-failure double run) and
+// the re-dispatched attempt both reach finish, the first settles the job
+// and the second returns without journaling, emitting or closing again.
 func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
+	s.mu.Lock()
+	if st.settled {
+		s.mu.Unlock()
+		return
+	}
+	st.settled = true
+	s.mu.Unlock()
 	kind := journal.KindDone
 	ev := Event{Kind: EventDone, Job: st.id, Name: st.job.Name, Result: res}
 	switch {
@@ -609,11 +721,98 @@ func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
 	s.emit(ev)
 }
 
+// requeueJob returns a lease-expired job to the FRONT of its tenant's
+// queue (the handoff must not wait behind the tenant's backlog — the job
+// already waited its turn once), journals the handoff record and charges
+// the re-dispatch overhead with exponential backoff. A job with no
+// surviving node, or one past the fleet's attempt bound, fails
+// terminally instead. Called by the fleet sweep, never under s.mu.
+func (s *Scheduler) requeueJob(id JobID, from, attempt int) {
+	s.mu.Lock()
+	st, ok := s.states[id]
+	if !ok || st.settled {
+		s.mu.Unlock()
+		return
+	}
+	live := s.fleet.liveCount()
+	if live == 0 || attempt >= s.fleet.maxAttempts() {
+		s.mu.Unlock()
+		s.finish(st, nil, fmt.Errorf(
+			"service: job %q lost with node %d (attempt %d, %d nodes live): retry budget exhausted",
+			st.job.Name, from, attempt, live))
+		return
+	}
+	t := s.tenantLocked(st.tenant)
+	t.queue = append([]*jobState{st}, t.queue...)
+	t.requeued++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.journalAppend(journal.Record{
+		Kind: journal.KindHandoff, Job: int64(id),
+		Node: int64(from), Attempt: int64(attempt),
+	})
+	s.fleet.chargeHandoff(attempt)
+}
+
+// failQueued fails every still-queued job — the fleet's last-node-died
+// path, where no worker remains to ever pop them.
+func (s *Scheduler) failQueued() {
+	s.mu.Lock()
+	var victims []*jobState
+	for _, name := range s.order {
+		t := s.tenants[name]
+		victims = append(victims, t.queue...)
+		t.queue = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, st := range victims {
+		s.finish(st, nil, errors.New("service: every fleet node is dead"))
+	}
+}
+
+// KillNode fences a fleet node — the `die node=N` crash drill: the node
+// pulls no more work, its running attempt aborts at its next meter
+// checkpoint and is handed off to a surviving node after the lease TTL.
+// It errors without a fleet, for an out-of-range node, or for a node
+// already dead.
+func (s *Scheduler) KillNode(node int) error {
+	if s.fleet == nil {
+		return errors.New("service: no fleet configured (start with Nodes > 0)")
+	}
+	return s.fleet.kill(node)
+}
+
+// FleetStats snapshots the fleet counters (nil without a fleet).
+func (s *Scheduler) FleetStats() *FleetStats {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.stats()
+}
+
+// jobStore is the bundle-store surface a job analyzes against: either a
+// plain *BundleStore or a fleet placement view routing each fingerprint
+// to its owner node's partition. Its method set covers core.BundleCache
+// (plus the optional DropBundle seam), so either implementation plugs
+// into the engine unchanged.
+type jobStore interface {
+	GetBundle(fp uint64) ([]byte, bool)
+	PutBundle(fp uint64, data []byte)
+	DropBundle(fp uint64)
+	Contains(fp uint64) bool
+	LockFingerprint(fp uint64) func()
+}
+
 // analyze materializes the job's app and runs the selected analyzers.
 // Every job builds its own engines — no analysis state crosses jobs; the
 // only shared objects are the content-addressed bundle stores, which are
-// concurrency-safe and append-only.
-func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
+// concurrency-safe and append-only. node/attempt identify the fleet
+// dispatch (0/1 without a fleet); they are passed as values because a
+// handed-off job's jobState fields may be rewritten by the re-dispatch
+// while the abandoned attempt is still in here.
+func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, error) {
 	job := st.job
 	app, err := job.Source()
 	if err != nil {
@@ -628,14 +827,32 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		o := s.jobOptions(job)
 		// Cooperative cancellation: the engine's meter polls this flag at
 		// every checkpoint; Scheduler.Cancel flips it. A job-supplied
-		// Cancel still applies — either source stops the run.
+		// Cancel still applies — either source stops the run. In fleet
+		// mode the same checkpoint is the node's heartbeat: the tick
+		// advances the node odometer and fleet clock by the charged
+		// delta, meters the lease, consults the fault plan and reports
+		// the node's own death, which aborts the run like a cancel.
 		flag := &st.cancelFlag
 		user := o.Cancel
 		o.Cancel = func() bool {
 			return flag.Load() || (user != nil && user())
 		}
+		if s.fleet != nil {
+			fl, id, name := s.fleet, st.id, job.Name
+			o.Heartbeat = func(delta int64) bool {
+				return fl.tick(node, id, name, attempt, delta)
+			}
+		}
+		var store jobStore
+		if st.fleetStore {
+			if v := s.fleet.view(node); v != nil {
+				store = v
+			}
+		} else if st.store != nil {
+			store = st.store
+		}
 		var fp uint64
-		if st.store != nil || s.cfg.Reports != nil {
+		if store != nil || s.cfg.Reports != nil {
 			fp = dexdump.AppFingerprint(app.Dexes)
 		}
 		// Settled-result fast path. The key is taken before the delta
@@ -652,7 +869,7 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 					return nil, err
 				}
 				res.BackDroid = rep
-				if st.store != nil && !stored.TimedOut {
+				if store != nil && !stored.TimedOut {
 					// Seed the delta path only when nothing better is
 					// known: an engine-produced prev carries the sink
 					// footprints the settled copy may lack
@@ -667,25 +884,25 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 		}
 		if res.BackDroid == nil {
 			release := func() {}
-			if st.store != nil {
-				o.Bundles = st.store
+			if store != nil {
+				o.Bundles = store
 				if prev, ok := s.lastRun(st.tenant, res.Name); ok && prev.fp != fp && !o.PerAppSSG {
 					// Same job name, different content: an app update. When
 					// the prior version's bundle is still cached, hand it to
 					// the engine as the delta base; the engine itself falls
 					// back to a full run if the base proves unusable.
-					if data, ok := st.store.GetBundle(prev.fp); ok {
+					if data, ok := store.GetBundle(prev.fp); ok {
 						o.DeltaFrom = &core.DeltaBase{Fingerprint: prev.fp, Bundle: data, Report: prev.report}
 					}
 				}
-				if !st.store.Contains(fp) {
+				if !store.Contains(fp) {
 					// Single-build guarantee: concurrent jobs for one
 					// fingerprint serialize here, so the first performs the
 					// only cold build and the rest run fully warm. The
 					// re-probe happens inside the engine; the lock is held
 					// only across the engine run (the bundle is published
 					// during it), never across the baseline legs below.
-					release = st.store.LockFingerprint(fp)
+					release = store.LockFingerprint(fp)
 				}
 			}
 			if s.cfg.Events != nil {
@@ -710,7 +927,7 @@ func (s *Scheduler) analyze(st *jobState) (*JobResult, error) {
 				}
 				return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 			}
-			if st.store != nil && !res.BackDroid.TimedOut {
+			if store != nil && !res.BackDroid.TimedOut {
 				s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
 			}
 			if s.cfg.Reports != nil {

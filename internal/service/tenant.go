@@ -33,6 +33,7 @@ type TenantStats struct {
 	Queued          int   // jobs currently waiting in this tenant's queue
 	Submitted       int64 // jobs ever accepted for this tenant
 	Dispatched      int64 // jobs handed to a worker
+	Requeued        int64 // jobs re-dispatched after a fleet lease expiry
 	CanceledQueued  int64 // cancels that removed a still-queued job
 	CanceledRunning int64 // cancels requested against a running job
 	StoreBudget     int64 // the TenantConfig.StoreBudget in effect
@@ -45,6 +46,7 @@ type SchedulerStats struct {
 	Tenants      []TenantStats // sorted by tenant name
 	Dispatched   int64         // total jobs handed to workers
 	JournalUnits int64         // control-plane work charged for journaling
+	Fleet        *FleetStats   // nil when the scheduler runs without a fleet
 }
 
 // tenant is the scheduler-internal queue state of one tenant.
@@ -58,6 +60,7 @@ type tenant struct {
 
 	submitted       int64
 	dispatched      int64
+	requeued        int64
 	canceledQueued  int64
 	canceledRunning int64
 
@@ -169,10 +172,14 @@ func (s *Scheduler) Stats() SchedulerStats {
 			Queued:          len(t.queue),
 			Submitted:       t.submitted,
 			Dispatched:      t.dispatched,
+			Requeued:        t.requeued,
 			CanceledQueued:  t.canceledQueued,
 			CanceledRunning: t.canceledRunning,
 			StoreBudget:     t.cfg.StoreBudget,
 		})
+	}
+	if s.fleet != nil {
+		st.Fleet = s.fleet.stats()
 	}
 	return st
 }

@@ -126,6 +126,40 @@ const (
 	// TimeoutMinutes is the per-app analysis timeout of the paper's
 	// evaluation (Sec. VI-A: 300 minutes).
 	TimeoutMinutes = 300
+
+	// LeaseTTLUnits is the fleet coordinator's per-job lease time-to-live
+	// on the fleet-global clock (which advances by every node's charged
+	// work units). A worker node renews its job's lease at every meter
+	// heartbeat, so a live node keeps its lease fresh; a node that dies
+	// or goes mute stops renewing, its lease crosses the TTL and the
+	// coordinator fences the node and re-dispatches the job. The TTL
+	// must be comfortably larger than the largest single meter charge
+	// times the node count — between one node's two renewals the global
+	// clock moves by everything the whole fleet charged in that window —
+	// and small enough that the charged detection latency stays a sliver
+	// of a real analysis (an average bench app is ~2-20k units). The
+	// benchgate fleet-chaos leg gates the resulting retry/handoff
+	// overhead under 10% of charged analysis work.
+	LeaseTTLUnits = 512
+
+	// HandoffUnits is the flat charged cost of one journal-backed job
+	// handoff: the coordinator replays the job's submit record, re-queues
+	// it at the front of its tenant's queue and appends a handoff record.
+	// Control-plane work, priced like a few journal appends.
+	HandoffUnits = 8
+
+	// RetryBackoffUnits is the base re-dispatch backoff charged after a
+	// lease expiry, doubled per lost attempt of the same job (16, 32,
+	// 64, ...): the coordinator's deliberate pause before handing a
+	// twice-lost job to yet another node.
+	RetryBackoffUnits = 16
+
+	// RemoteFetchUnits is the charged cost of fetching a bundle from
+	// another node's store partition under consistent-hash placement: a
+	// request/response hop instead of a local map probe. Flat — the
+	// bundle bytes themselves are already priced by the engine's bundle
+	// load rate; this is only the placement detour.
+	RemoteFetchUnits = 4
 )
 
 // ErrTimeout is returned by Charge when the budget is exhausted — the
@@ -145,10 +179,12 @@ type Meter struct {
 	units  int64
 	budget int64 // 0 means unlimited
 
-	// Cooperative cancellation (SetCancel). lastPoll is the unit count at
-	// the previous poll; canceled latches the first true poll so every
-	// later Charge keeps failing without re-polling.
+	// Cooperative cancellation (SetCancel) and the fleet heartbeat
+	// (SetHeartbeat). lastPoll is the unit count at the previous
+	// checkpoint; canceled latches the first true poll so every later
+	// Charge keeps failing without re-polling.
 	cancel   func() bool
+	beat     func(delta int64) bool
 	lastPoll int64
 	polls    int64
 	canceled bool
@@ -177,6 +213,20 @@ func (m *Meter) SetCancel(poll func() bool) {
 	m.lastPoll = m.units
 }
 
+// SetHeartbeat installs the fleet liveness hook: at every checkpoint
+// (the cancellation poll's cadence) beat receives the units charged
+// since the previous checkpoint — the node's progress in simulated
+// time — and returning true aborts the analysis with ErrCanceled,
+// exactly like a cancellation. The delta (not a fixed interval) is
+// what keeps the fleet clock honest: a single large charge (a whole
+// index build, a long disassembly) advances it by the work actually
+// done, so lease TTLs measure charged work, not checkpoint counts.
+// nil removes the hook.
+func (m *Meter) SetHeartbeat(beat func(delta int64) bool) {
+	m.beat = beat
+	m.lastPoll = m.units
+}
+
 // Canceled reports whether a cancellation poll has latched. Layers with
 // natural abort points (bcsearch before a command, constprop at method
 // entry) check it directly so they stop even between charge checkpoints.
@@ -200,10 +250,15 @@ func (m *Meter) Charge(n int64) error {
 	if m.canceled {
 		return ErrCanceled
 	}
-	if m.cancel != nil && m.units-m.lastPoll >= CancelCheckpointUnits {
+	if (m.cancel != nil || m.beat != nil) && m.units-m.lastPoll >= CancelCheckpointUnits {
+		delta := m.units - m.lastPoll
 		m.lastPoll = m.units
 		m.polls++
-		if m.cancel() {
+		if m.beat != nil && m.beat(delta) {
+			m.canceled = true
+			return ErrCanceled
+		}
+		if m.cancel != nil && m.cancel() {
 			m.canceled = true
 			return ErrCanceled
 		}
