@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	appgen -out DIR [-corpus] [-apps N] [-size MB] [-seed N]
+//	appgen -out DIR [-corpus | -heavytail] [-apps N] [-size MB] [-seed N]
 //	       [-update KIND] [-update-seed N] [-target N]
+//
+// With -heavytail, the work-stealing benchmark corpus is written: one
+// many-sink outlier app first, then -apps small apps — the shape where
+// job-level fleet placement leaves one node grinding the outlier's sink
+// tail alone while the rest sit idle.
 //
 // With -update, every generated app additionally gets a version N+1
 // container written next to it as <name>.v2.apk, mutated per KIND:
@@ -28,7 +33,8 @@ func main() {
 	var (
 		out     = flag.String("out", ".", "output directory")
 		corpus  = flag.Bool("corpus", false, "generate the 144-app evaluation corpus")
-		apps    = flag.Int("apps", 144, "corpus size (with -corpus)")
+		tail    = flag.Bool("heavytail", false, "generate the work-stealing corpus: one many-sink outlier plus -apps small apps")
+		apps    = flag.Int("apps", 144, "corpus size (with -corpus; small-app count with -heavytail)")
 		sizeMB  = flag.Float64("size", 10, "app size in MB (single-app mode)")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		update  = flag.String("update", "", "also write <name>.v2.apk updates: change-literal, new-flow or add-class")
@@ -45,7 +51,7 @@ func main() {
 		}
 		mutation = m
 	}
-	if err := run(*out, *corpus, *apps, *sizeMB, *seed, mutation, *updSeed, *target); err != nil {
+	if err := run(*out, *corpus, *tail, *apps, *sizeMB, *seed, mutation, *updSeed, *target); err != nil {
 		fmt.Fprintln(os.Stderr, "appgen:", err)
 		os.Exit(1)
 	}
@@ -60,17 +66,22 @@ func parseMutation(s string) (appgen.Mutation, error) {
 	return 0, fmt.Errorf("unknown update kind %q (change-literal, new-flow or add-class)", s)
 }
 
-func run(out string, corpus bool, apps int, sizeMB float64, seed int64, mutation appgen.Mutation, updSeed int64, target int) error {
+func run(out string, corpus, tail bool, apps int, sizeMB float64, seed int64, mutation appgen.Mutation, updSeed int64, target int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	var specs []appgen.Spec
-	if corpus {
+	switch {
+	case corpus:
 		opts := appgen.DefaultCorpus()
 		opts.Apps = apps
 		opts.Seed = seed
 		specs = appgen.EvalCorpus(opts)
-	} else {
+	case tail:
+		specs = appgen.HeavyTailCorpus(appgen.HeavyTailOptions{
+			SmallApps: apps, Seed: seed,
+		})
+	default:
 		specs = []appgen.Spec{{
 			Name:   "com.example.generated",
 			Seed:   seed,

@@ -11,7 +11,7 @@ import (
 
 func TestRunSingleApp(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, false, 0, 3, 7, 0, 0, 0); err != nil {
+	if err := run(dir, false, false, 0, 3, 7, 0, 0, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	path := filepath.Join(dir, "com.example.generated.apk")
@@ -26,7 +26,7 @@ func TestRunSingleApp(t *testing.T) {
 
 func TestRunSmallCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, true, 3, 1, 11, 0, 0, 0); err != nil {
+	if err := run(dir, true, false, 3, 1, 11, 0, 0, 0); err != nil {
 		t.Fatalf("run -corpus: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -38,9 +38,30 @@ func TestRunSmallCorpus(t *testing.T) {
 	}
 }
 
+func TestRunHeavyTail(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, false, true, 2, 1, 11, 0, 0, 0); err != nil {
+		t.Fatalf("run -heavytail: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("heavy-tail apps written = %d, want 3 (outlier + 2 small)", len(entries))
+	}
+	outlier, err := apk.Load(filepath.Join(dir, "com.outlier.manysink.apk"))
+	if err != nil {
+		t.Fatalf("outlier container unreadable: %v", err)
+	}
+	if outlier.InstructionCount() == 0 {
+		t.Error("outlier app is empty")
+	}
+}
+
 func TestRunWithUpdate(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, false, 0, 2, 7, appgen.MutateNewFlow, 5, 0); err != nil {
+	if err := run(dir, false, false, 0, 2, 7, appgen.MutateNewFlow, 5, 0); err != nil {
 		t.Fatalf("run -update: %v", err)
 	}
 	base, err := apk.Load(filepath.Join(dir, "com.example.generated.apk"))
@@ -70,7 +91,7 @@ func TestParseMutation(t *testing.T) {
 }
 
 func TestRunBadOutputDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", false, 0, 1, 1, 0, 0, 0); err == nil {
+	if err := run("/proc/definitely/not/writable", false, false, 0, 1, 1, 0, 0, 0); err == nil {
 		t.Error("unwritable output dir must fail")
 	}
 }

@@ -6,7 +6,8 @@
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
 //	          [-shards N] [-index-cache DIR] [-parallel-lookups]
 //	          [-auto-parallel-lookups] [-store-budget BYTES] [-stats=false]
-//	          [-delta] [-nodes N] [-faults SPEC] app.apk...
+//	          [-delta] [-nodes N] [-faults SPEC] [-cpuprofile FILE]
+//	          [-memprofile FILE] app.apk...
 //
 // -nodes N analyzes the corpus on a fault-tolerant fleet of N worker
 // nodes (the service scheduler's coordinator path): dispatches are
@@ -66,6 +67,7 @@ import (
 	"backdroid/internal/dexdump"
 	"backdroid/internal/faultinject"
 	"backdroid/internal/pool"
+	"backdroid/internal/pprofutil"
 	"backdroid/internal/service"
 	"backdroid/internal/simtime"
 )
@@ -86,6 +88,8 @@ type config struct {
 	delta           bool
 	nodes           int
 	faults          string
+	cpuprofile      string
+	memprofile      string
 }
 
 func main() {
@@ -115,6 +119,8 @@ func main() {
 		"analyze on a fault-tolerant worker fleet of N nodes (0 = plain pool)")
 	flag.StringVar(&cfg.faults, "faults", "",
 		"deterministic fault plan for -nodes, e.g. 'kill:node=2@50000'")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: backdroid [flags] app.apk...")
@@ -128,6 +134,11 @@ func main() {
 }
 
 func run(paths []string, cfg config) error {
+	stopProfiles, err := pprofutil.Start(cfg.cpuprofile, cfg.memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	backend, err := bcsearch.ParseBackend(cfg.backend)
 	if err != nil {
 		return err
@@ -266,6 +277,8 @@ func runFleet(paths []string, cfg config, opts core.Options) error {
 			fmt.Printf("fleet: %d nodes (%d live, %d killed); %d handoffs, %d expired leases; %d units lost, %d overhead; bundle gets %d local / %d remote; %d fetch faults\n",
 				fs.Nodes, fs.Live, fs.Killed, fs.Handoffs, fs.ExpiredLeases,
 				fs.LostUnits, fs.OverheadUnits, fs.LocalGets, fs.RemoteGets, fs.FetchFaults)
+			fmt.Printf("steal: %d chunks off %d victims, %d sinks moved, %d units charged; makespan %d units\n",
+				fs.Steals, fs.StealVictims, fs.StolenSinks, fs.StealUnits, fs.MakespanUnits)
 		}
 	}
 	if firstErr != nil {

@@ -16,6 +16,7 @@
 //	           [-index-cache DIR] [-journal DIR] [-tenants SPEC]
 //	           [-report-budget BYTES] [-http ADDR] [-nodes N] [-faults SPEC]
 //	           [-parallel-lookups] [-auto-parallel-lookups] [-stats]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -nodes N runs the scheduler as a coordinator over a fault-tolerant
 // fleet of N worker nodes: every dispatch takes a lease, bundles are
@@ -89,6 +90,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/faultinject"
+	"backdroid/internal/pprofutil"
 	"backdroid/internal/service"
 	"backdroid/internal/service/api"
 	"backdroid/internal/service/journal"
@@ -110,6 +112,8 @@ type config struct {
 	parallel     bool
 	autoParallel bool
 	stats        bool
+	cpuprofile   string
+	memprofile   string
 }
 
 func main() {
@@ -138,6 +142,9 @@ func main() {
 	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
 		"derive the hot-token gate from each app's postings distribution")
 	flag.BoolVar(&cfg.stats, "stats", true, "append cost counters to done lines")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "",
+		"write a heap profile to this file on exit (flushed on the SIGTERM drain too)")
 	flag.Parse()
 	if err := serve(os.Stdin, os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "backdroidd:", err)
@@ -174,6 +181,13 @@ func parseTenants(spec string) (map[string]service.TenantConfig, error) {
 // same dispatcher), and prints the event stream. Split from main so
 // tests drive it with in-memory pipes.
 func serve(in io.Reader, out io.Writer, cfg config) error {
+	stopProfiles, err := pprofutil.Start(cfg.cpuprofile, cfg.memprofile)
+	if err != nil {
+		return err
+	}
+	// Every exit path — quit, EOF, die and the SIGTERM drain — returns
+	// through here, so the profiles are always flushed.
+	defer stopProfiles()
 	backend, err := bcsearch.ParseBackend(cfg.backend)
 	if err != nil {
 		return err

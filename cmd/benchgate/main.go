@@ -36,14 +36,22 @@
 //     to the uninterrupted run's, the light tenant must still dispatch
 //     inside the WRR fairness bound while handoff re-dispatches compete
 //     for slots, and the failure-detection + handoff + backoff overhead
-//     must stay under 10% of the charged analysis work.
+//     must stay under 10% of the charged analysis work;
+//   - the heavy-tail leg (BENCH_steal.json): the work-stealing corpus —
+//     one 121-sink outlier submitted first, then small apps — runs twice
+//     through a 4-node fleet, with sink-chunk stealing off (SinkChunk=0)
+//     and on (the defaults). The steal run's per-job report union must
+//     be byte-identical to the unsplit run's, the charged makespan (the
+//     busiest node's odometer) must shrink by at least 1.5x, and the
+//     steal + remote-fetch overhead must stay under 10% of the charged
+//     analysis work.
 //
 // Usage:
 //
 //	benchgate [-apps N] [-scale F] [-seed N] [-baseline FILE] [-out FILE]
 //	          [-warm-out FILE] [-service-out FILE] [-delta-out FILE]
-//	          [-settled-out FILE] [-fleet-out FILE] [-tolerance F]
-//	          [-write-baseline]
+//	          [-settled-out FILE] [-fleet-out FILE] [-steal-out FILE]
+//	          [-tolerance F] [-write-baseline]
 //
 // Charged work is simulated time (deterministic for a given corpus), so
 // the gate is immune to runner noise: a regression means the search stack
@@ -108,6 +116,11 @@ type Report struct {
 	SpeedupIndexed float64                `json:"speedup_indexed"`
 	SpeedupSharded float64                `json:"speedup_sharded"`
 	SpeedupWarm    float64                `json:"speedup_warm"` // cold sharded vs warm bundle
+	// Steal carries the heavy-tail work-stealing leg's numbers into the
+	// checked-in baseline (informational — the leg's hard invariants are
+	// enforced inline on every run, never against these numbers, because
+	// the exact steal instants depend on goroutine scheduling).
+	Steal *StealReport `json:"steal,omitempty"`
 }
 
 // StoreStats is the bundle-store counter block of BENCH_service.json.
@@ -263,6 +276,37 @@ type FleetReport struct {
 	JournalUnits   int64   `json:"journal_units"`
 }
 
+// StealReport is the BENCH_steal.json schema: the heavy-tail
+// work-stealing leg. The appgen heavy-tail corpus (one 121-sink outlier
+// dispatched first, then small apps) runs twice through a four-node
+// fleet — sink-chunk stealing disabled (SinkChunk=0, the job is the
+// placement unit) and enabled (the default options). With job-level
+// placement the outlier's node grinds alone long after the small apps
+// drain; with stealing the idle nodes take over fenced chunks of its
+// sink tail. The gate pins three invariants: the steal run's canonical
+// per-job report union (service.EncodeReport bytes) is identical to
+// the unsplit run's, the charged makespan shrinks by at least 1.5x,
+// and the steal + remote-fetch overhead stays under 10% of the charged
+// analysis work.
+type StealReport struct {
+	Seed            int64   `json:"seed"`
+	Nodes           int     `json:"nodes"`
+	Apps            int     `json:"apps"`
+	HeavySinks      int     `json:"heavy_sinks"`
+	NoStealMakespan int64   `json:"nosteal_makespan_units"`
+	StealMakespan   int64   `json:"steal_makespan_units"`
+	SpeedupMakespan float64 `json:"speedup_makespan"`
+	Steals          int64   `json:"steals"`
+	StealVictims    int64   `json:"steal_victims"`
+	StolenSinks     int64   `json:"stolen_sinks"`
+	StealUnits      int64   `json:"steal_units"`
+	RemoteGets      int64   `json:"remote_gets"`
+	RemoteUnits     int64   `json:"remote_units"`
+	AnalysisUnits   int64   `json:"analysis_units"`
+	OverheadRatio   float64 `json:"steal_overhead_ratio"`
+	UnionIdentical  bool    `json:"union_identical"`
+}
+
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
 // tracked in-repo. BaselineWarmUnits captures the checked-in baseline's
 // warm cost at measurement time, so the speedup over the previous warm
@@ -291,17 +335,18 @@ func main() {
 		deltaOut   = flag.String("delta-out", "BENCH_delta.json", "delta-update leg JSON path (empty = skip)")
 		settledOut = flag.String("settled-out", "BENCH_settled.json", "settled-storm leg JSON path (empty = skip)")
 		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "fleet-chaos leg JSON path (empty = skip)")
+		stealOut   = flag.String("steal-out", "BENCH_steal.json", "heavy-tail work-stealing leg JSON path (empty = skip)")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed charged-work regression fraction")
 		write      = flag.Bool("write-baseline", false, "overwrite the baseline with this run's numbers")
 	)
 	flag.Parse()
-	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *settledOut, *fleetOut, *tolerance, *write); err != nil {
+	if err := run(*apps, *scale, *seed, *baseline, *out, *warmOut, *serviceOut, *tenantOut, *deltaOut, *settledOut, *fleetOut, *stealOut, *tolerance, *write); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath, settledOutPath, fleetOutPath string, tolerance float64, writeBaseline bool) error {
+func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath, serviceOutPath, tenantOutPath, deltaOutPath, settledOutPath, fleetOutPath, stealOutPath string, tolerance float64, writeBaseline bool) error {
 	meta := CorpusMeta{Apps: apps, Scale: scale, Seed: seed}
 	report := Report{Corpus: meta, Backends: make(map[string]BackendCost)}
 
@@ -369,6 +414,43 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 	}
 	if warm.WorkUnits > 0 {
 		report.SpeedupWarm = float64(coldSharded.WorkUnits) / float64(warm.WorkUnits)
+	}
+
+	// Heavy-tail work-stealing leg. Measured before the main report is
+	// marshaled so its numbers ride into BENCH_search.json and the
+	// checked-in baseline; the artifact is written before the gates fire
+	// so a failing run still leaves the evidence behind.
+	if stealOutPath != "" {
+		sr, err := measureStealTail(seed)
+		if err != nil {
+			return err
+		}
+		report.Steal = &sr
+		fmt.Fprintf(os.Stderr, "%-16s makespan %d -> %d units (%.2fx), %d steals off %d victims, %d sinks moved, overhead %.2f%%\n",
+			"heavy-tail", sr.NoStealMakespan, sr.StealMakespan, sr.SpeedupMakespan,
+			sr.Steals, sr.StealVictims, sr.StolenSinks, 100*sr.OverheadRatio)
+		sdata, err := json.MarshalIndent(sr, "", "  ")
+		if err != nil {
+			return err
+		}
+		sdata = append(sdata, '\n')
+		if err := os.WriteFile(stealOutPath, sdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (makespan %.2fx)\n", stealOutPath, sr.SpeedupMakespan)
+		if !sr.UnionIdentical {
+			return fmt.Errorf("heavy-tail steal run's report union diverges from the unsplit run")
+		}
+		if sr.Steals == 0 {
+			return fmt.Errorf("heavy-tail leg stole no chunks — sink-level stealing not engaging")
+		}
+		if sr.SpeedupMakespan < 1.5 {
+			return fmt.Errorf("heavy-tail makespan speedup %.2fx, floor is 1.5x (%d -> %d units)",
+				sr.SpeedupMakespan, sr.NoStealMakespan, sr.StealMakespan)
+		}
+		if sr.OverheadRatio >= 0.10 {
+			return fmt.Errorf("steal overhead %.2f%% of charged analysis units, ceiling is 10%%", 100*sr.OverheadRatio)
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -1159,6 +1241,110 @@ func measureFleetChaos(seed int64) (FleetReport, error) {
 	fr.LastLightSlot = chaos.lastLightSlot
 	fr.JournalUnits = chaos.journalUnits
 	return fr, nil
+}
+
+// stealTailRun drives the heavy-tail corpus through a fleet once. The
+// outlier is submitted first — the worst case for job-level placement:
+// its node commits to the whole sink tail before the small apps even
+// queue. Returns the canonical per-job report encodings, the summed
+// charged analysis work and the fleet counters.
+func stealTailRun(nodes int, specs []appgen.Spec, steal bool) (map[string][]byte, int64, *service.FleetStats, error) {
+	opts := core.DefaultOptions()
+	opts.SearchBackend = bcsearch.BackendSharded
+	if !steal {
+		opts.SinkChunk = 0 // job-level placement: the outlier is unsplittable
+	}
+	sched := service.New(service.Config{
+		Nodes: nodes, NodeStoreBudget: 0,
+		QueueDepth: 2 * len(specs),
+		Options:    &opts,
+	})
+	ids := make([]service.JobID, 0, len(specs))
+	for _, spec := range specs {
+		spec := spec
+		id, err := sched.Submit(service.Job{
+			Name: spec.Name,
+			Source: func() (*apk.App, error) {
+				app, _, err := appgen.Generate(spec)
+				return app, err
+			},
+			RunBackDroid: true,
+		})
+		if err != nil {
+			sched.Close()
+			return nil, 0, nil, err
+		}
+		ids = append(ids, id)
+	}
+	union := make(map[string][]byte, len(specs))
+	var analysisUnits int64
+	for i, id := range ids {
+		res, err := sched.Wait(id)
+		if err != nil {
+			sched.Close()
+			return nil, 0, nil, fmt.Errorf("heavy-tail job %s: %w", specs[i].Name, err)
+		}
+		analysisUnits += res.BackDroid.Stats.WorkUnits
+		union[res.Name] = service.EncodeReport(res.BackDroid)
+	}
+	sched.Close()
+	return union, analysisUnits, sched.FleetStats(), nil
+}
+
+// measureStealTail is the heavy-tail work-stealing leg: the appgen
+// heavy-tail corpus (one 121-sink outlier first, then small apps)
+// through a four-node fleet with sink-chunk stealing off and on. The
+// charged makespan — the busiest node's odometer — is the comparison:
+// identical total work, redistributed across the idle tail.
+func measureStealTail(seed int64) (StealReport, error) {
+	const nodes = 4
+	specs := appgen.HeavyTailCorpus(appgen.HeavyTailOptions{Seed: seed})
+	sr := StealReport{
+		Seed: seed, Nodes: nodes,
+		Apps: len(specs), HeavySinks: len(specs[0].Sinks),
+	}
+
+	baseUnion, _, baseStats, err := stealTailRun(nodes, specs, false)
+	if err != nil {
+		return sr, err
+	}
+	if baseStats.Steals != 0 {
+		return sr, fmt.Errorf("no-steal reference run stole %d chunks", baseStats.Steals)
+	}
+	union, analysisUnits, stats, err := stealTailRun(nodes, specs, true)
+	if err != nil {
+		return sr, err
+	}
+	if stats.Handoffs != 0 || stats.Killed != 0 {
+		return sr, fmt.Errorf("undisturbed heavy-tail run saw failures: %d handoffs, %d nodes killed",
+			stats.Handoffs, stats.Killed)
+	}
+
+	sr.UnionIdentical = len(union) == len(baseUnion)
+	for name, enc := range baseUnion {
+		if !bytes.Equal(union[name], enc) {
+			sr.UnionIdentical = false
+		}
+	}
+	sr.NoStealMakespan = baseStats.MakespanUnits
+	sr.StealMakespan = stats.MakespanUnits
+	if sr.StealMakespan > 0 {
+		sr.SpeedupMakespan = float64(sr.NoStealMakespan) / float64(sr.StealMakespan)
+	}
+	sr.Steals = stats.Steals
+	sr.StealVictims = stats.StealVictims
+	sr.StolenSinks = stats.StolenSinks
+	sr.StealUnits = stats.StealUnits
+	sr.RemoteGets = stats.RemoteGets
+	sr.RemoteUnits = stats.RemoteUnits
+	sr.AnalysisUnits = analysisUnits
+	if analysisUnits > 0 {
+		// Everything stealing adds on top of the analysis itself: the
+		// per-steal coordination charge plus the stolen chunks' remote
+		// bundle fetches.
+		sr.OverheadRatio = float64(stats.StealUnits+stats.RemoteUnits) / float64(analysisUnits)
+	}
+	return sr, nil
 }
 
 // measureDelta is the delta-update leg: one moderately sized app and its

@@ -1,0 +1,60 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"backdroid/internal/android"
+)
+
+// HeavyTailOptions configures HeavyTailCorpus.
+type HeavyTailOptions struct {
+	// SmallApps is how many light apps accompany the outlier (default 6).
+	SmallApps int
+	// Seed drives all sampling.
+	Seed int64
+	// HeavySinks is the outlier's sink count (default 121, the
+	// ManySinkOutlierSpec / Sec. VI-D Huawei Health analogue).
+	HeavySinks int
+	// HeavySizeMB is the outlier's size (default 8, the outlier spec's).
+	HeavySizeMB float64
+}
+
+// HeavyTailCorpus is the work-stealing benchmark corpus: one many-sink
+// outlier first (the worst case — the heavy app is dispatched before the
+// fleet has anything else to do) followed by SmallApps light apps. With
+// job-level placement the outlier's node grinds alone long after the
+// small apps drain; sink-level stealing splits its tail across the idle
+// nodes. All sampling is deterministic in Seed.
+func HeavyTailCorpus(opts HeavyTailOptions) []Spec {
+	if opts.SmallApps <= 0 {
+		opts.SmallApps = 6
+	}
+	if opts.HeavySinks <= 0 {
+		opts.HeavySinks = 121
+	}
+	if opts.HeavySizeMB <= 0 {
+		opts.HeavySizeMB = 8
+	}
+	heavy := ManySinkOutlierSpec(opts.Seed)
+	if opts.HeavySinks != len(heavy.Sinks) {
+		sinks := make([]SinkSpec, 0, opts.HeavySinks)
+		for s := 0; s < opts.HeavySinks; s++ {
+			sinks = append(sinks, SinkSpec{
+				Flow:     FlowSharedConfig,
+				Rule:     android.RuleCryptoECB,
+				Insecure: s%3 != 0,
+			})
+		}
+		heavy.Sinks = sinks
+	}
+	heavy.SizeMB = opts.HeavySizeMB
+	out := []Spec{heavy}
+	rng := rand.New(rand.NewSource(opts.Seed + 15485863))
+	for a := 0; a < opts.SmallApps; a++ {
+		spec := tenantSmallSpec(0, a, rng)
+		spec.Name = fmt.Sprintf("com.heavytail.small%02d", a)
+		out = append(out, spec)
+	}
+	return out
+}

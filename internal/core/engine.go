@@ -177,6 +177,36 @@ type Options struct {
 	// is unusable — timed out, undecodable manifest — or when PerAppSSG
 	// is set, whose shared-graph slices have no per-sink footprint.
 	DeltaFrom *DeltaBase
+
+	// SinkChunk is the sink-chunk grain of the fleet's work-stealing
+	// scheduler: located sink call sites partition into chunks of this
+	// many consecutive positions of the canonical (line-ordered) sink
+	// list, and a stolen range is always chunk-aligned. The engine only
+	// carries the grain — chunk boundaries drive the scheduler's steal
+	// decisions, never the analysis itself, so the field is
+	// fingerprint-neutral. 0 disables chunk-level scheduling for the
+	// job.
+	SinkChunk int
+
+	// ChunkRange, when non-nil, restricts the run to the canonical
+	// positions [From, To) of the located sink-call list — the
+	// resumable per-sink entry point of the fleet's work stealing (see
+	// chunk.go). The chunk runs against the same warm bundle as any
+	// other run and emits a partial Report covering exactly its window;
+	// MergeReports unions the parts back into the canonical single-pass
+	// report. A chunked run ignores DeltaFrom: a partial report must
+	// not depend on a delta base the other chunks lack.
+	ChunkRange *ChunkRange
+
+	// SinkProgress, when non-nil, is polled immediately before each
+	// sink call is analyzed (before each sink is prepared, in PerAppSSG
+	// mode), with the sink's position in the canonical list and the
+	// list's total length. Returning true stops the run before that
+	// sink — its position was fenced away by a steal — and Analyze
+	// returns the partial report of the sinks already completed, not an
+	// error. The fleet scheduler's victim hook also uses the first poll
+	// to learn the job's total sink count.
+	SinkProgress func(next, total int) bool
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation:
@@ -190,6 +220,7 @@ func DefaultOptions() Options {
 		EnableLoopDetection: true,
 		MemoizeForwardPass:  true,
 		MaxDepth:            25,
+		SinkChunk:           8,
 	}
 }
 
@@ -579,7 +610,7 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		e.writerFrag = make(map[string]*fpFrame)
 		e.prog.SetObserver(func(ref dex.MethodRef) { e.rec.class(ref.Class) })
 	}
-	if d := opts.DeltaFrom; d != nil && !opts.PerAppSSG && d.Report != nil && !d.Report.TimedOut {
+	if d := opts.DeltaFrom; d != nil && !opts.PerAppSSG && opts.ChunkRange == nil && d.Report != nil && !d.Report.TimedOut {
 		// A base bundle without a decodable manifest (legacy version,
 		// damaged section) silently disables the delta path; the run is
 		// then an ordinary full analysis.
@@ -752,8 +783,28 @@ func (e *Engine) Analyze() (*Report, error) {
 		return nil, err
 	}
 
+	// Chunked entry point (chunk.go): clamp the window onto the canonical
+	// list and remember the offset, so progress polls and steal fences
+	// speak global positions regardless of which chunk is running.
+	total := len(calls)
+	offset := 0
+	if cr := e.opts.ChunkRange; cr != nil {
+		from, to := cr.From, cr.To
+		if from < 0 {
+			from = 0
+		}
+		if to > total {
+			to = total
+		}
+		if from > to {
+			from = to
+		}
+		calls = calls[from:to]
+		offset = from
+	}
+
 	if e.opts.PerAppSSG {
-		timedOut, err := e.analyzeSinksPerApp(report, calls)
+		timedOut, err := e.analyzeSinksPerApp(report, calls, offset, total)
 		if err != nil {
 			return nil, err
 		}
@@ -776,6 +827,11 @@ func (e *Engine) Analyze() (*Report, error) {
 			return nil, err
 		}
 		for i, call := range calls {
+			if e.opts.SinkProgress != nil && e.opts.SinkProgress(offset+i, total) {
+				// The position was fenced away by a steal: stop cleanly
+				// with the partial report of the sinks already done.
+				break
+			}
 			if sr := reuse[i]; sr != nil {
 				e.sinksReused++
 				report.Sinks = append(report.Sinks, sr)
@@ -925,13 +981,19 @@ func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
 // single time over the accumulated graph, collecting all sink parameter
 // values in one traversal instead of once per sink. Returns whether the
 // simulated budget ran out.
-func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall) (bool, error) {
+func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall, offset, total int) (bool, error) {
 	type pendingSink struct {
 		sr   *SinkReport
 		unit *ssg.Unit
 	}
 	var pend []pendingSink
-	for _, call := range calls {
+	for i, call := range calls {
+		if e.opts.SinkProgress != nil && e.opts.SinkProgress(offset+i, total) {
+			// Fenced mid-prepare: the forward pass below still runs over
+			// the sinks already prepared — exactly the per-chunk shared
+			// graph a thief builds for the stolen window.
+			break
+		}
 		sr, unit, err := e.prepareSinkCall(call)
 		if err != nil {
 			if err == simtime.ErrTimeout {

@@ -1,0 +1,54 @@
+// Package pprofutil wires the -cpuprofile/-memprofile flags of the
+// CLIs: start the CPU profile immediately, flush both profiles through
+// the returned stop function on any exit path — including the daemon's
+// SIGTERM drain, which returns through its defers.
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuPath is non-empty and returns a
+// stop function that ends it and, when memPath is non-empty, writes a
+// heap profile. The stop function is safe to call exactly once and
+// reports flush failures on stderr rather than failing the run the
+// profiles were meant to observe.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpu *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("pprofutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pprofutil: %w", err)
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pprofutil: cpu profile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pprofutil: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pprofutil: heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pprofutil: heap profile:", err)
+			}
+		}
+	}, nil
+}

@@ -180,6 +180,10 @@ func StatsLines(resp StatsResponse) string {
 		fmt.Fprintf(&b, "stats fleet nodes=%d live=%d killed=%d handoffs=%d expired_leases=%d lost_units=%d overhead_units=%d remote_gets=%d fetch_faults=%d\n",
 			fs.Nodes, fs.Live, fs.Killed, fs.Handoffs, fs.ExpiredLeases,
 			fs.LostUnits, fs.OverheadUnits, fs.RemoteGets, fs.FetchFaults)
+		// Work-stealing counters ride on their own line, keeping the fleet
+		// line's bytes — the append-only protocol — untouched.
+		fmt.Fprintf(&b, "stats steal steals=%d victims=%d stolen_sinks=%d steal_units=%d makespan_units=%d\n",
+			fs.Steals, fs.StealVictims, fs.StolenSinks, fs.StealUnits, fs.MakespanUnits)
 		for _, n := range fs.PerNode {
 			fmt.Fprintf(&b, "stats node id=%d state=%s units=%d jobs=%d beats=%d dropped=%d\n",
 				n.ID, n.State, n.Units, n.Jobs, n.Beats, n.Dropped)

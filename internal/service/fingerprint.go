@@ -28,7 +28,10 @@
 //     cold run by the five delta guards and the BENCH_delta gate, and
 //     the scheduler keys settled lookups before injecting a delta base,
 //     so the stored report of a delta run is addressed exactly like its
-//     cold equivalent.
+//     cold equivalent; SinkChunk/ChunkRange/SinkProgress only window
+//     and observe the canonical sink list — the chunk-merge parity
+//     tests pin MergeReports of any chunking bitwise-identical to the
+//     single-pass report, so a chunked job settles under the same key.
 package service
 
 import (
@@ -82,6 +85,9 @@ var OptionsFingerprintFields = map[string]FingerprintClass{
 	"Heartbeat":           ClassNeutral,
 	"SinkObserver":        ClassNeutral,
 	"DeltaFrom":           ClassNeutral,
+	"SinkChunk":           ClassNeutral,
+	"ChunkRange":          ClassNeutral,
+	"SinkProgress":        ClassNeutral,
 }
 
 // OptionsFingerprint canonically hashes the verdict-relevant fields of

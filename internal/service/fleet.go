@@ -14,14 +14,17 @@ import (
 // worker goroutines become process-shaped nodes — each with its own
 // work-unit odometer, heartbeat stream and consistent-hashed bundle
 // store partition — and the scheduler becomes their coordinator. Every
-// dispatch takes a per-job lease on the fleet-global simtime clock; a
-// node renews its lease at each meter checkpoint. A node that dies (by
-// fault plan, `die node=N`, or KillNode) or goes mute stops renewing;
-// once the clock passes the lease TTL the coordinator fences the node,
-// journals a handoff record and re-dispatches the job to a surviving
-// node with retry backoff. Terminals stay at-most-once (Scheduler
-// .finish settles exactly one attempt); sink events are at-least-once
-// but byte-identical across attempts, so report unions dedup cleanly.
+// dispatch takes a per-(job, chunk) lease on the fleet-global simtime
+// clock; a node renews its lease at each meter checkpoint. A node that
+// dies (by fault plan, `die node=N`, or KillNode) or goes mute stops
+// renewing; once the clock passes the lease TTL the coordinator fences
+// the node, journals a handoff record and re-dispatches the lost range
+// to a surviving node with retry backoff. Terminals stay at-most-once
+// (Scheduler.finish settles exactly one attempt); sink events are
+// at-least-once but byte-identical across attempts, so report unions
+// dedup cleanly. The steal layer (DESIGN.md Sec. 13) rides the same
+// machinery: a stolen sink chunk is just a second lease on the job,
+// keyed by its chunk id, with its own heartbeat stream and expiry.
 // See DESIGN.md Sec. 12.
 
 // NodeStats is one fleet node's counter block.
@@ -49,6 +52,11 @@ type FleetStats struct {
 	RemoteGets    int64 // bundle fetches routed to another node's partition
 	RemoteUnits   int64 // charged placement detours (simtime.RemoteFetchUnits each)
 	FetchFaults   int64 // fetches failed by the fault plan
+	Steals        int64 // sink chunks stolen to idle nodes
+	StealVictims  int64 // jobs that had at least one chunk stolen
+	StolenSinks   int64 // sink call sites moved by steals
+	StealUnits    int64 // charged steal overhead (simtime.StealUnits each)
+	MakespanUnits int64 // max per-node odometer: charged time to the last busy node
 	PerNode       []NodeStats
 	Store         *StoreStats // aggregate over the node partitions; nil when disabled
 }
@@ -65,9 +73,19 @@ type fleetNode struct {
 	store    *BundleStore // this node's bundle partition; nil when disabled
 }
 
-// lease is one job attempt's liveness contract.
+// leaseKey identifies one dispatched range of a job: sub 0 is the
+// job's own (victim) dispatch, sub > 0 a stolen or re-pended sink
+// chunk. A job and its stolen chunks hold independent leases, so one
+// dying node loses only its own range.
+type leaseKey struct {
+	job JobID
+	sub int
+}
+
+// lease is one dispatch's liveness contract.
 type lease struct {
 	job     JobID
+	sub     int
 	name    string
 	node    int
 	attempt int
@@ -79,31 +97,44 @@ type lease struct {
 type fleet struct {
 	nodes   []*fleetNode
 	plan    *faultinject.Plan
-	requeue func(id JobID, from, attempt int) // Scheduler.requeueJob
-	wake    func()                            // Scheduler cond broadcast
-	allDead func()                            // fail the still-queued jobs
+	requeue func(id JobID, sub, from, attempt int) // Scheduler.requeueJob
+	wake    func()                                 // Scheduler cond broadcast
+	allDead func()                                 // fail the still-queued jobs
 	clock   atomic.Int64
 
-	mu     sync.Mutex
-	leases map[JobID]*lease
+	// Tunables, threaded from service.Config (simtime constants are the
+	// defaults).
+	ttl         int64
+	handoffCost int64
+	backoff     int64
 
-	handoffs    atomic.Int64
-	expired     atomic.Int64
-	lostUnits   atomic.Int64
-	overhead    atomic.Int64
-	localGets   atomic.Int64
-	remoteGets  atomic.Int64
-	remoteUnits atomic.Int64
-	fetchFaults atomic.Int64
+	mu     sync.Mutex
+	leases map[leaseKey]*lease
+
+	handoffs     atomic.Int64
+	expired      atomic.Int64
+	lostUnits    atomic.Int64
+	overhead     atomic.Int64
+	localGets    atomic.Int64
+	remoteGets   atomic.Int64
+	remoteUnits  atomic.Int64
+	fetchFaults  atomic.Int64
+	steals       atomic.Int64
+	stealVictims atomic.Int64
+	stolenSinks  atomic.Int64
+	stealUnits   atomic.Int64
 }
 
 // newFleet builds the node set. storeBudget >= 0 gives every node a
 // bundle partition with that byte budget (sharing one shard-dedup
 // layer, like the single shared store does); < 0 disables partitions.
-func newFleet(nodes int, storeBudget int64, plan *faultinject.Plan) *fleet {
+func newFleet(nodes int, storeBudget int64, plan *faultinject.Plan, ttl, handoffCost, backoff int64) *fleet {
 	f := &fleet{
-		plan:   plan,
-		leases: make(map[JobID]*lease),
+		plan:        plan,
+		leases:      make(map[leaseKey]*lease),
+		ttl:         ttl,
+		handoffCost: handoffCost,
+		backoff:     backoff,
 	}
 	var shards *ShardStore
 	if storeBudget >= 0 {
@@ -192,26 +223,40 @@ func (f *fleet) pullKill(node int) bool {
 	return n.dead.Load()
 }
 
-// grant registers the lease of a freshly dispatched attempt.
-func (f *fleet) grant(id JobID, name string, node, attempt int) {
+// grant registers the lease of a freshly dispatched attempt of one
+// range (sub 0 = the whole job / victim range, sub > 0 = a chunk).
+func (f *fleet) grant(id JobID, sub int, name string, node, attempt int) {
 	now := f.clock.Load()
 	f.mu.Lock()
-	f.leases[id] = &lease{
-		job: id, name: name, node: node, attempt: attempt,
-		expires: now + simtime.LeaseTTLUnits,
+	f.leases[leaseKey{id, sub}] = &lease{
+		job: id, sub: sub, name: name, node: node, attempt: attempt,
+		expires: now + f.ttl,
 	}
 	f.mu.Unlock()
 }
 
-// release retires an attempt's lease when the attempt settles the job.
-// A stale release (the lease expired and was handed off) is a no-op.
-func (f *fleet) release(id JobID, node, attempt int) {
+// release retires an attempt's lease when the attempt finishes its
+// range. A stale release (the lease expired and was handed off) is a
+// no-op.
+func (f *fleet) release(id JobID, sub int, node, attempt int) {
 	f.mu.Lock()
-	if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
-		delete(f.leases, id)
+	k := leaseKey{id, sub}
+	if l := f.leases[k]; l != nil && l.node == node && l.attempt == attempt {
+		delete(f.leases, k)
 	}
 	f.mu.Unlock()
 	f.nodes[node-1].jobs.Add(1)
+}
+
+// leaseUnits reports the units metered so far against one dispatch —
+// the steal trigger's "has this job ground long enough" probe.
+func (f *fleet) leaseUnits(id JobID, sub int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l := f.leases[leaseKey{id, sub}]; l != nil {
+		return l.units
+	}
+	return 0
 }
 
 // tick is the heartbeat: the engine's meter calls it (through the
@@ -221,7 +266,7 @@ func (f *fleet) release(id JobID, node, attempt int) {
 // lease, consults the fault plan, renews (or drops) the heartbeat and
 // sweeps expired leases. It returns true when the node executing the
 // attempt is dead — the engine then aborts the run at this checkpoint.
-func (f *fleet) tick(node int, id JobID, name string, attempt int, delta int64) bool {
+func (f *fleet) tick(node int, id JobID, sub int, name string, attempt int, delta int64) bool {
 	n := f.nodes[node-1]
 	if n.dead.Load() {
 		return true
@@ -229,9 +274,10 @@ func (f *fleet) tick(node int, id JobID, name string, attempt int, delta int64) 
 	odom := n.odometer.Add(delta)
 	now := f.clock.Add(delta)
 
+	k := leaseKey{id, sub}
 	var units int64
 	f.mu.Lock()
-	if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
+	if l := f.leases[k]; l != nil && l.node == node && l.attempt == attempt {
 		l.units += delta
 		units = l.units
 	}
@@ -251,8 +297,8 @@ func (f *fleet) tick(node int, id JobID, name string, attempt int, delta int64) 
 	} else {
 		n.beats.Add(1)
 		f.mu.Lock()
-		if l := f.leases[id]; l != nil && l.node == node && l.attempt == attempt {
-			l.expires = now + simtime.LeaseTTLUnits
+		if l := f.leases[k]; l != nil && l.node == node && l.attempt == attempt {
+			l.expires = now + f.ttl
 		}
 		f.mu.Unlock()
 	}
@@ -267,16 +313,16 @@ func (f *fleet) tick(node int, id JobID, name string, attempt int, delta int64) 
 // sweeps, which expires this attempt's lease and requeues the job on a
 // surviving node. If a concurrent sweep already handed the job off,
 // nothing is charged twice.
-func (f *fleet) abandon(id JobID, node, attempt int) {
+func (f *fleet) abandon(id JobID, sub int, node, attempt int) {
 	f.mu.Lock()
-	l := f.leases[id]
+	l := f.leases[leaseKey{id, sub}]
 	mine := l != nil && l.node == node && l.attempt == attempt
 	f.mu.Unlock()
 	if !mine {
 		return
 	}
-	now := f.clock.Add(simtime.LeaseTTLUnits)
-	f.overhead.Add(simtime.LeaseTTLUnits)
+	now := f.clock.Add(f.ttl)
+	f.overhead.Add(f.ttl)
 	f.sweep(now)
 }
 
@@ -292,10 +338,10 @@ func (f *fleet) abandon(id JobID, node, attempt int) {
 func (f *fleet) sweep(now int64) {
 	var victims []*lease
 	f.mu.Lock()
-	for id, l := range f.leases {
+	for k, l := range f.leases {
 		n := f.nodes[l.node-1]
 		if now >= l.expires && (n.dead.Load() || n.muted.Load()) {
-			delete(f.leases, id)
+			delete(f.leases, k)
 			victims = append(victims, l)
 		}
 	}
@@ -303,13 +349,18 @@ func (f *fleet) sweep(now int64) {
 	if len(victims) == 0 {
 		return
 	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i].job < victims[j].job })
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].job != victims[j].job {
+			return victims[i].job < victims[j].job
+		}
+		return victims[i].sub < victims[j].sub
+	})
 	for _, l := range victims {
 		f.expired.Add(1)
 		f.lostUnits.Add(l.units)
 		f.fence(l.node)
 		if f.requeue != nil {
-			f.requeue(l.job, l.node, l.attempt)
+			f.requeue(l.job, l.sub, l.node, l.attempt)
 		}
 	}
 }
@@ -322,10 +373,25 @@ func (f *fleet) chargeHandoff(attempt int) {
 	if shift > 6 {
 		shift = 6
 	}
-	units := int64(simtime.HandoffUnits) + int64(simtime.RetryBackoffUnits)<<shift
+	units := f.handoffCost + f.backoff<<shift
 	f.clock.Add(units)
 	f.overhead.Add(units)
 	f.handoffs.Add(1)
+}
+
+// chargeSteal prices one chunk steal: the flat coordinator cost of
+// fencing the victim's range and dispatching the chunk, advancing the
+// fleet clock and the overhead and steal accounts. first marks the
+// job's first steal (the victim counter counts jobs, not chunks).
+func (f *fleet) chargeSteal(sinks int, first bool) {
+	f.clock.Add(simtime.StealUnits)
+	f.overhead.Add(simtime.StealUnits)
+	f.stealUnits.Add(simtime.StealUnits)
+	f.steals.Add(1)
+	f.stolenSinks.Add(int64(sinks))
+	if first {
+		f.stealVictims.Add(1)
+	}
 }
 
 // owner returns the node owning fp's bundle under rendezvous
@@ -377,9 +443,19 @@ func (f *fleet) stats() *FleetStats {
 		RemoteGets:    f.remoteGets.Load(),
 		RemoteUnits:   f.remoteUnits.Load(),
 		FetchFaults:   f.fetchFaults.Load(),
+		Steals:        f.steals.Load(),
+		StealVictims:  f.stealVictims.Load(),
+		StolenSinks:   f.stolenSinks.Load(),
+		StealUnits:    f.stealUnits.Load(),
 	}
 	var agg StoreStats
 	for _, n := range f.nodes {
+		if u := n.odometer.Load(); u > fs.MakespanUnits {
+			// The fleet clock sums every node's charged work plus overhead;
+			// the makespan — what stealing actually shortens — is the
+			// busiest single node's odometer.
+			fs.MakespanUnits = u
+		}
 		ns := NodeStats{
 			ID:      n.id,
 			State:   "live",

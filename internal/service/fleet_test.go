@@ -13,6 +13,7 @@ import (
 	"backdroid/internal/appgen"
 	"backdroid/internal/faultinject"
 	"backdroid/internal/service/journal"
+	"backdroid/internal/simtime"
 )
 
 // mustPlan parses a fault spec or fails the test.
@@ -199,6 +200,10 @@ func TestFleetChaosUnionParity(t *testing.T) {
 			}
 		})
 	}
+	// Kill-mid-steal: the chunk-split outlier loses a node while stolen
+	// ranges are in flight; the loss degrades to a plain handoff of the
+	// lost range with the union intact (runner in steal_test.go).
+	t.Run("steal-chaos", stealChaosCase)
 }
 
 // TestFleetSeededPlansAlwaysConverge runs a spread of seeded plans —
@@ -335,8 +340,8 @@ func TestFleetCorruptHandoffDegradesToRedispatch(t *testing.T) {
 // are a pure function of (fingerprint, live set); killing a node moves
 // only the keys it owned.
 func TestFleetPlacementDeterministic(t *testing.T) {
-	a := newFleet(4, 0, nil)
-	b := newFleet(4, 0, nil)
+	a := newFleet(4, 0, nil, simtime.LeaseTTLUnits, simtime.HandoffUnits, simtime.RetryBackoffUnits)
+	b := newFleet(4, 0, nil, simtime.LeaseTTLUnits, simtime.HandoffUnits, simtime.RetryBackoffUnits)
 	fps := make([]uint64, 200)
 	for i := range fps {
 		fps[i] = mix64(uint64(i) * 0x9e3779b97f4a7c15)

@@ -77,13 +77,14 @@ const FileName = "journal.bdj"
 // terminal record — started or not — as pending. KindReport records are
 // the journal's persistent settled-report section: independent of any
 // job's lifecycle, content-addressed by (app fingerprint, options
-// fingerprint), latest record per key wins. KindLease and KindHandoff
-// are the fleet coordinator's dispatch trail — which node held a job,
-// and which handoffs a lease expiry forced. They are transient
-// bookkeeping: replay folds nothing from them (a job's pendingness is
-// still decided solely by submit vs terminal), and compaction drops
-// them, so damage to one can never lose or duplicate a report — at
-// worst the replay truncates there and the affected jobs re-pend.
+// fingerprint), latest record per key wins. KindLease, KindHandoff and
+// KindSteal are the fleet coordinator's dispatch trail — which node
+// held a job, which handoffs a lease expiry forced, and which sink
+// chunks were stolen to idle nodes. They are transient bookkeeping:
+// replay folds nothing from them (a job's pendingness is still decided
+// solely by submit vs terminal), and compaction drops them, so damage
+// to one can never lose or duplicate a report — at worst the replay
+// truncates there and the affected jobs re-pend.
 type Kind uint8
 
 // Record kinds.
@@ -96,6 +97,7 @@ const (
 	KindReport
 	KindLease
 	KindHandoff
+	KindSteal
 )
 
 // String names the record kind.
@@ -117,6 +119,8 @@ func (k Kind) String() string {
 		return "lease"
 	case KindHandoff:
 		return "handoff"
+	case KindSteal:
+		return "steal"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -130,8 +134,10 @@ func (k Kind) terminal() bool {
 // (Spec is the opaque string the service rebuilds the job from); Err is
 // set on failures; App/Opt/Data are set on settled-report records (the
 // content-address pair and the canonical encoded report); Node and
-// Attempt are set on fleet lease and handoff records (for handoffs,
-// Node is the node the job was taken away from).
+// Attempt are set on fleet lease, handoff and steal records (for
+// handoffs, Node is the node the job was taken away from; for steals,
+// Node is the thief and Attempt carries the stolen chunk's starting
+// sink position instead of a dispatch attempt).
 type Record struct {
 	Kind    Kind
 	Job     int64
@@ -285,7 +291,7 @@ func decodeRecord(data []byte) (Record, int64, bool) {
 		return Record{}, 0, false
 	}
 	kind := Kind(data[0])
-	if kind < KindSubmit || kind > KindHandoff {
+	if kind < KindSubmit || kind > KindSteal {
 		return Record{}, 0, false
 	}
 	plen := binary.LittleEndian.Uint32(data[1:5])
@@ -339,7 +345,7 @@ func decodePayload(kind Kind, p []byte) (Record, bool) {
 		if r.Data, p, ok = getBytes(p); !ok {
 			return Record{}, false
 		}
-	case KindLease, KindHandoff:
+	case KindLease, KindHandoff, KindSteal:
 		var node, attempt uint64
 		if node, p, ok = getU64(p); !ok {
 			return Record{}, false
@@ -398,7 +404,7 @@ func encodeRecord(r Record) []byte {
 		payload = putU64(payload, r.App)
 		payload = putU64(payload, r.Opt)
 		payload = putBytes(payload, r.Data)
-	case KindLease, KindHandoff:
+	case KindLease, KindHandoff, KindSteal:
 		payload = putU64(payload, uint64(r.Node))
 		payload = putU64(payload, uint64(r.Attempt))
 	}

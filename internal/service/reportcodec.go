@@ -37,7 +37,13 @@ import (
 // ReportCodecVersion is the settled-report encoding version. Bump it
 // whenever the layout changes; stored entries of other versions decode
 // as errors, which every read path treats as a store miss.
-const ReportCodecVersion = 1
+//
+// v2 dropped the sinkCached flag from the encoding: Cached records
+// whether a sink hit the engine-run-local reachability cache, which
+// depends on which sinks co-resided in one engine run — a chunked run
+// and a single-pass run legitimately differ there, and the settled
+// encoding must stay bitwise-identical across every chunking.
+const ReportCodecVersion = 2
 
 const reportMagic = "BDRS"
 
@@ -120,11 +126,12 @@ func DecodeReport(data []byte) (*core.Report, error) {
 	return r, nil
 }
 
-// sink flag bits.
+// sink flag bits. sinkCached's bit position is retired as of codec v2
+// (kept reserved so sinkReused keeps its v1 value).
 const (
 	sinkReachable = 1 << iota
 	sinkInsecure
-	sinkCached
+	_ // formerly sinkCached; run-local, dropped in v2
 	sinkReused
 )
 
@@ -141,9 +148,6 @@ func encodeSink(p []byte, s *core.SinkReport) []byte {
 	}
 	if s.Insecure {
 		flags |= sinkInsecure
-	}
-	if s.Cached {
-		flags |= sinkCached
 	}
 	if s.Reused {
 		flags |= sinkReused
@@ -192,7 +196,6 @@ func decodeSink(p []byte) (*core.SinkReport, []byte, bool) {
 	}
 	s.Reachable = b&sinkReachable != 0
 	s.Insecure = b&sinkInsecure != 0
-	s.Cached = b&sinkCached != 0
 	s.Reused = b&sinkReused != 0
 	if u, p, ok = getU32(p); !ok || int64(u) > int64(len(p)) {
 		return nil, nil, false

@@ -89,8 +89,13 @@ func TestReportCodecRoundTrip(t *testing.T) {
 				i, got.Call, got.Call.Line, want.Call, want.Call.Line)
 		}
 		if got.Reachable != want.Reachable || got.Insecure != want.Insecure ||
-			got.Cached != want.Cached || got.Reused != want.Reused {
+			got.Reused != want.Reused {
 			t.Fatalf("sink %d flags = %+v, want %+v", i, got, want)
+		}
+		if got.Cached {
+			// Cached is run-local (engine-run cache co-residency) and was
+			// dropped from the encoding in codec v2; decode leaves it false.
+			t.Fatalf("sink %d decoded Cached=true; v2 must not carry it", i)
 		}
 		if !reflect.DeepEqual(got.Entries, want.Entries) {
 			t.Fatalf("sink %d entries = %v, want %v", i, got.Entries, want.Entries)
@@ -111,6 +116,22 @@ func TestReportCodecExcludesStats(t *testing.T) {
 	b.Stats = core.Stats{WorkUnits: 123456, SettledLookups: 1, MethodsAnalyzed: 42}
 	if !bytes.Equal(EncodeReport(a), EncodeReport(b)) {
 		t.Fatal("Stats leaked into the canonical encoding")
+	}
+}
+
+// TestReportCodecExcludesCached pins the v2 change the chunk merge
+// depends on: whether a sink hit the engine-run-local reachability
+// cache depends on which sinks shared that run, so a chunked and a
+// single-pass analysis legitimately differ on Cached — the canonical
+// encoding must not see it.
+func TestReportCodecExcludesCached(t *testing.T) {
+	a := codecTestReport()
+	b := codecTestReport()
+	for _, s := range b.Sinks {
+		s.Cached = !s.Cached
+	}
+	if !bytes.Equal(EncodeReport(a), EncodeReport(b)) {
+		t.Fatal("Cached leaked into the canonical encoding")
 	}
 }
 

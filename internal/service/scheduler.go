@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -205,6 +206,24 @@ type Config struct {
 	// path (record corruption) and the fleet bundle partitions (fetch
 	// failures); nil injects nothing. See internal/faultinject.
 	Faults *faultinject.Plan
+	// Fleet tunables. Each value <= 0 inherits the simtime default of the
+	// same name; only meaningful with Nodes > 0.
+	//
+	// LeaseTTLUnits is how long a lease survives without a heartbeat
+	// before the coordinator fences its holder and hands the range off.
+	LeaseTTLUnits int64
+	// HandoffUnits is the flat charge of one re-dispatch; each handoff
+	// additionally pays RetryBackoffUnits << (attempt-1), capped.
+	HandoffUnits      int64
+	RetryBackoffUnits int64
+	// StealMinSinks is the smallest unstarted sink tail worth stealing:
+	// an idle node takes work only from a job with at least this many
+	// sinks not yet begun.
+	StealMinSinks int
+	// StealAfterUnits is how long a job must have ground (units metered
+	// against its lease) before its tail becomes stealable — a warmup
+	// that keeps small apps from being split for no benefit.
+	StealAfterUnits int64
 }
 
 // Scheduler runs analysis jobs over a bounded worker pool with per-tenant
@@ -229,6 +248,21 @@ type Scheduler struct {
 	halted      bool
 	inflight    int // submits between their closed-check and queue append
 	dispatchSeq int64
+
+	// chunkQueue holds sink-chunk ranges awaiting a node: stolen ranges
+	// shed off a grinding victim, plus ranges lost to an expired chunk
+	// lease, re-pended ahead of whole jobs. chunkJobs counts unsettled
+	// jobs that registered chunk state — workers must not exit while one
+	// remains, or its merged settle would never run. workers/running
+	// count live fleet workers and those currently executing a dispatch;
+	// the difference is the fleet's idle capacity, the shed trigger. It
+	// deliberately counts runnable-but-unscheduled workers as idle: on a
+	// single-CPU host a busy victim can starve every other goroutine of
+	// CPU, and capacity — not momentary parking — is what a steal needs.
+	chunkQueue []*chunkWork
+	chunkJobs  int
+	workers    int
+	running    int
 
 	journalUnits atomic.Int64 // control-plane work charged for appends
 
@@ -275,6 +309,54 @@ type jobState struct {
 	node            int  // fleet node of the current/last attempt (under mu)
 	attempt         int  // dispatch count (under mu)
 	dispatchSeq     int64
+	// chunk is the latest attempt's sink-chunk fan-out state (under mu);
+	// nil for jobs that run unsplit. The steal trigger and the chunk
+	// requeue path target it; a whole-job re-dispatch replaces it.
+	chunk *chunkState
+}
+
+// chunkState tracks one chunk-split job: the victim's progress through
+// the canonical sink list, the fence its range shrinks to as chunks are
+// stolen, the in-flight stolen ranges and the partial reports awaiting
+// the merge. One chunkState belongs to one victim dispatch; its fields
+// are guarded by its own mutex (lock order: Scheduler.mu, then
+// chunkState.mu, then fleet.mu).
+type chunkState struct {
+	mu         sync.Mutex
+	grain      int  // Options.SinkChunk: steal boundaries round up to it
+	total      int  // canonical sink count; -1 until the victim's first poll
+	started    int  // the victim has begun sinks [0, started)
+	fence      int  // the victim analyzes [0, fence); each steal shrinks it
+	victimLive bool // the victim attempt is still running (steals need it)
+	steals     int  // chunks stolen off this job
+	parts      []chunkPart
+	active     map[int]core.ChunkRange // sub -> in-flight stolen/re-pended range
+	fp         uint64
+	key        ReportKey
+	haveKey    bool
+	remember   bool // seed the delta path with the merged report
+	name       string
+}
+
+// chunkPart is one finished range's partial report.
+type chunkPart struct {
+	from, to int
+	rep      *core.Report
+}
+
+// chunkWork is one dispatchable sink range: a freshly stolen chunk
+// (steal=true) or a range re-pended after its holder's lease expired.
+// sub keys its lease: 0 is the victim itself, from+1 otherwise —
+// nonzero, unique per distinct range of one job.
+type chunkWork struct {
+	st     *jobState
+	cs     *chunkState
+	from   int
+	to     int
+	sub    int
+	first  bool // the job's first steal (victim counter)
+	steal  bool // live steal: journal KindSteal and charge simtime.StealUnits
+	victim int  // the victim's node; it declines its own shed chunks
 }
 
 // New builds and starts a scheduler. With a journal configured, new job
@@ -292,6 +374,21 @@ func New(cfg Config) *Scheduler {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
+	if cfg.LeaseTTLUnits <= 0 {
+		cfg.LeaseTTLUnits = simtime.LeaseTTLUnits
+	}
+	if cfg.HandoffUnits <= 0 {
+		cfg.HandoffUnits = simtime.HandoffUnits
+	}
+	if cfg.RetryBackoffUnits <= 0 {
+		cfg.RetryBackoffUnits = simtime.RetryBackoffUnits
+	}
+	if cfg.StealMinSinks <= 0 {
+		cfg.StealMinSinks = simtime.StealMinSinks
+	}
+	if cfg.StealAfterUnits <= 0 {
+		cfg.StealAfterUnits = simtime.StealAfterUnits
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		tenants: make(map[string]*tenant),
@@ -306,10 +403,14 @@ func New(cfg Config) *Scheduler {
 		}
 	}
 	if cfg.Nodes > 0 {
-		s.fleet = newFleet(cfg.Nodes, cfg.NodeStoreBudget, cfg.Faults)
+		s.fleet = newFleet(cfg.Nodes, cfg.NodeStoreBudget, cfg.Faults,
+			cfg.LeaseTTLUnits, cfg.HandoffUnits, cfg.RetryBackoffUnits)
 		s.fleet.requeue = s.requeueJob
 		s.fleet.wake = s.cond.Broadcast
 		s.fleet.allDead = s.failQueued
+	}
+	if s.fleet != nil {
+		s.workers = cfg.Workers
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		node := 0
@@ -319,19 +420,51 @@ func New(cfg Config) *Scheduler {
 		s.workerWG.Add(1)
 		go func() {
 			defer s.workerWG.Done()
+			defer s.workerExit(node)
 			for {
 				if node > 0 && s.fleet.pullKill(node) {
 					return
 				}
-				st := s.nextJob(node)
+				st, cw := s.nextWork(node)
+				if cw != nil {
+					s.runChunk(cw, node)
+					s.workDone(node)
+					continue
+				}
 				if st == nil {
 					return
 				}
 				s.runJob(st, node)
+				s.workDone(node)
 			}
 		}()
 	}
 	return s
+}
+
+// workerExit retires a fleet worker from the idle-capacity accounting
+// and wakes the waiters: a victim node parked leaving a queued steal
+// chunk "for someone else" must re-evaluate when that someone dies.
+func (s *Scheduler) workerExit(node int) {
+	if node == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.workers--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// workDone returns a fleet worker's slot to the idle capacity after a
+// dispatch completes.
+func (s *Scheduler) workDone(node int) {
+	if node == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.running--
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // Submit enqueues a job under its tenant, blocking while that tenant's
@@ -607,32 +740,359 @@ func (s *Scheduler) emit(ev Event) {
 	s.evMu.Unlock()
 }
 
-// nextJob blocks until a job is dispatchable and pops it under the WRR
-// policy. It returns nil when the scheduler is halted, closed with
-// every queue drained, or the pulling fleet node is dead — the worker
-// exit conditions.
-func (s *Scheduler) nextJob(node int) *jobState {
+// nextWork blocks until something is dispatchable: a re-pended sink
+// chunk (ahead of whole jobs — a lost range must not wait behind the
+// backlog), then a queued job under the WRR policy, then — for an
+// otherwise idle fleet node — a chunk stolen off a grinding heavy job.
+// It returns (nil, nil) when the scheduler is halted, closed with every
+// queue drained and every chunk-split job settled, or the pulling fleet
+// node is dead — the worker exit conditions.
+func (s *Scheduler) nextWork(node int) (*jobState, *chunkWork) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if s.halted {
-			return nil
+			return nil, nil
 		}
 		if node > 0 && s.fleet.nodeDead(node) {
-			return nil
+			return nil, nil
+		}
+		if cw := s.popChunk(node); cw != nil {
+			if node > 0 {
+				s.running++
+			}
+			return nil, cw
 		}
 		if st := s.popWRR(); st != nil {
 			// A queue slot freed: wake submitters blocked on backpressure.
 			s.cond.Broadcast()
-			return st
+			if node > 0 {
+				s.running++
+			}
+			return st, nil
 		}
-		// Exit only once no submit is mid-append: one that already passed
-		// its closed-check is about to enqueue a job this worker must run.
-		if s.closed && s.inflight == 0 {
-			return nil
+		if node > 0 {
+			if cw := s.trySteal(node); cw != nil {
+				s.running++
+				return nil, cw
+			}
+		}
+		// Exit only once no submit is mid-append (one that already passed
+		// its closed-check is about to enqueue a job this worker must run)
+		// and no chunk-split job is unsettled (its merged settle may still
+		// need this worker to run a re-pended or stolen range).
+		if s.closed && s.inflight == 0 && (s.fleet == nil || s.chunkJobs == 0) {
+			return nil, nil
+		}
+		if len(s.chunkQueue) > 0 {
+			// Only declined chunks remain (a victim node refusing its own
+			// stolen ranges): hand them to a parked worker before sleeping.
+			s.cond.Broadcast()
 		}
 		s.cond.Wait()
 	}
+}
+
+// popChunk pops the oldest pending chunk range, dropping ranges of jobs
+// that settled while they waited. A stolen range is declined by its own
+// victim's node while another worker could take it — otherwise, on a
+// host where the victim's worker is the only goroutine getting CPU, it
+// would drain its own shed chunks and the charged makespan would never
+// improve. Caller holds s.mu.
+func (s *Scheduler) popChunk(node int) *chunkWork {
+	for i := 0; i < len(s.chunkQueue); i++ {
+		cw := s.chunkQueue[i]
+		if cw.st.settled {
+			s.chunkQueue = append(s.chunkQueue[:i], s.chunkQueue[i+1:]...)
+			i--
+			continue
+		}
+		if cw.steal && node > 0 && cw.victim == node && s.workers-s.running > 1 {
+			continue
+		}
+		s.chunkQueue = append(s.chunkQueue[:i], s.chunkQueue[i+1:]...)
+		return cw
+	}
+	return nil
+}
+
+// trySteal scans the running chunk-split jobs for a stealable tail: a
+// live victim with at least StealMinSinks unstarted sinks that has
+// ground past StealAfterUnits of charged lease time. It fences the back
+// half of the victim's remaining range (rounded up to the chunk grain,
+// so steal boundaries land on stable chunk edges) and returns it as
+// work for the idle node. Jobs are visited in ID order, so the oldest
+// heavy job is relieved first. Caller holds s.mu.
+func (s *Scheduler) trySteal(node int) *chunkWork {
+	if s.fleet == nil {
+		return nil
+	}
+	ids := make([]JobID, 0, len(s.states))
+	for id := range s.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.states[id]
+		if st.settled || st.chunk == nil {
+			continue
+		}
+		if cw := s.stealWindow(st, st.chunk); cw != nil {
+			return cw
+		}
+	}
+	return nil
+}
+
+// stealWindow fences the back half of one job's remaining sink range
+// (rounded up to the chunk grain, so steal boundaries land on stable
+// chunk edges) and returns it as stealable work, or nil when the job
+// has no stealable tail: victim gone, tail under StealMinSinks, or the
+// victim not yet past StealAfterUnits of charged lease time. Caller
+// holds s.mu.
+func (s *Scheduler) stealWindow(st *jobState, cs *chunkState) *chunkWork {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.total < 0 || !cs.victimLive {
+		return nil
+	}
+	remaining := cs.fence - cs.started
+	if remaining < s.cfg.StealMinSinks ||
+		s.fleet.leaseUnits(st.id, 0) < s.cfg.StealAfterUnits {
+		return nil
+	}
+	// Take the back half of the remaining range, rounded up to the
+	// grain; the victim keeps the front it is already warm on.
+	from := cs.started + (remaining+1)/2
+	if g := cs.grain; g > 1 {
+		if rem := from % g; rem != 0 {
+			from += g - rem
+		}
+	}
+	if from <= cs.started || from >= cs.fence {
+		return nil
+	}
+	to := cs.fence
+	cs.fence = from
+	cs.steals++
+	first := cs.steals == 1
+	sub := from + 1
+	cs.active[sub] = core.ChunkRange{From: from, To: to}
+	return &chunkWork{st: st, cs: cs, from: from, to: to, sub: sub,
+		first: first, steal: true, victim: st.node}
+}
+
+// shedChunk is the push half of the steal protocol, driven from the
+// victim's own progress poll: when idle nodes are waiting and no queued
+// chunk is already destined for them, fence a chunk off this job's tail
+// into the chunk queue. The pull half (trySteal) needs an idle worker
+// to win the CPU while the victim grinds — on a single-core host the
+// victim never yields mid-run, so the shed path makes the steal trigger
+// independent of goroutine scheduling: the fenced range persists in the
+// queue and the idle worker picks it up whenever it next runs.
+func (s *Scheduler) shedChunk(st *jobState, cs *chunkState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	avail := s.workers - s.running
+	if avail <= 0 || len(s.chunkQueue) >= avail || st.settled || st.chunk != cs {
+		return
+	}
+	if cw := s.stealWindow(st, cs); cw != nil {
+		s.chunkQueue = append(s.chunkQueue, cw)
+	}
+}
+
+// chunkPoll is the victim's SinkProgress hook: called before each sink
+// at its canonical position. It publishes the victim's progress (the
+// steal trigger's "unstarted tail" input), learns the total on the
+// first poll, and stops the victim cleanly at the fence once a steal
+// shrank its range. Each poll sheds a chunk to any idle node and wakes
+// the waiters, so the steal trigger is re-evaluated exactly as often
+// as progress is made.
+func (s *Scheduler) chunkPoll(st *jobState, cs *chunkState, next, total int) bool {
+	cs.mu.Lock()
+	if cs.total < 0 {
+		cs.total = total
+		cs.fence = total
+	}
+	stop := next >= cs.fence
+	if !stop {
+		cs.started = next + 1
+	}
+	cs.mu.Unlock()
+	if !stop {
+		s.shedChunk(st, cs)
+		s.cond.Broadcast()
+	}
+	return stop
+}
+
+// runChunk executes one stolen or re-pended sink range on a node: its
+// own lease (keyed by the range's sub id), its own heartbeat stream,
+// its own abandon path — a chunk is a first-class dispatch, just
+// smaller than a job. A completed range feeds the merge; the range
+// whose part completes coverage settles the job.
+func (s *Scheduler) runChunk(cw *chunkWork, node int) {
+	st, cs := cw.st, cw.cs
+	s.mu.Lock()
+	if st.settled {
+		s.mu.Unlock()
+		return
+	}
+	attempt := st.attempt
+	if !cw.steal {
+		// A re-pended range is a retry: bump the attempt so its lease is
+		// distinguishable from the lost one and the backoff escalates.
+		st.attempt++
+		attempt = st.attempt
+	}
+	st.node = node
+	s.mu.Unlock()
+
+	s.fleet.grant(st.id, cw.sub, cs.name, node, attempt)
+	if cw.steal {
+		// The steal record carries the thief node and the chunk's start
+		// position (in Attempt — a chunk steal has no dispatch attempt of
+		// its own).
+		s.journalAppend(journal.Record{
+			Kind: journal.KindSteal, Job: int64(st.id),
+			Node: int64(node), Attempt: int64(cw.from),
+		})
+		s.fleet.chargeSteal(cw.to-cw.from, cw.first)
+	} else {
+		s.journalAppend(journal.Record{
+			Kind: journal.KindLease, Job: int64(st.id),
+			Node: int64(node), Attempt: int64(attempt),
+		})
+	}
+	rep, err := s.analyzeChunk(st, cs, cw, node, attempt)
+	if s.fleet.nodeDead(node) && errors.Is(err, simtime.ErrCanceled) && !st.cancelFlag.Load() {
+		// The node died under this chunk: no terminal — the sweep re-pends
+		// the range on a surviving node.
+		s.fleet.abandon(st.id, cw.sub, node, attempt)
+		return
+	}
+	s.fleet.release(st.id, cw.sub, node, attempt)
+	if err != nil {
+		s.finish(st, nil, err)
+		return
+	}
+	s.completeChunk(st, cs, cw.from, cw.to, cw.sub, rep)
+}
+
+// analyzeChunk runs the engine over one sink range of a job: the same
+// app source, options, bundle store routing and observer wiring as the
+// victim's full run, restricted by ChunkRange — the bundle is fetched
+// warm (remotely charged when another node owns it), never re-built.
+func (s *Scheduler) analyzeChunk(st *jobState, cs *chunkState, cw *chunkWork, node, attempt int) (*core.Report, error) {
+	job := st.job
+	app, err := job.Source()
+	if err != nil {
+		return nil, err
+	}
+	o := s.jobOptions(job)
+	flag := &st.cancelFlag
+	user := o.Cancel
+	o.Cancel = func() bool {
+		return flag.Load() || (user != nil && user())
+	}
+	fl, id, name, sub := s.fleet, st.id, cs.name, cw.sub
+	o.Heartbeat = func(delta int64) bool {
+		return fl.tick(node, id, sub, name, attempt, delta)
+	}
+	o.ChunkRange = &core.ChunkRange{From: cw.from, To: cw.to}
+	o.DeltaFrom = nil
+	o.SinkProgress = nil
+	var store jobStore
+	if st.fleetStore {
+		if v := s.fleet.view(node); v != nil {
+			store = v
+		}
+	} else if st.store != nil {
+		store = st.store
+	}
+	release := func() {}
+	if store != nil {
+		o.Bundles = store
+		if !store.Contains(cs.fp) {
+			release = store.LockFingerprint(cs.fp)
+		}
+	}
+	if s.cfg.Events != nil {
+		o.SinkObserver = func(sr *core.SinkReport) {
+			s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+		}
+	}
+	e, err := core.New(app, o)
+	if err != nil {
+		release()
+		if errors.Is(err, simtime.ErrCanceled) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: backdroid chunk [%d,%d) on %s: %w", cw.from, cw.to, name, err)
+	}
+	rep, err := e.Analyze()
+	release()
+	if err != nil {
+		if errors.Is(err, simtime.ErrCanceled) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("service: backdroid chunk [%d,%d) on %s: %w", cw.from, cw.to, name, err)
+	}
+	return rep, nil
+}
+
+// completeChunk records one finished range's partial report and, once
+// the parts cover [0, total), merges them canonically and settles the
+// job — remembering the merged report as the next delta base and
+// storing it under the same settled key a single-pass run would use
+// (MergeReports is pinned bitwise-identical to that run). Two ranges
+// completing coverage concurrently both merge; finish's at-most-once
+// guard settles exactly one, and the duplicate content-addressed store
+// put is a harmless refresh.
+func (s *Scheduler) completeChunk(st *jobState, cs *chunkState, from, to, sub int, rep *core.Report) {
+	s.mu.Lock()
+	settled := st.settled
+	s.mu.Unlock()
+	if settled {
+		return
+	}
+	cs.mu.Lock()
+	if sub == 0 {
+		cs.victimLive = false
+	} else {
+		delete(cs.active, sub)
+	}
+	cs.parts = append(cs.parts, chunkPart{from: from, to: to, rep: rep})
+	total := cs.total
+	parts := append([]chunkPart(nil), cs.parts...)
+	cs.mu.Unlock()
+
+	sort.Slice(parts, func(i, j int) bool { return parts[i].from < parts[j].from })
+	cover := 0
+	for _, p := range parts {
+		if p.from > cover {
+			break
+		}
+		if p.to > cover {
+			cover = p.to
+		}
+	}
+	if total < 0 || cover < total {
+		return
+	}
+	reports := make([]*core.Report, len(parts))
+	for i, p := range parts {
+		reports[i] = p.rep
+	}
+	merged := core.MergeReports(reports...)
+	if cs.remember && !merged.TimedOut {
+		s.rememberRun(st.tenant, cs.name, cs.fp, merged)
+	}
+	if s.cfg.Reports != nil && cs.haveKey {
+		s.cfg.Reports.Put(cs.key, merged)
+	}
+	s.finish(st, &JobResult{ID: st.id, Name: cs.name, BackDroid: merged}, nil)
 }
 
 func (s *Scheduler) runJob(st *jobState, node int) {
@@ -650,7 +1110,7 @@ func (s *Scheduler) runJob(st *jobState, node int) {
 	s.mu.Unlock()
 
 	if s.fleet != nil {
-		s.fleet.grant(st.id, st.job.Name, node, attempt)
+		s.fleet.grant(st.id, 0, st.job.Name, node, attempt)
 		s.journalAppend(journal.Record{
 			Kind: journal.KindLease, Job: int64(st.id),
 			Node: int64(node), Attempt: int64(attempt),
@@ -660,17 +1120,35 @@ func (s *Scheduler) runJob(st *jobState, node int) {
 		s.journalAppend(journal.Record{Kind: journal.KindStart, Job: int64(st.id)})
 	}
 	s.emit(Event{Kind: EventStarted, Job: st.id, Name: st.job.Name, Node: node, Attempt: attempt, Seq: seq})
-	res, err := s.analyze(st, node, attempt)
+	res, cs, err := s.analyze(st, node, attempt)
+	fenced := false
+	if cs != nil {
+		// This victim attempt is over: no further steals off it. fenced
+		// records whether a steal shrank its range — once the victim
+		// returned, started == fence, so no new steal can land and the
+		// flag is final.
+		cs.mu.Lock()
+		cs.victimLive = false
+		fenced = cs.steals > 0
+		cs.mu.Unlock()
+	}
 	if s.fleet != nil {
 		if s.fleet.nodeDead(node) && errors.Is(err, simtime.ErrCanceled) && !st.cancelFlag.Load() {
 			// The node died under this attempt (the engine aborted at the
 			// checkpoint that observed the fencing, not by user cancel): no
 			// terminal — abandon charges the detection latency, expires the
 			// lease and hands the job to a surviving node.
-			s.fleet.abandon(st.id, node, attempt)
+			s.fleet.abandon(st.id, 0, node, attempt)
 			return
 		}
-		s.fleet.release(st.id, node, attempt)
+		s.fleet.release(st.id, 0, node, attempt)
+	}
+	if fenced && err == nil && res != nil && res.BackDroid != nil {
+		// Chunks were stolen: the engine stopped at the fence and the
+		// report is the partial [0, fence) — feed it to the merge instead
+		// of settling; the range completing coverage settles the job.
+		s.completeChunk(st, cs, 0, len(res.BackDroid.Sinks), 0, res.BackDroid)
+		return
 	}
 	s.finish(st, res, err)
 }
@@ -693,7 +1171,14 @@ func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
 		return
 	}
 	st.settled = true
+	if st.chunk != nil {
+		s.chunkJobs--
+		st.chunk = nil
+	}
 	s.mu.Unlock()
+	// Wake workers idling on the chunk-split exit condition (and any
+	// stealer scanning for work that just disappeared).
+	s.cond.Broadcast()
 	kind := journal.KindDone
 	ev := Event{Kind: EventDone, Job: st.id, Name: st.job.Name, Result: res}
 	switch {
@@ -721,13 +1206,17 @@ func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
 	s.emit(ev)
 }
 
-// requeueJob returns a lease-expired job to the FRONT of its tenant's
-// queue (the handoff must not wait behind the tenant's backlog — the job
-// already waited its turn once), journals the handoff record and charges
-// the re-dispatch overhead with exponential backoff. A job with no
-// surviving node, or one past the fleet's attempt bound, fails
-// terminally instead. Called by the fleet sweep, never under s.mu.
-func (s *Scheduler) requeueJob(id JobID, from, attempt int) {
+// requeueJob returns a lease-expired range to work. A lost sink chunk
+// (sub > 0), or a lost victim whose job already had chunks stolen, is
+// re-pended on the chunk queue — only the lost range re-runs; the parts
+// other nodes finished stand. An unsplit job returns to the FRONT of
+// its tenant's queue (the handoff must not wait behind the tenant's
+// backlog — the job already waited its turn once). Either way the
+// handoff record is journaled and the re-dispatch overhead charged with
+// exponential backoff. A job with no surviving node, or one past the
+// fleet's attempt bound, fails terminally instead. Called by the fleet
+// sweep, never under s.mu.
+func (s *Scheduler) requeueJob(id JobID, sub, from, attempt int) {
 	s.mu.Lock()
 	st, ok := s.states[id]
 	if !ok || st.settled {
@@ -741,6 +1230,42 @@ func (s *Scheduler) requeueJob(id JobID, from, attempt int) {
 			"service: job %q lost with node %d (attempt %d, %d nodes live): retry budget exhausted",
 			st.job.Name, from, attempt, live))
 		return
+	}
+	if cs := st.chunk; cs != nil {
+		var rng *core.ChunkRange
+		cs.mu.Lock()
+		if sub == 0 {
+			if cs.steals > 0 {
+				// The victim died after chunks were stolen: its remaining
+				// range is [0, fence) — re-pend just that, as a plain chunk.
+				cs.victimLive = false
+				r := core.ChunkRange{From: 0, To: cs.fence}
+				rng = &r
+				cs.active[r.From+1] = r
+			}
+		} else if r, ok := cs.active[sub]; ok {
+			rng = &r
+		}
+		cs.mu.Unlock()
+		if rng != nil {
+			s.chunkQueue = append(s.chunkQueue, &chunkWork{
+				st: st, cs: cs, from: rng.From, to: rng.To, sub: rng.From + 1,
+			})
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.journalAppend(journal.Record{
+				Kind: journal.KindHandoff, Job: int64(id),
+				Node: int64(from), Attempt: int64(attempt),
+			})
+			s.fleet.chargeHandoff(attempt)
+			return
+		}
+		if sub > 0 {
+			// The chunk's range already completed or re-pended elsewhere:
+			// nothing left to recover from this lease.
+			s.mu.Unlock()
+			return
+		}
 	}
 	t := s.tenantLocked(st.tenant)
 	t.queue = append([]*jobState{st}, t.queue...)
@@ -811,12 +1336,17 @@ type jobStore interface {
 // concurrency-safe and append-only. node/attempt identify the fleet
 // dispatch (0/1 without a fleet); they are passed as values because a
 // handed-off job's jobState fields may be rewritten by the re-dispatch
-// while the abandoned attempt is still in here.
-func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, error) {
+// while the abandoned attempt is still in here. The returned chunkState
+// is non-nil when this attempt registered as steal-eligible — the
+// caller routes its (possibly fenced, partial) report to the merge; it
+// is returned rather than re-read from st.chunk because a gray-failure
+// re-dispatch may have replaced st.chunk while this attempt ran.
+func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, *chunkState, error) {
+	var cs *chunkState
 	job := st.job
 	app, err := job.Source()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := &JobResult{ID: st.id, Name: job.Name}
 	if res.Name == "" {
@@ -840,7 +1370,7 @@ func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, error)
 		if s.fleet != nil {
 			fl, id, name := s.fleet, st.id, job.Name
 			o.Heartbeat = func(delta int64) bool {
-				return fl.tick(node, id, name, attempt, delta)
+				return fl.tick(node, id, 0, name, attempt, delta)
 			}
 		}
 		var store jobStore
@@ -866,7 +1396,7 @@ func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, error)
 			if stored, ok := s.cfg.Reports.Get(settledKey); ok {
 				rep, err := s.serveSettled(st, res.Name, stored, o.TimeoutMinutes)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				res.BackDroid = rep
 				if store != nil && !stored.TimedOut {
@@ -911,47 +1441,87 @@ func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, error)
 					s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
 				}
 			}
+			if s.fleet != nil && o.SinkChunk > 0 && o.TimeoutMinutes == 0 &&
+				o.DeltaFrom == nil && !job.RunWholeApp && !job.RunCallGraph {
+				// Steal-eligible: register the chunk fan-out state and let
+				// the engine report per-sink progress. Delta runs and timed
+				// runs stay unsplit (a chunk must not depend on a delta base
+				// the other chunks lack, and the simulated timeout is a
+				// whole-run budget); multi-analyzer jobs settle a composite
+				// result the merge path does not carry.
+				cs = &chunkState{
+					grain:      o.SinkChunk,
+					total:      -1,
+					victimLive: true,
+					active:     make(map[int]core.ChunkRange),
+					fp:         fp,
+					key:        settledKey,
+					haveKey:    s.cfg.Reports != nil,
+					remember:   store != nil,
+					name:       res.Name,
+				}
+				s.mu.Lock()
+				if st.chunk == nil {
+					s.chunkJobs++
+				}
+				st.chunk = cs
+				s.mu.Unlock()
+				stRef, csRef := st, cs
+				o.SinkProgress = func(next, total int) bool {
+					return s.chunkPoll(stRef, csRef, next, total)
+				}
+			}
 			e, err := core.New(app, o)
 			if err != nil {
 				release()
 				if errors.Is(err, simtime.ErrCanceled) {
-					return nil, err
+					return nil, cs, err
 				}
-				return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
+				return nil, cs, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 			}
 			res.BackDroid, err = e.Analyze()
 			release()
 			if err != nil {
 				if errors.Is(err, simtime.ErrCanceled) {
-					return nil, err
+					return nil, cs, err
 				}
-				return nil, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
+				return nil, cs, fmt.Errorf("service: backdroid on %s: %w", res.Name, err)
 			}
-			if store != nil && !res.BackDroid.TimedOut {
-				s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
+			fenced := false
+			if cs != nil {
+				cs.mu.Lock()
+				fenced = cs.steals > 0
+				cs.mu.Unlock()
 			}
-			if s.cfg.Reports != nil {
-				// Settle the report under its content address. Timed-out
-				// reports settle too: the timeout is simulated-time
-				// deterministic and TimeoutMinutes is hashed, so a
-				// resubmission would reproduce the same truncated report.
-				s.cfg.Reports.Put(settledKey, res.BackDroid)
+			if !fenced {
+				// A fenced run's report is the partial [0, fence): only the
+				// merged union may seed the delta path or settle the store.
+				if store != nil && !res.BackDroid.TimedOut {
+					s.rememberRun(st.tenant, res.Name, fp, res.BackDroid)
+				}
+				if s.cfg.Reports != nil {
+					// Settle the report under its content address. Timed-out
+					// reports settle too: the timeout is simulated-time
+					// deterministic and TimeoutMinutes is hashed, so a
+					// resubmission would reproduce the same truncated report.
+					s.cfg.Reports.Put(settledKey, res.BackDroid)
+				}
 			}
 		}
 	}
 	if job.RunWholeApp {
 		res.WholeApp, err = runWholeApp(app, wholeapp.FullAnalysis)
 		if err != nil {
-			return nil, fmt.Errorf("service: wholeapp on %s: %w", res.Name, err)
+			return nil, cs, fmt.Errorf("service: wholeapp on %s: %w", res.Name, err)
 		}
 	}
 	if job.RunCallGraph {
 		res.CallGraph, err = runWholeApp(app, wholeapp.CallGraphOnly)
 		if err != nil {
-			return nil, fmt.Errorf("service: callgraph on %s: %w", res.Name, err)
+			return nil, cs, fmt.Errorf("service: callgraph on %s: %w", res.Name, err)
 		}
 	}
-	return res, nil
+	return res, cs, nil
 }
 
 // serveSettled answers a job from the settled-result tier: one flat

@@ -160,6 +160,29 @@ const (
 	// bundle bytes themselves are already priced by the engine's bundle
 	// load rate; this is only the placement detour.
 	RemoteFetchUnits = 4
+
+	// StealUnits is the flat charged cost of dispatching one stolen
+	// sink chunk: the coordinator fences the victim's range, appends a
+	// steal record and hands the chunk to the idle node. Control-plane
+	// work priced like a handoff; the thief's own warm bundle load,
+	// remote fetch detour and sink location are charged separately by
+	// its engine run — together they are the steal overhead the
+	// benchgate heavy-tail leg gates under 10% of charged work.
+	StealUnits = 8
+
+	// StealMinSinks is the default minimum number of unstarted sinks a
+	// running job must still have before an idle node may steal from it
+	// (service.Config.StealMinSinks overrides). Below it the remaining
+	// tail is cheaper to finish in place than to re-locate on a thief.
+	StealMinSinks = 8
+
+	// StealAfterUnits is the default charged-work threshold a job's
+	// current attempt must pass before it becomes a steal victim
+	// (service.Config.StealAfterUnits overrides): stealing is for the
+	// heavy tail, and a job that has charged this much while other
+	// nodes sit idle has proven itself the tail. Roughly the cost of a
+	// small bench app, so light jobs finish in place.
+	StealAfterUnits = 256
 )
 
 // ErrTimeout is returned by Charge when the budget is exhausted — the
@@ -360,6 +383,16 @@ func (m *Meter) ChargeDeltaReuse(n int) error {
 		return m.Charge(1)
 	}
 	return m.Charge(int64(n/DeltaReuseLinesPerUnit) + 1)
+}
+
+// ChargeSteal charges the coordinator-side cost of dispatching one
+// stolen sink chunk to an idle fleet node — fencing the victim's range,
+// journaling the steal record and handing the chunk over. The fleet
+// coordinator advances its global clock by the same constant; this
+// method is the metered form for harnesses that account steal overhead
+// on a meter.
+func (m *Meter) ChargeSteal() error {
+	return m.Charge(StealUnits)
 }
 
 // ChargeSettledLookup charges for answering a resubmission of a settled
