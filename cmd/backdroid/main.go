@@ -6,8 +6,8 @@
 //	backdroid [-subclass-sinks] [-timeout MIN] [-ssg] [-backend B] [-workers W]
 //	          [-shards N] [-index-cache DIR] [-parallel-lookups]
 //	          [-auto-parallel-lookups] [-store-budget BYTES] [-stats=false]
-//	          [-delta] [-nodes N] [-faults SPEC] [-cpuprofile FILE]
-//	          [-memprofile FILE] app.apk...
+//	          [-delta] [-nodes N] [-faults SPEC] [-trace FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE] app.apk...
 //
 // -nodes N analyzes the corpus on a fault-tolerant fleet of N worker
 // nodes (the service scheduler's coordinator path): dispatches are
@@ -46,6 +46,14 @@
 // version; only the charged cost shrinks. Apps are analyzed sequentially
 // in argument order (the chain is inherently ordered).
 //
+// -trace FILE records a simtime-anchored span trace of the run — engine
+// phases per job, and in fleet mode the scheduler's queue/dispatch/
+// steal/handoff events — and writes it as Chrome trace-event JSON
+// (load it at chrome://tracing or ui.perfetto.dev). Timestamps are
+// charged work units on per-job tracks, never wall time, so two runs of
+// one corpus and seed write byte-identical files; tracing never changes
+// a report or a charged unit.
+//
 // An interrupt (Ctrl-C) cancels the in-flight analyses cooperatively:
 // every engine stops at its next meter checkpoint (within
 // simtime.CancelCheckpointUnits of charged work), apps not yet analyzed
@@ -66,6 +74,7 @@ import (
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
 	"backdroid/internal/faultinject"
+	"backdroid/internal/obs"
 	"backdroid/internal/pool"
 	"backdroid/internal/pprofutil"
 	"backdroid/internal/service"
@@ -88,6 +97,7 @@ type config struct {
 	delta           bool
 	nodes           int
 	faults          string
+	trace           string
 	cpuprofile      string
 	memprofile      string
 }
@@ -119,6 +129,8 @@ func main() {
 		"analyze on a fault-tolerant worker fleet of N nodes (0 = plain pool)")
 	flag.StringVar(&cfg.faults, "faults", "",
 		"deterministic fault plan for -nodes, e.g. 'kill:node=2@50000'")
+	flag.StringVar(&cfg.trace, "trace", "",
+		"write a Chrome trace-event JSON timeline of the run to this file")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -181,14 +193,19 @@ func run(paths []string, cfg config) error {
 		}
 	}()
 
+	var trace *obs.Trace
+	if cfg.trace != "" {
+		trace = obs.NewTrace()
+	}
+
 	if cfg.nodes > 0 {
 		if cfg.delta {
 			return fmt.Errorf("-delta and -nodes are mutually exclusive (the version chain is inherently sequential)")
 		}
-		return runFleet(paths, cfg, opts)
+		return saveTrace(runFleet(paths, cfg, opts, trace), cfg.trace, trace)
 	}
 	if cfg.delta {
-		return runDelta(paths, cfg, opts, store)
+		return saveTrace(runDelta(paths, cfg, opts, store, trace), cfg.trace, trace)
 	}
 
 	// Analyze concurrently, report in argument order. Every app gets its
@@ -196,8 +213,10 @@ func run(paths []string, cfg config) error {
 	// reported is deterministic.
 	reports := make([]*core.Report, len(paths))
 	errs := pool.ForEach(len(paths), cfg.workers, func(i int) error {
+		o := opts
+		traceEngine(&o, trace, int64(i+1))
 		var err error
-		reports[i], err = analyze(paths[i], opts, store)
+		reports[i], err = analyze(paths[i], o, store)
 		return err
 	})
 
@@ -209,14 +228,56 @@ func run(paths []string, cfg config) error {
 			continue
 		}
 		if errs[i] != nil {
-			return errs[i]
+			return saveTrace(errs[i], cfg.trace, trace)
 		}
 		printReport(reports[i], cfg)
 	}
 	if canceled > 0 {
-		return fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths))
+		return saveTrace(fmt.Errorf("interrupted: %d of %d analyses canceled", canceled, len(paths)), cfg.trace, trace)
 	}
-	return nil
+	return saveTrace(nil, cfg.trace, trace)
+}
+
+// traceEngine installs the per-job engine trace hooks: phase spans and
+// one charged-units counter sample per meter checkpoint, on the job's
+// main track. The hooks observe unit boundaries the engine reaches
+// anyway; they never charge, so a traced report is bitwise-identical to
+// an untraced one. No-op when tracing is off.
+func traceEngine(o *core.Options, trace *obs.Trace, job int64) {
+	if trace == nil {
+		return
+	}
+	o.PhaseSpan = func(phase string, sink int, start, end int64) {
+		sp := obs.Span{Job: job, Sub: 0, Name: phase, Cat: "engine",
+			Start: start, Dur: end - start}
+		if sink >= 0 {
+			sp.Args = []obs.Arg{{Key: "sink", Value: fmt.Sprint(sink)}}
+		}
+		trace.Add(sp)
+	}
+	o.MeterCheckpoint = func(units, delta int64) {
+		trace.AddCounter(obs.CounterSample{Job: job, TS: units, Value: units})
+	}
+}
+
+// saveTrace writes the recorded trace as Chrome trace-event JSON; a
+// write failure surfaces only when the run itself succeeded. No-op when
+// tracing is off.
+func saveTrace(runErr error, path string, trace *obs.Trace) error {
+	if trace == nil {
+		return runErr
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = obs.WriteChrome(f, trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return err
 }
 
 // runFleet analyzes the corpus on a fault-tolerant worker fleet — the
@@ -224,7 +285,7 @@ func run(paths []string, cfg config) error {
 // job; a node killed by the -faults plan has its jobs handed off to
 // surviving nodes, and reports print in argument order regardless of
 // which node (or which attempt) produced them.
-func runFleet(paths []string, cfg config, opts core.Options) error {
+func runFleet(paths []string, cfg config, opts core.Options, trace *obs.Trace) error {
 	var plan *faultinject.Plan
 	if cfg.faults != "" {
 		var err error
@@ -239,6 +300,7 @@ func runFleet(paths []string, cfg config, opts core.Options) error {
 		Faults:          plan,
 		Options:         &opts,
 		IndexCacheDir:   cfg.indexCache,
+		Trace:           trace,
 	})
 	ids := make([]service.JobID, len(paths))
 	for i, path := range paths {
@@ -295,7 +357,7 @@ func runFleet(paths []string, cfg config, opts core.Options) error {
 // predecessor's bundle and report. A version whose base proves unusable
 // (timed out, evicted, legacy bundle) silently runs full — never wrong,
 // at worst cold.
-func runDelta(paths []string, cfg config, opts core.Options, store *service.BundleStore) error {
+func runDelta(paths []string, cfg config, opts core.Options, store *service.BundleStore, trace *obs.Trace) error {
 	var prev *core.DeltaBase
 	for i, path := range paths {
 		app, err := apk.Load(path)
@@ -304,6 +366,7 @@ func runDelta(paths []string, cfg config, opts core.Options, store *service.Bund
 		}
 		fp := dexdump.AppFingerprint(app.Dexes)
 		o := opts
+		traceEngine(&o, trace, int64(i+1))
 		if prev != nil && prev.Fingerprint != fp {
 			o.DeltaFrom = prev
 		}

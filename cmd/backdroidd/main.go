@@ -15,8 +15,8 @@
 //	backdroidd [-workers N] [-queue N] [-store-budget BYTES] [-backend B]
 //	           [-index-cache DIR] [-journal DIR] [-tenants SPEC]
 //	           [-report-budget BYTES] [-http ADDR] [-nodes N] [-faults SPEC]
-//	           [-parallel-lookups] [-auto-parallel-lookups] [-stats]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-trace FILE] [-parallel-lookups] [-auto-parallel-lookups]
+//	           [-stats] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -nodes N runs the scheduler as a coordinator over a fault-tolerant
 // fleet of N worker nodes: every dispatch takes a lease, bundles are
@@ -43,10 +43,17 @@
 //
 // -http ADDR additionally serves the typed HTTP/JSON gateway
 // (internal/service/api): POST /v1/jobs, GET /v1/jobs/{id}, DELETE
-// /v1/jobs/{id}, GET /v1/reports/{app}/{options}, GET /v1/stats and an
-// SSE stream at GET /v1/events. Both front ends drive one shared
-// dispatcher, so a job submitted over HTTP streams its events to stdin
-// subscribers and vice versa.
+// /v1/jobs/{id}, GET /v1/reports/{app}/{options}, GET /v1/stats, an SSE
+// stream at GET /v1/events, Prometheus text at GET /metrics and one
+// job's Chrome trace-event JSON at GET /v1/trace/{id} (with -trace).
+// Both front ends drive one shared dispatcher, so a job submitted over
+// HTTP streams its events to stdin subscribers and vice versa.
+//
+// -trace FILE records every job's simtime-anchored span timeline —
+// engine phases, and in fleet mode the scheduler's dispatch/steal/
+// handoff events — and writes it as Chrome trace-event JSON on exit;
+// GET /v1/trace/{id} serves a single job's slice while the daemon is
+// live. Tracing never changes a report or a charged unit.
 //
 // The service reads commands from stdin, one per line, and streams typed
 // events to stdout as jobs progress:
@@ -90,6 +97,7 @@ import (
 	"backdroid/internal/bcsearch"
 	"backdroid/internal/core"
 	"backdroid/internal/faultinject"
+	"backdroid/internal/obs"
 	"backdroid/internal/pprofutil"
 	"backdroid/internal/service"
 	"backdroid/internal/service/api"
@@ -109,6 +117,7 @@ type config struct {
 	httpAddr     string
 	nodes        int
 	faults       string
+	trace        string
 	parallel     bool
 	autoParallel bool
 	stats        bool
@@ -137,6 +146,8 @@ func main() {
 		"run a fault-tolerant worker fleet of N nodes (0 = plain worker pool; overrides -workers)")
 	flag.StringVar(&cfg.faults, "faults", "",
 		"deterministic fault plan, e.g. 'kill:node=2@50000,beat-drop:node=3@8000'")
+	flag.StringVar(&cfg.trace, "trace", "",
+		"write a Chrome trace-event JSON timeline of every job to this file on exit")
 	flag.BoolVar(&cfg.parallel, "parallel-lookups", false,
 		"fan hot-token shard lookups out on the worker pool")
 	flag.BoolVar(&cfg.autoParallel, "auto-parallel-lookups", false,
@@ -236,6 +247,10 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 			reports.Recover()
 		}
 	}
+	var trace *obs.Trace
+	if cfg.trace != "" {
+		trace = obs.NewTrace()
+	}
 	d := api.NewDispatcher(api.DispatcherConfig{
 		Scheduler: service.Config{
 			Workers:       cfg.workers,
@@ -251,6 +266,7 @@ func serve(in io.Reader, out io.Writer, cfg config) error {
 			Nodes:           cfg.nodes,
 			NodeStoreBudget: cfg.storeBudget,
 			Faults:          faults,
+			Trace:           trace,
 		},
 	})
 
@@ -391,10 +407,31 @@ loop:
 		// start.
 		d.Halt()
 		drain.Wait()
-		return nil
+		return saveTrace(cfg.trace, trace)
 	}
 	d.Close()
 	drain.Wait()
 	printf("%s", api.StatsLines(d.Stats(api.StatsRequest{})))
+	return saveTrace(cfg.trace, trace)
+}
+
+// saveTrace writes the recorded timeline as Chrome trace-event JSON.
+// Both exit paths funnel through here, so a crash drill still leaves a
+// timeline of everything that ran before the drill.
+func saveTrace(path string, trace *obs.Trace) error {
+	if trace == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := obs.WriteChrome(f, trace); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
 	return nil
 }

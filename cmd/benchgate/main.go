@@ -79,6 +79,7 @@ import (
 	"backdroid/internal/dexdump"
 	"backdroid/internal/experiments"
 	"backdroid/internal/faultinject"
+	"backdroid/internal/obs"
 	"backdroid/internal/service"
 	"backdroid/internal/service/journal"
 )
@@ -98,6 +99,12 @@ type BackendCost struct {
 	ForwardMemoHits int64   `json:"forward_memo_hits"`
 	WorkUnits       int64   `json:"work_units"`
 	SimMinutes      float64 `json:"sim_minutes"`
+	// Phases breaks the charged units down by engine phase (disassembly,
+	// index-build, backslice, constprop, ...), one duration histogram per
+	// phase. Informational — never gated, because the split between
+	// phases can shift under deliberate recalibrations that keep the
+	// total flat.
+	Phases map[string]obs.HistSnapshot `json:"phase_units,omitempty"`
 }
 
 // CorpusMeta identifies the measured corpus; baselines for a different
@@ -305,6 +312,10 @@ type StealReport struct {
 	AnalysisUnits   int64   `json:"analysis_units"`
 	OverheadRatio   float64 `json:"steal_overhead_ratio"`
 	UnionIdentical  bool    `json:"union_identical"`
+	// Phases is the steal run's per-phase charged-unit breakdown — the
+	// backslice histogram shows the outlier's sink tail split across
+	// chunk re-anchored ranges. Informational, never gated.
+	Phases map[string]obs.HistSnapshot `json:"phase_units,omitempty"`
 }
 
 // WarmReport is the BENCH_warm.json schema: the warm-path perf trajectory
@@ -719,6 +730,48 @@ func run(apps int, scale float64, seed int64, baselinePath, outPath, warmOutPath
 	return gate(report, baselinePath, tolerance)
 }
 
+// phaseRecorder folds core.Options.PhaseSpan callbacks into per-phase
+// duration histograms. Recording is pure observation — PhaseSpan is
+// fingerprint-neutral and charges nothing — and the power-of-two
+// histograms are order-independent, so parallel workers snapshot
+// identically for a given corpus.
+type phaseRecorder struct {
+	mu    sync.Mutex
+	hists map[string]*obs.Histogram
+}
+
+// install points o.PhaseSpan at the recorder.
+func (p *phaseRecorder) install(o *core.Options) {
+	o.PhaseSpan = func(phase string, _ int, start, end int64) {
+		p.mu.Lock()
+		if p.hists == nil {
+			p.hists = make(map[string]*obs.Histogram)
+		}
+		h := p.hists[phase]
+		if h == nil {
+			h = &obs.Histogram{}
+			p.hists[phase] = h
+		}
+		p.mu.Unlock()
+		h.Observe(end - start)
+	}
+}
+
+// snapshot returns the recorded histograms keyed by phase name (nil when
+// nothing fired, keeping the JSON field omitted).
+func (p *phaseRecorder) snapshot() map[string]obs.HistSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.hists) == 0 {
+		return nil
+	}
+	out := make(map[string]obs.HistSnapshot, len(p.hists))
+	for name, h := range p.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
 // measure runs BackDroid over the corpus with the given backend and sums
 // the charged search work; the returned string is a deterministic
 // detection summary (app, sink, verdict, values) used for parity checks.
@@ -726,12 +779,16 @@ func measure(meta CorpusMeta, kind bcsearch.BackendKind, cacheDir string, parall
 	opts := core.DefaultOptions()
 	opts.SearchBackend = kind
 	opts.ParallelLookups = parallelLookups
-	return measureWith(meta, experiments.RunConfig{
+	var rec phaseRecorder
+	rec.install(&opts)
+	cost, det, err := measureWith(meta, experiments.RunConfig{
 		RunBackDroid:     true,
 		BackDroidOptions: &opts,
 		Workers:          runtime.NumCPU(),
 		IndexCacheDir:    cacheDir,
 	})
+	cost.Phases = rec.snapshot()
+	return cost, det, err
 }
 
 // measureWith runs one corpus pass under the given config (possibly
@@ -1248,11 +1305,14 @@ func measureFleetChaos(seed int64) (FleetReport, error) {
 // its node commits to the whole sink tail before the small apps even
 // queue. Returns the canonical per-job report encodings, the summed
 // charged analysis work and the fleet counters.
-func stealTailRun(nodes int, specs []appgen.Spec, steal bool) (map[string][]byte, int64, *service.FleetStats, error) {
+func stealTailRun(nodes int, specs []appgen.Spec, steal bool, rec *phaseRecorder) (map[string][]byte, int64, *service.FleetStats, error) {
 	opts := core.DefaultOptions()
 	opts.SearchBackend = bcsearch.BackendSharded
 	if !steal {
 		opts.SinkChunk = 0 // job-level placement: the outlier is unsplittable
+	}
+	if rec != nil {
+		rec.install(&opts)
 	}
 	sched := service.New(service.Config{
 		Nodes: nodes, NodeStoreBudget: 0,
@@ -1304,17 +1364,19 @@ func measureStealTail(seed int64) (StealReport, error) {
 		Apps: len(specs), HeavySinks: len(specs[0].Sinks),
 	}
 
-	baseUnion, _, baseStats, err := stealTailRun(nodes, specs, false)
+	baseUnion, _, baseStats, err := stealTailRun(nodes, specs, false, nil)
 	if err != nil {
 		return sr, err
 	}
 	if baseStats.Steals != 0 {
 		return sr, fmt.Errorf("no-steal reference run stole %d chunks", baseStats.Steals)
 	}
-	union, analysisUnits, stats, err := stealTailRun(nodes, specs, true)
+	var rec phaseRecorder
+	union, analysisUnits, stats, err := stealTailRun(nodes, specs, true, &rec)
 	if err != nil {
 		return sr, err
 	}
+	sr.Phases = rec.snapshot()
 	if stats.Handoffs != 0 || stats.Killed != 0 {
 		return sr, fmt.Errorf("undisturbed heavy-tail run saw failures: %d handoffs, %d nodes killed",
 			stats.Handoffs, stats.Killed)

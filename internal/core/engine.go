@@ -198,6 +198,31 @@ type Options struct {
 	// not depend on a delta base the other chunks lack.
 	ChunkRange *ChunkRange
 
+	// PhaseSpan, when non-nil, receives one call per completed engine
+	// phase with the phase's charged-unit bounds [start, end) on this
+	// engine's meter: the preprocessing phases (disassembly or the warm
+	// bundle/dump load, the index build or load, the delta manifest
+	// diff) and, per analyzed sink, the backward slice and the forward
+	// constprop pass, with sink carrying the canonical sink position
+	// (-1 for app-level phases, including the single shared forward
+	// pass of PerAppSSG mode). The callback runs synchronously on the
+	// analysis goroutine after the phase's last charge; it must never
+	// charge the meter itself, so enabling it cannot move a single
+	// checkpoint — tracing is observationally free in simulated time.
+	// A phase aborted by timeout or cancellation emits no span.
+	PhaseSpan func(phase string, sink int, start, end int64)
+
+	// MeterCheckpoint, when non-nil, is installed as the meter's
+	// checkpoint observer (simtime.SetCheckpointObserver): it receives
+	// the cumulative units and checkpoint delta at every cancellation
+	// checkpoint, before the heartbeat and cancel polls run. The
+	// tracer's charged-units counter samples come from here. Note that
+	// installing it on a run with neither Cancel nor Heartbeat enables
+	// checkpointing where a plain run has none; the service always
+	// installs Cancel, so its traced runs poll identically to untraced
+	// ones.
+	MeterCheckpoint func(units, delta int64)
+
 	// SinkProgress, when non-nil, is polled immediately before each
 	// sink call is analyzed (before each sink is prepared, in PerAppSSG
 	// mode), with the sink's position in the canonical list and the
@@ -524,6 +549,9 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 	if opts.Heartbeat != nil {
 		meter.SetHeartbeat(opts.Heartbeat)
 	}
+	if opts.MeterCheckpoint != nil {
+		meter.SetCheckpointObserver(opts.MeterCheckpoint)
+	}
 
 	// Warm-start probes, before any merge or disassembly work. The
 	// in-memory bundle store is asked first — a hit costs zero disk I/O —
@@ -628,12 +656,17 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		// cheaper in-memory rate when the bundle came from the store.
 		e.dumpCacheHits = 1
 		before := meter.Units()
+		name := "dump-load"
 		if storeHit {
+			name = "bundle-load"
 			preErr = meter.ChargeBundleStoreLoad(dump.LineCount())
 		} else {
 			preErr = meter.ChargeDumpCacheLoad(dump.LineCount())
 		}
 		e.dumpCacheUnits = meter.Units() - before
+		if preErr == nil {
+			e.phaseSpan(name, -1, before)
+		}
 	} else {
 		if provider != nil {
 			e.dumpCacheMisses = 1
@@ -656,7 +689,11 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		e.deltaDiff = dexdump.DiffManifests(e.deltaOldMan, e.deltaNewMan)
 		deltaDumpLines = e.deltaNewMan.LinesOf(e.deltaDiff.Touched())
 		if preErr == nil {
+			b := meter.Units()
 			preErr = meter.ChargeShardDiff(e.deltaDiff.TotalClasses())
+			if preErr == nil {
+				e.phaseSpan("delta-diff", -1, b)
+			}
 		}
 	}
 	if coldLines > 0 && preErr == nil {
@@ -668,16 +705,26 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 			// dump is bitwise identical to a cold run's — the charge is
 			// what models the delta.)
 			e.dumpLinesCold = int64(deltaDumpLines)
+			b := meter.Units()
 			preErr = meter.ChargeLines(deltaDumpLines)
 			if preErr == nil {
+				e.phaseSpan("disassembly", -1, b)
+				b = meter.Units()
 				preErr = meter.ChargeDeltaReuse(coldLines - deltaDumpLines)
+				if preErr == nil {
+					e.phaseSpan("delta-reuse", -1, b)
+				}
 			}
 		} else {
 			// Disassembly cost: dexdump is a linear pass over the
 			// bytecode. A budget exhausted this early surfaces as a
 			// timed-out report from Analyze, not a construction error.
 			e.dumpLinesCold = int64(coldLines)
+			b := meter.Units()
 			preErr = meter.ChargeLines(coldLines)
+			if preErr == nil {
+				e.phaseSpan("disassembly", -1, b)
+			}
 		}
 	}
 	if preErr == simtime.ErrCanceled {
@@ -720,7 +767,18 @@ func New(app *apk.App, opts Options) (*Engine, error) {
 		searchCfg.DeltaIndexLines = deltaDumpLines
 		searchCfg.DeltaReuseIndexLines = dump.LineCount() - deltaDumpLines
 	}
+	ib := meter.Units()
 	e.search = bcsearch.NewEngine(dump, searchCfg)
+	if preErr == nil {
+		// Zero-width spans are suppressed by phaseSpan, so a backend that
+		// builds its index lazily (charging on the first search instead)
+		// emits nothing here.
+		name := "index-build"
+		if len(bundleBytes) != 0 {
+			name = "index-load"
+		}
+		e.phaseSpan(name, -1, ib)
+	}
 	if e.rec != nil {
 		e.search.SetObserver(func(cmd bcsearch.Command, hits []bcsearch.Hit) {
 			e.rec.command(cmd)
@@ -758,6 +816,18 @@ func shardPlan(app *apk.App, dump *dexdump.Text, shards int) *dexdump.ShardPlan 
 // Meter exposes the work meter (used by experiment harnesses).
 func (e *Engine) Meter() *simtime.Meter { return e.meter }
 
+// phaseSpan reports a completed phase's charged-unit interval to the
+// PhaseSpan hook. Zero-width intervals are suppressed: the phase
+// charged nothing, so there is no timeline mass to attribute.
+func (e *Engine) phaseSpan(phase string, sink int, start int64) {
+	if e.opts.PhaseSpan == nil {
+		return
+	}
+	if end := e.meter.Units(); end > start {
+		e.opts.PhaseSpan(phase, sink, start, end)
+	}
+}
+
 // Hierarchy exposes the class hierarchy (used by detectors and tests).
 func (e *Engine) Hierarchy() *cha.Hierarchy { return e.hier }
 
@@ -773,6 +843,7 @@ func (e *Engine) Analyze() (*Report, error) {
 		return report, nil
 	}
 
+	lb := e.meter.Units()
 	calls, err := e.locateSinkCalls()
 	if err != nil {
 		if err == simtime.ErrTimeout {
@@ -782,6 +853,7 @@ func (e *Engine) Analyze() (*Report, error) {
 		}
 		return nil, err
 	}
+	e.phaseSpan("locate-sinks", -1, lb)
 
 	// Chunked entry point (chunk.go): clamp the window onto the canonical
 	// list and remember the offset, so progress polls and steal fences
@@ -817,7 +889,11 @@ func (e *Engine) Analyze() (*Report, error) {
 			}
 		}
 	} else {
+		rb := e.meter.Units()
 		reuse, err := e.planDeltaReuse(calls)
+		if err == nil {
+			e.phaseSpan("delta-reuse", -1, rb)
+		}
 		if err != nil {
 			if err == simtime.ErrTimeout {
 				report.TimedOut = true
@@ -849,7 +925,7 @@ func (e *Engine) Analyze() (*Report, error) {
 			// never look its body up.
 			frame := e.rec.push()
 			e.rec.class(call.Caller.Class)
-			sr, err := e.analyzeSinkCall(call)
+			sr, err := e.analyzeSinkCall(call, offset+i)
 			e.rec.pop()
 			if err != nil {
 				if err == simtime.ErrTimeout {
@@ -955,20 +1031,25 @@ func (e *Engine) prepareSinkCall(call SinkCall) (*SinkReport, *ssg.Unit, error) 
 }
 
 // analyzeSinkCall backtracks one sink call, builds its SSG and runs the
-// forward pass (the per-sink pipeline).
-func (e *Engine) analyzeSinkCall(call SinkCall) (*SinkReport, error) {
+// forward pass (the per-sink pipeline). pos is the sink's canonical
+// position, attributed to the phase spans.
+func (e *Engine) analyzeSinkCall(call SinkCall, pos int) (*SinkReport, error) {
+	b := e.meter.Units()
 	sr, sinkUnit, err := e.prepareSinkCall(call)
 	if err != nil {
 		return nil, err
 	}
+	e.phaseSpan("backslice", pos, b)
 	if !sr.Reachable {
 		return sr, nil
 	}
 
+	b = e.meter.Units()
 	values, err := e.propagate(sr.SSG, sinkUnit, call)
 	if err != nil {
 		return nil, err
 	}
+	e.phaseSpan("constprop", pos, b)
 	sr.Values = values
 	sr.Insecure = e.judgeLast(call.Sink.Rule)
 	return sr, nil
@@ -994,6 +1075,7 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall, offset, to
 			// graph a thief builds for the stolen window.
 			break
 		}
+		b := e.meter.Units()
 		sr, unit, err := e.prepareSinkCall(call)
 		if err != nil {
 			if err == simtime.ErrTimeout {
@@ -1001,6 +1083,7 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall, offset, to
 			}
 			return false, err
 		}
+		e.phaseSpan("backslice", offset+i, b)
 		report.Sinks = append(report.Sinks, sr)
 		if sr.Reachable && unit != nil {
 			pend = append(pend, pendingSink{sr: sr, unit: unit})
@@ -1014,6 +1097,7 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall, offset, to
 	for _, p := range pend {
 		multi[p.unit] = p.sr.Call.Sink.ParamIndex
 	}
+	fb := e.meter.Units()
 	res, err := constprop.Run(e.appSSG, e.prog, e.meter, constprop.Options{
 		MaxDepth:   e.opts.MaxDepth,
 		MultiSinks: multi,
@@ -1025,6 +1109,9 @@ func (e *Engine) analyzeSinksPerApp(report *Report, calls []SinkCall, offset, to
 		}
 		return false, err
 	}
+	// One shared forward pass for the whole app: sink -1 marks it
+	// app-level, like the preprocessing phases.
+	e.phaseSpan("constprop", -1, fb)
 	e.memoHits += res.MemoHits
 	for _, p := range pend {
 		vals := res.MultiValues[p.unit]

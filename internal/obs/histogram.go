@@ -1,0 +1,76 @@
+package obs
+
+import "sync"
+
+// Histogram is a concurrency-safe power-of-two-bucket histogram over
+// non-negative int64 observations (charged simtime units, byte sizes).
+// Bucket i holds the values whose bit length is i — the half-open range
+// [2^(i-1), 2^i) — so the bucket layout is value-independent and two
+// histograms fed the same observations in any order snapshot
+// identically.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []int64
+	sum    int64
+	n      int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bitLen(v)
+	h.mu.Lock()
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+func bitLen(v int64) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	return b
+}
+
+// HistBucket is one histogram bucket: the inclusive upper bound of its
+// value range and the count of observations that landed in it
+// (non-cumulative; exporters cumulate).
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Buckets []HistBucket `json:"buckets,omitempty"`
+	Sum     int64        `json:"sum"`
+	Count   int64        `json:"count"`
+}
+
+// Snapshot copies the histogram's current state. Empty buckets above
+// the highest observed value are trimmed, so the snapshot is a pure
+// function of the observation multiset.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Sum: h.sum, Count: h.n}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(0)
+		if i > 0 {
+			le = int64(1)<<i - 1
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: c})
+	}
+	return s
+}

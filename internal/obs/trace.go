@@ -1,0 +1,118 @@
+package obs
+
+import "sync"
+
+// Arg is one span attribute. Values are strings so the canonical
+// export never depends on float formatting.
+type Arg struct {
+	Key   string
+	Value string
+}
+
+// A Span is one simtime-anchored interval (or instant) on a job-local
+// timeline. Start and Dur are charged simtime units relative to the
+// track's origin — never wall time and never the racy fleet-global
+// clock — which is what makes two runs of the same seed record
+// byte-identical traces: a track's charge sequence is deterministic
+// even when the goroutine interleaving is not.
+//
+// A track is one (Job, Sub) pair: Sub 0 is the job's main range, a
+// nonzero Sub is a stolen or re-pended sink chunk under its own lease.
+type Span struct {
+	Job  int64
+	Sub  int
+	Name string
+	Cat  string
+	// Start and Dur are charged units on the track's timeline. Dur < 0
+	// marks an instant event (a point, not an interval).
+	Start int64
+	Dur   int64
+	// Node is the physical fleet node that recorded the span. It is
+	// informational only and deliberately excluded from the canonical
+	// Chrome export: which goroutine-node pulls which dispatch is the
+	// one scheduling-dependent datum in the system, so any byte-stable
+	// trace must not encode it. Per-node accounting lives in the
+	// metrics registry instead.
+	Node int
+	Args []Arg
+}
+
+// Instant marks a Span as a point event.
+const Instant = int64(-1)
+
+// CounterSample is one point on a track's monotone charged-units
+// curve, recorded at a meter checkpoint (which is also the lease
+// heartbeat in fleet mode — one sample per renewal).
+type CounterSample struct {
+	Job   int64
+	Sub   int
+	Node  int
+	TS    int64
+	Value int64
+}
+
+// Trace accumulates spans and counter samples from every layer of a
+// run. It is concurrency-safe; ordering is imposed at export, not at
+// record time, so concurrent workers append freely.
+type Trace struct {
+	mu       sync.Mutex
+	spans    []Span
+	counters []CounterSample
+}
+
+// NewTrace builds an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add records a span.
+func (t *Trace) Add(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// AddCounter records a charged-units sample.
+func (t *Trace) AddCounter(c CounterSample) {
+	t.mu.Lock()
+	t.counters = append(t.counters, c)
+	t.mu.Unlock()
+}
+
+// Spans copies the recorded spans.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Counters copies the recorded samples.
+func (t *Trace) Counters() []CounterSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]CounterSample(nil), t.counters...)
+}
+
+// Len reports the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Filter returns a new trace holding only the given job's spans and
+// samples — the GET /v1/trace/{job} view.
+func (t *Trace) Filter(job int64) *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := &Trace{}
+	for _, s := range t.spans {
+		if s.Job == job {
+			f.spans = append(f.spans, s)
+		}
+	}
+	for _, c := range t.counters {
+		if c.Job == job {
+			f.counters = append(f.counters, c)
+		}
+	}
+	return f
+}

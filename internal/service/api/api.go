@@ -15,6 +15,7 @@ import (
 
 	"backdroid/internal/apk"
 	"backdroid/internal/core"
+	"backdroid/internal/obs"
 	"backdroid/internal/service"
 	"backdroid/internal/service/journal"
 )
@@ -104,7 +105,12 @@ type RecoverResponse struct {
 }
 
 // StatsResponse bundles every service counter. Sections absent from the
-// deployment (no store, no journal, no settled tier) are nil.
+// deployment (no store, no journal, no settled tier) are nil. The typed
+// sections keep their historical JSON shape; Metrics is the registry
+// snapshot — every registered series by its name{labels} id — so the
+// JSON surface exposes exactly the set /metrics serves, and the parity
+// test holds all three surfaces (Prometheus text, this JSON, the stdin
+// stats lines) to the same snapshot.
 type StatsResponse struct {
 	APIVersion   int                       `json:"api_version"`
 	Store        *service.StoreStats       `json:"store,omitempty"`
@@ -115,6 +121,7 @@ type StatsResponse struct {
 	Journal      *journal.Stats            `json:"journal,omitempty"`
 	JournalUnits int64                     `json:"journal_units,omitempty"`
 	Fleet        *service.FleetStats       `json:"fleet,omitempty"`
+	Metrics      map[string]int64          `json:"metrics,omitempty"`
 }
 
 // ReportResponse serves one settled report from the content-addressed
@@ -441,8 +448,31 @@ func (d *Dispatcher) Stats(StatsRequest) StatsResponse {
 		js := jnl.Stats()
 		resp.Journal = &js
 	}
+	resp.Metrics = metricsMap(d.sched.Metrics().Snapshot())
 	return resp
 }
+
+// metricsMap flattens a registry snapshot into the JSON metrics block:
+// series id -> value, histograms contributing their sample count.
+func metricsMap(snap obs.Snapshot) map[string]int64 {
+	m := make(map[string]int64, len(snap))
+	for _, mt := range snap {
+		v := mt.Value
+		if mt.Kind == obs.HistogramKind {
+			v = mt.Hist.Count
+		}
+		m[mt.ID()] = v
+	}
+	return m
+}
+
+// Metrics returns the scheduler's metrics registry — the /metrics
+// handler's source.
+func (d *Dispatcher) Metrics() *obs.Registry { return d.sched.Metrics() }
+
+// Trace returns the configured span trace (nil when tracing is off) —
+// the /v1/trace handler's source.
+func (d *Dispatcher) Trace() *obs.Trace { return d.sched.Trace() }
 
 // Report serves one settled report from the content-addressed store.
 func (d *Dispatcher) Report(req ReportRequest) (ReportResponse, error) {

@@ -8,6 +8,8 @@
 //	                                   (two 16-hex-digit fingerprints)
 //	GET  /v1/stats                     service counters
 //	GET  /v1/events                    server-sent event stream
+//	GET  /v1/trace/{job}               one job's Chrome trace-event JSON
+//	GET  /metrics                      Prometheus text exposition
 //
 // Every response is JSON with an api_version field; errors are
 // {"api_version":1,"error":"..."} with a matching status code. The SSE
@@ -22,6 +24,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"backdroid/internal/obs"
 	"backdroid/internal/service"
 )
 
@@ -31,7 +34,10 @@ type errorResponse struct {
 	Error      string `json:"error"`
 }
 
-// EventJSON is one SSE payload.
+// EventJSON is one SSE payload. Span, present on sink events of traced
+// runs, is the id ("job/sub/pos") of the backslice span that produced
+// the sink — the join key between the event stream and the exported
+// trace timeline.
 type EventJSON struct {
 	APIVersion int       `json:"api_version"`
 	Kind       string    `json:"kind"`
@@ -39,6 +45,7 @@ type EventJSON struct {
 	App        string    `json:"app"`
 	Sink       *SinkJSON `json:"sink,omitempty"`
 	Error      string    `json:"error,omitempty"`
+	Span       string    `json:"span,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -122,6 +129,26 @@ func NewHandler(d *Dispatcher) http.Handler {
 		writeJSON(w, http.StatusOK, d.Stats(StatsRequest{}))
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.Metrics().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET /v1/trace/{job}", func(w http.ResponseWriter, r *http.Request) {
+		tr := d.Trace()
+		if tr == nil {
+			writeError(w, http.StatusNotFound, "tracing disabled (start the daemon with -trace)")
+			return
+		}
+		id, err := strconv.ParseInt(r.PathValue("job"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("job"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChrome(w, tr.Filter(id))
+	})
+
 	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
 		flusher, ok := w.(http.Flusher)
 		if !ok {
@@ -157,6 +184,7 @@ func NewHandler(d *Dispatcher) http.Handler {
 			}
 			if ev.Kind == service.EventSink && ev.Sink != nil {
 				s := ev.Sink
+				payload.Span = ev.Span
 				payload.Sink = &SinkJSON{
 					Sink:      s.Call.Sink.Method.SootSignature(),
 					Caller:    s.Call.Caller.SootSignature(),

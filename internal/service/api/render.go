@@ -6,6 +6,7 @@ package api
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -187,6 +188,20 @@ func StatsLines(resp StatsResponse) string {
 		for _, n := range fs.PerNode {
 			fmt.Fprintf(&b, "stats node id=%d state=%s units=%d jobs=%d beats=%d dropped=%d\n",
 				n.ID, n.State, n.Units, n.Jobs, n.Beats, n.Dropped)
+		}
+	}
+	// The registry snapshot rides after the frozen block, one generic
+	// line per registered series in sorted-id order — the stdin surface
+	// of exactly the set /metrics serves. Appending (never interleaving)
+	// keeps every pre-existing line byte-identical.
+	if len(resp.Metrics) > 0 {
+		ids := make([]string, 0, len(resp.Metrics))
+		for id := range resp.Metrics {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "stats metric %s %d\n", id, resp.Metrics[id])
 		}
 	}
 	return b.String()

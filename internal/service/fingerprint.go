@@ -88,6 +88,12 @@ var OptionsFingerprintFields = map[string]FingerprintClass{
 	"SinkChunk":           ClassNeutral,
 	"ChunkRange":          ClassNeutral,
 	"SinkProgress":        ClassNeutral,
+	// Observability hooks only watch charged-unit boundaries the engine
+	// reaches anyway; they never charge and never touch a verdict — the
+	// trace-parity test pins a traced run's report bitwise-identical to
+	// an untraced one.
+	"PhaseSpan":       ClassNeutral,
+	"MeterCheckpoint": ClassNeutral,
 }
 
 // OptionsFingerprint canonically hashes the verdict-relevant fields of

@@ -49,6 +49,8 @@ var fingerprintMutators = map[string]func(o *core.Options){
 	"SinkChunk":           func(o *core.Options) { o.SinkChunk += 5 },
 	"ChunkRange":          func(o *core.Options) { o.ChunkRange = &core.ChunkRange{From: 0, To: 3} },
 	"SinkProgress":        func(o *core.Options) { o.SinkProgress = func(int, int) bool { return false } },
+	"PhaseSpan":           func(o *core.Options) { o.PhaseSpan = func(string, int, int64, int64) {} },
+	"MeterCheckpoint":     func(o *core.Options) { o.MeterCheckpoint = func(int64, int64) {} },
 }
 
 // TestOptionsFingerprintClassProperty is the field-by-field soundness

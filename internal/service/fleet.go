@@ -95,11 +95,14 @@ type lease struct {
 
 // fleet is the coordinator-side state of the worker fleet.
 type fleet struct {
-	nodes   []*fleetNode
-	plan    *faultinject.Plan
-	requeue func(id JobID, sub, from, attempt int) // Scheduler.requeueJob
-	wake    func()                                 // Scheduler cond broadcast
-	allDead func()                                 // fail the still-queued jobs
+	nodes []*fleetNode
+	plan  *faultinject.Plan
+	// requeue is Scheduler.requeueJob; units is the charged work the
+	// expired lease had metered (the lost progress, which the tracer
+	// anchors the handoff span at).
+	requeue func(id JobID, sub, from, attempt int, units int64)
+	wake    func() // Scheduler cond broadcast
+	allDead func() // fail the still-queued jobs
 	clock   atomic.Int64
 
 	// Tunables, threaded from service.Config (simtime constants are the
@@ -360,20 +363,25 @@ func (f *fleet) sweep(now int64) {
 		f.lostUnits.Add(l.units)
 		f.fence(l.node)
 		if f.requeue != nil {
-			f.requeue(l.job, l.sub, l.node, l.attempt)
+			f.requeue(l.job, l.sub, l.node, l.attempt, l.units)
 		}
 	}
 }
 
-// chargeHandoff prices one re-dispatch: the flat handoff plus an
-// exponential per-attempt backoff, advancing the fleet clock and the
-// overhead account.
-func (f *fleet) chargeHandoff(attempt int) {
+// handoffUnits prices one re-dispatch of the given attempt: the flat
+// handoff plus an exponential per-attempt backoff.
+func (f *fleet) handoffUnits(attempt int) int64 {
 	shift := attempt - 1
 	if shift > 6 {
 		shift = 6
 	}
-	units := f.handoffCost + f.backoff<<shift
+	return f.handoffCost + f.backoff<<shift
+}
+
+// chargeHandoff charges one re-dispatch, advancing the fleet clock and
+// the overhead account.
+func (f *fleet) chargeHandoff(attempt int) {
+	units := f.handoffUnits(attempt)
 	f.clock.Add(units)
 	f.overhead.Add(units)
 	f.handoffs.Add(1)

@@ -1,0 +1,118 @@
+// Metrics registration: the scheduler's one collector, turning every
+// scattered Stats struct — control plane, tenants, fleet and its nodes,
+// bundle/shard/report stores, the journal — into registry series. The
+// registry is pull-model, so this file is the only place the metric
+// names exist: /metrics, the stats JSON and the stdin stats lines all
+// render from the same Snapshot, and the api parity test walks the
+// snapshot to prove no series is missing from any surface.
+package service
+
+import (
+	"fmt"
+
+	"backdroid/internal/obs"
+)
+
+// registerMetrics installs the scheduler's collector into the resolved
+// registry. Called once from New; the collector reads live counters at
+// snapshot time (all the Stats() methods are concurrency-safe), so
+// registration costs nothing on the dispatch path.
+func (s *Scheduler) registerMetrics() {
+	s.metrics.Register(func(g *obs.Gather) {
+		st := s.Stats()
+		g.Counter("backdroid_dispatched_total", st.Dispatched)
+		g.Counter("backdroid_journal_units", st.JournalUnits)
+		for _, t := range st.Tenants {
+			l := obs.L("tenant", t.Name)
+			g.Gauge("backdroid_tenant_queued", int64(t.Queued), l)
+			g.Counter("backdroid_tenant_submitted_total", t.Submitted, l)
+			g.Counter("backdroid_tenant_dispatched_total", t.Dispatched, l)
+			g.Counter("backdroid_tenant_requeued_total", t.Requeued, l)
+			g.Counter("backdroid_tenant_canceled_queued_total", t.CanceledQueued, l)
+			g.Counter("backdroid_tenant_canceled_running_total", t.CanceledRunning, l)
+		}
+		if fs := st.Fleet; fs != nil {
+			g.Gauge("backdroid_fleet_nodes", int64(fs.Nodes))
+			g.Gauge("backdroid_fleet_live", int64(fs.Live))
+			g.Counter("backdroid_fleet_killed_total", int64(fs.Killed))
+			g.Counter("backdroid_fleet_clock_units", fs.Clock)
+			g.Counter("backdroid_fleet_handoffs_total", fs.Handoffs)
+			g.Counter("backdroid_fleet_expired_leases_total", fs.ExpiredLeases)
+			g.Counter("backdroid_fleet_lost_units", fs.LostUnits)
+			g.Counter("backdroid_fleet_overhead_units", fs.OverheadUnits)
+			g.Counter("backdroid_fleet_local_gets_total", fs.LocalGets)
+			g.Counter("backdroid_fleet_remote_gets_total", fs.RemoteGets)
+			g.Counter("backdroid_fleet_remote_units", fs.RemoteUnits)
+			g.Counter("backdroid_fleet_fetch_faults_total", fs.FetchFaults)
+			g.Counter("backdroid_fleet_steals_total", fs.Steals)
+			g.Counter("backdroid_fleet_steal_victims_total", fs.StealVictims)
+			g.Counter("backdroid_fleet_stolen_sinks_total", fs.StolenSinks)
+			g.Counter("backdroid_fleet_steal_units", fs.StealUnits)
+			g.Gauge("backdroid_fleet_makespan_units", fs.MakespanUnits)
+			for _, n := range fs.PerNode {
+				l := obs.L("node", fmt.Sprint(n.ID))
+				live := int64(0)
+				if n.State != "dead" {
+					live = 1
+				}
+				g.Gauge("backdroid_node_live", live, l)
+				g.Counter("backdroid_node_units", n.Units, l)
+				g.Counter("backdroid_node_jobs_total", n.Jobs, l)
+				g.Counter("backdroid_node_beats_total", n.Beats, l)
+				g.Counter("backdroid_node_dropped_beats_total", n.Dropped, l)
+			}
+			if fs.Store != nil {
+				storeMetrics(g, "backdroid_fleetstore", *fs.Store)
+			}
+		}
+		if s.cfg.Store != nil {
+			storeMetrics(g, "backdroid_store", s.cfg.Store.Stats())
+			sh := s.cfg.Store.ShardStoreStats()
+			g.Gauge("backdroid_shardstore_entries", int64(sh.Entries))
+			g.Gauge("backdroid_shardstore_bytes", sh.Bytes)
+			g.Counter("backdroid_shardstore_puts_total", sh.Puts)
+			g.Counter("backdroid_shardstore_hits_total", sh.Hits)
+			g.Counter("backdroid_shardstore_misses_total", sh.Misses)
+			g.Counter("backdroid_shardstore_bytes_deduped", sh.BytesDeduped)
+		}
+		if rs := s.cfg.Reports; rs != nil {
+			r := rs.Stats()
+			g.Gauge("backdroid_reports_entries", int64(r.Entries))
+			g.Gauge("backdroid_reports_bytes", r.Bytes)
+			g.Counter("backdroid_reports_hits_total", r.Hits)
+			g.Counter("backdroid_reports_misses_total", r.Misses)
+			g.Counter("backdroid_reports_puts_total", r.Puts)
+			g.Counter("backdroid_reports_refreshes_total", r.Refreshes)
+			g.Counter("backdroid_reports_evictions_total", r.Evictions)
+			g.Counter("backdroid_reports_journaled_total", r.Journaled)
+			g.Counter("backdroid_reports_skipped_total", r.Skipped)
+			g.Counter("backdroid_reports_recovered_total", r.Recovered)
+			g.Counter("backdroid_reports_damaged_total", r.Damaged)
+		}
+		if j := s.cfg.Journal; j != nil {
+			js := j.Stats()
+			g.Gauge("backdroid_journal_records", js.Records)
+			g.Gauge("backdroid_journal_bytes", js.Bytes)
+			g.Gauge("backdroid_journal_pending", int64(js.Pending))
+			g.Gauge("backdroid_journal_reports", int64(js.Reports))
+			g.Counter("backdroid_journal_appends_total", js.Appends)
+			g.Counter("backdroid_journal_compactions_total", js.Compactions)
+			g.Counter("backdroid_journal_recovered_total", js.Recovered)
+			g.Counter("backdroid_journal_dropped_bytes", js.Dropped)
+		}
+	})
+}
+
+// storeMetrics emits one BundleStore counter block under a prefix —
+// shared by the scheduler's Config.Store and the fleet's partition
+// aggregate.
+func storeMetrics(g *obs.Gather, prefix string, ss StoreStats) {
+	g.Gauge(prefix+"_entries", int64(ss.Entries))
+	g.Gauge(prefix+"_bytes", ss.Bytes)
+	g.Counter(prefix+"_hits_total", ss.Hits)
+	g.Counter(prefix+"_misses_total", ss.Misses)
+	g.Counter(prefix+"_puts_total", ss.Puts)
+	g.Counter(prefix+"_refreshes_total", ss.Refreshes)
+	g.Counter(prefix+"_evictions_total", ss.Evictions)
+	g.Counter(prefix+"_drops_total", ss.Drops)
+}

@@ -11,6 +11,7 @@ import (
 	"backdroid/internal/core"
 	"backdroid/internal/dexdump"
 	"backdroid/internal/faultinject"
+	"backdroid/internal/obs"
 	"backdroid/internal/service/journal"
 	"backdroid/internal/simtime"
 	"backdroid/internal/wholeapp"
@@ -137,6 +138,11 @@ type Event struct {
 	Attempt int
 	// Seq is the job's WRR dispatch sequence number (EventStarted).
 	Seq int64
+	// Span, set on EventSink when tracing is enabled, is the id of the
+	// backslice span that produced the sink — "job/sub/pos" on the
+	// trace's track coordinates — so an SSE consumer can join the event
+	// stream against the exported timeline.
+	Span string
 }
 
 // Config configures a Scheduler.
@@ -224,6 +230,21 @@ type Config struct {
 	// against its lease) before its tail becomes stealable — a warmup
 	// that keeps small apps from being split for no benefit.
 	StealAfterUnits int64
+	// Metrics is the registry every subsystem's counters are collected
+	// into (scheduler, tenants, fleet, bundle/shard/report stores,
+	// journal). nil creates a private registry; either way Metrics()
+	// returns the one in effect, and /metrics, the stats JSON and the
+	// stdin stats lines all render from its Snapshot.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records simtime-anchored spans for every
+	// dispatch: engine phases, steal shed/claim, handoffs, chunk merges
+	// and settled hits, plus one charged-units counter sample per meter
+	// checkpoint (which doubles as the lease heartbeat in fleet mode —
+	// there is no separate heartbeat event). Span timestamps are charged
+	// units on per-(job, chunk) tracks, never wall time, so two runs of
+	// one seed record byte-identical canonical exports. nil disables
+	// tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // Scheduler runs analysis jobs over a bounded worker pool with per-tenant
@@ -281,6 +302,9 @@ type Scheduler struct {
 	// liveness, per-job leases, handoff accounting and the partitioned
 	// bundle placement.
 	fleet *fleet
+
+	// metrics is the resolved registry (Config.Metrics or a private one).
+	metrics *obs.Registry
 }
 
 // prevRun is one remembered prior analysis of a job name.
@@ -313,6 +337,12 @@ type jobState struct {
 	// nil for jobs that run unsplit. The steal trigger and the chunk
 	// requeue path target it; a whole-job re-dispatch replaces it.
 	chunk *chunkState
+	// traceBase maps a track (sub id) to its charged-units origin (under
+	// mu): 0 for a first dispatch, advanced past the handoff charge when
+	// a lost range re-runs, so a re-dispatched attempt's spans land
+	// after the lost attempt's instead of on top of them. nil until the
+	// tracer first writes it; absent subs read 0.
+	traceBase map[int]int64
 }
 
 // chunkState tracks one chunk-split job: the victim's progress through
@@ -336,6 +366,10 @@ type chunkState struct {
 	haveKey    bool
 	remember   bool // seed the delta path with the merged report
 	name       string
+	// mergeTraced dedups the chunk-merge trace instant: two ranges
+	// completing coverage concurrently both run the merge (finish's
+	// guard settles one), but the trace must record exactly one merge.
+	mergeTraced bool
 }
 
 // chunkPart is one finished range's partial report.
@@ -394,7 +428,12 @@ func New(cfg Config) *Scheduler {
 		tenants: make(map[string]*tenant),
 		states:  make(map[JobID]*jobState),
 		prev:    make(map[string]prevRun),
+		metrics: cfg.Metrics,
 	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.registerMetrics()
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.Journal != nil {
 		s.nextID = JobID(cfg.Journal.MaxJobID())
@@ -575,6 +614,14 @@ func (s *Scheduler) enqueue(job Job, forcedID JobID) (JobID, error) {
 			Tenant: t.name, Name: job.Name, Spec: job.Spec,
 		})
 	}
+	if tr := s.cfg.Trace; tr != nil {
+		// The job's track opens with a queued instant at its origin; queue
+		// wait is the gap to the dispatch instant (zero on the job-local
+		// clock unless a handoff re-anchored the track).
+		tr.Add(obs.Span{Job: int64(id), Sub: 0, Name: "queued", Cat: "sched",
+			Start: 0, Dur: obs.Instant, Node: -1,
+			Args: []obs.Arg{{Key: "app", Value: job.Name}, {Key: "tenant", Value: t.name}}})
+	}
 	// Queued is emitted before the job becomes dispatchable, so per-job
 	// event order holds even when a worker grabs it immediately.
 	s.emit(Event{Kind: EventQueued, Job: id, Name: job.Name})
@@ -716,6 +763,40 @@ func (s *Scheduler) Journal() *journal.Journal { return s.cfg.Journal }
 // Reports returns the settled-result store (nil when the tier is
 // disabled).
 func (s *Scheduler) Reports() *ReportStore { return s.cfg.Reports }
+
+// Metrics returns the registry every subsystem's counters collect into
+// (never nil — the scheduler creates a private one when Config.Metrics
+// is unset).
+func (s *Scheduler) Metrics() *obs.Registry { return s.metrics }
+
+// Trace returns the configured span trace (nil when tracing is off).
+func (s *Scheduler) Trace() *obs.Trace { return s.cfg.Trace }
+
+// traceBaseLocked reads a track's charged-units origin. Caller holds
+// s.mu.
+func traceBaseLocked(st *jobState, sub int) int64 {
+	if st.traceBase == nil {
+		return 0
+	}
+	return st.traceBase[sub]
+}
+
+// setTraceBaseLocked advances a track's charged-units origin — called
+// when a handoff or steal re-anchors the range's next attempt. Caller
+// holds s.mu.
+func setTraceBaseLocked(st *jobState, sub int, v int64) {
+	if st.traceBase == nil {
+		st.traceBase = make(map[int]int64)
+	}
+	st.traceBase[sub] = v
+}
+
+// traceBaseOf is the locking wrapper of traceBaseLocked.
+func (s *Scheduler) traceBaseOf(st *jobState, sub int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return traceBaseLocked(st, sub)
+}
 
 // journalAppend writes one record (when a journal is configured) and
 // charges the flat control-plane append cost, kept separate from per-job
@@ -878,6 +959,18 @@ func (s *Scheduler) stealWindow(st *jobState, cs *chunkState) *chunkWork {
 	first := cs.steals == 1
 	sub := from + 1
 	cs.active[sub] = core.ChunkRange{From: from, To: to}
+	if tr := s.cfg.Trace; tr != nil {
+		// The shed lands on the victim's track at the units its lease has
+		// metered so far (checkpoint-granular, so deterministic for a
+		// victim grinding past a fixed warmup). Args carry the fenced sink
+		// range; the claiming node appears in the chunk's own steal-claim
+		// span.
+		tr.Add(obs.Span{Job: int64(st.id), Sub: 0, Name: "steal-shed",
+			Cat: "sched", Start: traceBaseLocked(st, 0) + s.fleet.leaseUnits(st.id, 0),
+			Dur: obs.Instant, Node: -1, Args: []obs.Arg{
+				{Key: "from", Value: fmt.Sprint(from)},
+				{Key: "to", Value: fmt.Sprint(to)}}})
+	}
 	return &chunkWork{st: st, cs: cs, from: from, to: to, sub: sub,
 		first: first, steal: true, victim: st.node}
 }
@@ -947,6 +1040,19 @@ func (s *Scheduler) runChunk(cw *chunkWork, node int) {
 		attempt = st.attempt
 	}
 	st.node = node
+	var base int64
+	if s.cfg.Trace != nil {
+		if cw.steal {
+			// A stolen chunk's track opens with the flat steal charge; the
+			// engine's work starts after it.
+			base = simtime.StealUnits
+			setTraceBaseLocked(st, cw.sub, base)
+		} else {
+			// A re-pended range resumes on the origin the handoff advanced
+			// the track to.
+			base = traceBaseLocked(st, cw.sub)
+		}
+	}
 	s.mu.Unlock()
 
 	s.fleet.grant(st.id, cw.sub, cs.name, node, attempt)
@@ -959,13 +1065,20 @@ func (s *Scheduler) runChunk(cw *chunkWork, node int) {
 			Node: int64(node), Attempt: int64(cw.from),
 		})
 		s.fleet.chargeSteal(cw.to-cw.from, cw.first)
+		if tr := s.cfg.Trace; tr != nil {
+			tr.Add(obs.Span{Job: int64(st.id), Sub: cw.sub, Name: "steal-claim",
+				Cat: "sched", Start: 0, Dur: simtime.StealUnits, Node: node,
+				Args: []obs.Arg{
+					{Key: "from", Value: fmt.Sprint(cw.from)},
+					{Key: "to", Value: fmt.Sprint(cw.to)}}})
+		}
 	} else {
 		s.journalAppend(journal.Record{
 			Kind: journal.KindLease, Job: int64(st.id),
 			Node: int64(node), Attempt: int64(attempt),
 		})
 	}
-	rep, err := s.analyzeChunk(st, cs, cw, node, attempt)
+	rep, err := s.analyzeChunk(st, cs, cw, node, attempt, base)
 	if s.fleet.nodeDead(node) && errors.Is(err, simtime.ErrCanceled) && !st.cancelFlag.Load() {
 		// The node died under this chunk: no terminal — the sweep re-pends
 		// the range on a surviving node.
@@ -984,7 +1097,9 @@ func (s *Scheduler) runChunk(cw *chunkWork, node int) {
 // app source, options, bundle store routing and observer wiring as the
 // victim's full run, restricted by ChunkRange — the bundle is fetched
 // warm (remotely charged when another node owns it), never re-built.
-func (s *Scheduler) analyzeChunk(st *jobState, cs *chunkState, cw *chunkWork, node, attempt int) (*core.Report, error) {
+// base is the chunk track's charged-units origin; engine spans and
+// checkpoint samples are re-anchored onto it.
+func (s *Scheduler) analyzeChunk(st *jobState, cs *chunkState, cw *chunkWork, node, attempt int, base int64) (*core.Report, error) {
 	job := st.job
 	app, err := job.Source()
 	if err != nil {
@@ -1003,6 +1118,20 @@ func (s *Scheduler) analyzeChunk(st *jobState, cs *chunkState, cw *chunkWork, no
 	o.ChunkRange = &core.ChunkRange{From: cw.from, To: cw.to}
 	o.DeltaFrom = nil
 	o.SinkProgress = nil
+	if tr := s.cfg.Trace; tr != nil {
+		o.PhaseSpan = func(phase string, sink int, start, end int64) {
+			sp := obs.Span{Job: int64(id), Sub: sub, Name: phase, Cat: "engine",
+				Start: base + start, Dur: end - start, Node: node}
+			if sink >= 0 {
+				sp.Args = []obs.Arg{{Key: "sink", Value: fmt.Sprint(sink)}}
+			}
+			tr.Add(sp)
+		}
+		o.MeterCheckpoint = func(units, delta int64) {
+			tr.AddCounter(obs.CounterSample{Job: int64(id), Sub: sub, Node: node,
+				TS: base + units, Value: base + units})
+		}
+	}
 	var store jobStore
 	if st.fleetStore {
 		if v := s.fleet.view(node); v != nil {
@@ -1019,8 +1148,17 @@ func (s *Scheduler) analyzeChunk(st *jobState, cs *chunkState, cw *chunkWork, no
 		}
 	}
 	if s.cfg.Events != nil {
+		pos := cw.from
+		traced := s.cfg.Trace != nil
 		o.SinkObserver = func(sr *core.SinkReport) {
-			s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+			ev := Event{Kind: EventSink, Job: id, Name: name, Sink: sr}
+			if traced {
+				// The engine reports the range's sinks in canonical order, so
+				// the running position is the backslice span's sink arg.
+				ev.Span = fmt.Sprintf("%d/%d/%d", id, sub, pos)
+			}
+			pos++
+			s.emit(ev)
 		}
 	}
 	e, err := core.New(app, o)
@@ -1086,6 +1224,21 @@ func (s *Scheduler) completeChunk(st *jobState, cs *chunkState, from, to, sub in
 		reports[i] = p.rep
 	}
 	merged := core.MergeReports(reports...)
+	if tr := s.cfg.Trace; tr != nil {
+		cs.mu.Lock()
+		emit := !cs.mergeTraced
+		cs.mergeTraced = true
+		cs.mu.Unlock()
+		if emit {
+			// Anchored at the merged report's total charged work — the sum
+			// of every part's units, a pure function of the partition, not
+			// of which range happened to complete coverage.
+			tr.Add(obs.Span{Job: int64(st.id), Sub: 0, Name: "chunk-merge",
+				Cat: "sched", Start: s.traceBaseOf(st, 0) + merged.Stats.WorkUnits,
+				Dur: obs.Instant, Node: -1,
+				Args: []obs.Arg{{Key: "total", Value: fmt.Sprint(total)}}})
+		}
+	}
 	if cs.remember && !merged.TimedOut {
 		s.rememberRun(st.tenant, cs.name, cs.fp, merged)
 	}
@@ -1107,6 +1260,7 @@ func (s *Scheduler) runJob(st *jobState, node int) {
 	st.node = node
 	attempt := st.attempt
 	seq := st.dispatchSeq
+	base := traceBaseLocked(st, 0)
 	s.mu.Unlock()
 
 	if s.fleet != nil {
@@ -1115,6 +1269,11 @@ func (s *Scheduler) runJob(st *jobState, node int) {
 			Kind: journal.KindLease, Job: int64(st.id),
 			Node: int64(node), Attempt: int64(attempt),
 		})
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Add(obs.Span{Job: int64(st.id), Sub: 0, Name: "dispatch", Cat: "sched",
+			Start: base, Dur: obs.Instant, Node: node,
+			Args: []obs.Arg{{Key: "attempt", Value: fmt.Sprint(attempt)}}})
 	}
 	if attempt == 1 {
 		s.journalAppend(journal.Record{Kind: journal.KindStart, Job: int64(st.id)})
@@ -1214,9 +1373,11 @@ func (s *Scheduler) finish(st *jobState, res *JobResult, err error) {
 // backlog — the job already waited its turn once). Either way the
 // handoff record is journaled and the re-dispatch overhead charged with
 // exponential backoff. A job with no surviving node, or one past the
-// fleet's attempt bound, fails terminally instead. Called by the fleet
-// sweep, never under s.mu.
-func (s *Scheduler) requeueJob(id JobID, sub, from, attempt int) {
+// fleet's attempt bound, fails terminally instead. units is the work
+// the expired lease had metered — where on the lost track the tracer
+// anchors the handoff span. Called by the fleet sweep, never under
+// s.mu.
+func (s *Scheduler) requeueJob(id JobID, sub, from, attempt int, units int64) {
 	s.mu.Lock()
 	st, ok := s.states[id]
 	if !ok || st.settled {
@@ -1248,6 +1409,18 @@ func (s *Scheduler) requeueJob(id JobID, sub, from, attempt int) {
 		}
 		cs.mu.Unlock()
 		if rng != nil {
+			if tr := s.cfg.Trace; tr != nil {
+				// The handoff interval covers the detection latency (TTL) plus
+				// the charged re-dispatch cost, starting where the lost lease's
+				// metering stopped; the re-pended range's track resumes after
+				// it.
+				start := traceBaseLocked(st, sub) + units
+				dur := s.fleet.ttl + s.fleet.handoffUnits(attempt)
+				tr.Add(obs.Span{Job: int64(id), Sub: sub, Name: "handoff",
+					Cat: "sched", Start: start, Dur: dur, Node: -1,
+					Args: []obs.Arg{{Key: "attempt", Value: fmt.Sprint(attempt)}}})
+				setTraceBaseLocked(st, rng.From+1, start+dur)
+			}
 			s.chunkQueue = append(s.chunkQueue, &chunkWork{
 				st: st, cs: cs, from: rng.From, to: rng.To, sub: rng.From + 1,
 			})
@@ -1266,6 +1439,14 @@ func (s *Scheduler) requeueJob(id JobID, sub, from, attempt int) {
 			s.mu.Unlock()
 			return
 		}
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		start := traceBaseLocked(st, 0) + units
+		dur := s.fleet.ttl + s.fleet.handoffUnits(attempt)
+		tr.Add(obs.Span{Job: int64(id), Sub: 0, Name: "handoff", Cat: "sched",
+			Start: start, Dur: dur, Node: -1,
+			Args: []obs.Arg{{Key: "attempt", Value: fmt.Sprint(attempt)}}})
+		setTraceBaseLocked(st, 0, start+dur)
 	}
 	t := s.tenantLocked(st.tenant)
 	t.queue = append([]*jobState{st}, t.queue...)
@@ -1373,6 +1554,27 @@ func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, *chunk
 				return fl.tick(node, id, 0, name, attempt, delta)
 			}
 		}
+		if tr := s.cfg.Trace; tr != nil {
+			// Engine phases land on the job's main track (sub 0), anchored
+			// at the charged units the engine itself reports — plus the
+			// track origin a prior handoff may have advanced. The counter
+			// sample doubles as the lease-renew/heartbeat event: in fleet
+			// mode the meter checkpoint IS the heartbeat, so one sample per
+			// renewal is exactly the renewal timeline.
+			id, base := st.id, s.traceBaseOf(st, 0)
+			o.PhaseSpan = func(phase string, sink int, start, end int64) {
+				sp := obs.Span{Job: int64(id), Sub: 0, Name: phase, Cat: "engine",
+					Start: base + start, Dur: end - start, Node: node}
+				if sink >= 0 {
+					sp.Args = []obs.Arg{{Key: "sink", Value: fmt.Sprint(sink)}}
+				}
+				tr.Add(sp)
+			}
+			o.MeterCheckpoint = func(units, delta int64) {
+				tr.AddCounter(obs.CounterSample{Job: int64(id), Sub: 0, Node: node,
+					TS: base + units, Value: base + units})
+			}
+		}
 		var store jobStore
 		if st.fleetStore {
 			if v := s.fleet.view(node); v != nil {
@@ -1437,8 +1639,18 @@ func (s *Scheduler) analyze(st *jobState, node, attempt int) (*JobResult, *chunk
 			}
 			if s.cfg.Events != nil {
 				id, name := st.id, res.Name
+				pos := 0
+				traced := s.cfg.Trace != nil
 				o.SinkObserver = func(sr *core.SinkReport) {
-					s.emit(Event{Kind: EventSink, Job: id, Name: name, Sink: sr})
+					ev := Event{Kind: EventSink, Job: id, Name: name, Sink: sr}
+					if traced {
+						// Sinks stream in canonical order, so the running
+						// position names the backslice span that produced
+						// this report.
+						ev.Span = fmt.Sprintf("%d/%d/%d", id, 0, pos)
+					}
+					pos++
+					s.emit(ev)
 				}
 			}
 			if s.fleet != nil && o.SinkChunk > 0 && o.TimeoutMinutes == 0 &&
@@ -1537,6 +1749,13 @@ func (s *Scheduler) serveSettled(st *jobState, name string, stored *core.Report,
 	m := simtime.NewMeterWithTimeout(timeoutMinutes)
 	if err := m.ChargeSettledLookup(); err != nil {
 		return nil, err
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		// A settled hit is the job's entire timeline: one flat lookup,
+		// no engine phases. Replayed sink events carry no span id — no
+		// backslice span produced them.
+		tr.Add(obs.Span{Job: int64(st.id), Sub: 0, Name: "settled-hit",
+			Cat: "sched", Start: 0, Dur: simtime.SettledLookupUnits, Node: -1})
 	}
 	replay := *stored
 	replay.Stats = core.Stats{

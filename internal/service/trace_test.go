@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"backdroid/internal/appgen"
+	"backdroid/internal/core"
+	"backdroid/internal/faultinject"
+	"backdroid/internal/obs"
+)
+
+// traceTailRun drives the trace scenario: the heavy-tail outlier alone
+// on a 4-node fleet, chunked at 32 sinks with an early steal trigger,
+// so exactly one chunk ([32,48)) is shed and claimed by an idle node.
+// Which physical node claims it varies run to run — the canonical
+// export must not. Returns the exported Chrome JSON (nil when
+// untraced), the job's canonical report encoding and its charged units.
+func traceTailRun(t *testing.T, plan *faultinject.Plan, traced bool) ([]byte, []byte, int64) {
+	t.Helper()
+	spec := appgen.HeavyTailCorpus(appgen.HeavyTailOptions{
+		SmallApps: 3, Seed: 99, HeavySinks: 48, HeavySizeMB: 4,
+	})[0]
+	opts := core.DefaultOptions()
+	opts.SinkChunk = 32
+	var tr *obs.Trace
+	if traced {
+		tr = obs.NewTrace()
+	}
+	s := New(Config{
+		Nodes:           4,
+		NodeStoreBudget: 0,
+		Faults:          plan,
+		Options:         &opts,
+		QueueDepth:      4,
+		StealAfterUnits: 64,
+		Trace:           tr,
+	})
+	id, err := s.Submit(Job{Name: spec.Name, Source: sourceFor(spec), RunBackDroid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Wait(id)
+	if err != nil {
+		t.Fatalf("job %s: %v", spec.Name, err)
+	}
+	s.Close()
+	var out []byte
+	if traced {
+		var buf bytes.Buffer
+		if err := obs.WriteChrome(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		out = buf.Bytes()
+	}
+	return out, EncodeReport(res.BackDroid), res.BackDroid.Stats.WorkUnits
+}
+
+// requireTraceEvents decodes the exported JSON and asserts the named
+// event kinds are present, so byte-parity below is never vacuously
+// comparing two empty timelines.
+func requireTraceEvents(t *testing.T, data []byte, names ...string) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+	seen := make(map[string]bool, len(doc.TraceEvents))
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Errorf("trace has no %q event", name)
+		}
+	}
+}
+
+// TestTraceDeterministic: two runs of the same corpus through a 4-node
+// fleet with sink-chunk stealing engaged export byte-identical Chrome
+// JSON, even though the stolen chunk lands on an arbitrary idle node.
+// Every anchor in the export is charged simtime quantized at meter
+// checkpoints, and physical placement is excluded from the canonical
+// form — the two scheduling-dependent sources of divergence.
+func TestTraceDeterministic(t *testing.T) {
+	a, _, _ := traceTailRun(t, nil, true)
+	b, _, _ := traceTailRun(t, nil, true)
+	requireTraceEvents(t, a,
+		"queued", "dispatch", "steal-shed", "steal-claim", "chunk-merge",
+		"backslice", "disassembly")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("traces of identical runs differ:\nrun1 %d bytes\nrun2 %d bytes\n%s",
+			len(a), len(b), firstDiff(a, b))
+	}
+}
+
+// TestTraceDeterministicUnderChaos: the same byte-parity holds with a
+// deterministic fault plan killing the outlier's node mid-run. The kill
+// threshold sits past the stolen chunk's total charge, so the fault
+// always lands on the main range's attempt; the handoff re-dispatch and
+// its backoff all anchor on charged units.
+func TestTraceDeterministicUnderChaos(t *testing.T) {
+	plan := "kill:job=com.outlier.manysink@600"
+	a, _, _ := traceTailRun(t, mustPlan(t, plan), true)
+	b, _, _ := traceTailRun(t, mustPlan(t, plan), true)
+	requireTraceEvents(t, a, "handoff", "steal-claim", "backslice")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("chaos traces of identical runs differ:\nrun1 %d bytes\nrun2 %d bytes\n%s",
+			len(a), len(b), firstDiff(a, b))
+	}
+}
+
+// TestTraceZeroCost: tracing is observation only. A traced run's
+// canonical report encoding and charged units are identical to an
+// untraced run of the same corpus.
+func TestTraceZeroCost(t *testing.T) {
+	_, encOff, unitsOff := traceTailRun(t, nil, false)
+	_, encOn, unitsOn := traceTailRun(t, nil, true)
+	if unitsOn != unitsOff {
+		t.Errorf("tracing changed the charged units: %d traced, %d untraced", unitsOn, unitsOff)
+	}
+	if !bytes.Equal(encOn, encOff) {
+		t.Errorf("tracing changed the canonical report encoding")
+	}
+}
+
+// firstDiff renders the first divergent region of two byte slices for
+// failure messages.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo, hi := i-80, i+80
+			if lo < 0 {
+				lo = 0
+			}
+			end1, end2 := hi, hi
+			if end1 > len(a) {
+				end1 = len(a)
+			}
+			if end2 > len(b) {
+				end2 = len(b)
+			}
+			return fmt.Sprintf("first divergence at byte %d:\nrun1: ...%s...\nrun2: ...%s...",
+				i, a[lo:end1], b[lo:end2])
+		}
+	}
+	return "one trace is a prefix of the other"
+}

@@ -208,6 +208,7 @@ type Meter struct {
 	// Charge keeps failing without re-polling.
 	cancel   func() bool
 	beat     func(delta int64) bool
+	observer func(units, delta int64)
 	lastPoll int64
 	polls    int64
 	canceled bool
@@ -250,6 +251,25 @@ func (m *Meter) SetHeartbeat(beat func(delta int64) bool) {
 	m.lastPoll = m.units
 }
 
+// SetCheckpointObserver installs a passive observability hook: at every
+// checkpoint (the cancellation poll's cadence) obs receives the meter's
+// cumulative units and the delta since the previous checkpoint, before
+// the heartbeat and cancellation polls run. The observer never charges
+// and never aborts — it is how the tracer samples a job's charged-units
+// curve at exactly the instants the fleet already heartbeats, so
+// enabling tracing cannot move a single checkpoint. nil removes it.
+//
+// Installing an observer on a meter with no cancel poll and no
+// heartbeat would turn on checkpointing (and its poll counter) where a
+// plain run has none; callers that must stay poll-identical to an
+// unobserved run should only observe meters that already poll.
+func (m *Meter) SetCheckpointObserver(obs func(units, delta int64)) {
+	m.observer = obs
+	if m.cancel == nil && m.beat == nil {
+		m.lastPoll = m.units
+	}
+}
+
 // Canceled reports whether a cancellation poll has latched. Layers with
 // natural abort points (bcsearch before a command, constprop at method
 // entry) check it directly so they stop even between charge checkpoints.
@@ -273,10 +293,15 @@ func (m *Meter) Charge(n int64) error {
 	if m.canceled {
 		return ErrCanceled
 	}
-	if (m.cancel != nil || m.beat != nil) && m.units-m.lastPoll >= CancelCheckpointUnits {
+	if (m.cancel != nil || m.beat != nil || m.observer != nil) && m.units-m.lastPoll >= CancelCheckpointUnits {
 		delta := m.units - m.lastPoll
 		m.lastPoll = m.units
-		m.polls++
+		if m.cancel != nil || m.beat != nil {
+			m.polls++
+		}
+		if m.observer != nil {
+			m.observer(m.units, delta)
+		}
 		if m.beat != nil && m.beat(delta) {
 			m.canceled = true
 			return ErrCanceled

@@ -367,3 +367,56 @@ func TestCancelDoesNotMaskTimeout(t *testing.T) {
 		t.Fatalf("budget with false cancel poll = %v, want ErrTimeout", err)
 	}
 }
+
+func TestCheckpointObserver(t *testing.T) {
+	m := NewMeter()
+	canceled := false
+	m.SetCancel(func() bool { return canceled })
+	var samples [][2]int64
+	m.SetCheckpointObserver(func(units, delta int64) {
+		samples = append(samples, [2]int64{units, delta})
+	})
+	for i := 0; i < 3; i++ {
+		if err := m.Charge(CancelCheckpointUnits); err != nil {
+			t.Fatalf("Charge: %v", err)
+		}
+	}
+	want := [][2]int64{{32, 32}, {64, 32}, {96, 32}}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+	// The observer runs before the cancel poll, so the aborting
+	// checkpoint's sample is still recorded.
+	canceled = true
+	if err := m.Charge(CancelCheckpointUnits); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(samples) != 4 || samples[3] != [2]int64{128, 32} {
+		t.Fatalf("aborting checkpoint not observed: %v", samples)
+	}
+	// Observing must not move the poll counter: it counts cancellation
+	// polls, and each checkpoint above ran exactly one.
+	if m.CancelPolls() != 4 {
+		t.Fatalf("CancelPolls = %d, want 4", m.CancelPolls())
+	}
+}
+
+func TestObserverOnlyMeterDoesNotCountPolls(t *testing.T) {
+	m := NewMeter()
+	calls := 0
+	m.SetCheckpointObserver(func(units, delta int64) { calls++ })
+	if err := m.Charge(CancelCheckpointUnits * 2); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("observer calls = %d, want 1", calls)
+	}
+	if m.CancelPolls() != 0 {
+		t.Fatalf("CancelPolls = %d, want 0 (no cancel poll installed)", m.CancelPolls())
+	}
+}
